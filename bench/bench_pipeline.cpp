@@ -1,0 +1,44 @@
+// Figure 3: effect of pipelining (double buffering) on execution time,
+// 64 worker nodes, 1024 iterations, K swept upward. The paper's
+// observation: the single- vs double-buffered gap widens with K because
+// both the pi transfer volume and the compute grow with K, giving the
+// overlap more to hide.
+#include "bench/bench_util.h"
+
+using namespace scd;
+
+int main(int argc, char** argv) {
+  std::int64_t report_iters = 1024;
+  std::int64_t workers = 64;
+  ArgParser parser("bench_pipeline", "Figure 3: pipelining benefit");
+  parser.add_int("iterations", &report_iters, "iterations to report");
+  parser.add_int("workers", &workers, "cluster size (worker nodes)");
+  bench::BenchIo io;
+  if (!io.parse(argc, argv, "bench_pipeline", "", &parser)) return 0;
+
+  const core::PhantomWorkload workload = bench::friendster_workload();
+
+  Table fig3({"communities", "single_buffer_s", "double_buffer_s",
+              "saving_pct"});
+  for (std::uint32_t k : {1024u, 2048u, 4096u, 8192u, 12288u}) {
+    const double serial =
+        bench::run_cost_only(static_cast<unsigned>(workers), k, workload,
+                             /*measured=*/32,
+                             static_cast<std::uint64_t>(report_iters),
+                             /*pipeline=*/false)
+            .virtual_seconds;
+    const double pipelined =
+        bench::run_cost_only(static_cast<unsigned>(workers), k, workload,
+                             /*measured=*/32,
+                             static_cast<std::uint64_t>(report_iters),
+                             /*pipeline=*/true)
+            .virtual_seconds;
+    fig3.add_row({std::int64_t(k), serial, pipelined,
+                  100.0 * (serial - pipelined) / serial});
+  }
+  io.emit(fig3, "fig3_pipeline",
+          "Fig 3 — " + std::to_string(report_iters) +
+              " iterations on " + std::to_string(workers) +
+              " nodes, single vs double buffering");
+  return 0;
+}

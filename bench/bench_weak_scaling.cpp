@@ -1,0 +1,37 @@
+// Figure 2: weak scaling — the community count K grows proportionally to
+// the cluster size, keeping per-node work constant while communication
+// intensity rises. The paper's observation: average time per iteration
+// stays nearly flat, i.e. the distributed overhead is small.
+//
+//  (a) average execution time per iteration per cluster size;
+//  (b) the K used at each point.
+#include "bench/bench_util.h"
+
+using namespace scd;
+
+int main(int argc, char** argv) {
+  std::int64_t k_per_worker = 192;
+  ArgParser parser("bench_weak_scaling", "Figure 2: weak scaling");
+  parser.add_int("k-per-worker", &k_per_worker,
+                 "communities per worker node");
+  bench::BenchIo io;
+  if (!io.parse(argc, argv, "bench_weak_scaling", "", &parser)) return 0;
+
+  const core::PhantomWorkload workload = bench::friendster_workload();
+
+  Table fig2a({"workers", "avg_iteration_ms"});
+  Table fig2b({"workers", "communities"});
+  for (unsigned workers : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const auto k = static_cast<std::uint32_t>(
+        k_per_worker * static_cast<std::int64_t>(workers));
+    const core::DistributedResult result = bench::run_cost_only(
+        workers, k, workload, /*measured=*/32, /*reported=*/32);
+    fig2a.add_row({std::int64_t(workers),
+                   result.avg_iteration_seconds * 1e3});
+    fig2b.add_row({std::int64_t(workers), std::int64_t(k)});
+  }
+  io.emit(fig2a, "fig2a_weak_scaling_time",
+          "Fig 2a — avg time per iteration, K proportional to workers");
+  io.emit(fig2b, "fig2b_weak_scaling_k", "Fig 2b — K per cluster size");
+  return 0;
+}

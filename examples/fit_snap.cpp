@@ -1,0 +1,102 @@
+// Fit a real SNAP edge-list file (e.g. com-dblp.ungraph.txt from
+// https://snap.stanford.edu/data/) and print the detected overlapping
+// communities in original vertex ids.
+//
+//   ./fit_snap --graph com-dblp.ungraph.txt --communities 512 \
+//       --iterations 100000
+#include <cstdio>
+
+#include "core/parallel_sampler.h"
+#include "core/report.h"
+#include "graph/heldout.h"
+#include "graph/snap_loader.h"
+#include "util/cli.h"
+#include "util/units.h"
+
+using namespace scd;
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::uint64_t communities = 256;
+  std::int64_t iterations = 50000;
+  std::uint64_t threads = 4;
+  std::uint64_t seed = 1;
+  std::string out;
+  ArgParser parser("fit_snap", "overlapping communities in a SNAP graph");
+  parser.add_string("graph", &path, "SNAP edge-list file (required)")
+      .add_uint("communities", &communities, "inferred K")
+      .add_int("iterations", &iterations, "SG-MCMC iterations")
+      .add_uint("threads", &threads, "worker threads")
+      .add_string("out", &out, "community list output file (optional)")
+      .add_uint("seed", &seed, "root seed");
+  if (!parser.parse(argc, argv)) return 0;
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --graph is required\n%s",
+                 parser.usage().c_str());
+    return 1;
+  }
+
+  std::printf("loading %s...\n", path.c_str());
+  const graph::SnapLoadResult loaded = graph::load_snap_file(path);
+  std::printf("loaded: %u vertices, %s edges\n",
+              loaded.graph.num_vertices(),
+              format_count(loaded.graph.num_edges()).c_str());
+
+  rng::Xoshiro256 split_rng(seed);
+  const graph::HeldOutSplit split(
+      split_rng, loaded.graph,
+      std::min<std::size_t>(2000, loaded.graph.num_edges() / 100));
+
+  core::Hyper hyper;
+  hyper.num_communities = static_cast<std::uint32_t>(communities);
+  hyper.delta = core::suggested_delta(loaded.graph.density());
+  core::SamplerOptions options;
+  options.neighbor_mode = core::NeighborMode::kLinkAware;
+  options.num_neighbors = 16;
+  options.eval_interval =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(iterations) / 10);
+  options.step.a = 0.01;
+  options.step.b = 4096;
+  options.seed = seed;
+
+  core::ParallelSampler sampler(split.training(), &split, hyper, options,
+                                static_cast<unsigned>(threads));
+  sampler.run(static_cast<std::uint64_t>(iterations));
+  for (const core::HistoryPoint& p : sampler.history()) {
+    std::printf("  iter %7llu  %-9s perplexity %.3f\n",
+                static_cast<unsigned long long>(p.iteration),
+                format_duration(p.seconds).c_str(), p.perplexity);
+  }
+
+  const core::CommunityReport report = core::extract_communities(
+      sampler.pi(),
+      core::default_membership_threshold(hyper.num_communities));
+  std::size_t non_empty = 0;
+  for (const auto& c : report.communities) {
+    if (!c.empty()) ++non_empty;
+  }
+  std::printf("detected %zu communities (%llu overlapping vertices)\n",
+              non_empty,
+              static_cast<unsigned long long>(report.overlapping_vertices));
+
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    // One line per community, original SNAP vertex ids.
+    for (const auto& c : report.communities) {
+      if (c.empty()) continue;
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        std::fprintf(f, "%s%llu", i ? "\t" : "",
+                     static_cast<unsigned long long>(
+                         loaded.original_ids[c[i]]));
+      }
+      std::fputc('\n', f);
+    }
+    std::fclose(f);
+    std::printf("communities written to %s\n", out.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "core/checkpoint.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace scd::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5343445f434b5031ULL;  // "SCD_CKP1"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw DataError("checkpoint truncated");
+  return value;
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
+  checkpoint.hyper.validate();
+  const std::uint32_t n = checkpoint.pi.num_vertices();
+  const std::uint32_t k = checkpoint.pi.num_communities();
+  SCD_REQUIRE(k == checkpoint.hyper.num_communities &&
+                  k == checkpoint.global.num_communities(),
+              "checkpoint state disagrees on K");
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, checkpoint.iteration);
+  write_pod(out, checkpoint.hyper.num_communities);
+  write_pod(out, checkpoint.hyper.alpha);
+  write_pod(out, checkpoint.hyper.eta0);
+  write_pod(out, checkpoint.hyper.eta1);
+  write_pod(out, checkpoint.hyper.delta);
+  write_pod(out, n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const auto row = checkpoint.pi.row(v);
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size_bytes()));
+  }
+  const auto theta = checkpoint.global.theta_flat();
+  out.write(reinterpret_cast<const char*>(theta.data()),
+            static_cast<std::streamsize>(theta.size_bytes()));
+  if (!out) throw Error("checkpoint write failed");
+}
+
+Checkpoint load_checkpoint(std::istream& in) {
+  if (read_pod<std::uint64_t>(in) != kMagic) {
+    throw DataError("not a scd checkpoint (bad magic)");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw DataError("unsupported checkpoint version " +
+                    std::to_string(version));
+  }
+  Checkpoint checkpoint;
+  checkpoint.iteration = read_pod<std::uint64_t>(in);
+  checkpoint.hyper.num_communities = read_pod<std::uint32_t>(in);
+  checkpoint.hyper.alpha = read_pod<double>(in);
+  checkpoint.hyper.eta0 = read_pod<double>(in);
+  checkpoint.hyper.eta1 = read_pod<double>(in);
+  checkpoint.hyper.delta = read_pod<double>(in);
+  try {
+    checkpoint.hyper.validate();
+  } catch (const Error& e) {
+    throw DataError(std::string("corrupt checkpoint hyper: ") + e.what());
+  }
+  const auto n = read_pod<std::uint32_t>(in);
+  const std::uint32_t k = checkpoint.hyper.num_communities;
+  if (n == 0) throw DataError("checkpoint has zero vertices");
+  checkpoint.pi = PiMatrix(n, k);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    auto row = checkpoint.pi.row(v);
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size_bytes()));
+  }
+  checkpoint.global = GlobalState(k);
+  auto theta = checkpoint.global.theta_flat();
+  in.read(reinterpret_cast<char*>(theta.data()),
+          static_cast<std::streamsize>(theta.size_bytes()));
+  if (!in) throw DataError("checkpoint truncated");
+  checkpoint.global.update_beta_from_theta();
+  return checkpoint;
+}
+
+void save_checkpoint_file(const std::string& path,
+                          const Checkpoint& checkpoint) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  save_checkpoint(out, checkpoint);
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DataError("cannot open checkpoint '" + path + "'");
+  return load_checkpoint(in);
+}
+
+}  // namespace scd::core

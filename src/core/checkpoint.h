@@ -1,0 +1,36 @@
+// Binary checkpointing of the model state.
+//
+// Long SG-MCMC runs (the paper's take 3-40 hours) need resumable state.
+// A checkpoint captures everything the sampler's trajectory depends on
+// besides the graph: pi (with phi sums), theta/beta, the iteration
+// counter, and the hyperparameters — with a magic/version header and
+// structural validation on load. Format is host-endian (checkpoints are
+// machine-local artifacts, like MPI restart dumps).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/hyper.h"
+#include "core/state.h"
+
+namespace scd::core {
+
+struct Checkpoint {
+  std::uint64_t iteration = 0;
+  Hyper hyper;
+  PiMatrix pi{1, 1};
+  GlobalState global{1};
+};
+
+/// Serialize to a stream / file. Throws scd::Error on I/O failure.
+void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint);
+void save_checkpoint_file(const std::string& path,
+                          const Checkpoint& checkpoint);
+
+/// Deserialize; throws scd::DataError on corrupt or mismatched content.
+Checkpoint load_checkpoint(std::istream& in);
+Checkpoint load_checkpoint_file(const std::string& path);
+
+}  // namespace scd::core

@@ -1,0 +1,561 @@
+#include "core/distributed_sampler.h"
+
+#include "core/phi_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/pipeline_cost.h"
+#include "threading/thread_pool.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace scd::core {
+
+namespace {
+
+constexpr int kTagDeploy = 1;
+constexpr unsigned kChannelGlobal = 0;   // master + all workers
+constexpr unsigned kChannelWorkers = 1;  // workers only (DKV consistency)
+
+using threading::ThreadPool;
+
+/// One worker's share of the minibatch, as shipped by the master.
+struct DeployShare {
+  std::uint64_t iteration = 0;
+  std::vector<graph::Vertex> vertices;
+  std::vector<std::uint32_t> degrees;
+  std::vector<graph::Vertex> adjacency;  // concatenated per vertex
+  std::vector<graph::Vertex> pair_a;
+  std::vector<graph::Vertex> pair_b;
+  std::vector<std::uint8_t> pair_y;
+
+  std::span<const graph::Vertex> adj_of(std::size_t vi,
+                                        std::size_t offset) const {
+    return {adjacency.data() + offset, degrees[vi]};
+  }
+};
+
+std::vector<std::byte> serialize_share(const DeployShare& share) {
+  ByteWriter w;
+  w.put(share.iteration);
+  w.put_span(std::span<const graph::Vertex>(share.vertices));
+  w.put_span(std::span<const std::uint32_t>(share.degrees));
+  w.put_span(std::span<const graph::Vertex>(share.adjacency));
+  w.put_span(std::span<const graph::Vertex>(share.pair_a));
+  w.put_span(std::span<const graph::Vertex>(share.pair_b));
+  w.put_span(std::span<const std::uint8_t>(share.pair_y));
+  return w.take();
+}
+
+DeployShare deserialize_share(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  DeployShare share;
+  share.iteration = r.get<std::uint64_t>();
+  share.vertices = r.get_vector<graph::Vertex>();
+  share.degrees = r.get_vector<std::uint32_t>();
+  share.adjacency = r.get_vector<graph::Vertex>();
+  share.pair_a = r.get_vector<graph::Vertex>();
+  share.pair_b = r.get_vector<graph::Vertex>();
+  share.pair_y = r.get_vector<std::uint8_t>();
+  SCD_ASSERT(r.exhausted(), "trailing bytes in deploy share");
+  return share;
+}
+
+/// Wire size of a phantom worker share with the given counts.
+std::uint64_t phantom_share_bytes(std::uint64_t vertices,
+                                  std::uint64_t adjacency_entries,
+                                  std::uint64_t pairs) {
+  // iteration + 6 span length headers.
+  return 8 + 6 * 8 + vertices * 4 /*ids*/ + vertices * 4 /*degrees*/ +
+         adjacency_entries * 4 + pairs * (4 + 4 + 1);
+}
+
+}  // namespace
+
+DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
+                                       const graph::Graph& training,
+                                       const graph::HeldOutSplit* heldout,
+                                       const Hyper& hyper,
+                                       const DistributedOptions& options)
+    : cluster_(cluster),
+      graph_(&training),
+      heldout_(heldout),
+      hyper_(hyper),
+      options_(options),
+      num_workers_(cluster.num_ranks() - 1),
+      num_vertices_(training.num_vertices()),
+      heldout_size_(heldout != nullptr ? heldout->pairs().size() : 0),
+      global_(hyper.num_communities) {
+  SCD_REQUIRE(cluster.num_ranks() >= 2,
+              "distributed sampler needs a master and >= 1 worker");
+  hyper_.validate();
+  options_.base.validate();
+  SCD_REQUIRE(options_.chunk_vertices >= 1, "chunk_vertices must be >= 1");
+
+  store_ = std::make_unique<dkv::SimRdmaDkv>(
+      num_vertices_, pi_row_width(hyper_.num_communities), num_workers_,
+      cluster.network(), cluster.compute_model(), /*phantom=*/false);
+  // Deterministic expanded-mean initialisation, identical to the
+  // in-process samplers (setup is untimed, as in the paper).
+  std::vector<float> row(store_->row_width());
+  for (std::uint64_t v = 0; v < num_vertices_; ++v) {
+    init_pi_row(options_.base.seed, v, options_.base.init_shape, row);
+    store_->init_row(v, row);
+  }
+  global_.init_random(options_.base.seed, hyper_);
+  minibatch_.emplace(training, heldout, options_.base.minibatch);
+}
+
+DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
+                                       const PhantomWorkload& workload,
+                                       const Hyper& hyper,
+                                       const DistributedOptions& options)
+    : cluster_(cluster),
+      phantom_(workload),
+      hyper_(hyper),
+      options_(options),
+      num_workers_(cluster.num_ranks() - 1),
+      num_vertices_(workload.num_vertices),
+      heldout_size_(workload.heldout_pairs),
+      global_(hyper.num_communities) {
+  SCD_REQUIRE(cluster.num_ranks() >= 2,
+              "distributed sampler needs a master and >= 1 worker");
+  SCD_REQUIRE(workload.num_vertices >= 2 &&
+                  workload.minibatch_vertices >= 1,
+              "phantom workload underspecified");
+  hyper_.validate();
+  options_.base.validate();
+  store_ = std::make_unique<dkv::SimRdmaDkv>(
+      num_vertices_, pi_row_width(hyper_.num_communities), num_workers_,
+      cluster.network(), cluster.compute_model(), /*phantom=*/true);
+}
+
+DistributedResult DistributedSampler::run(std::uint64_t iterations) {
+  SCD_REQUIRE(!ran_, "a DistributedSampler instance runs exactly once");
+  ran_ = true;
+  history_.clear();
+
+  cluster_.run([this, iterations](sim::RankContext& ctx) {
+    if (ctx.is_master()) {
+      master_loop(ctx, iterations);
+    } else {
+      worker_loop(ctx, iterations);
+    }
+  });
+
+  DistributedResult result;
+  result.iterations = iterations;
+  result.virtual_seconds = cluster_.max_clock();
+  result.avg_iteration_seconds =
+      iterations > 0 ? result.virtual_seconds /
+                           static_cast<double>(iterations)
+                     : 0.0;
+  result.critical_path = cluster_.max_stats();
+  result.history = history_;
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Master
+// ---------------------------------------------------------------------
+
+void DistributedSampler::master_loop(sim::RankContext& ctx,
+                                     std::uint64_t iterations) {
+  const std::uint32_t k = hyper_.num_communities;
+  const unsigned w = num_workers_;
+  sim::SimTransport& net = ctx.transport();
+
+  // Initial beta so workers can form likelihood terms.
+  std::vector<float> beta_buf(global_.beta_all().begin(),
+                              global_.beta_all().end());
+  net.broadcast(0, 0, std::span<float>(beta_buf), kChannelGlobal);
+
+  // Draw + scatter one minibatch; returns its h(E_n) scale.
+  auto deploy = [&](std::uint64_t t) -> double {
+    if (real()) {
+      rng::Xoshiro256 mb_rng =
+          derive_rng(options_.base.seed, rng_label::kMinibatch, t);
+      const graph::Minibatch mb = minibatch_->draw(mb_rng);
+      ctx.charge(sim::Phase::kDrawMinibatch,
+                 ctx.compute().draw_cost_per_vertex_s *
+                     static_cast<double>(mb.vertices.size()));
+      for (unsigned wi = 0; wi < w; ++wi) {
+        DeployShare share;
+        share.iteration = t;
+        const auto [vlo, vhi] =
+            ThreadPool::chunk_bounds(0, mb.vertices.size(), wi, w);
+        for (std::uint64_t i = vlo; i < vhi; ++i) {
+          const graph::Vertex a = mb.vertices[i];
+          share.vertices.push_back(a);
+          const auto adj = graph_->neighbors(a);
+          share.degrees.push_back(static_cast<std::uint32_t>(adj.size()));
+          share.adjacency.insert(share.adjacency.end(), adj.begin(),
+                                 adj.end());
+        }
+        const auto [plo, phi] =
+            ThreadPool::chunk_bounds(0, mb.pairs.size(), wi, w);
+        for (std::uint64_t i = plo; i < phi; ++i) {
+          share.pair_a.push_back(mb.pairs[i].a);
+          share.pair_b.push_back(mb.pairs[i].b);
+          share.pair_y.push_back(mb.pairs[i].link ? 1 : 0);
+        }
+        std::vector<std::byte> payload = serialize_share(share);
+        net.send(0, wi + 1, kTagDeploy,
+                 std::span<const std::byte>(payload));
+      }
+      return mb.scale;
+    }
+    // Cost-only: charge the draw and ship phantom shares of the right
+    // size.
+    ctx.charge(sim::Phase::kDrawMinibatch,
+               ctx.compute().draw_cost_per_vertex_s *
+                   static_cast<double>(phantom_.minibatch_vertices));
+    for (unsigned wi = 0; wi < w; ++wi) {
+      const auto [vlo, vhi] =
+          ThreadPool::chunk_bounds(0, phantom_.minibatch_vertices, wi, w);
+      const auto [plo, phi] =
+          ThreadPool::chunk_bounds(0, phantom_.minibatch_pairs, wi, w);
+      const std::uint64_t vertices = vhi - vlo;
+      const auto adjacency = static_cast<std::uint64_t>(
+          static_cast<double>(vertices) * phantom_.avg_degree);
+      net.send_phantom(0, wi + 1, kTagDeploy,
+                       phantom_share_bytes(vertices, adjacency, phi - plo));
+    }
+    return 1.0;
+  };
+
+  double scale_current = deploy(0);
+  double scale_next = 0.0;
+
+  for (std::uint64_t t = 0; t < iterations; ++t) {
+    // Pipelined: prepare iteration t+1 while workers run update_phi of t.
+    if (options_.pipeline && t + 1 < iterations) {
+      scale_next = deploy(t + 1);
+    }
+
+    // update_beta/theta: collect the workers' ratio partials.
+    std::vector<double> ratios(std::size_t{k} * 2, 0.0);
+    {
+      const double before = ctx.clock().now();
+      net.reduce_sum(0, 0, ratios, kChannelGlobal);
+      ctx.stats().add(sim::Phase::kBarrierWait,
+                      ctx.clock().now() - before);
+    }
+    if (real()) {
+      std::vector<double> grad(std::size_t{k} * 2, 0.0);
+      theta_grad_from_ratios(std::span<const double>(ratios.data(), k),
+                             std::span<const double>(ratios.data() + k, k),
+                             global_.theta_flat(), grad);
+      for (double& g : grad) g *= scale_current;
+      update_theta(options_.base.seed, t, global_, grad,
+                   options_.base.step.eps(t), hyper_.eta0, hyper_.eta1,
+                   options_.base.noise_factor,
+                   options_.base.gradient_form);
+      std::copy(global_.beta_all().begin(), global_.beta_all().end(),
+                beta_buf.begin());
+    } else {
+      beta_buf.assign(k, 0.5f);
+    }
+    ctx.charge_serial(sim::Phase::kUpdateBetaTheta,
+                      static_cast<double>(k) * 2.0,
+                      ctx.compute().theta_unit_cycles);
+    {
+      const double before = ctx.clock().now();
+      net.broadcast(0, 0, std::span<float>(beta_buf), kChannelGlobal);
+      ctx.stats().add(sim::Phase::kUpdateBetaTheta,
+                      ctx.clock().now() - before);
+    }
+
+    // Non-pipelined: the next draw serializes after this iteration.
+    if (!options_.pipeline && t + 1 < iterations) {
+      scale_next = deploy(t + 1);
+    }
+
+    if (eval_due(t)) {
+      std::vector<double> acc = {0.0, 0.0};  // [sum log avg, pair count]
+      const double before = ctx.clock().now();
+      net.reduce_sum(0, 0, acc, kChannelGlobal);
+      ctx.stats().add(sim::Phase::kBarrierWait,
+                      ctx.clock().now() - before);
+      if (real()) {
+        const double perp = PerplexityEvaluator::perplexity(
+            acc[0], static_cast<std::uint64_t>(acc[1]));
+        history_.push_back({t + 1, ctx.clock().now(), perp});
+      }
+    }
+
+    scale_current = scale_next;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+void DistributedSampler::worker_loop(sim::RankContext& ctx,
+                                     std::uint64_t iterations) {
+  const std::uint32_t k = hyper_.num_communities;
+  const std::uint32_t width = pi_row_width(k);
+  const unsigned w = num_workers_;
+  const unsigned wi = ctx.rank() - 1;  // worker index == DKV shard
+  const std::uint32_t n_nbr = options_.base.num_neighbors;
+  sim::SimTransport& net = ctx.transport();
+
+  // Initial beta.
+  std::vector<float> beta_buf(k, 0.0f);
+  net.broadcast(ctx.rank(), 0, std::span<float>(beta_buf), kChannelGlobal);
+  LikelihoodTerms terms;
+  terms.refresh(beta_buf, hyper_.delta);
+
+  // This worker's held-out slice and its persistent running averages.
+  std::unique_ptr<PerplexityEvaluator> evaluator;
+  if (real() && heldout_ != nullptr && heldout_size_ > 0) {
+    const auto [lo, hi] = ThreadPool::chunk_bounds(0, heldout_size_, wi, w);
+    evaluator = std::make_unique<PerplexityEvaluator>(
+        std::span<const graph::HeldOutPair>(heldout_->pairs().data() + lo,
+                                            hi - lo));
+  }
+  // Phantom slice size for cost charges.
+  const auto [ph_lo, ph_hi] =
+      ThreadPool::chunk_bounds(0, heldout_size_, wi, w);
+  const std::uint64_t phantom_slice = ph_hi - ph_lo;
+
+  for (std::uint64_t t = 0; t < iterations; ++t) {
+    // ---- receive this iteration's minibatch share ---------------------
+    DeployShare share;
+    std::uint64_t n_local;
+    std::uint64_t p_local;
+    {
+      const double before = ctx.clock().now();
+      if (real()) {
+        const std::vector<std::byte> payload =
+            net.recv<std::byte>(ctx.rank(), 0, kTagDeploy);
+        share = deserialize_share(payload);
+        SCD_ASSERT(share.iteration == t, "deploy out of order");
+        n_local = share.vertices.size();
+        p_local = share.pair_a.size();
+      } else {
+        net.recv_discard(ctx.rank(), 0, kTagDeploy);
+        const auto [vlo, vhi] =
+            ThreadPool::chunk_bounds(0, phantom_.minibatch_vertices, wi, w);
+        const auto [plo, phi] =
+            ThreadPool::chunk_bounds(0, phantom_.minibatch_pairs, wi, w);
+        n_local = vhi - vlo;
+        p_local = phi - plo;
+      }
+      ctx.stats().add(sim::Phase::kDeployMinibatch,
+                      ctx.clock().now() - before);
+    }
+
+    // ---- sample neighbor sets V_n -------------------------------------
+    // In link-aware mode the set additionally holds the vertex's links,
+    // which arrived with the deploy share.
+    const double phantom_set_size =
+        n_nbr + (options_.base.neighbor_mode == NeighborMode::kLinkAware
+                     ? phantom_.avg_degree
+                     : 0.0);
+    std::vector<graph::NeighborSet> neighbor_sets;
+    double total_samples = static_cast<double>(n_local) * phantom_set_size;
+    if (real()) {
+      neighbor_sets.resize(n_local);
+      total_samples = 0.0;
+      std::size_t adj_offset = 0;
+      for (std::size_t vi = 0; vi < n_local; ++vi) {
+        const graph::Vertex a = share.vertices[vi];
+        rng::Xoshiro256 nbr_rng =
+            derive_rng(options_.base.seed, rng_label::kNeighbors, t, a);
+        neighbor_sets[vi] = graph::draw_neighbor_set(
+            nbr_rng, options_.base.neighbor_mode,
+            static_cast<graph::Vertex>(num_vertices_), a,
+            share.adj_of(vi, adj_offset), n_nbr);
+        adj_offset += share.degrees[vi];
+        total_samples +=
+            static_cast<double>(neighbor_sets[vi].samples.size());
+      }
+    }
+    ctx.charge_kernel(sim::Phase::kSampleNeighbors, total_samples,
+                      ctx.compute().neighbor_unit_cycles);
+
+    // ---- update_phi: chunked loads double-buffered with compute --------
+    std::vector<float> staged(n_local * width);
+    sim::PipelineCost pipe;
+    const std::uint64_t chunk = options_.chunk_vertices;
+    std::vector<std::uint64_t> keys;
+    std::vector<float> rows;
+    PhiScratch scratch(k);
+    for (std::uint64_t lo = 0; lo < n_local; lo += chunk) {
+      const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, n_local);
+      double load_cost;
+      double chunk_samples;
+      if (real()) {
+        keys.clear();
+        chunk_samples = 0.0;
+        for (std::uint64_t vi = lo; vi < hi; ++vi) {
+          keys.push_back(share.vertices[vi]);
+          for (const graph::NeighborSample& nb :
+               neighbor_sets[vi].samples) {
+            keys.push_back(nb.b);
+          }
+          chunk_samples +=
+              static_cast<double>(neighbor_sets[vi].samples.size());
+        }
+        rows.resize(keys.size() * width);
+        load_cost = store_->get_rows(wi, keys, rows);
+        // Compute phi* for the chunk from the freshly loaded rows.
+        std::size_t row_idx = 0;
+        for (std::uint64_t vi = lo; vi < hi; ++vi) {
+          const graph::Vertex a = share.vertices[vi];
+          const graph::NeighborSet& set = neighbor_sets[vi];
+          std::span<const float> row_a(rows.data() + row_idx * width,
+                                       width);
+          const std::size_t first_nbr_row = row_idx + 1;
+          row_idx += 1 + set.samples.size();
+          std::span<float> out(staged.data() + vi * width, width);
+          staged_phi_update(
+              options_.base.seed, t, a, row_a, set,
+              [&](std::size_t i) {
+                return std::span<const float>(
+                    rows.data() + (first_nbr_row + i) * width, width);
+              },
+              terms, options_.base.step.eps(t),
+              hyper_.normalized_alpha(), out, scratch,
+              options_.base.noise_factor, options_.base.gradient_form);
+        }
+      } else {
+        // Expected local/remote split of uniformly random rows.
+        chunk_samples =
+            static_cast<double>(hi - lo) * phantom_set_size;
+        const auto rows_in_chunk = static_cast<std::uint64_t>(
+            static_cast<double>(hi - lo) + chunk_samples);
+        const std::uint64_t local = rows_in_chunk / w;
+        load_cost = store_->read_cost(wi, local, rows_in_chunk - local);
+      }
+      const double compute_cost = ctx.compute().kernel_time(
+          chunk_samples * k, ctx.compute().phi_unit_cycles);
+      pipe.add_chunk(load_cost, compute_cost);
+    }
+    // Stats record the sub-stage views of Table III; the clock advances
+    // by the (possibly overlapped) critical path.
+    ctx.stats().add(sim::Phase::kLoadPi, pipe.load_total());
+    ctx.stats().add(sim::Phase::kUpdatePhi, pipe.compute_total());
+    ctx.clock().advance(pipe.total(options_.pipeline));
+
+    // phi must be fully read cluster-wide before anyone writes pi.
+    ctx.timed_barrier(kChannelWorkers, w);
+
+    // ---- update_pi: normalize (folded in phi*) + DKV write-back --------
+    {
+      ctx.charge_kernel(sim::Phase::kUpdatePi,
+                        static_cast<double>(n_local) * k,
+                        ctx.compute().pi_unit_cycles);
+      double write_cost;
+      if (real()) {
+        keys.assign(share.vertices.begin(), share.vertices.end());
+        write_cost = store_->put_rows(wi, keys, staged);
+      } else {
+        const std::uint64_t local = n_local / w;
+        write_cost = store_->write_cost(wi, local, n_local - local);
+      }
+      ctx.charge(sim::Phase::kUpdatePi, write_cost);
+    }
+
+    // pi must be visible cluster-wide before update_beta reads it.
+    ctx.timed_barrier(kChannelWorkers, w);
+
+    // ---- update_beta: ratio partials over this worker's pair slice -----
+    {
+      std::vector<double> ratios(std::size_t{k} * 2, 0.0);
+      double load_cost;
+      if (real()) {
+        keys.clear();
+        for (std::uint64_t i = 0; i < p_local; ++i) {
+          keys.push_back(share.pair_a[i]);
+          keys.push_back(share.pair_b[i]);
+        }
+        rows.resize(keys.size() * width);
+        load_cost = store_->get_rows(wi, keys, rows);
+        std::span<double> link(ratios.data(), k);
+        std::span<double> nonlink(ratios.data() + k, k);
+        for (std::uint64_t i = 0; i < p_local; ++i) {
+          std::span<const float> row_a(rows.data() + (2 * i) * width,
+                                       width);
+          std::span<const float> row_b(rows.data() + (2 * i + 1) * width,
+                                       width);
+          accumulate_theta_ratio(row_a, row_b, terms,
+                                 share.pair_y[i] != 0,
+                                 share.pair_y[i] != 0 ? link : nonlink);
+        }
+      } else {
+        const std::uint64_t row_count = 2 * p_local;
+        const std::uint64_t local = row_count / w;
+        load_cost = store_->read_cost(wi, local, row_count - local);
+      }
+      ctx.charge(sim::Phase::kUpdateBetaTheta, load_cost);
+      ctx.charge_kernel(sim::Phase::kUpdateBetaTheta,
+                        static_cast<double>(p_local) * k,
+                        ctx.compute().beta_unit_cycles);
+
+      const double before = ctx.clock().now();
+      net.reduce_sum(ctx.rank(), 0, ratios, kChannelGlobal);
+      net.broadcast(ctx.rank(), 0, std::span<float>(beta_buf),
+                    kChannelGlobal);
+      ctx.stats().add(sim::Phase::kUpdateBetaTheta,
+                      ctx.clock().now() - before);
+      if (real()) terms.refresh(beta_buf, hyper_.delta);
+    }
+
+    // ---- perplexity ----------------------------------------------------
+    if (eval_due(t)) {
+      std::vector<double> acc = {0.0, 0.0};
+      if (real() && evaluator) {
+        const auto slice = evaluator->slice();
+        keys.clear();
+        for (const graph::HeldOutPair& p : slice) {
+          keys.push_back(p.a);
+          keys.push_back(p.b);
+        }
+        rows.resize(keys.size() * width);
+        const double load_cost = store_->get_rows(wi, keys, rows);
+        ctx.charge(sim::Phase::kPerplexity, load_cost);
+        for (std::size_t i = 0; i < slice.size(); ++i) {
+          std::span<const float> row_a(rows.data() + (2 * i) * width,
+                                       width);
+          std::span<const float> row_b(rows.data() + (2 * i + 1) * width,
+                                       width);
+          evaluator->add_sample_prob(
+              i, pair_likelihood(row_a, row_b, terms, slice[i].link));
+        }
+        evaluator->finish_sample();
+        acc[0] = evaluator->sum_log_avg();
+        acc[1] = static_cast<double>(slice.size());
+      } else if (!real()) {
+        const std::uint64_t row_count = 2 * phantom_slice;
+        const std::uint64_t local = row_count / w;
+        ctx.charge(sim::Phase::kPerplexity,
+                   store_->read_cost(wi, local, row_count - local));
+      }
+      ctx.charge_kernel(
+          sim::Phase::kPerplexity,
+          static_cast<double>(real() && evaluator ? evaluator->size()
+                                                  : phantom_slice) *
+              k,
+          ctx.compute().perplexity_unit_cycles);
+      net.reduce_sum(ctx.rank(), 0, acc, kChannelGlobal);
+    }
+  }
+}
+
+PiMatrix DistributedSampler::snapshot_pi() const {
+  SCD_REQUIRE(real(), "no pi state in cost-only mode");
+  PiMatrix pi(static_cast<std::uint32_t>(num_vertices_),
+              hyper_.num_communities);
+  for (std::uint64_t v = 0; v < num_vertices_; ++v) {
+    const auto src = store_->row(v);
+    std::copy(src.begin(), src.end(),
+              pi.row(static_cast<std::uint32_t>(v)).begin());
+  }
+  return pi;
+}
+
+}  // namespace scd::core

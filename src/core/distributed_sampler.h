@@ -1,0 +1,132 @@
+// The paper's contribution: the parallel + distributed SG-MCMC sampler,
+// executed on the virtual-time cluster (Section III).
+//
+// Topology: rank 0 is the master (owns E, draws and deploys minibatches,
+// updates theta/beta); ranks 1..W are workers (own a static shard of the
+// pi DKV rows and a slice of E_h). One iteration:
+//
+//   master                         workers
+//   ------------------------------ ---------------------------------------
+//   draw E_n (t) [or already done  recv minibatch share + touched E subset
+//   during t-1 when pipelined]       (kDeployMinibatch books the wait)
+//   scatter shares                 sample V_n per local vertex
+//   [pipelined: draw+send t+1 now] update_phi: chunked DKV loads of pi
+//                                    rows double-buffered against compute
+//                                  ---- worker barrier (phi before pi) ----
+//                                  update_pi: write [pi|phi_sum] rows
+//                                  ---- worker barrier (pi before beta) ---
+//                                  update_beta: load pair rows, accumulate
+//                                    theta-ratio partials
+//   <------------- reduce_sum(2K ratio doubles) ------------->
+//   theta SGRLD step, beta = f(theta)
+//   <------------- broadcast(beta) --------------------------->
+//   [every eval_interval] perplexity over the E_h slices, reduced.
+//
+// Execution modes:
+//   * Real — full inference on an actual graph; numerically equivalent to
+//     SequentialSampler for any worker count (same derive_rng streams).
+//   * CostOnly — no state, no graph: a PhantomWorkload supplies the loop
+//     trip counts and the run charges exactly the costs the real mode
+//     would, enabling paper-scale sweeps (com-Friendster, K = 12288).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/grads.h"
+#include "core/options.h"
+#include "core/perplexity.h"
+#include "core/state.h"
+#include "dkv/sim_rdma_dkv.h"
+#include "graph/graph.h"
+#include "graph/heldout.h"
+#include "graph/minibatch.h"
+#include "sim/cluster.h"
+
+namespace scd::core {
+
+/// Loop trip counts for cost-only runs at paper scale.
+struct PhantomWorkload {
+  std::uint64_t num_vertices = 0;
+  double avg_degree = 0.0;
+  /// M: vertices per minibatch (each worker gets M / W of them).
+  std::uint32_t minibatch_vertices = 0;
+  /// |E_n|: pairs per minibatch for update_beta.
+  std::uint64_t minibatch_pairs = 0;
+  /// |E_h|: held-out pairs per perplexity evaluation (0 disables).
+  std::uint64_t heldout_pairs = 0;
+};
+
+struct DistributedOptions {
+  SamplerOptions base{};
+  /// Pipelining (Section III-D): master draws/deploys iteration t+1
+  /// during the workers' update_phi of t, and pi loads are
+  /// double-buffered against the phi compute. Fig. 3 toggles this.
+  bool pipeline = true;
+  /// Vertices per pipeline chunk in update_phi.
+  std::uint32_t chunk_vertices = 32;
+};
+
+struct DistributedResult {
+  std::uint64_t iterations = 0;
+  /// max over ranks of final virtual clock.
+  double virtual_seconds = 0.0;
+  double avg_iteration_seconds = 0.0;
+  /// Per-phase virtual time, max over ranks, for the whole run.
+  sim::PhaseStats critical_path;
+  /// Perplexity trace (real mode; seconds are virtual cluster time).
+  std::vector<HistoryPoint> history;
+};
+
+class DistributedSampler {
+ public:
+  /// Real mode. `cluster` must have num_ranks = workers + 1 (>= 2).
+  /// The graph/heldout referents must outlive the sampler.
+  DistributedSampler(sim::SimCluster& cluster, const graph::Graph& training,
+                     const graph::HeldOutSplit* heldout, const Hyper& hyper,
+                     const DistributedOptions& options);
+
+  /// Cost-only mode at the scale described by `workload`.
+  DistributedSampler(sim::SimCluster& cluster,
+                     const PhantomWorkload& workload, const Hyper& hyper,
+                     const DistributedOptions& options);
+
+  /// Execute `iterations` iterations. One-shot: a sampler instance runs
+  /// once (per-worker evaluator state lives inside the run).
+  DistributedResult run(std::uint64_t iterations);
+
+  /// Real mode, after run(): copy all pi rows out of the DKV store.
+  PiMatrix snapshot_pi() const;
+  const GlobalState& global() const { return global_; }
+  const dkv::SimRdmaDkv& store() const { return *store_; }
+  unsigned num_workers() const { return num_workers_; }
+
+ private:
+  void master_loop(sim::RankContext& ctx, std::uint64_t iterations);
+  void worker_loop(sim::RankContext& ctx, std::uint64_t iterations);
+  bool real() const { return graph_ != nullptr; }
+  bool eval_due(std::uint64_t t) const {
+    const std::uint64_t every = options_.base.eval_interval;
+    return every > 0 && (t + 1) % every == 0 && heldout_size_ > 0;
+  }
+
+  sim::SimCluster& cluster_;
+  const graph::Graph* graph_ = nullptr;        // null in cost-only mode
+  const graph::HeldOutSplit* heldout_ = nullptr;
+  PhantomWorkload phantom_{};
+  Hyper hyper_;
+  DistributedOptions options_;
+  unsigned num_workers_;
+  std::uint64_t num_vertices_;
+  std::uint64_t heldout_size_;
+
+  std::unique_ptr<dkv::SimRdmaDkv> store_;
+  GlobalState global_;
+  std::optional<graph::MinibatchSampler> minibatch_;
+
+  bool ran_ = false;
+  std::vector<HistoryPoint> history_;  // written by master rank only
+};
+
+}  // namespace scd::core

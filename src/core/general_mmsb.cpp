@@ -1,0 +1,202 @@
+#include "core/general_mmsb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/grads.h"
+#include "random/distributions.h"
+#include "util/error.h"
+
+namespace scd::core {
+
+namespace {
+constexpr double kMinZ = 1e-290;
+
+inline std::size_t k_of(std::span<const float> row) {
+  return row.size() - 1;
+}
+
+/// w_k = sum_l pi_bl Bt_kl for every k; the shared inner product of the
+/// likelihood and both gradients. O(K^2).
+void fill_w(std::span<const float> row_b,
+            const GeneralLikelihoodTerms& terms, const BlockMatrix& blocks,
+            bool y, std::span<double> w) {
+  const std::uint32_t k = blocks.num_communities();
+  for (std::uint32_t i = 0; i < k; ++i) {
+    double acc = 0.0;
+    for (std::uint32_t l = 0; l < k; ++l) {
+      acc += static_cast<double>(row_b[l]) *
+             static_cast<double>(terms.bt(y, blocks.block_index(i, l)));
+    }
+    w[i] = acc;
+  }
+}
+}  // namespace
+
+BlockMatrix::BlockMatrix(std::uint32_t num_communities)
+    : k_(num_communities) {
+  SCD_REQUIRE(num_communities >= 1, "need at least one community");
+  theta_.assign(std::size_t{num_blocks()} * 2, 1.0);
+  b_.assign(num_blocks(), 0.5f);
+}
+
+void BlockMatrix::init_random(std::uint64_t seed, const Hyper& hyper) {
+  rng::Xoshiro256 engine = derive_rng(seed, rng_label::kThetaInit);
+  for (std::uint32_t block = 0; block < num_blocks(); ++block) {
+    theta_[block * 2 + 0] = rng::sample_gamma(engine, hyper.eta1);
+    theta_[block * 2 + 1] = rng::sample_gamma(engine, hyper.eta0);
+  }
+  refresh_b();
+}
+
+void BlockMatrix::init_assortative(std::uint64_t seed, double beta_diag,
+                                   double delta_off, double pseudo_count) {
+  SCD_REQUIRE(beta_diag > 0.0 && beta_diag < 1.0 && delta_off > 0.0 &&
+                  delta_off < 1.0,
+              "block strengths must be probabilities in (0, 1)");
+  SCD_REQUIRE(pseudo_count > 0.0, "pseudo_count must be positive");
+  rng::Xoshiro256 engine = derive_rng(seed, rng_label::kThetaInit);
+  for (std::uint32_t k = 0; k < k_; ++k) {
+    for (std::uint32_t l = k; l < k_; ++l) {
+      const std::uint32_t block = block_index(k, l);
+      // Jitter the diagonal so communities are distinguishable from the
+      // first iteration.
+      const double value =
+          k == l ? beta_diag * (0.75 + 0.5 * engine.next_double())
+                 : delta_off;
+      theta_[block * 2 + 0] = (1.0 - value) * pseudo_count;
+      theta_[block * 2 + 1] = value * pseudo_count;
+    }
+  }
+  refresh_b();
+}
+
+void BlockMatrix::refresh_b() {
+  for (std::uint32_t block = 0; block < num_blocks(); ++block) {
+    const double t0 = theta_[block * 2 + 0];
+    const double t1 = theta_[block * 2 + 1];
+    const double sum = t0 + t1;
+    double value = sum > 0.0 ? t1 / sum : 0.5;
+    value = std::clamp(value, 1e-6, 1.0 - 1e-6);
+    b_[block] = static_cast<float>(value);
+  }
+}
+
+void GeneralLikelihoodTerms::refresh(const BlockMatrix& blocks) {
+  k = blocks.num_communities();
+  const std::uint32_t n = blocks.num_blocks();
+  bt_link.resize(n);
+  bt_nonlink.resize(n);
+  const auto b = blocks.b_flat();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    bt_link[i] = b[i];
+    bt_nonlink[i] = 1.0f - b[i];
+  }
+}
+
+double general_pair_likelihood(std::span<const float> row_a,
+                               std::span<const float> row_b,
+                               const GeneralLikelihoodTerms& terms,
+                               const BlockMatrix& blocks, bool y) {
+  const std::size_t k = k_of(row_a);
+  SCD_ASSERT(k == blocks.num_communities(), "K mismatch");
+  std::vector<double> w(k);
+  fill_w(row_b, terms, blocks, y, w);
+  double z = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    z += static_cast<double>(row_a[i]) * w[i];
+  }
+  return std::max(z, kMinZ);
+}
+
+double general_accumulate_phi_grad(std::span<const float> row_a,
+                                   std::span<const float> row_b,
+                                   const GeneralLikelihoodTerms& terms,
+                                   const BlockMatrix& blocks, bool y,
+                                   std::span<double> grad) {
+  const std::size_t k = k_of(row_a);
+  SCD_ASSERT(grad.size() == k, "gradient size mismatch");
+  const double phi_sum = row_a[k];
+  SCD_ASSERT(phi_sum > 0.0, "phi_sum must be positive");
+  std::vector<double> w(k);
+  fill_w(row_b, terms, blocks, y, w);
+  double z = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    z += static_cast<double>(row_a[i]) * w[i];
+  }
+  z = std::max(z, kMinZ);
+  const double inv_z = 1.0 / z;
+  const double inv_phi_sum = 1.0 / phi_sum;
+  for (std::size_t i = 0; i < k; ++i) {
+    grad[i] += (w[i] * inv_z - 1.0) * inv_phi_sum;
+  }
+  return z;
+}
+
+double general_accumulate_theta_ratio(std::span<const float> row_a,
+                                      std::span<const float> row_b,
+                                      const GeneralLikelihoodTerms& terms,
+                                      const BlockMatrix& blocks, bool y,
+                                      std::span<double> ratio) {
+  const auto k = static_cast<std::uint32_t>(k_of(row_a));
+  SCD_ASSERT(ratio.size() == blocks.num_blocks(), "ratio size mismatch");
+  const double z = general_pair_likelihood(row_a, row_b, terms, blocks, y);
+  const double inv_z = 1.0 / z;
+  // Both ordered cells (k,l) and (l,k) share one B entry; fold them into
+  // the unordered block's ratio.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const double pa = row_a[i];
+    for (std::uint32_t l = 0; l < k; ++l) {
+      const std::uint32_t block = blocks.block_index(i, l);
+      const double f = pa * static_cast<double>(row_b[l]) *
+                       static_cast<double>(terms.bt(y, block));
+      ratio[block] += f * inv_z;
+    }
+  }
+  return z;
+}
+
+void general_theta_grad_from_ratios(std::span<const double> ratio_link,
+                                    std::span<const double> ratio_nonlink,
+                                    const BlockMatrix& blocks,
+                                    std::span<double> grad) {
+  const std::uint32_t n = blocks.num_blocks();
+  SCD_ASSERT(ratio_link.size() == n && ratio_nonlink.size() == n &&
+                 grad.size() == std::size_t{n} * 2,
+             "theta grad assembly size mismatch");
+  for (std::uint32_t block = 0; block < n; ++block) {
+    const double t0 = blocks.theta(block, 0);
+    const double t1 = blocks.theta(block, 1);
+    const double inv_sum = 1.0 / (t0 + t1);
+    grad[block * 2 + 1] = ratio_link[block] * (1.0 / t1 - inv_sum) +
+                          ratio_nonlink[block] * (-inv_sum);
+    grad[block * 2 + 0] = ratio_nonlink[block] * (1.0 / t0 - inv_sum) +
+                          ratio_link[block] * (-inv_sum);
+  }
+}
+
+void general_update_theta(std::uint64_t seed, std::uint64_t iteration,
+                          BlockMatrix& blocks, std::span<const double> grad,
+                          double eps, double eta0, double eta1,
+                          double noise_factor) {
+  const std::uint32_t n = blocks.num_blocks();
+  SCD_ASSERT(grad.size() == std::size_t{n} * 2, "gradient size mismatch");
+  rng::Xoshiro256 noise = derive_rng(seed, rng_label::kThetaNoise, iteration);
+  const double noise_scale = noise_factor * std::sqrt(eps);
+  for (std::uint32_t block = 0; block < n; ++block) {
+    for (unsigned i = 0; i < 2; ++i) {
+      const double theta = blocks.theta(block, i);
+      const double eta = (i == 1) ? eta0 : eta1;
+      const double xi = rng::sample_standard_normal(noise) * noise_scale;
+      double updated = theta +
+                       0.5 * eps * (eta - theta + grad[block * 2 + i]) +
+                       std::sqrt(theta) * xi;
+      updated = std::abs(updated);
+      updated = std::max(updated, kParamFloor);
+      blocks.set_theta(block, i, updated);
+    }
+  }
+  blocks.refresh_b();
+}
+
+}  // namespace scd::core

@@ -1,0 +1,130 @@
+// General (non-assortative) MMSB extension.
+//
+// The paper works on a-MMSB "for simplicity" and notes (footnote 1) that
+// the method applies straightforwardly to the general MMSB model, where
+// the single strength-per-community beta_k + background delta is replaced
+// by a full symmetric block matrix B: a pair (a, b) with community draws
+// (z_ab = k, z_ba = l) links with probability B_kl. This module provides
+// that extension for the in-process samplers:
+//
+//   * likelihood  Z_ab^(y) = sum_{k,l} pi_ak pi_bl Bt_kl,   O(K^2)
+//   * phi gradient g(phi_ak) = (sum_l pi_bl Bt_kl / Z - 1) / phi_sum_a
+//   * B gradient via the expanded-mean theta_{kl,i} per unordered block
+//     pair (k <= l), so symmetry of B is structural.
+//
+// The a-MMSB gradients drop out as the special case B_kk = beta_k,
+// B_{k != l} = delta — asserted by tests. The general model can express
+// disassortative structure (e.g. bipartite-like graphs) that a-MMSB
+// cannot; see GeneralMmsbTest.RecoversDisassortativeStructure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/hyper.h"
+#include "core/state.h"
+
+namespace scd::core {
+
+/// Symmetric K x K block-strength state in the expanded-mean
+/// parameterization: one (theta0, theta1) pair per unordered (k, l).
+class BlockMatrix {
+ public:
+  explicit BlockMatrix(std::uint32_t num_communities);
+
+  std::uint32_t num_communities() const { return k_; }
+  std::uint32_t num_blocks() const { return k_ * (k_ + 1) / 2; }
+
+  /// Flat index of the unordered pair (k, l).
+  std::uint32_t block_index(std::uint32_t k, std::uint32_t l) const {
+    if (k > l) std::swap(k, l);
+    // Row-major upper triangle: offset(k) = k*K - k(k-1)/2.
+    return k * k_ - k * (k - 1) / 2 + (l - k);
+  }
+
+  double theta(std::uint32_t block, unsigned i) const {
+    return theta_[block * 2 + i];
+  }
+  void set_theta(std::uint32_t block, unsigned i, double value) {
+    theta_[block * 2 + i] = value;
+  }
+  std::span<double> theta_flat() { return theta_; }
+
+  /// B_kl = theta1 / (theta0 + theta1), clamped into (0, 1).
+  float b(std::uint32_t k, std::uint32_t l) const {
+    return b_[block_index(k, l)];
+  }
+  std::span<const float> b_flat() const { return b_; }
+
+  /// theta_{kl,i} ~ Gamma(eta_i); deterministic per seed.
+  void init_random(std::uint64_t seed, const Hyper& hyper);
+
+  /// Assortative initialization: diagonal blocks start at beta_diag
+  /// (jittered per block), off-diagonal blocks at delta_off, both with
+  /// `pseudo_count` total pseudo-observations. This reproduces the
+  /// structural symmetry-breaking that a-MMSB gets for free from its
+  /// fixed small delta — without it, a diffuse start is a saddle where
+  /// every block sees the same data (see general_sampler.h). B remains
+  /// free to move off-diagonal during training.
+  void init_assortative(std::uint64_t seed, double beta_diag,
+                        double delta_off, double pseudo_count = 10.0);
+
+  void refresh_b();
+
+ private:
+  std::uint32_t k_;
+  std::vector<double> theta_;  // blocks x 2
+  std::vector<float> b_;       // blocks
+};
+
+/// Per-iteration cache of the y-dependent block terms:
+/// bt[y=1] = B, bt[y=0] = 1 - B (flat upper-triangle layout).
+struct GeneralLikelihoodTerms {
+  std::vector<float> bt_link;
+  std::vector<float> bt_nonlink;
+  std::uint32_t k = 0;
+
+  void refresh(const BlockMatrix& blocks);
+  float bt(bool y, std::uint32_t block) const {
+    return y ? bt_link[block] : bt_nonlink[block];
+  }
+};
+
+/// Z_ab^(y): sum over (k, l) of pi_ak pi_bl Bt_kl. O(K^2).
+/// Rows use the [pi | phi_sum] layout.
+double general_pair_likelihood(std::span<const float> row_a,
+                               std::span<const float> row_b,
+                               const GeneralLikelihoodTerms& terms,
+                               const BlockMatrix& blocks, bool y);
+
+/// Add the phi gradient of log Z into grad; returns Z.
+double general_accumulate_phi_grad(std::span<const float> row_a,
+                                   std::span<const float> row_b,
+                                   const GeneralLikelihoodTerms& terms,
+                                   const BlockMatrix& blocks, bool y,
+                                   std::span<double> grad);
+
+/// Add the per-block ratio sum_{(k,l) in block} pi_ak pi_bl Bt / Z into
+/// `ratio` (one slot per unordered block); returns Z. Feeds
+/// general_theta_grad_from_ratios like the a-MMSB factored path.
+double general_accumulate_theta_ratio(std::span<const float> row_a,
+                                      std::span<const float> row_b,
+                                      const GeneralLikelihoodTerms& terms,
+                                      const BlockMatrix& blocks, bool y,
+                                      std::span<double> ratio);
+
+/// Assemble the blocks x 2 theta gradient from per-stratum ratio sums.
+void general_theta_grad_from_ratios(std::span<const double> ratio_link,
+                                    std::span<const double> ratio_nonlink,
+                                    const BlockMatrix& blocks,
+                                    std::span<double> grad);
+
+/// SGRLD update of theta (all blocks); grad must include the h(E_n)
+/// scale. Noise stream: (seed, kThetaNoise, iteration). Refreshes B.
+void general_update_theta(std::uint64_t seed, std::uint64_t iteration,
+                          BlockMatrix& blocks, std::span<const double> grad,
+                          double eps, double eta0, double eta1,
+                          double noise_factor = 1.0);
+
+}  // namespace scd::core

@@ -1,0 +1,72 @@
+// Multithreaded shared-memory sampler — the paper's "vertical scaling"
+// configuration (Section IV-D): one machine, many cores, all state in
+// local RAM.
+//
+// Parallel structure mirrors the paper's OpenMP annotations:
+//   * update_phi: data-parallel over minibatch vertices, static chunks;
+//   * update_pi: parallel commit of the staged rows;
+//   * update_beta: per-thread partial theta gradients folded in thread
+//     order (deterministic), then one serial SGRLD step;
+//   * perplexity: parallel over the held-out slice with a two-stage
+//     reduction.
+// Randomness comes from the derive_rng streams keyed by (iteration,
+// vertex), so the trajectory is identical for ANY thread count and
+// matches SequentialSampler to floating-point reassociation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/grads.h"
+#include "core/options.h"
+#include "core/perplexity.h"
+#include "core/state.h"
+#include "graph/graph.h"
+#include "graph/heldout.h"
+#include "graph/minibatch.h"
+#include "threading/thread_pool.h"
+
+namespace scd::core {
+
+class ParallelSampler {
+ public:
+  ParallelSampler(const graph::Graph& training,
+                  const graph::HeldOutSplit* heldout, const Hyper& hyper,
+                  const SamplerOptions& options, unsigned num_threads);
+
+  void run(std::uint64_t iterations);
+
+  std::uint64_t iteration() const { return iteration_; }
+  const PiMatrix& pi() const { return pi_; }
+  const GlobalState& global() const { return global_; }
+  const std::vector<HistoryPoint>& history() const { return history_; }
+  unsigned num_threads() const { return pool_.num_threads(); }
+
+  double evaluate_perplexity();
+
+  /// See SequentialSampler::checkpoint / restore.
+  Checkpoint checkpoint() const;
+  void restore(const Checkpoint& checkpoint);
+
+ private:
+  void one_iteration();
+
+  const graph::Graph& graph_;
+  const graph::HeldOutSplit* heldout_;
+  Hyper hyper_;
+  SamplerOptions options_;
+  threading::ThreadPool pool_;
+
+  PiMatrix pi_;
+  GlobalState global_;
+  graph::MinibatchSampler minibatch_;
+  LikelihoodTerms terms_;
+  std::unique_ptr<PerplexityEvaluator> evaluator_;
+
+  std::uint64_t iteration_ = 0;
+  double elapsed_s_ = 0.0;
+  std::vector<HistoryPoint> history_;
+};
+
+}  // namespace scd::core

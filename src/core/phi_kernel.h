@@ -1,0 +1,55 @@
+// The per-vertex update_phi kernel shared by the sequential, parallel
+// and distributed samplers: accumulate the neighbor-set gradient (with
+// the set's exact/sampled weighting) against the current rows, then stage
+// the SGRLD update into `out`.
+//
+// Keeping this in one place is what makes the cross-sampler equivalence
+// tests meaningful: every execution mode runs literally the same
+// arithmetic for a given (seed, iteration, vertex, neighbor set).
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "core/grads.h"
+#include "graph/minibatch.h"
+
+namespace scd::core {
+
+/// Scratch buffers reused across vertices (2 x K doubles).
+struct PhiScratch {
+  std::vector<double> exact;
+  std::vector<double> sampled;
+
+  explicit PhiScratch(std::uint32_t k) : exact(k), sampled(k) {}
+};
+
+/// `row_of(i)` must return the [pi | phi_sum] row of set.samples[i].b.
+/// `row_a` is the vertex's own current row; `out` receives the staged
+/// updated row (same width).
+template <typename RowOf>
+void staged_phi_update(std::uint64_t seed, std::uint64_t iteration,
+                       graph::Vertex a, std::span<const float> row_a,
+                       const graph::NeighborSet& set, RowOf&& row_of,
+                       const LikelihoodTerms& terms, double eps,
+                       double alpha, std::span<float> out,
+                       PhiScratch& scratch, double noise_factor = 1.0,
+                       GradientForm form = GradientForm::kRawEqn3) {
+  std::fill(scratch.exact.begin(), scratch.exact.end(), 0.0);
+  std::fill(scratch.sampled.begin(), scratch.sampled.end(), 0.0);
+  for (std::size_t i = 0; i < set.samples.size(); ++i) {
+    const graph::NeighborSample& nb = set.samples[i];
+    std::span<double> target = i < set.exact_prefix
+                                   ? std::span<double>(scratch.exact)
+                                   : std::span<double>(scratch.sampled);
+    accumulate_phi_grad(row_a, row_of(i), terms, nb.link, target);
+  }
+  for (std::size_t k = 0; k < scratch.exact.size(); ++k) {
+    scratch.exact[k] += set.sampled_scale * scratch.sampled[k];
+  }
+  std::copy(row_a.begin(), row_a.end(), out.begin());
+  update_phi_row(seed, iteration, a, out, scratch.exact, /*scale=*/1.0,
+                 eps, alpha, noise_factor, form);
+}
+
+}  // namespace scd::core

@@ -1,0 +1,42 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+namespace scd::core {
+
+double default_membership_threshold(std::uint32_t num_communities) {
+  // 1.5x the uniform level, clamped to [0.1, 0.5]: high enough to reject
+  // diffuse mass, low enough that genuine dual memberships (pi ~ 0.5
+  // each) survive even for small K.
+  return std::clamp(1.5 / static_cast<double>(num_communities), 0.1, 0.5);
+}
+
+CommunityReport extract_communities(const PiMatrix& pi, double threshold) {
+  CommunityReport report;
+  const std::uint32_t n = pi.num_vertices();
+  const std::uint32_t k = pi.num_communities();
+  report.communities.assign(k, {});
+  report.dominant.assign(n, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    float best = -1.0f;
+    std::uint32_t best_k = 0;
+    std::uint32_t memberships = 0;
+    for (std::uint32_t c = 0; c < k; ++c) {
+      const float p = pi.pi(v, c);
+      if (p > best) {
+        best = p;
+        best_k = c;
+      }
+      if (p >= threshold) {
+        report.communities[c].push_back(v);
+        ++memberships;
+      }
+    }
+    report.dominant[v] = best_k;
+    if (memberships >= 2) ++report.overlapping_vertices;
+  }
+  // Members were appended in increasing v, so each community is sorted.
+  return report;
+}
+
+}  // namespace scd::core

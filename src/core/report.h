@@ -1,0 +1,33 @@
+// Turning the inferred pi matrix into a community report.
+//
+// a-MMSB gives each vertex a membership distribution; the conventional
+// extraction for evaluation against ground-truth covers is thresholding
+// (vertex a belongs to community k when pi_ak >= threshold) plus the
+// dominant (argmax) hard assignment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/state.h"
+#include "graph/metrics.h"
+
+namespace scd::core {
+
+struct CommunityReport {
+  /// Thresholded overlapping cover: communities[k] = sorted members.
+  graph::Cover communities;
+  /// Hard argmax assignment per vertex.
+  std::vector<std::uint32_t> dominant;
+  /// Number of vertices with >= 2 memberships at the threshold.
+  std::uint64_t overlapping_vertices = 0;
+};
+
+/// Extract with a membership threshold. A sensible default is a small
+/// multiple of the uniform level 1/K.
+CommunityReport extract_communities(const PiMatrix& pi, double threshold);
+
+/// Threshold heuristic: max(0.1, 3/K).
+double default_membership_threshold(std::uint32_t num_communities);
+
+}  // namespace scd::core

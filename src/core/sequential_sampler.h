@@ -1,0 +1,80 @@
+// Algorithm 1: the sequential SG-MCMC sampler for a-MMSB.
+//
+// This is the reference implementation every parallel/distributed variant
+// is validated against. One iteration:
+//   1. draw a minibatch E_n (master RNG stream);
+//   2. for every vertex a in E_n: draw V_n, accumulate the phi gradient
+//      (Eqn 6) against the *current* state, stage the SGRLD update
+//      (Eqn 5);
+//   3. commit all staged [pi | phi_sum] rows (synchronous minibatch
+//      semantics — matching the distributed version, whose update_pi is
+//      barrier-separated from update_phi);
+//   4. accumulate theta gradients over E_n's pairs with the *updated* pi
+//      (the distributed version reads fresh rows after a barrier), apply
+//      Eqn 3, refresh beta;
+//   5. on eval_interval boundaries, record held-out perplexity (Eqn 7).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/grads.h"
+#include "core/options.h"
+#include "core/perplexity.h"
+#include "core/state.h"
+#include "graph/graph.h"
+#include "graph/heldout.h"
+#include "graph/minibatch.h"
+
+namespace scd::core {
+
+class SequentialSampler {
+ public:
+  /// `heldout` may be null (no perplexity tracking); both referents must
+  /// outlive the sampler.
+  SequentialSampler(const graph::Graph& training,
+                    const graph::HeldOutSplit* heldout, const Hyper& hyper,
+                    const SamplerOptions& options);
+
+  /// Run `iterations` more iterations (cumulative across calls).
+  void run(std::uint64_t iterations);
+
+  std::uint64_t iteration() const { return iteration_; }
+  const PiMatrix& pi() const { return pi_; }
+  const GlobalState& global() const { return global_; }
+  const Hyper& hyper() const { return hyper_; }
+  const std::vector<HistoryPoint>& history() const { return history_; }
+
+  /// Evaluate perplexity immediately (also appends to history).
+  double evaluate_perplexity();
+
+  /// Snapshot the resumable state. Because every random event derives
+  /// from (seed, iteration, ...), a sampler restored from a checkpoint
+  /// continues the exact trajectory of the uninterrupted run.
+  Checkpoint checkpoint() const;
+
+  /// Replace the state with a checkpoint's (graph and options stay).
+  /// Throws scd::UsageError when N or K do not match.
+  void restore(const Checkpoint& checkpoint);
+
+ private:
+  void one_iteration();
+
+  const graph::Graph& graph_;
+  const graph::HeldOutSplit* heldout_;
+  Hyper hyper_;
+  SamplerOptions options_;
+
+  PiMatrix pi_;
+  GlobalState global_;
+  graph::MinibatchSampler minibatch_;
+  LikelihoodTerms terms_;
+  std::unique_ptr<PerplexityEvaluator> evaluator_;
+
+  std::uint64_t iteration_ = 0;
+  double elapsed_s_ = 0.0;
+  std::vector<HistoryPoint> history_;
+};
+
+}  // namespace scd::core

@@ -1,0 +1,87 @@
+#include "dkv/cached_dkv.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace scd::dkv {
+
+CachedDkv::CachedDkv(DkvStore& inner, std::uint64_t capacity_rows)
+    : inner_(inner), capacity_(capacity_rows) {
+  SCD_REQUIRE(capacity_rows >= 1, "cache needs capacity >= 1 row");
+}
+
+void CachedDkv::init_row(std::uint64_t key, std::span<const float> value) {
+  inner_.init_row(key, value);
+}
+
+void CachedDkv::touch(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void CachedDkv::insert(std::uint64_t key, std::span<const float> value) {
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{key, {value.begin(), value.end()}});
+  map_[key] = lru_.begin();
+}
+
+double CachedDkv::get_rows(unsigned requester_shard,
+                           std::span<const std::uint64_t> keys,
+                           std::span<float> out) {
+  SCD_REQUIRE(out.size() == keys.size() * row_width(),
+              "output buffer size mismatch");
+  const std::uint32_t width = row_width();
+  // First pass: satisfy hits from the cache and collect the misses.
+  std::vector<std::uint64_t> miss_keys;
+  std::vector<std::size_t> miss_slots;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto it = map_.find(keys[i]);
+    if (it != map_.end()) {
+      ++hits_;
+      touch(it->second);
+      std::memcpy(out.data() + i * width, it->second->value.data(),
+                  width * sizeof(float));
+    } else {
+      ++misses_;
+      miss_keys.push_back(keys[i]);
+      miss_slots.push_back(i);
+    }
+  }
+  if (miss_keys.empty()) return 0.0;
+  std::vector<float> fetched(miss_keys.size() * width);
+  const double cost = inner_.get_rows(requester_shard, miss_keys, fetched);
+  for (std::size_t m = 0; m < miss_keys.size(); ++m) {
+    std::span<const float> value(fetched.data() + m * width, width);
+    std::memcpy(out.data() + miss_slots[m] * width, value.data(),
+                width * sizeof(float));
+    insert(miss_keys[m], value);
+  }
+  return cost;
+}
+
+double CachedDkv::put_rows(unsigned requester_shard,
+                           std::span<const std::uint64_t> keys,
+                           std::span<const float> values) {
+  const std::uint32_t width = row_width();
+  // Write-through; refresh any cached copies so reads stay coherent
+  // with this requester's own writes.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto it = map_.find(keys[i]);
+    if (it != map_.end()) {
+      std::span<const float> value(values.data() + i * width, width);
+      it->second->value.assign(value.begin(), value.end());
+      touch(it->second);
+    }
+  }
+  return inner_.put_rows(requester_shard, keys, values);
+}
+
+void CachedDkv::invalidate_all() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace scd::dkv

@@ -1,0 +1,83 @@
+// LRU-cached wrapper around a DKV store.
+//
+// Section III-A argues that caching pi is pointless: "The distribution
+// within the graph of the vertices of the mini-batch as well as the
+// neighbor sets is completely random ... there is no opportunity to
+// exploit data locality through caching." This wrapper exists to
+// *quantify* that claim (bench_ablation): it caches rows read through it
+// and reports the hit rate, which for uniformly random accesses converges
+// to capacity/N — negligible for any realistic cache.
+//
+// Coherence caveat: a cached row goes stale when its owner rewrites it,
+// so users must drop cached copies at the same barrier where the paper's
+// algorithm serializes writes. invalidate()/put_rows handle this: puts
+// update the cache in place, and invalidate_all() clears it (called at
+// the update_pi barrier when used inside the sampler).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "dkv/dkv.h"
+
+namespace scd::dkv {
+
+class CachedDkv final : public DkvStore {
+ public:
+  /// Wraps `inner` (not owned) with an LRU cache of `capacity_rows`.
+  CachedDkv(DkvStore& inner, std::uint64_t capacity_rows);
+
+  std::uint64_t num_rows() const override { return inner_.num_rows(); }
+  std::uint32_t row_width() const override { return inner_.row_width(); }
+
+  void init_row(std::uint64_t key, std::span<const float> value) override;
+
+  double get_rows(unsigned requester_shard,
+                  std::span<const std::uint64_t> keys,
+                  std::span<float> out) override;
+
+  double put_rows(unsigned requester_shard,
+                  std::span<const std::uint64_t> keys,
+                  std::span<const float> values) override;
+
+  double read_cost(unsigned requester_shard, std::uint64_t local_rows,
+                   std::uint64_t remote_rows) const override {
+    return inner_.read_cost(requester_shard, local_rows, remote_rows);
+  }
+  double write_cost(unsigned requester_shard, std::uint64_t local_rows,
+                    std::uint64_t remote_rows) const override {
+    return inner_.write_cost(requester_shard, local_rows, remote_rows);
+  }
+
+  /// Drop every cached row (stale after another shard's writes).
+  void invalidate_all();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total > 0 ? static_cast<double>(hits_) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+  std::uint64_t cached_rows() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::vector<float> value;
+  };
+
+  void touch(std::list<Entry>::iterator it);
+  void insert(std::uint64_t key, std::span<const float> value);
+
+  DkvStore& inner_;
+  std::uint64_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace scd::dkv

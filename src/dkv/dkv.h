@@ -1,0 +1,56 @@
+// Distributed key-value store interface for the pi matrix.
+//
+// This mirrors the deliberately minimal contract of the paper's custom
+// RDMA store (Section III-B):
+//   * static layout — rows are created once by init_row, never
+//     inserted/deleted afterwards;
+//   * fixed-size values — every row is exactly `row_width` floats
+//     (pi[0..K-1] followed by sum(phi));
+//   * stage-separated access — a stage either reads or writes, with
+//     barriers between, and writes within a stage target unique rows, so
+//     the store needs no concurrency control;
+//   * every get/put of a row is one one-sided RDMA read/write.
+//
+// get_rows/put_rows return the *modeled* time of the batch on the modeled
+// fabric; the caller charges its virtual clock. Data movement itself is
+// real (unless the store is a phantom cost-only instance).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace scd::dkv {
+
+class DkvStore {
+ public:
+  virtual ~DkvStore() = default;
+
+  virtual std::uint64_t num_rows() const = 0;
+  /// Floats per value; K+1 in the sampler (pi row plus phi row-sum).
+  virtual std::uint32_t row_width() const = 0;
+
+  /// Populate a row before the first read. Not timed (setup phase).
+  virtual void init_row(std::uint64_t key, std::span<const float> value) = 0;
+
+  /// Batched read: row `keys[i]` lands at out[i*row_width .. ). Returns
+  /// modeled seconds for the batch issued by `requester_shard`.
+  virtual double get_rows(unsigned requester_shard,
+                          std::span<const std::uint64_t> keys,
+                          std::span<float> out) = 0;
+
+  /// Batched write, symmetric to get_rows.
+  virtual double put_rows(unsigned requester_shard,
+                          std::span<const std::uint64_t> keys,
+                          std::span<const float> values) = 0;
+
+  /// Pure cost queries — used by the cost-only execution mode, and by the
+  /// real mode internally, so both modes charge identical times for
+  /// identical row counts.
+  virtual double read_cost(unsigned requester_shard, std::uint64_t local_rows,
+                           std::uint64_t remote_rows) const = 0;
+  virtual double write_cost(unsigned requester_shard,
+                            std::uint64_t local_rows,
+                            std::uint64_t remote_rows) const = 0;
+};
+
+}  // namespace scd::dkv

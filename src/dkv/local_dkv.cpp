@@ -1,0 +1,62 @@
+#include "dkv/local_dkv.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace scd::dkv {
+
+LocalDkv::LocalDkv(std::uint64_t num_rows, std::uint32_t row_width,
+                   const sim::ComputeModel& node)
+    : num_rows_(num_rows), row_width_(row_width), node_(node) {
+  SCD_REQUIRE(num_rows >= 1 && row_width >= 1, "empty store");
+  data_.assign(num_rows * row_width, 0.0f);
+}
+
+void LocalDkv::init_row(std::uint64_t key, std::span<const float> value) {
+  SCD_REQUIRE(key < num_rows_, "row key out of range");
+  SCD_REQUIRE(value.size() == row_width_, "row width mismatch");
+  std::memcpy(data_.data() + key * row_width_, value.data(),
+              value.size_bytes());
+}
+
+double LocalDkv::get_rows(unsigned requester_shard,
+                          std::span<const std::uint64_t> keys,
+                          std::span<float> out) {
+  SCD_REQUIRE(out.size() == keys.size() * row_width_,
+              "output buffer size mismatch");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    SCD_ASSERT(keys[i] < num_rows_, "row key out of range");
+    std::memcpy(out.data() + i * row_width_,
+                data_.data() + keys[i] * row_width_, row_bytes());
+  }
+  return read_cost(requester_shard, keys.size(), 0);
+}
+
+double LocalDkv::put_rows(unsigned requester_shard,
+                          std::span<const std::uint64_t> keys,
+                          std::span<const float> values) {
+  SCD_REQUIRE(values.size() == keys.size() * row_width_,
+              "input buffer size mismatch");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    SCD_ASSERT(keys[i] < num_rows_, "row key out of range");
+    std::memcpy(data_.data() + keys[i] * row_width_,
+                values.data() + i * row_width_, row_bytes());
+  }
+  return write_cost(requester_shard, keys.size(), 0);
+}
+
+double LocalDkv::read_cost(unsigned /*requester_shard*/,
+                           std::uint64_t local_rows,
+                           std::uint64_t remote_rows) const {
+  SCD_ASSERT(remote_rows == 0, "LocalDkv has no remote rows");
+  return node_.local_bytes_time((local_rows)*row_bytes());
+}
+
+double LocalDkv::write_cost(unsigned requester_shard,
+                            std::uint64_t local_rows,
+                            std::uint64_t remote_rows) const {
+  return read_cost(requester_shard, local_rows, remote_rows);
+}
+
+}  // namespace scd::dkv

@@ -1,0 +1,57 @@
+// Shared-memory DKV backend.
+//
+// Used by the multithreaded single-node sampler (the paper's "vertical
+// scaling" configuration, Section IV-D), where pi lives in local RAM and
+// a row access costs memory bandwidth instead of a network round trip.
+#pragma once
+
+#include <vector>
+
+#include "dkv/dkv.h"
+#include "sim/compute_model.h"
+
+namespace scd::dkv {
+
+class LocalDkv final : public DkvStore {
+ public:
+  LocalDkv(std::uint64_t num_rows, std::uint32_t row_width,
+           const sim::ComputeModel& node);
+
+  std::uint64_t num_rows() const override { return num_rows_; }
+  std::uint32_t row_width() const override { return row_width_; }
+
+  void init_row(std::uint64_t key, std::span<const float> value) override;
+
+  double get_rows(unsigned requester_shard,
+                  std::span<const std::uint64_t> keys,
+                  std::span<float> out) override;
+
+  double put_rows(unsigned requester_shard,
+                  std::span<const std::uint64_t> keys,
+                  std::span<const float> values) override;
+
+  double read_cost(unsigned requester_shard, std::uint64_t local_rows,
+                   std::uint64_t remote_rows) const override;
+  double write_cost(unsigned requester_shard, std::uint64_t local_rows,
+                    std::uint64_t remote_rows) const override;
+
+  /// Direct row view for tests and the in-process samplers.
+  std::span<const float> row(std::uint64_t key) const {
+    return {data_.data() + key * row_width_, row_width_};
+  }
+  std::span<float> mutable_row(std::uint64_t key) {
+    return {data_.data() + key * row_width_, row_width_};
+  }
+
+ private:
+  std::uint64_t row_bytes() const {
+    return static_cast<std::uint64_t>(row_width_) * sizeof(float);
+  }
+
+  std::uint64_t num_rows_;
+  std::uint32_t row_width_;
+  sim::ComputeModel node_;
+  std::vector<float> data_;
+};
+
+}  // namespace scd::dkv

@@ -1,0 +1,54 @@
+// Static block partition of DKV rows over shards (worker nodes).
+//
+// The paper's store is populated once and never resized: "The KV layout is
+// static ... which allows a static partitioning of KV pairs over the
+// machines." Rows 0..N-1 are split into contiguous blocks, one per worker.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "util/error.h"
+
+namespace scd::dkv {
+
+class RowPartition {
+ public:
+  RowPartition(std::uint64_t num_rows, unsigned num_shards)
+      : num_rows_(num_rows), num_shards_(num_shards) {
+    SCD_REQUIRE(num_shards >= 1, "need at least one shard");
+  }
+
+  std::uint64_t num_rows() const { return num_rows_; }
+  unsigned num_shards() const { return num_shards_; }
+
+  unsigned owner(std::uint64_t row) const {
+    SCD_ASSERT(row < num_rows_, "row out of range");
+    // Inverse of the balanced block split in range(): the first `extra`
+    // shards hold base+1 rows.
+    const std::uint64_t base = num_rows_ / num_shards_;
+    const std::uint64_t extra = num_rows_ % num_shards_;
+    const std::uint64_t fat_rows = (base + 1) * extra;
+    if (row < fat_rows) {
+      return base + 1 == 0 ? 0 : static_cast<unsigned>(row / (base + 1));
+    }
+    return static_cast<unsigned>(extra + (row - fat_rows) / std::max<std::uint64_t>(base, 1));
+  }
+
+  /// [begin, end) of rows owned by `shard`.
+  std::pair<std::uint64_t, std::uint64_t> range(unsigned shard) const {
+    SCD_ASSERT(shard < num_shards_, "shard out of range");
+    const std::uint64_t base = num_rows_ / num_shards_;
+    const std::uint64_t extra = num_rows_ % num_shards_;
+    const std::uint64_t begin =
+        shard * base + std::min<std::uint64_t>(shard, extra);
+    const std::uint64_t end = begin + base + (shard < extra ? 1 : 0);
+    return {begin, end};
+  }
+
+ private:
+  std::uint64_t num_rows_;
+  unsigned num_shards_;
+};
+
+}  // namespace scd::dkv

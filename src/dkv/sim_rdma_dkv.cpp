@@ -1,0 +1,96 @@
+#include "dkv/sim_rdma_dkv.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace scd::dkv {
+
+SimRdmaDkv::SimRdmaDkv(std::uint64_t num_rows, std::uint32_t row_width,
+                       unsigned num_shards, const sim::NetworkModel& net,
+                       const sim::ComputeModel& node, bool phantom)
+    : partition_(num_rows, num_shards),
+      row_width_(row_width),
+      net_(net),
+      node_(node),
+      phantom_(phantom) {
+  SCD_REQUIRE(num_rows >= 1 && row_width >= 1, "empty store");
+  net_.validate();
+  if (!phantom_) data_.assign(num_rows * row_width, 0.0f);
+}
+
+void SimRdmaDkv::init_row(std::uint64_t key, std::span<const float> value) {
+  SCD_REQUIRE(!phantom_, "phantom store holds no data");
+  SCD_REQUIRE(key < num_rows(), "row key out of range");
+  SCD_REQUIRE(value.size() == row_width_, "row width mismatch");
+  std::memcpy(data_.data() + key * row_width_, value.data(),
+              value.size_bytes());
+}
+
+std::span<const float> SimRdmaDkv::row(std::uint64_t key) const {
+  SCD_REQUIRE(!phantom_, "phantom store holds no data");
+  SCD_ASSERT(key < num_rows(), "row key out of range");
+  return {data_.data() + key * row_width_, row_width_};
+}
+
+std::uint64_t SimRdmaDkv::count_local(
+    unsigned shard, std::span<const std::uint64_t> keys) const {
+  const auto [lo, hi] = partition_.range(shard);
+  std::uint64_t local = 0;
+  for (std::uint64_t key : keys) {
+    if (key >= lo && key < hi) ++local;
+  }
+  return local;
+}
+
+double SimRdmaDkv::get_rows(unsigned requester_shard,
+                            std::span<const std::uint64_t> keys,
+                            std::span<float> out) {
+  SCD_REQUIRE(!phantom_, "phantom store: use read_cost");
+  SCD_REQUIRE(out.size() == keys.size() * row_width_,
+              "output buffer size mismatch");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    SCD_ASSERT(keys[i] < num_rows(), "row key out of range");
+    std::memcpy(out.data() + i * row_width_,
+                data_.data() + keys[i] * row_width_, row_bytes());
+  }
+  const std::uint64_t local = count_local(requester_shard, keys);
+  return read_cost(requester_shard, local, keys.size() - local);
+}
+
+double SimRdmaDkv::put_rows(unsigned requester_shard,
+                            std::span<const std::uint64_t> keys,
+                            std::span<const float> values) {
+  SCD_REQUIRE(!phantom_, "phantom store: use write_cost");
+  SCD_REQUIRE(values.size() == keys.size() * row_width_,
+              "input buffer size mismatch");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    SCD_ASSERT(keys[i] < num_rows(), "row key out of range");
+    std::memcpy(data_.data() + keys[i] * row_width_,
+                values.data() + i * row_width_, row_bytes());
+  }
+  const std::uint64_t local = count_local(requester_shard, keys);
+  return write_cost(requester_shard, local, keys.size() - local);
+}
+
+double SimRdmaDkv::read_cost(unsigned /*requester_shard*/,
+                             std::uint64_t local_rows,
+                             std::uint64_t remote_rows) const {
+  // Local rows stream from RAM; remote rows are one RDMA read each,
+  // batched on the wire. The working set passed to the spread de-rater is
+  // the bytes touched on the remote side.
+  const double local_s = node_.local_bytes_time(local_rows * row_bytes());
+  const std::uint64_t remote_bytes = remote_rows * row_bytes();
+  const double remote_s = net_.dkv_batch_time(
+      remote_rows, remote_bytes, remote_bytes, partition_.num_shards());
+  return local_s + remote_s;
+}
+
+double SimRdmaDkv::write_cost(unsigned requester_shard,
+                              std::uint64_t local_rows,
+                              std::uint64_t remote_rows) const {
+  // RDMA write ~ RDMA read for payloads above 256B (Fig. 5 discussion).
+  return read_cost(requester_shard, local_rows, remote_rows);
+}
+
+}  // namespace scd::dkv

@@ -1,0 +1,82 @@
+// Simulated-RDMA DKV backend: pi sharded over the workers of a
+// SimCluster, accessed with one-sided reads/writes costed by the
+// NetworkModel.
+//
+// Storage is one contiguous array in process memory (all simulated ranks
+// share the address space), logically block-partitioned by RowPartition.
+// Because RDMA is one-sided, an access involves no code on the owner rank
+// — matching the real system, where the remote NIC serves the read — so
+// the only effects are the data copy and the requester's clock charge.
+//
+// Safety: the algorithm's barrier-separated stages guarantee no
+// read/write or write/write overlap on a row (Section III-B); the store
+// checks nothing at runtime beyond bounds, exactly like its RDMA
+// counterpart. Tests exercise the access discipline instead.
+//
+// A store constructed with `phantom = true` allocates no storage and only
+// answers cost queries — the cost-only execution mode for paper-scale
+// parameter sweeps (N up to 65M, K up to 12288: 3 TB of pi in the real
+// system).
+#pragma once
+
+#include <vector>
+
+#include "dkv/dkv.h"
+#include "dkv/partition.h"
+#include "sim/compute_model.h"
+#include "sim/network_model.h"
+
+namespace scd::dkv {
+
+class SimRdmaDkv final : public DkvStore {
+ public:
+  SimRdmaDkv(std::uint64_t num_rows, std::uint32_t row_width,
+             unsigned num_shards, const sim::NetworkModel& net,
+             const sim::ComputeModel& node, bool phantom = false);
+
+  std::uint64_t num_rows() const override { return partition_.num_rows(); }
+  std::uint32_t row_width() const override { return row_width_; }
+  const RowPartition& partition() const { return partition_; }
+  bool phantom() const { return phantom_; }
+
+  void init_row(std::uint64_t key, std::span<const float> value) override;
+
+  double get_rows(unsigned requester_shard,
+                  std::span<const std::uint64_t> keys,
+                  std::span<float> out) override;
+
+  double put_rows(unsigned requester_shard,
+                  std::span<const std::uint64_t> keys,
+                  std::span<const float> values) override;
+
+  double read_cost(unsigned requester_shard, std::uint64_t local_rows,
+                   std::uint64_t remote_rows) const override;
+  double write_cost(unsigned requester_shard, std::uint64_t local_rows,
+                    std::uint64_t remote_rows) const override;
+
+  /// Direct row view (tests, perplexity snapshots).
+  std::span<const float> row(std::uint64_t key) const;
+
+  /// Expected remote fraction for a uniformly random row from shard s:
+  /// (C-1)/C — the quantity Section IV-C reasons about.
+  double remote_fraction() const {
+    const double c = partition_.num_shards();
+    return (c - 1.0) / c;
+  }
+
+ private:
+  std::uint64_t row_bytes() const {
+    return static_cast<std::uint64_t>(row_width_) * sizeof(float);
+  }
+  std::uint64_t count_local(unsigned shard,
+                            std::span<const std::uint64_t> keys) const;
+
+  RowPartition partition_;
+  std::uint32_t row_width_;
+  sim::NetworkModel net_;
+  sim::ComputeModel node_;
+  bool phantom_;
+  std::vector<float> data_;
+};
+
+}  // namespace scd::dkv

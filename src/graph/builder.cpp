@@ -1,0 +1,51 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace scd::graph {
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  SCD_REQUIRE(u != v, "self-loop rejected");
+  if (fixed_n_) {
+    SCD_REQUIRE(u < num_vertices_ && v < num_vertices_,
+                "vertex id exceeds declared vertex count");
+  } else {
+    num_vertices_ = std::max(num_vertices_, std::max(u, v) + 1);
+  }
+  edges_.push_back(encode_edge(u, v));
+}
+
+Graph GraphBuilder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  const std::size_t n = num_vertices_;
+  std::vector<std::uint64_t> offsets(n + 1, 0);
+  // Count directed degrees.
+  for (std::uint64_t code : edges_) {
+    const Edge e = decode_edge(code);
+    ++offsets[e.a + 1];
+    ++offsets[e.b + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<Vertex> adjacency(edges_.size() * 2);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::uint64_t code : edges_) {
+    const Edge e = decode_edge(code);
+    adjacency[cursor[e.a]++] = e.b;
+    adjacency[cursor[e.b]++] = e.a;
+  }
+  // Edges were globally sorted by (a, b); per-vertex lists for 'a' come
+  // out sorted, but lists for the 'b' side need a per-vertex sort.
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+  edges_.clear();
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace scd::graph

@@ -1,0 +1,35 @@
+// Incremental construction of a Graph from an edge stream.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace scd::graph {
+
+/// Accumulates undirected edges (self-loops rejected, duplicates merged)
+/// and emits a CSR Graph. Vertices are 0..max_vertex_id unless an explicit
+/// vertex count is given.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declare the vertex count (ids >= count are an error).
+  explicit GraphBuilder(Vertex num_vertices)
+      : num_vertices_(num_vertices), fixed_n_(true) {}
+
+  void add_edge(Vertex u, Vertex v);
+
+  std::size_t num_edges_added() const { return edges_.size(); }
+
+  /// Sort + dedup + CSR. The builder is consumed.
+  Graph build() &&;
+
+ private:
+  std::vector<std::uint64_t> edges_;  // canonical codes, unsorted
+  Vertex num_vertices_ = 0;
+  bool fixed_n_ = false;
+};
+
+}  // namespace scd::graph

@@ -1,0 +1,50 @@
+#include "graph/edge_set.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace scd::graph {
+
+EdgeSet::EdgeSet(std::size_t expected_edges) {
+  // Keep load factor under 0.7.
+  std::size_t cap = std::bit_ceil(std::max<std::size_t>(
+      16, expected_edges + expected_edges / 2));
+  slots_.assign(cap, kEmpty);
+  mask_ = cap - 1;
+}
+
+std::size_t EdgeSet::probe(std::uint64_t code) const {
+  std::size_t i = hash_code(code) & mask_;
+  while (slots_[i] != kEmpty && slots_[i] != code) {
+    i = (i + 1) & mask_;
+  }
+  return i;
+}
+
+void EdgeSet::grow() {
+  std::vector<std::uint64_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, kEmpty);
+  mask_ = slots_.size() - 1;
+  for (std::uint64_t code : old) {
+    if (code != kEmpty) slots_[probe(code)] = code;
+  }
+}
+
+bool EdgeSet::insert(Vertex u, Vertex v) {
+  SCD_REQUIRE(u != v, "self-loop edges are not allowed");
+  const std::uint64_t code = encode_edge(u, v);
+  std::size_t i = probe(code);
+  if (slots_[i] == code) return false;
+  slots_[i] = code;
+  ++size_;
+  if (size_ * 10 >= slots_.size() * 7) grow();
+  return true;
+}
+
+bool EdgeSet::contains(Vertex u, Vertex v) const {
+  if (u == v) return false;
+  return slots_[probe(encode_edge(u, v))] != kEmpty;
+}
+
+}  // namespace scd::graph

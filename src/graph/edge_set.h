@@ -1,0 +1,59 @@
+// Open-addressing hash set of undirected edges.
+//
+// Used wherever O(1) membership on edges is needed independently of a
+// built Graph: generator de-duplication, held-out bookkeeping, and the
+// minibatch sampler's "is this candidate pair a link?" test. Linear
+// probing over a power-of-two table of 64-bit canonical edge codes; the
+// sentinel 0 is reserved, which is safe because edge (0, 0) is a
+// self-loop and self-loops are rejected everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace scd::graph {
+
+class EdgeSet {
+ public:
+  explicit EdgeSet(std::size_t expected_edges = 16);
+
+  /// Insert; returns true when newly added. Self-loops are a usage error.
+  bool insert(Vertex u, Vertex v);
+
+  bool contains(Vertex u, Vertex v) const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visit every edge (order unspecified).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint64_t code : slots_) {
+      if (code != kEmpty) {
+        const Edge e = decode_edge(code);
+        fn(e.a, e.b);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = 0;
+
+  static std::size_t hash_code(std::uint64_t code) {
+    code ^= code >> 33;
+    code *= 0xff51afd7ed558ccdULL;
+    code ^= code >> 33;
+    return static_cast<std::size_t>(code);
+  }
+
+  void grow();
+  std::size_t probe(std::uint64_t code) const;
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace scd::graph

@@ -1,0 +1,202 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.h"
+#include "graph/edge_set.h"
+#include "random/distributions.h"
+#include "random/sampling.h"
+#include "util/error.h"
+
+namespace scd::graph {
+
+namespace {
+
+/// Map linear index t in [0, m(m-1)/2) to the t-th pair (i, j), i < j, in
+/// lexicographic order over m items.
+std::pair<std::uint64_t, std::uint64_t> pair_from_index(std::uint64_t t,
+                                                        std::uint64_t m) {
+  // offset(i) = i*(m-1) - i*(i-1)/2 is the first index of row i; invert
+  // with the quadratic formula, then fix up any floating-point slop.
+  const double md = static_cast<double>(m);
+  const double td = static_cast<double>(t);
+  double id =
+      std::floor((2.0 * md - 1.0 -
+                  std::sqrt((2.0 * md - 1.0) * (2.0 * md - 1.0) - 8.0 * td)) /
+                 2.0);
+  auto offset = [m](std::uint64_t i) {
+    return i * (m - 1) - i * (i - 1) / 2;
+  };
+  auto i = static_cast<std::uint64_t>(std::max(0.0, id));
+  while (i + 1 < m && offset(i + 1) <= t) ++i;
+  while (i > 0 && offset(i) > t) --i;
+  const std::uint64_t j = i + 1 + (t - offset(i));
+  return {i, j};
+}
+
+/// Visit each pair index of an Erdos-Renyi draw over `num_pairs` pairs
+/// with probability p, via geometric skipping: O(expected edges).
+template <typename Fn>
+void sample_bernoulli_pairs(rng::Xoshiro256& rng, std::uint64_t num_pairs,
+                            double p, Fn&& fn) {
+  if (p <= 0.0 || num_pairs == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t t = 0; t < num_pairs; ++t) fn(t);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  double cursor = -1.0;
+  for (;;) {
+    double u = rng.next_double();
+    while (u == 0.0) u = rng.next_double();
+    cursor += 1.0 + std::floor(std::log(u) / log1mp);
+    if (cursor >= static_cast<double>(num_pairs)) return;
+    fn(static_cast<std::uint64_t>(cursor));
+  }
+}
+
+}  // namespace
+
+GeneratedGraph generate_ammsb_exact(rng::Xoshiro256& rng,
+                                    const AmmsbExactConfig& config,
+                                    double membership_threshold) {
+  const Vertex n = config.num_vertices;
+  const std::uint32_t k = config.num_communities;
+  SCD_REQUIRE(n >= 2 && k >= 1, "need >= 2 vertices and >= 1 community");
+  SCD_REQUIRE(config.delta >= 0.0 && config.delta <= 1.0,
+              "delta must be a probability");
+
+  GroundTruth truth;
+  truth.delta = config.delta;
+  truth.beta.resize(k);
+  for (double& b : truth.beta) {
+    b = rng::sample_beta(rng, config.eta0, config.eta1);
+  }
+
+  std::vector<double> pi(static_cast<std::size_t>(n) * k);
+  for (Vertex v = 0; v < n; ++v) {
+    rng::sample_dirichlet(rng, config.alpha,
+                          std::span<double>(pi.data() + std::size_t{v} * k, k));
+  }
+
+  GraphBuilder builder(n);
+  for (Vertex a = 0; a < n; ++a) {
+    const std::span<const double> pi_a(pi.data() + std::size_t{a} * k, k);
+    for (Vertex b = a + 1; b < n; ++b) {
+      const std::span<const double> pi_b(pi.data() + std::size_t{b} * k, k);
+      const std::size_t za = rng::sample_categorical(rng, pi_a);
+      const std::size_t zb = rng::sample_categorical(rng, pi_b);
+      const double r = (za == zb) ? truth.beta[za] : config.delta;
+      if (rng.next_double() < r) builder.add_edge(a, b);
+    }
+  }
+
+  truth.communities.resize(k);
+  truth.memberships.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t c = 0; c < k; ++c) {
+      if (pi[std::size_t{v} * k + c] >= membership_threshold) {
+        truth.communities[c].push_back(v);
+        truth.memberships[v].push_back(c);
+      }
+    }
+  }
+  return GeneratedGraph{std::move(builder).build(), std::move(truth)};
+}
+
+GeneratedGraph generate_planted(rng::Xoshiro256& rng,
+                                const PlantedConfig& config) {
+  const Vertex n = config.num_vertices;
+  const std::uint32_t k = config.num_communities;
+  SCD_REQUIRE(n >= 2 && k >= 1, "need >= 2 vertices and >= 1 community");
+  SCD_REQUIRE(config.p_two_memberships + config.p_three_memberships <= 1.0,
+              "membership probabilities exceed 1");
+  SCD_REQUIRE(config.beta_lo > 0.0 && config.beta_hi <= 1.0 &&
+                  config.beta_lo <= config.beta_hi,
+              "invalid beta range");
+
+  GroundTruth truth;
+  truth.delta = config.delta;
+  truth.beta.resize(k);
+  for (double& b : truth.beta) {
+    b = config.beta_lo + (config.beta_hi - config.beta_lo) * rng.next_double();
+  }
+
+  truth.communities.resize(k);
+  truth.memberships.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const double u = rng.next_double();
+    std::size_t count = 1;
+    if (u < config.p_three_memberships) {
+      count = 3;
+    } else if (u < config.p_three_memberships + config.p_two_memberships) {
+      count = 2;
+    }
+    count = std::min<std::size_t>(count, k);
+    auto chosen = rng::sample_without_replacement(rng, k, count);
+    std::sort(chosen.begin(), chosen.end());
+    for (std::uint64_t c : chosen) {
+      truth.memberships[v].push_back(static_cast<std::uint32_t>(c));
+      truth.communities[static_cast<std::size_t>(c)].push_back(v);
+    }
+  }
+  for (auto& members : truth.communities) {
+    std::sort(members.begin(), members.end());
+  }
+
+  EdgeSet edges(static_cast<std::size_t>(n) * 8);
+  // Intra-community Erdos-Renyi links.
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const auto& members = truth.communities[c];
+    const std::uint64_t m = members.size();
+    if (m < 2) continue;
+    sample_bernoulli_pairs(
+        rng, m * (m - 1) / 2, truth.beta[c], [&](std::uint64_t t) {
+          const auto [i, j] = pair_from_index(t, m);
+          edges.insert(members[static_cast<std::size_t>(i)],
+                       members[static_cast<std::size_t>(j)]);
+        });
+  }
+  // Background links over all pairs.
+  const std::uint64_t all_pairs =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  sample_bernoulli_pairs(rng, all_pairs, config.delta, [&](std::uint64_t t) {
+    const auto [i, j] = pair_from_index(t, n);
+    edges.insert(static_cast<Vertex>(i), static_cast<Vertex>(j));
+  });
+
+  GraphBuilder builder(n);
+  edges.for_each([&](Vertex u, Vertex v) { builder.add_edge(u, v); });
+  return GeneratedGraph{std::move(builder).build(), std::move(truth)};
+}
+
+PlantedConfig planted_config_for_degree(Vertex num_vertices,
+                                        std::uint32_t num_communities,
+                                        double target_avg_degree,
+                                        double overlap2, double overlap3) {
+  SCD_REQUIRE(target_avg_degree > 0.0, "target degree must be positive");
+  PlantedConfig config;
+  config.num_vertices = num_vertices;
+  config.num_communities = num_communities;
+  config.p_two_memberships = overlap2;
+  config.p_three_memberships = overlap3;
+
+  const double mean_memberships = 1.0 + overlap2 + 2.0 * overlap3;
+  const double mean_size = static_cast<double>(num_vertices) *
+                           mean_memberships /
+                           static_cast<double>(num_communities);
+  // Split the degree budget: 90% structure, 10% background noise.
+  config.delta = std::min(
+      0.5, 0.1 * target_avg_degree / static_cast<double>(num_vertices));
+  const double structural_degree = 0.9 * target_avg_degree;
+  // Per-vertex structural degree ≈ mean_memberships * (mean_size-1) * beta.
+  double beta_mean =
+      structural_degree / (mean_memberships * std::max(1.0, mean_size - 1.0));
+  beta_mean = std::clamp(beta_mean, 1e-4, 0.8);
+  config.beta_lo = std::max(1e-4, 0.75 * beta_mean);
+  config.beta_hi = std::min(1.0, 1.25 * beta_mean);
+  return config;
+}
+
+}  // namespace scd::graph

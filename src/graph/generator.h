@@ -1,0 +1,86 @@
+// Synthetic graph generators with planted overlapping communities.
+//
+// Two generators are provided:
+//
+//  * generate_ammsb_exact — the literal a-MMSB generative process from
+//    Section II-A of the paper (Beta/Dirichlet priors, per-pair community
+//    draws). O(N^2): reserved for small graphs, where it gives test data
+//    that is *exactly* from the model the sampler infers.
+//
+//  * generate_planted — a scalable planted-overlap generator: communities
+//    get explicit member lists, intra-community links are Erdos-Renyi with
+//    per-community strength beta_k, and a sparse delta-rate background is
+//    layered over all pairs. O(E) via geometric skipping. This is the
+//    stand-in for the SNAP datasets (Table II), with the bonus that ground
+//    truth is known so recovery can be scored.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "random/xoshiro.h"
+
+namespace scd::graph {
+
+/// Known ground truth of a generated graph.
+struct GroundTruth {
+  /// communities[k] = sorted member vertices of community k.
+  std::vector<std::vector<Vertex>> communities;
+  /// memberships[v] = communities vertex v belongs to (sorted).
+  std::vector<std::vector<std::uint32_t>> memberships;
+  /// True intra-community link strength per community.
+  std::vector<double> beta;
+  /// True background (inter-community) link probability.
+  double delta = 0.0;
+};
+
+struct GeneratedGraph {
+  Graph graph;
+  GroundTruth truth;
+};
+
+/// Parameters of the exact a-MMSB process.
+struct AmmsbExactConfig {
+  Vertex num_vertices = 100;
+  std::uint32_t num_communities = 4;
+  double alpha = 0.05;   // Dirichlet concentration for pi
+  double eta0 = 5.0;     // Beta(eta0, eta1) prior for community strength
+  double eta1 = 1.0;
+  double delta = 0.01;   // inter-community link probability
+};
+
+/// Run the generative process of Section II-A. GroundTruth communities are
+/// derived by thresholding the sampled pi at `membership_threshold`.
+GeneratedGraph generate_ammsb_exact(rng::Xoshiro256& rng,
+                                    const AmmsbExactConfig& config,
+                                    double membership_threshold = 0.25);
+
+/// Parameters of the scalable planted-overlap generator.
+struct PlantedConfig {
+  Vertex num_vertices = 1000;
+  std::uint32_t num_communities = 10;
+  /// Probability that a vertex holds 2 (and 3) memberships; the remainder
+  /// holds exactly 1. Every vertex belongs to at least one community.
+  double p_two_memberships = 0.3;
+  double p_three_memberships = 0.1;
+  /// Intra-community link probability range: beta_k ~ U[beta_lo, beta_hi].
+  double beta_lo = 0.1;
+  double beta_hi = 0.3;
+  /// Background link probability across all pairs.
+  double delta = 1e-4;
+};
+
+GeneratedGraph generate_planted(rng::Xoshiro256& rng,
+                                const PlantedConfig& config);
+
+/// Solve for the PlantedConfig that yields approximately the requested
+/// average degree, given the community layout parameters. Used by the
+/// dataset stand-ins to match SNAP densities.
+PlantedConfig planted_config_for_degree(Vertex num_vertices,
+                                        std::uint32_t num_communities,
+                                        double target_avg_degree,
+                                        double overlap2 = 0.3,
+                                        double overlap3 = 0.1);
+
+}  // namespace scd::graph

@@ -1,0 +1,41 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace scd::graph {
+
+Graph::Graph(std::vector<std::uint64_t> offsets,
+             std::vector<Vertex> adjacency)
+    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+  SCD_REQUIRE(!offsets_.empty(), "CSR offsets must have at least one entry");
+  SCD_REQUIRE(offsets_.front() == 0 && offsets_.back() == adjacency_.size(),
+              "CSR offsets do not cover the adjacency array");
+  for (std::size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    SCD_REQUIRE(offsets_[v] <= offsets_[v + 1], "CSR offsets not monotone");
+    SCD_REQUIRE(std::is_sorted(adjacency_.begin() +
+                                   static_cast<std::ptrdiff_t>(offsets_[v]),
+                               adjacency_.begin() +
+                                   static_cast<std::ptrdiff_t>(offsets_[v + 1])),
+                "adjacency list not sorted");
+  }
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  if (u == v) return false;
+  // Search the shorter list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::uint64_t Graph::max_degree() const {
+  std::uint64_t best = 0;
+  for (Vertex v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+}  // namespace scd::graph

@@ -1,0 +1,68 @@
+// Immutable undirected graph in CSR (compressed sparse row) form.
+//
+// The training set E of the paper. Adjacency lists are sorted, so edge
+// membership (the y_ab lookup in the phi/theta gradients) is O(log deg).
+// The structure is deliberately read-only: the samplers never mutate the
+// graph, and immutability lets the simulated ranks share one copy safely.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace scd::graph {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes CSR arrays directly; see GraphBuilder for the usual path.
+  /// offsets.size() == num_vertices + 1; adjacency sorted per vertex.
+  Graph(std::vector<std::uint64_t> offsets, std::vector<Vertex> adjacency);
+
+  Vertex num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<Vertex>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges |E|.
+  std::uint64_t num_edges() const { return adjacency_.size() / 2; }
+
+  /// Number of vertex pairs |V|(|V|-1)/2 — the paper's E (all pairs).
+  std::uint64_t num_pairs() const {
+    const std::uint64_t n = num_vertices();
+    return n * (n - 1) / 2;
+  }
+
+  std::uint64_t degree(Vertex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// y_ab: true iff {u, v} is a link. O(log deg(u)).
+  bool has_edge(Vertex u, Vertex v) const;
+
+  double density() const {
+    const double p = static_cast<double>(num_pairs());
+    return p > 0 ? static_cast<double>(num_edges()) / p : 0.0;
+  }
+
+  std::uint64_t max_degree() const;
+
+  /// Serialized adjacency bytes of one vertex — what the master ships to a
+  /// worker when scattering the minibatch-touched subset of E.
+  std::uint64_t adjacency_bytes(Vertex v) const {
+    return degree(v) * sizeof(Vertex);
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<Vertex> adjacency_;
+};
+
+}  // namespace scd::graph

@@ -1,0 +1,61 @@
+#include "graph/heldout.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "random/sampling.h"
+#include "util/error.h"
+
+namespace scd::graph {
+
+HeldOutSplit::HeldOutSplit(rng::Xoshiro256& rng, const Graph& full,
+                           std::size_t num_pairs)
+    : reserved_(num_pairs) {
+  const Vertex n = full.num_vertices();
+  const std::size_t want_links = num_pairs / 2;
+  const std::size_t want_nonlinks = num_pairs - want_links;
+  SCD_REQUIRE(want_links < full.num_edges(),
+              "held-out set would consume the whole edge set");
+  SCD_REQUIRE(num_pairs < full.num_pairs() - full.num_edges(),
+              "held-out set larger than available non-links");
+
+  // Materialize the edge list once for uniform link sampling.
+  std::vector<std::uint64_t> edge_codes;
+  edge_codes.reserve(full.num_edges());
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex w : full.neighbors(v)) {
+      if (v < w) edge_codes.push_back(encode_edge(v, w));
+    }
+  }
+
+  pairs_.reserve(num_pairs);
+  const auto picked = rng::sample_without_replacement(
+      rng, edge_codes.size(), want_links);
+  for (std::uint64_t idx : picked) {
+    const Edge e = decode_edge(edge_codes[static_cast<std::size_t>(idx)]);
+    pairs_.push_back({e.a, e.b, true});
+    reserved_.insert(e.a, e.b);
+  }
+
+  // Non-links by rejection; sparse graphs accept almost always.
+  std::size_t found = 0;
+  while (found < want_nonlinks) {
+    const auto [a64, b64] = rng::sample_distinct_pair(rng, n);
+    const auto a = static_cast<Vertex>(a64);
+    const auto b = static_cast<Vertex>(b64);
+    if (full.has_edge(a, b) || reserved_.contains(a, b)) continue;
+    pairs_.push_back({a, b, false});
+    reserved_.insert(a, b);
+    ++found;
+  }
+
+  // Training graph: every edge except held-out links.
+  GraphBuilder builder(n);
+  for (std::uint64_t code : edge_codes) {
+    const Edge e = decode_edge(code);
+    if (!reserved_.contains(e.a, e.b)) builder.add_edge(e.a, e.b);
+  }
+  training_ = std::move(builder).build();
+}
+
+}  // namespace scd::graph

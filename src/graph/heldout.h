@@ -1,0 +1,43 @@
+// Held-out split: the paper removes a subset E_h of edges from training
+// and tracks perplexity on it (Eqn 7). E_h holds links and non-links in
+// equal numbers so perplexity is sensitive to both error directions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_set.h"
+#include "graph/graph.h"
+#include "random/xoshiro.h"
+
+namespace scd::graph {
+
+struct HeldOutPair {
+  Vertex a = 0;
+  Vertex b = 0;
+  bool link = false;  // y_ab in the full graph
+};
+
+class HeldOutSplit {
+ public:
+  /// Sample `num_pairs/2` links (removed from the training graph) and
+  /// `num_pairs/2` non-links. Throws if the graph has too few edges.
+  HeldOutSplit(rng::Xoshiro256& rng, const Graph& full,
+               std::size_t num_pairs);
+
+  const Graph& training() const { return training_; }
+  const std::vector<HeldOutPair>& pairs() const { return pairs_; }
+
+  /// True iff {u, v} is reserved for evaluation; minibatch samplers use
+  /// this to keep held-out pairs out of the gradient estimates.
+  bool is_held_out(Vertex u, Vertex v) const {
+    return reserved_.contains(u, v);
+  }
+
+ private:
+  Graph training_;
+  std::vector<HeldOutPair> pairs_;
+  EdgeSet reserved_;
+};
+
+}  // namespace scd::graph

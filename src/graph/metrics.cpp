@@ -1,0 +1,140 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace scd::graph {
+
+double set_f1(const std::vector<Vertex>& x, const std::vector<Vertex>& y) {
+  if (x.empty() || y.empty()) return 0.0;
+  SCD_ASSERT(std::is_sorted(x.begin(), x.end()) &&
+                 std::is_sorted(y.begin(), y.end()),
+             "set_f1 inputs must be sorted");
+  std::size_t inter = 0;
+  auto ix = x.begin();
+  auto iy = y.begin();
+  while (ix != x.end() && iy != y.end()) {
+    if (*ix < *iy) {
+      ++ix;
+    } else if (*iy < *ix) {
+      ++iy;
+    } else {
+      ++inter;
+      ++ix;
+      ++iy;
+    }
+  }
+  if (inter == 0) return 0.0;
+  const double precision = static_cast<double>(inter) / static_cast<double>(y.size());
+  const double recall = static_cast<double>(inter) / static_cast<double>(x.size());
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+namespace {
+double directed_best_f1(const Cover& from, const Cover& to) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const auto& c : from) {
+    if (c.empty()) continue;
+    double best = 0.0;
+    for (const auto& d : to) {
+      if (d.empty()) continue;
+      best = std::max(best, set_f1(c, d));
+    }
+    total += best;
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+}  // namespace
+
+double best_match_f1(const Cover& truth, const Cover& detected) {
+  return 0.5 * (directed_best_f1(truth, detected) +
+                directed_best_f1(detected, truth));
+}
+
+double nmi(const std::vector<std::uint32_t>& labels_a,
+           const std::vector<std::uint32_t>& labels_b) {
+  SCD_REQUIRE(labels_a.size() == labels_b.size(),
+              "label vectors differ in length");
+  const auto n = static_cast<double>(labels_a.size());
+  if (labels_a.empty()) return 0.0;
+
+  std::map<std::uint32_t, double> count_a;
+  std::map<std::uint32_t, double> count_b;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> joint;
+  for (std::size_t i = 0; i < labels_a.size(); ++i) {
+    count_a[labels_a[i]] += 1.0;
+    count_b[labels_b[i]] += 1.0;
+    joint[{labels_a[i], labels_b[i]}] += 1.0;
+  }
+
+  auto entropy = [n](const std::map<std::uint32_t, double>& counts) {
+    double h = 0.0;
+    for (const auto& [label, c] : counts) {
+      const double p = c / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double ha = entropy(count_a);
+  const double hb = entropy(count_b);
+
+  double mi = 0.0;
+  for (const auto& [ab, c] : joint) {
+    const double pab = c / n;
+    const double pa = count_a.at(ab.first) / n;
+    const double pb = count_b.at(ab.second) / n;
+    mi += pab * std::log(pab / (pa * pb));
+  }
+
+  if (ha <= 0.0 && hb <= 0.0) return 1.0;  // both trivial partitions
+  const double denom = 0.5 * (ha + hb);
+  return denom > 0.0 ? std::max(0.0, mi / denom) : 0.0;
+}
+
+Cover load_cover_stream(std::istream& in) {
+  Cover cover;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::vector<Vertex> members;
+    const char* cursor = line.data() + first;
+    const char* end = line.data() + line.size();
+    while (cursor < end) {
+      while (cursor < end && (*cursor == ' ' || *cursor == '\t')) ++cursor;
+      if (cursor == end) break;
+      Vertex value = 0;
+      const auto [next, ec] = std::from_chars(cursor, end, value);
+      if (ec != std::errc{} || next == cursor) {
+        throw scd::DataError("cover parse error at line " +
+                             std::to_string(line_no));
+      }
+      members.push_back(value);
+      cursor = next;
+    }
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    cover.push_back(std::move(members));
+  }
+  return cover;
+}
+
+Cover load_cover_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw scd::DataError("cannot open cover file '" + path + "'");
+  return load_cover_stream(in);
+}
+
+}  // namespace scd::graph

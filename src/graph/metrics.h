@@ -1,0 +1,45 @@
+// Community-recovery quality metrics.
+//
+// The paper evaluates convergence via held-out perplexity only; because
+// our synthetic stand-ins carry planted ground truth, we can additionally
+// score how well the inferred memberships recover it:
+//
+//  * best-match F1 (Yang & Leskovec 2013): average of the best F1 match of
+//    every ground-truth community against the detected cover and vice
+//    versa. Handles overlapping covers naturally.
+//  * NMI over dominant labels: classic normalized mutual information on
+//    the per-vertex argmax community. A coarse but familiar cross-check.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace scd::graph {
+
+using Cover = std::vector<std::vector<Vertex>>;  // communities -> members
+
+/// F1 of two member sets (treated as unordered sets; inputs sorted).
+double set_f1(const std::vector<Vertex>& x, const std::vector<Vertex>& y);
+
+/// Symmetric average best-match F1 between two covers. 1.0 = identical.
+/// Empty communities are ignored; two empty covers score 0.
+double best_match_f1(const Cover& truth, const Cover& detected);
+
+/// NMI of two hard label assignments (labels in [0, num_labels)).
+/// Returns a value in [0, 1]; 1 = identical partitions up to renaming.
+double nmi(const std::vector<std::uint32_t>& labels_a,
+           const std::vector<std::uint32_t>& labels_b);
+
+/// Parse a cover file: one community per line, whitespace-separated
+/// vertex ids (the format of SNAP ground-truth files and of the scd
+/// CLI's --communities-out / --truth-out). Members are sorted; blank
+/// lines and '#' comments are skipped. Throws scd::DataError on
+/// malformed content.
+Cover load_cover_stream(std::istream& in);
+Cover load_cover_file(const std::string& path);
+
+}  // namespace scd::graph

@@ -1,0 +1,181 @@
+#include "graph/minibatch.h"
+
+#include <algorithm>
+
+#include "random/sampling.h"
+#include "util/error.h"
+
+namespace scd::graph {
+
+namespace {
+
+void finalize_vertices(Minibatch& mb) {
+  mb.vertices.reserve(mb.pairs.size() * 2);
+  for (const MinibatchPair& p : mb.pairs) {
+    mb.vertices.push_back(p.a);
+    mb.vertices.push_back(p.b);
+  }
+  std::sort(mb.vertices.begin(), mb.vertices.end());
+  mb.vertices.erase(std::unique(mb.vertices.begin(), mb.vertices.end()),
+                    mb.vertices.end());
+}
+
+}  // namespace
+
+MinibatchSampler::MinibatchSampler(const Graph& training,
+                                   const HeldOutSplit* heldout,
+                                   Options options)
+    : graph_(training), heldout_(heldout), options_(options) {
+  SCD_REQUIRE(training.num_vertices() >= 2, "graph too small");
+  if (options_.strategy == MinibatchStrategy::kRandomPair) {
+    SCD_REQUIRE(options_.num_pairs >= 1, "minibatch needs >= 1 pair");
+  } else {
+    SCD_REQUIRE(options_.nonlink_partitions >= 1,
+                "need >= 1 non-link partition");
+  }
+}
+
+Minibatch MinibatchSampler::draw(rng::Xoshiro256& rng) const {
+  return options_.strategy == MinibatchStrategy::kRandomPair
+             ? draw_random_pair(rng)
+             : draw_stratified_node(rng);
+}
+
+Minibatch MinibatchSampler::draw_random_pair(rng::Xoshiro256& rng) const {
+  const Vertex n = graph_.num_vertices();
+  Minibatch mb;
+  mb.pairs.reserve(options_.num_pairs);
+  EdgeSet chosen(options_.num_pairs);
+  while (mb.pairs.size() < options_.num_pairs) {
+    const auto [a64, b64] = rng::sample_distinct_pair(rng, n);
+    const auto a = static_cast<Vertex>(a64);
+    const auto b = static_cast<Vertex>(b64);
+    if (excluded(a, b) || chosen.contains(a, b)) continue;
+    chosen.insert(a, b);
+    mb.pairs.push_back({a, b, graph_.has_edge(a, b)});
+  }
+  // Population is all pairs minus reserved held-out pairs.
+  const double population =
+      static_cast<double>(graph_.num_pairs()) -
+      (heldout_ ? static_cast<double>(heldout_->pairs().size()) : 0.0);
+  mb.scale = population / static_cast<double>(mb.pairs.size());
+  finalize_vertices(mb);
+  return mb;
+}
+
+Minibatch MinibatchSampler::draw_stratified_node(rng::Xoshiro256& rng) const {
+  const Vertex n = graph_.num_vertices();
+  const double nd = static_cast<double>(n);
+  Minibatch mb;
+  const auto a = static_cast<Vertex>(rng.next_below(n));
+
+  if (rng.next_double() < 0.5) {
+    // Link stratum: all training links of a. h = N.
+    const auto nbrs = graph_.neighbors(a);
+    mb.pairs.reserve(nbrs.size());
+    for (Vertex b : nbrs) mb.pairs.push_back({a, b, true});
+    mb.scale = nd;
+  } else {
+    // Non-link stratum: a ~1/m sample of a's non-link pairs. h = N * m.
+    const std::size_t m = options_.nonlink_partitions;
+    const std::uint64_t num_nonlinks =
+        static_cast<std::uint64_t>(n) - 1 - graph_.degree(a);
+    if (num_nonlinks == 0) {
+      // a is connected to everyone (complete-graph corner): the stratum
+      // is empty and contributes nothing this iteration.
+      mb.scale = 0.0;
+      return mb;
+    }
+    const std::size_t want = static_cast<std::size_t>(
+        std::max<std::uint64_t>(1, (num_nonlinks + m - 1) / m));
+    mb.pairs.reserve(want);
+    EdgeSet chosen(want);
+    // Rejection against links / held-out / duplicates; acceptance is high
+    // because the graph is sparse.
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 64 * want + 1024;
+    while (mb.pairs.size() < want && attempts++ < max_attempts) {
+      auto b = static_cast<Vertex>(rng.next_below(n - 1));
+      if (b >= a) ++b;
+      if (graph_.has_edge(a, b) || excluded(a, b) || chosen.contains(a, b)) {
+        continue;
+      }
+      chosen.insert(a, b);
+      mb.pairs.push_back({a, b, false});
+    }
+    SCD_ASSERT(!mb.pairs.empty(), "non-link stratum came up empty");
+    // Scale by the true inverse inclusion fraction rather than the nominal
+    // m: keeps the estimator unbiased when `want` was clipped.
+    mb.scale = nd * static_cast<double>(num_nonlinks) /
+               static_cast<double>(mb.pairs.size());
+  }
+  finalize_vertices(mb);
+  return mb;
+}
+
+NeighborSet sample_neighbors_link_aware(rng::Xoshiro256& rng,
+                                        Vertex num_vertices, Vertex a,
+                                        std::span<const Vertex> adj_a,
+                                        std::size_t count) {
+  const std::uint64_t num_nonlinks =
+      static_cast<std::uint64_t>(num_vertices) - 1 - adj_a.size();
+  // A near-complete vertex may have fewer non-links than requested;
+  // clamp rather than fail (the scale below stays exact).
+  count = std::min<std::size_t>(count, num_nonlinks);
+  NeighborSet set;
+  set.exact_prefix = adj_a.size();
+  set.samples.reserve(adj_a.size() + count);
+  for (Vertex b : adj_a) set.samples.push_back({b, true});
+  // Rejection against self, links, and duplicates: acceptance is high on
+  // sparse graphs, and count <= num_nonlinks guarantees termination.
+  EdgeSet chosen(count);
+  while (set.samples.size() < set.exact_prefix + count) {
+    auto b = static_cast<Vertex>(rng.next_below(num_vertices - 1));
+    if (b >= a) ++b;
+    if (std::binary_search(adj_a.begin(), adj_a.end(), b) ||
+        chosen.contains(a, b)) {
+      continue;
+    }
+    chosen.insert(a, b);
+    set.samples.push_back({b, false});
+  }
+  set.sampled_scale = count > 0 ? static_cast<double>(num_nonlinks) /
+                                      static_cast<double>(count)
+                                : 0.0;
+  return set;
+}
+
+NeighborSet draw_neighbor_set(rng::Xoshiro256& rng, NeighborMode mode,
+                              Vertex num_vertices, Vertex a,
+                              std::span<const Vertex> adj_a,
+                              std::size_t count) {
+  if (mode == NeighborMode::kLinkAware) {
+    return sample_neighbors_link_aware(rng, num_vertices, a, adj_a, count);
+  }
+  NeighborSet set;
+  set.samples = sample_neighbors(rng, num_vertices, a, adj_a, count);
+  set.exact_prefix = 0;
+  set.sampled_scale =
+      static_cast<double>(num_vertices) / static_cast<double>(count);
+  return set;
+}
+
+std::vector<NeighborSample> sample_neighbors(rng::Xoshiro256& rng,
+                                             Vertex num_vertices, Vertex a,
+                                             std::span<const Vertex> adj_a,
+                                             std::size_t count) {
+  SCD_REQUIRE(count <= num_vertices - 1,
+              "neighbor sample larger than V \\ {a}");
+  const auto raw = rng::sample_without_replacement_excluding(
+      rng, num_vertices, count, a);
+  std::vector<NeighborSample> out;
+  out.reserve(count);
+  for (std::uint64_t b64 : raw) {
+    const auto b = static_cast<Vertex>(b64);
+    const bool link = std::binary_search(adj_a.begin(), adj_a.end(), b);
+    out.push_back({b, link});
+  }
+  return out;
+}
+
+}  // namespace scd::graph

@@ -1,0 +1,32 @@
+// Loader for SNAP edge-list text files (the format of the datasets in
+// Table II: '#'-prefixed comment lines, then one "u<TAB>v" edge per line).
+//
+// Vertex ids in SNAP files are sparse; the loader remaps them to a dense
+// 0..N-1 range and can report the mapping for users who need to translate
+// detected communities back to original ids.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace scd::graph {
+
+struct SnapLoadResult {
+  Graph graph;
+  /// dense id -> original SNAP id
+  std::vector<std::uint64_t> original_ids;
+};
+
+/// Parse from a stream (testable without touching the filesystem).
+SnapLoadResult load_snap_stream(std::istream& in);
+
+/// Parse from a file path; throws scd::DataError on malformed content or
+/// missing file.
+SnapLoadResult load_snap_file(const std::string& path);
+
+}  // namespace scd::graph

@@ -1,0 +1,46 @@
+// Fundamental graph types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace scd::graph {
+
+/// Vertex id. Dense, 0-based. 32 bits covers the paper's largest graph
+/// (com-Friendster, 65.6M vertices) with room to spare.
+using Vertex = std::uint32_t;
+
+/// An undirected edge in canonical (min, max) order.
+struct Edge {
+  Vertex a = 0;
+  Vertex b = 0;
+
+  constexpr Edge() = default;
+  constexpr Edge(Vertex u, Vertex v) : a(u < v ? u : v), b(u < v ? v : u) {}
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Canonical 64-bit encoding of an undirected edge (a in high bits).
+constexpr std::uint64_t encode_edge(Vertex u, Vertex v) {
+  const Vertex lo = u < v ? u : v;
+  const Vertex hi = u < v ? v : u;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+constexpr Edge decode_edge(std::uint64_t code) {
+  return Edge(static_cast<Vertex>(code >> 32),
+              static_cast<Vertex>(code & 0xffffffffULL));
+}
+
+}  // namespace scd::graph
+
+template <>
+struct std::hash<scd::graph::Edge> {
+  std::size_t operator()(const scd::graph::Edge& e) const noexcept {
+    // Fibonacci mix of the canonical encoding.
+    const std::uint64_t x = scd::graph::encode_edge(e.a, e.b);
+    return static_cast<std::size_t>(x * 0x9e3779b97f4a7c15ULL);
+  }
+};

@@ -1,0 +1,53 @@
+#include "random/sampling.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "util/error.h"
+
+namespace scd::rng {
+
+std::vector<std::uint64_t> sample_without_replacement(Xoshiro256& rng,
+                                                      std::uint64_t n,
+                                                      std::size_t k) {
+  SCD_REQUIRE(k <= n, "cannot sample " + std::to_string(k) +
+                          " distinct values from " + std::to_string(n));
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(k * 2);
+  // Floyd: for j = n-k .. n-1, draw t in [0, j]; insert t unless already
+  // present, in which case insert j.
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = rng.next_below(j + 1);
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> sample_without_replacement_excluding(
+    Xoshiro256& rng, std::uint64_t n, std::size_t k, std::uint64_t skip) {
+  SCD_REQUIRE(skip < n, "excluded value out of range");
+  // Sample from [0, n-1) and remap values >= skip upward by one.
+  std::vector<std::uint64_t> out = sample_without_replacement(rng, n - 1, k);
+  for (std::uint64_t& v : out) {
+    if (v >= skip) ++v;
+  }
+  return out;
+}
+
+std::pair<std::uint64_t, std::uint64_t> sample_distinct_pair(Xoshiro256& rng,
+                                                             std::uint64_t n) {
+  SCD_REQUIRE(n >= 2, "need at least two vertices for a pair");
+  const std::uint64_t a = rng.next_below(n);
+  std::uint64_t b = rng.next_below(n - 1);
+  if (b >= a) ++b;
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace scd::rng

@@ -1,0 +1,42 @@
+// Combinatorial sampling utilities for minibatch construction:
+// without-replacement subsets (Floyd's algorithm), shuffles, and uniform
+// draws of vertex pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "random/xoshiro.h"
+
+namespace scd::rng {
+
+/// Sample `k` distinct integers uniformly from [0, n) using Robert Floyd's
+/// algorithm: O(k) expected time, no O(n) scratch. Result is NOT sorted and
+/// its order is not uniform over permutations (callers that need a uniform
+/// order should shuffle).
+std::vector<std::uint64_t> sample_without_replacement(Xoshiro256& rng,
+                                                      std::uint64_t n,
+                                                      std::size_t k);
+
+/// Like sample_without_replacement but excluding a single value `skip`
+/// (used when drawing neighbor candidates for a vertex: b != a).
+std::vector<std::uint64_t> sample_without_replacement_excluding(
+    Xoshiro256& rng, std::uint64_t n, std::size_t k, std::uint64_t skip);
+
+/// Fisher–Yates shuffle.
+template <typename T>
+void shuffle(Xoshiro256& rng, std::vector<T>& items) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(i)));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+/// Uniform unordered pair (a, b), a != b, from [0, n). Returned with
+/// a < b so pair identity is canonical.
+std::pair<std::uint64_t, std::uint64_t> sample_distinct_pair(Xoshiro256& rng,
+                                                             std::uint64_t n);
+
+}  // namespace scd::rng

@@ -1,0 +1,123 @@
+// xoshiro256++ pseudo-random engine (Blackman & Vigna, 2019) with
+// SplitMix64 seeding and the standard jump()/long_jump() functions for
+// carving independent parallel streams.
+//
+// We implement our own engine rather than use std::mt19937_64 because the
+// samplers need (a) cheap, reproducible stream splitting across simulated
+// ranks and worker threads, and (b) a small state that lives comfortably in
+// per-thread storage. Satisfies std::uniform_random_bit_generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace scd::rng {
+
+/// SplitMix64: used to expand a 64-bit seed into engine state.
+/// Also a decent standalone mixer for hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from a 64-bit seed via SplitMix64.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Advance 2^128 steps: yields a disjoint stream for another consumer.
+  constexpr void jump() { apply_jump(kJump); }
+
+  /// Advance 2^192 steps: partitions the period between coarse domains
+  /// (e.g. ranks use long_jump, threads within a rank use jump).
+  constexpr void long_jump() { apply_jump(kLongJump); }
+
+  /// A new engine jumped `n` times past this one; does not disturb *this.
+  constexpr Xoshiro256 split(std::uint64_t n) const {
+    Xoshiro256 child = *this;
+    for (std::uint64_t i = 0; i <= n; ++i) child.jump();
+    return child;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  constexpr double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  constexpr float next_float() {
+    return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift with rejection on the low word.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  constexpr bool operator==(const Xoshiro256& other) const {
+    return s_ == other.s_;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  static constexpr std::array<std::uint64_t, 4> kLongJump = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+
+  constexpr void apply_jump(const std::array<std::uint64_t, 4>& table) {
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (std::uint64_t word : table) {
+      for (int b = 0; b < 64; ++b) {
+        if (word & (std::uint64_t{1} << b)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= s_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    s_ = acc;
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace scd::rng

@@ -1,0 +1,34 @@
+// Per-rank virtual clock.
+//
+// The cluster simulator executes the distributed algorithm's computation
+// for real but accounts *time* through these clocks: compute sections
+// advance a rank's clock by modeled durations, and communication events
+// synchronize clocks (a receive completes no earlier than the send's
+// completion). All simulated durations are in seconds.
+#pragma once
+
+#include "util/error.h"
+
+namespace scd::sim {
+
+class SimClock {
+ public:
+  double now() const { return now_s_; }
+
+  void advance(double seconds) {
+    SCD_ASSERT(seconds >= 0.0, "time cannot move backwards");
+    now_s_ += seconds;
+  }
+
+  /// Jump forward to `t` if it is in the future (e.g. message arrival).
+  void advance_to(double t) {
+    if (t > now_s_) now_s_ = t;
+  }
+
+  void reset() { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace scd::sim

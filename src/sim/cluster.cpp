@@ -1,0 +1,106 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/error.h"
+
+namespace scd::sim {
+
+RankContext::RankContext(unsigned rank, SimCluster& cluster)
+    : rank_(rank), cluster_(cluster) {}
+
+unsigned RankContext::num_ranks() const { return cluster_.num_ranks(); }
+SimTransport& RankContext::transport() { return cluster_.transport(); }
+SimClock& RankContext::clock() { return cluster_.clock(rank_); }
+const NetworkModel& RankContext::network() const {
+  return cluster_.network();
+}
+const ComputeModel& RankContext::compute() const {
+  return cluster_.compute_model();
+}
+PhaseStats& RankContext::stats() { return cluster_.stats(rank_); }
+
+void RankContext::charge(Phase p, double seconds) {
+  clock().advance(seconds);
+  stats().add(p, seconds);
+}
+
+void RankContext::charge_kernel(Phase p, double units,
+                                double cycles_per_unit) {
+  charge(p, compute().kernel_time(units, cycles_per_unit));
+}
+
+void RankContext::charge_serial(Phase p, double units,
+                                double cycles_per_unit) {
+  charge(p, compute().serial_time(units, cycles_per_unit));
+}
+
+void RankContext::timed_barrier(unsigned channel, unsigned participants) {
+  const double before = clock().now();
+  transport().barrier(rank_, channel, participants);
+  stats().add(Phase::kBarrierWait, clock().now() - before);
+}
+
+SimCluster::SimCluster(const Config& config) : config_(config) {
+  SCD_REQUIRE(config.num_ranks >= 1, "cluster needs at least one rank");
+  config_.network.validate();
+  config_.compute.validate();
+  clocks_.resize(config.num_ranks);
+  stats_.resize(config.num_ranks);
+  transport_ = std::make_unique<SimTransport>(config.num_ranks,
+                                              config_.network, clocks_);
+}
+
+void SimCluster::run(const std::function<void(RankContext&)>& fn) {
+  if (config_.num_ranks == 1) {
+    RankContext ctx(0, *this);
+    fn(ctx);
+    return;
+  }
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+  threads.reserve(config_.num_ranks);
+  for (unsigned r = 0; r < config_.num_ranks; ++r) {
+    threads.emplace_back([this, r, &fn, &error_mu, &first_error] {
+      try {
+        RankContext ctx(r, *this);
+        fn(ctx);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Unblock peers stuck in recv/collectives so the run terminates.
+        transport_->abort_all();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+double SimCluster::max_clock() const {
+  double best = 0.0;
+  for (const SimClock& c : clocks_) best = std::max(best, c.now());
+  return best;
+}
+
+PhaseStats SimCluster::max_stats() const {
+  PhaseStats out;
+  for (const PhaseStats& s : stats_) out.max_with(s);
+  return out;
+}
+
+void SimCluster::reset() {
+  for (SimClock& c : clocks_) c.reset();
+  for (PhaseStats& s : stats_) s.clear();
+  // Transport NIC state is timing-only; rebuild for a clean slate.
+  transport_ = std::make_unique<SimTransport>(config_.num_ranks,
+                                              config_.network, clocks_);
+}
+
+}  // namespace scd::sim

@@ -1,0 +1,96 @@
+// SPMD runner for the virtual-time cluster.
+//
+// SimCluster owns the clocks, transport, and per-rank phase statistics,
+// and executes a rank function on one real thread per simulated node.
+// Computation inside the rank function is real; RankContext::charge_* is
+// how the function reports what that computation *would have cost* on the
+// modeled node, in modeled-kernel terms.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/compute_model.h"
+#include "sim/network_model.h"
+#include "sim/phase_stats.h"
+#include "sim/transport.h"
+
+namespace scd::sim {
+
+class SimCluster;
+
+/// Handed to each rank's function; the sole interface rank code needs.
+class RankContext {
+ public:
+  RankContext(unsigned rank, SimCluster& cluster);
+
+  unsigned rank() const { return rank_; }
+  unsigned num_ranks() const;
+  bool is_master() const { return rank_ == 0; }
+
+  SimTransport& transport();
+  SimClock& clock();
+  const NetworkModel& network() const;
+  const ComputeModel& compute() const;
+  PhaseStats& stats();
+
+  /// Advance this rank's clock by `seconds` and book it to phase `p`.
+  void charge(Phase p, double seconds);
+
+  /// Charge a threaded kernel of `units` iterations at `cycles_per_unit`.
+  void charge_kernel(Phase p, double units, double cycles_per_unit);
+
+  /// Charge a serial (single-thread) section.
+  void charge_serial(Phase p, double units, double cycles_per_unit);
+
+  /// Enter a barrier, separately booking productive arrival vs idle wait.
+  void timed_barrier(unsigned channel = 0, unsigned participants = 0);
+
+ private:
+  unsigned rank_;
+  SimCluster& cluster_;
+};
+
+class SimCluster {
+ public:
+  struct Config {
+    unsigned num_ranks = 1;
+    NetworkModel network{};
+    ComputeModel compute{};
+  };
+
+  explicit SimCluster(const Config& config);
+
+  unsigned num_ranks() const { return config_.num_ranks; }
+  const Config& config() const { return config_; }
+
+  /// Run `fn` as rank 0..num_ranks-1, each on its own thread. Blocks until
+  /// all complete; rethrows the first exception after aborting the rest.
+  void run(const std::function<void(RankContext&)>& fn);
+
+  /// Largest clock across ranks — the wall-clock of the simulated run.
+  double max_clock() const;
+
+  const PhaseStats& stats(unsigned rank) const { return stats_[rank]; }
+  PhaseStats& stats(unsigned rank) { return stats_[rank]; }
+
+  /// Critical-path view: per-phase max over ranks.
+  PhaseStats max_stats() const;
+
+  /// Reset clocks and stats for a fresh measurement on the same cluster.
+  void reset();
+
+  SimTransport& transport() { return *transport_; }
+  SimClock& clock(unsigned rank) { return clocks_[rank]; }
+  const NetworkModel& network() const { return config_.network; }
+  const ComputeModel& compute_model() const { return config_.compute; }
+
+ private:
+  Config config_;
+  std::vector<SimClock> clocks_;
+  std::vector<PhaseStats> stats_;
+  std::unique_ptr<SimTransport> transport_;
+};
+
+}  // namespace scd::sim

@@ -1,0 +1,31 @@
+#include "sim/phase_stats.h"
+
+namespace scd::sim {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kDrawMinibatch:
+      return "draw_minibatch";
+    case Phase::kDeployMinibatch:
+      return "deploy_minibatch";
+    case Phase::kSampleNeighbors:
+      return "sample_neighbors";
+    case Phase::kLoadPi:
+      return "load_pi";
+    case Phase::kUpdatePhi:
+      return "update_phi";
+    case Phase::kUpdatePi:
+      return "update_pi";
+    case Phase::kUpdateBetaTheta:
+      return "update_beta_theta";
+    case Phase::kPerplexity:
+      return "perplexity";
+    case Phase::kBarrierWait:
+      return "barrier_wait";
+    case Phase::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace scd::sim

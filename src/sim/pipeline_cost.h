@@ -1,0 +1,54 @@
+// Virtual-time folding of the double-buffered load/compute pipeline.
+//
+// update_phi processes its pi working set in chunks. Single-buffered, a
+// chunk costs load + compute back to back. Double-buffered, the load of
+// chunk c+1 overlaps the compute of chunk c (the paper's Section III-D),
+// so the critical path is
+//     load(0) + sum_{c=1..C-1} max(load(c), compute(c-1)) + compute(C-1).
+// This accumulator folds per-chunk costs into both totals so the sampler
+// can charge whichever mode is configured and report the split.
+#pragma once
+
+#include "util/error.h"
+
+namespace scd::sim {
+
+class PipelineCost {
+ public:
+  void add_chunk(double load_s, double compute_s) {
+    SCD_ASSERT(load_s >= 0.0 && compute_s >= 0.0, "negative chunk cost");
+    serial_total_ += load_s + compute_s;
+    load_total_ += load_s;
+    compute_total_ += compute_s;
+    if (first_chunk_) {
+      pipelined_total_ = load_s;  // fill the pipe
+      first_chunk_ = false;
+    } else {
+      pipelined_total_ += std::max(load_s, prev_compute_);
+    }
+    prev_compute_ = compute_s;
+  }
+
+  /// Call after the last chunk: drains the in-flight compute.
+  double pipelined_total() const {
+    return first_chunk_ ? 0.0 : pipelined_total_ + prev_compute_;
+  }
+
+  double serial_total() const { return serial_total_; }
+  double load_total() const { return load_total_; }
+  double compute_total() const { return compute_total_; }
+
+  double total(bool pipelined) const {
+    return pipelined ? pipelined_total() : serial_total();
+  }
+
+ private:
+  bool first_chunk_ = true;
+  double prev_compute_ = 0.0;
+  double pipelined_total_ = 0.0;
+  double serial_total_ = 0.0;
+  double load_total_ = 0.0;
+  double compute_total_ = 0.0;
+};
+
+}  // namespace scd::sim

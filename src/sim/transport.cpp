@@ -1,0 +1,152 @@
+#include "sim/transport.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace scd::sim {
+
+SimTransport::SimTransport(unsigned num_ranks, const NetworkModel& net,
+                           std::vector<SimClock>& clocks)
+    : num_ranks_(num_ranks), net_(net), clocks_(clocks) {
+  SCD_REQUIRE(num_ranks >= 1, "transport needs at least one rank");
+  SCD_REQUIRE(clocks.size() >= num_ranks, "one clock per rank required");
+  net_.validate();
+  nic_free_s_.assign(num_ranks, 0.0);
+}
+
+void SimTransport::send_raw(unsigned from, unsigned to, int tag,
+                            std::vector<std::byte> payload,
+                            std::uint64_t logical_bytes) {
+  SCD_REQUIRE(from < num_ranks_ && to < num_ranks_, "rank out of range");
+  const double wire_s =
+      static_cast<double>(logical_bytes) / net_.bandwidth_Bps;
+  double arrival;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Posting costs the sender a request overhead; the wire transfer
+    // occupies the sender's NIC, serializing back-to-back sends.
+    clocks_[from].advance(net_.dkv_request_overhead_s);
+    const double start = std::max(clocks_[from].now(), nic_free_s_[from]);
+    nic_free_s_[from] = start + wire_s;
+    arrival = start + wire_s + net_.latency_s;
+    mailboxes_[channel_key(from, to, tag)].push_back(
+        Message{arrival, std::move(payload)});
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::byte> SimTransport::recv_raw(unsigned self, unsigned from,
+                                              int tag) {
+  SCD_REQUIRE(self < num_ranks_ && from < num_ranks_, "rank out of range");
+  std::unique_lock<std::mutex> lock(mu_);
+  auto& queue = mailboxes_[channel_key(from, self, tag)];
+  cv_.wait(lock, [&] { return aborted_ || !queue.empty(); });
+  if (aborted_) throw Error("transport aborted while receiving");
+  Message msg = std::move(queue.front());
+  queue.pop_front();
+  clocks_[self].advance_to(msg.arrival_s);
+  return std::move(msg.payload);
+}
+
+std::shared_ptr<SimTransport::CollSlot> SimTransport::run_collective(
+    unsigned self, unsigned channel, unsigned participants, CollOp op,
+    unsigned root, std::uint64_t payload_bytes,
+    const std::function<void(CollSlot&)>& contribute) {
+  SCD_REQUIRE(self < num_ranks_ && root < num_ranks_, "rank out of range");
+  if (participants == 0) participants = num_ranks_;
+  std::unique_lock<std::mutex> lock(mu_);
+  std::shared_ptr<CollSlot>& current = open_collectives_[channel];
+  if (!current) {
+    auto slot = std::make_shared<CollSlot>();
+    slot->op = op;
+    slot->root = root;
+    slot->participants = participants;
+    slot->payload_bytes = payload_bytes;
+    current = slot;
+  }
+  std::shared_ptr<CollSlot> slot = current;
+  SCD_REQUIRE(slot->op == op && slot->root == root &&
+                  slot->participants == participants &&
+                  slot->payload_bytes == payload_bytes,
+              "mismatched collective: ranks disagree on op/root/size");
+  slot->max_entry = std::max(slot->max_entry, clocks_[self].now());
+  contribute(*slot);
+  if (++slot->arrived == participants) {
+    slot->finish =
+        slot->max_entry + net_.collective_time(participants, payload_bytes);
+    if (slot->op == CollOp::kReduce) {
+      // Deterministic rank-order fold, independent of arrival order.
+      for (const auto& [rank, contribution] : slot->reduce_inputs) {
+        if (slot->reduce_acc.empty()) {
+          slot->reduce_acc.assign(contribution.size(), 0.0);
+        }
+        for (std::size_t i = 0; i < contribution.size(); ++i) {
+          slot->reduce_acc[i] += contribution[i];
+        }
+      }
+    }
+    slot->complete = true;
+    current.reset();  // next collective on this channel opens fresh
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return aborted_ || slot->complete; });
+    if (aborted_ && !slot->complete) {
+      throw Error("transport aborted during collective");
+    }
+  }
+  clocks_[self].advance_to(slot->finish);
+  return slot;
+}
+
+void SimTransport::abort_all() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void SimTransport::barrier(unsigned self, unsigned channel,
+                           unsigned participants) {
+  run_collective(self, channel, participants, CollOp::kBarrier, 0, 0,
+                 [](CollSlot&) {});
+}
+
+void SimTransport::reduce_sum(unsigned self, unsigned root,
+                              std::span<double> inout, unsigned channel,
+                              unsigned participants) {
+  auto slot = run_collective(
+      self, channel, participants, CollOp::kReduce, root,
+      inout.size_bytes(), [&](CollSlot& s) {
+        SCD_REQUIRE(s.reduce_inputs.find(self) == s.reduce_inputs.end(),
+                    "rank joined the same reduce twice");
+        s.reduce_inputs.emplace(
+            self, std::vector<double>(inout.begin(), inout.end()));
+      });
+  if (self == slot->root) {
+    SCD_REQUIRE(slot->reduce_acc.size() == inout.size(),
+                "reduce length mismatch across ranks");
+    std::copy(slot->reduce_acc.begin(), slot->reduce_acc.end(),
+              inout.begin());
+  }
+}
+
+void SimTransport::broadcast(unsigned self, unsigned root,
+                             std::span<std::byte> data, unsigned channel,
+                             unsigned participants) {
+  auto slot = run_collective(
+      self, channel, participants, CollOp::kBroadcast, root,
+      data.size_bytes(), [&](CollSlot& s) {
+        if (self == root) {
+          s.bcast_data.assign(data.begin(), data.end());
+        }
+      });
+  if (self != root && !data.empty()) {
+    SCD_REQUIRE(slot->bcast_data.size() == data.size(),
+                "broadcast length mismatch across ranks");
+    std::copy(slot->bcast_data.begin(), slot->bcast_data.end(),
+              data.begin());
+  }
+}
+
+}  // namespace scd::sim

@@ -1,0 +1,174 @@
+// MPI-style transport for the virtual-time cluster.
+//
+// Rank code runs on real threads; this class provides point-to-point
+// messages and the collectives the algorithm needs (barrier, reduce-sum,
+// broadcast) with two effects per operation: real data movement between
+// rank address spaces, and virtual-clock synchronization per the
+// NetworkModel.
+//
+// Timing semantics:
+//  * send: the sender's NIC serializes its outgoing transfers (a scatter
+//    of B bytes to C peers costs the root ~B/bandwidth total, like a real
+//    eager-protocol deploy). Posting costs the sender one request
+//    overhead; the payload arrives at
+//        max(sender_clock, nic_free) + bytes/bw + latency.
+//  * recv: blocks (really) until the message exists, then advances the
+//    receiver's clock to the arrival time.
+//  * collectives: every rank must call them in the same order with the
+//    same operation type; completion time is
+//        max(entry clocks) + tree_depth * per-hop + skew,
+//    charged to all participants.
+//
+// The transport never drops or reorders messages with equal
+// (from, to, tag); the algorithm's stage structure guarantees matching.
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/network_model.h"
+#include "util/error.h"
+
+namespace scd::sim {
+
+class SimTransport {
+ public:
+  /// `clocks` must outlive the transport and have one entry per rank.
+  SimTransport(unsigned num_ranks, const NetworkModel& net,
+               std::vector<SimClock>& clocks);
+
+  unsigned num_ranks() const { return num_ranks_; }
+  const NetworkModel& network() const { return net_; }
+
+  /// Typed point-to-point send. T must be trivially copyable.
+  template <typename T>
+  void send(unsigned from, unsigned to, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(data.size_bytes());
+    if (!data.empty()) {
+      std::memcpy(bytes.data(), data.data(), data.size_bytes());
+    }
+    send_raw(from, to, tag, std::move(bytes), data.size_bytes());
+  }
+
+  /// Cost-only send: moves no data, charges time for `logical_bytes`.
+  void send_phantom(unsigned from, unsigned to, int tag,
+                    std::uint64_t logical_bytes) {
+    send_raw(from, to, tag, {}, logical_bytes);
+  }
+
+  /// Typed receive; blocks until the matching send arrives.
+  template <typename T>
+  std::vector<T> recv(unsigned self, unsigned from, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes = recv_raw(self, from, tag);
+    SCD_ASSERT(bytes.size() % sizeof(T) == 0, "payload size mismatch");
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  /// Receive a phantom (or typed) message, discarding any payload.
+  void recv_discard(unsigned self, unsigned from, int tag) {
+    recv_raw(self, from, tag);
+  }
+
+  /// Collectives run on a *channel*: a group of `participants` ranks that
+  /// all call the same operation in the same order. participants == 0
+  /// means every rank of the cluster. Distinct channels may be in flight
+  /// concurrently (the algorithm uses a worker-only barrier channel while
+  /// the master is busy elsewhere); within a channel, ordering must match
+  /// across its members — violations are detected and throw.
+  ///
+  /// barrier: rendezvous; clocks advance to max entry + barrier cost.
+  void barrier(unsigned self, unsigned channel = 0,
+               unsigned participants = 0);
+
+  /// Element-wise sum across the channel's ranks; on return `inout` holds
+  /// the total at the root and is unchanged elsewhere. Contributions are
+  /// combined in rank order (deterministic regardless of arrival order).
+  void reduce_sum(unsigned self, unsigned root, std::span<double> inout,
+                  unsigned channel = 0, unsigned participants = 0);
+
+  /// Root's bytes are copied to every participating rank.
+  void broadcast(unsigned self, unsigned root, std::span<std::byte> data,
+                 unsigned channel = 0, unsigned participants = 0);
+
+  template <typename T>
+  void broadcast(unsigned self, unsigned root, std::span<T> data,
+                 unsigned channel = 0, unsigned participants = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    broadcast(self, root,
+              std::span<std::byte>(reinterpret_cast<std::byte*>(data.data()),
+                                   data.size_bytes()),
+              channel, participants);
+  }
+
+  double clock_now(unsigned rank) const { return clocks_[rank].now(); }
+  SimClock& clock(unsigned rank) { return clocks_[rank]; }
+
+  /// Wake every blocked rank with an error — called when any rank's code
+  /// throws, so a failure surfaces instead of deadlocking the cluster.
+  void abort_all();
+
+ private:
+  struct Message {
+    double arrival_s = 0.0;
+    std::vector<std::byte> payload;
+  };
+
+  enum class CollOp { kBarrier, kReduce, kBroadcast };
+
+  struct CollSlot {
+    CollOp op{};
+    unsigned root = 0;
+    unsigned participants = 0;
+    std::uint64_t payload_bytes = 0;
+    unsigned arrived = 0;
+    double max_entry = 0.0;
+    bool complete = false;
+    double finish = 0.0;
+    /// Reduce contributions keyed by rank, summed in rank order at
+    /// completion so the result is arrival-order independent.
+    std::map<unsigned, std::vector<double>> reduce_inputs;
+    std::vector<double> reduce_acc;
+    std::vector<std::byte> bcast_data;
+  };
+
+  static std::uint64_t channel_key(unsigned from, unsigned to, int tag) {
+    return (static_cast<std::uint64_t>(from) << 40) |
+           (static_cast<std::uint64_t>(to) << 16) |
+           static_cast<std::uint64_t>(static_cast<std::uint16_t>(tag));
+  }
+
+  void send_raw(unsigned from, unsigned to, int tag,
+                std::vector<std::byte> payload, std::uint64_t logical_bytes);
+  std::vector<std::byte> recv_raw(unsigned self, unsigned from, int tag);
+
+  /// Shared collective rendezvous; returns the slot after completion.
+  std::shared_ptr<CollSlot> run_collective(
+      unsigned self, unsigned channel, unsigned participants, CollOp op,
+      unsigned root, std::uint64_t payload_bytes,
+      const std::function<void(CollSlot&)>& contribute);
+
+  unsigned num_ranks_;
+  NetworkModel net_;
+  std::vector<SimClock>& clocks_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::deque<Message>> mailboxes_;
+  std::vector<double> nic_free_s_;  // per-rank outbound NIC availability
+  std::map<unsigned, std::shared_ptr<CollSlot>> open_collectives_;
+  bool aborted_ = false;
+};
+
+}  // namespace scd::sim

@@ -1,0 +1,56 @@
+// Two-slot load/compute pipeline (the paper's "double buffering").
+//
+// update_phi splits its pi working set into chunks; while the compute of
+// chunk c runs, the load of chunk c+1 is prefetched. In the original
+// system the prefetch is an outstanding RDMA read; here the load runs on a
+// helper thread of the pool (real overlap when cores are available,
+// functional correctness regardless).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "threading/thread_pool.h"
+
+namespace scd::threading {
+
+/// Execute `load(c)` then `compute(c)` for c in [0, num_chunks), with the
+/// double-buffering dependency structure: load(c+1) may run concurrently
+/// with compute(c). Slot parity alternates so `load` can target
+/// buffer[c % 2]. When `pipelined` is false the stages run strictly
+/// back-to-back (the paper's single-buffered baseline).
+class DoubleBufferPipeline {
+ public:
+  explicit DoubleBufferPipeline(ThreadPool& pool) : pool_(pool) {}
+
+  void run(std::uint64_t num_chunks, bool pipelined,
+           const std::function<void(std::uint64_t)>& load,
+           const std::function<void(std::uint64_t)>& compute) {
+    if (num_chunks == 0) return;
+    if (!pipelined || pool_.num_threads() < 2) {
+      for (std::uint64_t c = 0; c < num_chunks; ++c) {
+        load(c);
+        compute(c);
+      }
+      return;
+    }
+    // Overlap via run_on_all with two logical roles: thread 0 computes,
+    // thread 1 loads ahead. A tiny handshake keeps them one chunk apart.
+    load(0);
+    for (std::uint64_t c = 0; c < num_chunks; ++c) {
+      const bool has_next = c + 1 < num_chunks;
+      pool_.run_on_all([&](unsigned id) {
+        if (id == 0) {
+          compute(c);
+        } else if (id == 1 && has_next) {
+          load(c + 1);
+        }
+      });
+    }
+  }
+
+ private:
+  ThreadPool& pool_;
+};
+
+}  // namespace scd::threading

@@ -1,0 +1,31 @@
+// parallel_reduce and small helpers layered on ThreadPool.
+#pragma once
+
+#include <vector>
+
+#include "threading/thread_pool.h"
+
+namespace scd::threading {
+
+/// Two-stage reduction as in the paper's perplexity computation: each
+/// thread folds its static chunk locally (`fold`), then partials are
+/// combined sequentially (`combine`). Deterministic: combination order is
+/// by thread index, not completion order.
+template <typename T, typename Fold, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                  T identity, Fold fold, Combine combine) {
+  std::vector<T> partials(pool.num_threads(), identity);
+  pool.parallel_for(begin, end,
+                    [&](unsigned t, std::uint64_t lo, std::uint64_t hi) {
+                      T acc = identity;
+                      for (std::uint64_t i = lo; i < hi; ++i) {
+                        fold(acc, i);
+                      }
+                      partials[t] = acc;
+                    });
+  T total = identity;
+  for (const T& p : partials) total = combine(total, p);
+  return total;
+}
+
+}  // namespace scd::threading

@@ -1,0 +1,102 @@
+#include "threading/thread_pool.h"
+
+#include "util/error.h"
+
+namespace scd::threading {
+
+ThreadPool::ThreadPool(unsigned num_threads) : num_threads_(num_threads) {
+  SCD_REQUIRE(num_threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(num_threads - 1);
+  for (unsigned id = 1; id < num_threads; ++id) {
+    workers_.emplace_back([this, id] { worker_main(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_launch_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_main(unsigned id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::function<void(unsigned)> body;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_launch_.wait(lock,
+                      [&] { return stopping_ || generation_ > seen; });
+      if (stopping_) return;
+      seen = generation_;
+      body = body_;
+    }
+    try {
+      body(id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::launch(const std::function<void(unsigned)>& body) {
+  if (num_threads_ == 1) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = body;
+    pending_ = num_threads_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_launch_.notify_all();
+  // The caller participates as thread 0.
+  std::exception_ptr caller_error;
+  try {
+    body(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+std::pair<std::uint64_t, std::uint64_t> ThreadPool::chunk_bounds(
+    std::uint64_t begin, std::uint64_t end, unsigned t, unsigned threads) {
+  const std::uint64_t n = end - begin;
+  const std::uint64_t base = n / threads;
+  const std::uint64_t extra = n % threads;
+  // The first `extra` threads get one more element each.
+  const std::uint64_t lo =
+      begin + t * base + std::min<std::uint64_t>(t, extra);
+  const std::uint64_t hi = lo + base + (t < extra ? 1 : 0);
+  return {lo, hi};
+}
+
+void ThreadPool::parallel_for(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<void(unsigned, std::uint64_t, std::uint64_t)>& fn) {
+  if (begin >= end) return;
+  const unsigned threads = num_threads_;
+  launch([&fn, begin, end, threads](unsigned id) {
+    const auto [lo, hi] = chunk_bounds(begin, end, id, threads);
+    if (lo < hi) fn(id, lo, hi);
+  });
+}
+
+void ThreadPool::run_on_all(const std::function<void(unsigned)>& fn) {
+  launch(fn);
+}
+
+}  // namespace scd::threading

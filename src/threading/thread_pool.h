@@ -1,0 +1,69 @@
+// Fixed-size thread pool with static range partitioning.
+//
+// The paper parallelises update_phi / update_pi / update_beta /perplexity
+// with OpenMP static scheduling over minibatch vertices. This pool mirrors
+// that model: parallel_for splits [begin, end) into one contiguous chunk
+// per worker, which both matches the paper and keeps per-thread RNG stream
+// assignment deterministic (chunk i is always processed by stream i,
+// regardless of OS scheduling).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scd::threading {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers; the calling thread acts as worker 0
+  /// inside parallel_for, so `num_threads == 1` costs nothing.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return num_threads_; }
+
+  /// Run fn(thread_index, chunk_begin, chunk_end) on every thread with a
+  /// static partition of [begin, end). Blocks until all chunks finish.
+  /// Exceptions from workers are rethrown (first one wins).
+  void parallel_for(std::uint64_t begin, std::uint64_t end,
+                    const std::function<void(unsigned, std::uint64_t,
+                                             std::uint64_t)>& fn);
+
+  /// Run an arbitrary task per thread: fn(thread_index). Blocks.
+  void run_on_all(const std::function<void(unsigned)>& fn);
+
+  /// Static chunk bounds for thread t of `threads` over [begin, end).
+  static std::pair<std::uint64_t, std::uint64_t> chunk_bounds(
+      std::uint64_t begin, std::uint64_t end, unsigned t, unsigned threads);
+
+ private:
+  struct Task {
+    // Set for each launch; workers index it by their id.
+    std::function<void(unsigned)> body;
+    std::uint64_t generation = 0;
+  };
+
+  void worker_main(unsigned id);
+  void launch(const std::function<void(unsigned)>& body);
+
+  unsigned num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_launch_;
+  std::condition_variable cv_done_;
+  std::function<void(unsigned)> body_;
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace scd::threading

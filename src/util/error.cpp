@@ -1,0 +1,16 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace scd::detail {
+
+void fail_check(const char* kind, const char* expr, const char* file,
+                int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "scd " << kind << " violated: (" << expr << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw UsageError(os.str());
+}
+
+}  // namespace scd::detail

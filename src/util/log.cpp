@@ -1,0 +1,41 @@
+#include "util/log.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace scd {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+}  // namespace
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%9.3f] %s %s\n", elapsed, level_tag(level),
+               message.c_str());
+}
+
+}  // namespace scd

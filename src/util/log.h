@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// Logging in the hot path is forbidden by convention; the samplers log only
+// at iteration-report granularity. The logger is a process-wide singleton
+// guarded by a mutex, which is fine at that rate.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace scd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger. Thread safe.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Emit one line at `level`; no-op when below the configured threshold.
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kInfo;
+  std::mutex mu_;
+};
+
+namespace detail {
+/// Stream-style collector that emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace scd
+
+#define SCD_LOG_DEBUG() ::scd::detail::LogLine(::scd::LogLevel::kDebug)
+#define SCD_LOG_INFO() ::scd::detail::LogLine(::scd::LogLevel::kInfo)
+#define SCD_LOG_WARN() ::scd::detail::LogLine(::scd::LogLevel::kWarn)
+#define SCD_LOG_ERROR() ::scd::detail::LogLine(::scd::LogLevel::kError)

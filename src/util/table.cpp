@@ -1,0 +1,96 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace scd {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SCD_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::set_precision(int digits) {
+  SCD_REQUIRE(digits >= 0 && digits <= 17, "precision out of range");
+  precision_ = digits;
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  SCD_REQUIRE(row.size() == headers_.size(),
+              "row has " + std::to_string(row.size()) + " cells, table has " +
+                  std::to_string(headers_.size()) + " columns");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render_cell(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell))
+    return std::to_string(*i);
+  const double d = std::get<double>(cell);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision_, d);
+  return buf;
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(render_cell(row[c]));
+      width[c] = std::max(width[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(width[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rendered) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << headers_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << render_cell(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out << to_csv();
+  if (!out) throw Error("short write to '" + path + "'");
+}
+
+}  // namespace scd

@@ -1,0 +1,48 @@
+// ASCII-table and CSV emitters used by the benchmark harnesses to print
+// paper-style tables (e.g. Table III) and figure series (e.g. Fig. 1-6).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace scd {
+
+/// A table cell: string, integer or floating point (printed with
+/// column-specific precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Collects rows and renders either an aligned ASCII table or CSV.
+/// Intended for modest result tables, not bulk data.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of significant digits used for double cells (default 4).
+  void set_precision(int digits);
+
+  void add_row(std::vector<Cell> row);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+
+  /// Render with column alignment and a header separator.
+  std::string to_ascii() const;
+
+  /// Render as RFC-4180-ish CSV (no quoting of commas; callers keep cell
+  /// text comma-free by convention).
+  std::string to_csv() const;
+
+  /// Write CSV to `path`; throws scd::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string render_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace scd

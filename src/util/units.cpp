@@ -1,0 +1,61 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+namespace scd {
+
+namespace {
+std::string scaled(double value, const char* const* units, int count,
+                   double base) {
+  int u = 0;
+  while (value >= base && u + 1 < count) {
+    value /= base;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[u]);
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  static const char* const kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return scaled(static_cast<double>(bytes), kUnits, 5, 1024.0);
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  static const char* const kUnits[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+  return scaled(bytes_per_second, kUnits, 5, 1000.0);
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int pos = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it, ++pos) {
+    if (pos > 0 && pos % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace scd

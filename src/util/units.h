@@ -1,0 +1,22 @@
+// Human-readable formatting of byte counts, durations and rates, used by
+// benchmark harnesses and log output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scd {
+
+/// "1.50 KiB", "3.20 GiB", ...
+std::string format_bytes(std::uint64_t bytes);
+
+/// "12.3 us", "4.56 ms", "1.23 s", ...
+std::string format_duration(double seconds);
+
+/// "5.43 GB/s" (decimal units, matching network-equipment convention).
+std::string format_bandwidth(double bytes_per_second);
+
+/// "1,806,067,135" with thousands separators.
+std::string format_count(std::uint64_t n);
+
+}  // namespace scd

@@ -1,0 +1,143 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/parallel_sampler.h"
+#include "core/sequential_sampler.h"
+#include "tests/core/test_fixtures.h"
+
+namespace scd::core {
+namespace {
+
+using testing::small_planted_fixture;
+
+Checkpoint make_checkpoint() {
+  Checkpoint c;
+  c.iteration = 1234;
+  c.hyper.num_communities = 6;
+  c.hyper.alpha = 0.05;
+  c.hyper.delta = 1e-4;
+  c.pi = PiMatrix(20, 6);
+  c.pi.init_random(9);
+  c.global = GlobalState(6);
+  c.global.init_random(9, c.hyper);
+  return c;
+}
+
+TEST(CheckpointTest, StreamRoundTripIsExact) {
+  const Checkpoint original = make_checkpoint();
+  std::stringstream buffer;
+  save_checkpoint(buffer, original);
+  const Checkpoint loaded = load_checkpoint(buffer);
+  EXPECT_EQ(loaded.iteration, original.iteration);
+  EXPECT_EQ(loaded.hyper.num_communities, original.hyper.num_communities);
+  EXPECT_DOUBLE_EQ(loaded.hyper.alpha, original.hyper.alpha);
+  EXPECT_DOUBLE_EQ(loaded.hyper.delta, original.hyper.delta);
+  for (std::uint32_t v = 0; v < 20; ++v) {
+    for (std::uint32_t i = 0; i < 7; ++i) {
+      ASSERT_EQ(loaded.pi.row(v)[i], original.pi.row(v)[i]);
+    }
+  }
+  for (std::uint32_t k = 0; k < 6; ++k) {
+    EXPECT_EQ(loaded.global.theta(k, 0), original.global.theta(k, 0));
+    EXPECT_EQ(loaded.global.theta(k, 1), original.global.theta(k, 1));
+    EXPECT_EQ(loaded.global.beta(k), original.global.beta(k));
+  }
+}
+
+TEST(CheckpointTest, BadMagicRejected) {
+  std::stringstream buffer;
+  buffer << "not a checkpoint at all, sorry";
+  EXPECT_THROW(load_checkpoint(buffer), scd::DataError);
+}
+
+TEST(CheckpointTest, TruncationRejected) {
+  const Checkpoint original = make_checkpoint();
+  std::stringstream buffer;
+  save_checkpoint(buffer, original);
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_checkpoint(cut), scd::DataError);
+}
+
+TEST(CheckpointTest, FileRoundTrip) {
+  const Checkpoint original = make_checkpoint();
+  const std::string path = ::testing::TempDir() + "scd_ckpt_test.bin";
+  save_checkpoint_file(path, original);
+  const Checkpoint loaded = load_checkpoint_file(path);
+  EXPECT_EQ(loaded.iteration, original.iteration);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileRejected) {
+  EXPECT_THROW(load_checkpoint_file("/no/such/checkpoint.bin"),
+               scd::DataError);
+}
+
+// The headline property: resume == uninterrupted, bit for bit.
+TEST(CheckpointTest, ResumedRunContinuesExactTrajectory) {
+  auto f = small_planted_fixture(8080, 120, 4, 60);
+  f.options.eval_interval = 10;
+  SequentialSampler uninterrupted(f.split->training(), f.split.get(),
+                                  f.hyper, f.options);
+  uninterrupted.run(80);
+
+  SequentialSampler first_half(f.split->training(), f.split.get(), f.hyper,
+                               f.options);
+  first_half.run(40);
+  std::stringstream buffer;
+  save_checkpoint(buffer, first_half.checkpoint());
+
+  SequentialSampler resumed(f.split->training(), f.split.get(), f.hyper,
+                            f.options);
+  resumed.restore(load_checkpoint(buffer));
+  EXPECT_EQ(resumed.iteration(), 40u);
+  resumed.run(40);
+
+  const PiMatrix& a = uninterrupted.pi();
+  const PiMatrix& b = resumed.pi();
+  for (std::uint32_t v = 0; v < a.num_vertices(); ++v) {
+    for (std::uint32_t k = 0; k < a.num_communities(); ++k) {
+      ASSERT_EQ(a.pi(v, k), b.pi(v, k)) << "v=" << v << " k=" << k;
+    }
+  }
+  for (std::uint32_t k = 0; k < f.hyper.num_communities; ++k) {
+    EXPECT_EQ(uninterrupted.global().beta(k), resumed.global().beta(k));
+  }
+}
+
+TEST(CheckpointTest, CrossSamplerHandoff) {
+  // Train with the parallel sampler, checkpoint, resume sequentially:
+  // the engines share state formats and trajectories.
+  auto f = small_planted_fixture(9090, 120, 4, 60);
+  f.options.eval_interval = 0;
+  ParallelSampler parallel(f.split->training(), f.split.get(), f.hyper,
+                           f.options, 4);
+  parallel.run(30);
+
+  SequentialSampler sequential(f.split->training(), f.split.get(),
+                               f.hyper, f.options);
+  sequential.restore(parallel.checkpoint());
+  sequential.run(30);
+
+  SequentialSampler reference(f.split->training(), f.split.get(), f.hyper,
+                              f.options);
+  reference.run(60);
+  for (std::uint32_t k = 0; k < f.hyper.num_communities; ++k) {
+    EXPECT_NEAR(sequential.global().beta(k), reference.global().beta(k),
+                1e-6);
+  }
+}
+
+TEST(CheckpointTest, RestoreValidatesShape) {
+  auto f = small_planted_fixture(1010, 120, 4, 60);
+  SequentialSampler sampler(f.split->training(), f.split.get(), f.hyper,
+                            f.options);
+  Checkpoint wrong = make_checkpoint();  // 20 vertices, K=6
+  EXPECT_THROW(sampler.restore(wrong), scd::UsageError);
+}
+
+}  // namespace
+}  // namespace scd::core

@@ -1,0 +1,228 @@
+#include "core/distributed_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sequential_sampler.h"
+#include "tests/core/test_fixtures.h"
+
+namespace scd::core {
+namespace {
+
+using testing::small_planted_fixture;
+
+sim::SimCluster::Config cluster_config(unsigned workers) {
+  sim::SimCluster::Config config;
+  config.num_ranks = workers + 1;
+  return config;
+}
+
+struct EquivParam {
+  unsigned workers;
+  bool pipeline;
+};
+
+class DistributedEquivalenceTest
+    : public ::testing::TestWithParam<EquivParam> {};
+
+// The headline integration property: the distributed sampler on any
+// worker count, pipelined or not, reproduces the sequential trajectory
+// (virtual time differs; numbers must not).
+TEST_P(DistributedEquivalenceTest, MatchesSequentialTrajectory) {
+  const auto [workers, pipeline] = GetParam();
+  auto f = small_planted_fixture(1618, 150, 4, 80);
+  f.options.eval_interval = 20;
+
+  SequentialSampler seq(f.split->training(), f.split.get(), f.hyper,
+                        f.options);
+  seq.run(60);
+
+  sim::SimCluster cluster(cluster_config(workers));
+  DistributedOptions options;
+  options.base = f.options;
+  options.pipeline = pipeline;
+  options.chunk_vertices = 8;
+  DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                          f.hyper, options);
+  const DistributedResult result = dist.run(60);
+
+  ASSERT_EQ(result.history.size(), seq.history().size());
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    EXPECT_EQ(result.history[i].iteration, seq.history()[i].iteration);
+    EXPECT_NEAR(result.history[i].perplexity,
+                seq.history()[i].perplexity,
+                1e-6 * seq.history()[i].perplexity)
+        << "eval point " << i;
+  }
+  for (std::uint32_t k = 0; k < f.hyper.num_communities; ++k) {
+    EXPECT_NEAR(dist.global().beta(k), seq.global().beta(k), 1e-6);
+  }
+  const PiMatrix snapshot = dist.snapshot_pi();
+  const PiMatrix& ps = seq.pi();
+  for (std::uint32_t v = 0; v < ps.num_vertices(); ++v) {
+    for (std::uint32_t k = 0; k < ps.num_communities(); ++k) {
+      ASSERT_NEAR(snapshot.pi(v, k), ps.pi(v, k), 1e-5) << "v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, DistributedEquivalenceTest,
+    ::testing::Values(EquivParam{1, true}, EquivParam{2, true},
+                      EquivParam{4, true}, EquivParam{4, false},
+                      EquivParam{7, true}));
+
+TEST(DistributedSamplerTest, PipeliningReducesVirtualTimeNotNumbers) {
+  auto f = small_planted_fixture(2020, 150, 4, 80);
+  f.options.eval_interval = 30;
+
+  auto run_mode = [&](bool pipeline) {
+    sim::SimCluster cluster(cluster_config(4));
+    DistributedOptions options;
+    options.base = f.options;
+    options.pipeline = pipeline;
+    options.chunk_vertices = 4;
+    DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                            f.hyper, options);
+    return dist.run(60);
+  };
+  const DistributedResult with = run_mode(true);
+  const DistributedResult without = run_mode(false);
+
+  ASSERT_EQ(with.history.size(), without.history.size());
+  for (std::size_t i = 0; i < with.history.size(); ++i) {
+    EXPECT_NEAR(with.history[i].perplexity, without.history[i].perplexity,
+                1e-9 * without.history[i].perplexity);
+  }
+  EXPECT_LT(with.virtual_seconds, without.virtual_seconds);
+}
+
+TEST(DistributedSamplerTest, PhaseStatsCoverTheIteration) {
+  auto f = small_planted_fixture(7, 120, 4, 60);
+  f.options.eval_interval = 0;
+  sim::SimCluster cluster(cluster_config(3));
+  DistributedOptions options;
+  options.base = f.options;
+  DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                          f.hyper, options);
+  const DistributedResult result = dist.run(20);
+  const sim::PhaseStats& cp = result.critical_path;
+  EXPECT_GT(cp.get(sim::Phase::kLoadPi), 0.0);
+  EXPECT_GT(cp.get(sim::Phase::kUpdatePhi), 0.0);
+  EXPECT_GT(cp.get(sim::Phase::kUpdatePi), 0.0);
+  EXPECT_GT(cp.get(sim::Phase::kUpdateBetaTheta), 0.0);
+  EXPECT_GT(cp.get(sim::Phase::kDrawMinibatch), 0.0);
+  EXPECT_GT(result.virtual_seconds, 0.0);
+  EXPECT_GT(result.avg_iteration_seconds, 0.0);
+}
+
+TEST(DistributedSamplerTest, CostOnlyModeNeedsNoGraphAndScales) {
+  PhantomWorkload workload;
+  workload.num_vertices = 65'608'366;  // com-Friendster
+  workload.avg_degree = 55.0;
+  workload.minibatch_vertices = 16384;
+  workload.minibatch_pairs = 8192;
+  workload.heldout_pairs = 0;
+  Hyper hyper;
+  hyper.num_communities = 1024;
+
+  auto run_with_workers = [&](unsigned workers) {
+    sim::SimCluster cluster(cluster_config(workers));
+    DistributedOptions options;
+    options.base.eval_interval = 0;
+    DistributedSampler dist(cluster, workload, hyper, options);
+    return dist.run(8);
+  };
+  const DistributedResult small = run_with_workers(8);
+  const DistributedResult large = run_with_workers(64);
+  // Strong scaling: more workers -> less virtual time per iteration.
+  EXPECT_LT(large.avg_iteration_seconds, small.avg_iteration_seconds);
+  EXPECT_GT(small.avg_iteration_seconds, 0.0);
+}
+
+TEST(DistributedSamplerTest, CostOnlyTimesTrackRealTimes) {
+  // Same workload executed real vs phantom: virtual time per iteration
+  // should agree within a modest tolerance (the phantom uses expected
+  // locality and average degrees).
+  auto f = small_planted_fixture(909, 600, 4, 60);
+  f.options.eval_interval = 0;
+  f.options.minibatch.strategy = graph::MinibatchStrategy::kRandomPair;
+  f.options.minibatch.num_pairs = 48;
+  f.options.num_neighbors = 16;
+
+  constexpr unsigned kWorkers = 4;
+  constexpr std::uint64_t kIters = 24;
+
+  sim::SimCluster real_cluster(cluster_config(kWorkers));
+  DistributedOptions options;
+  options.base = f.options;
+  DistributedSampler real_sampler(real_cluster, f.split->training(),
+                                  f.split.get(), f.hyper, options);
+  const DistributedResult real_result = real_sampler.run(kIters);
+
+  PhantomWorkload workload;
+  workload.num_vertices = f.split->training().num_vertices();
+  workload.avg_degree =
+      2.0 * double(f.split->training().num_edges()) /
+      double(f.split->training().num_vertices());
+  // 48 random pairs touch ~96 distinct vertices on a 600-vertex graph.
+  workload.minibatch_vertices = 92;
+  workload.minibatch_pairs = 48;
+  workload.heldout_pairs = 0;
+  sim::SimCluster phantom_cluster(cluster_config(kWorkers));
+  DistributedSampler phantom(phantom_cluster, workload, f.hyper, options);
+  const DistributedResult phantom_result = phantom.run(kIters);
+
+  EXPECT_NEAR(phantom_result.avg_iteration_seconds,
+              real_result.avg_iteration_seconds,
+              0.25 * real_result.avg_iteration_seconds);
+}
+
+
+TEST(DistributedSamplerTest, LinkAwareModeAlsoMatchesSequential) {
+  auto f = small_planted_fixture(2468, 150, 4, 80);
+  f.options.eval_interval = 20;
+  f.options.neighbor_mode = NeighborMode::kLinkAware;
+
+  SequentialSampler seq(f.split->training(), f.split.get(), f.hyper,
+                        f.options);
+  seq.run(40);
+
+  sim::SimCluster cluster(cluster_config(3));
+  DistributedOptions options;
+  options.base = f.options;
+  options.chunk_vertices = 8;
+  DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                          f.hyper, options);
+  const DistributedResult result = dist.run(40);
+
+  ASSERT_EQ(result.history.size(), seq.history().size());
+  for (std::size_t i = 0; i < result.history.size(); ++i) {
+    EXPECT_NEAR(result.history[i].perplexity,
+                seq.history()[i].perplexity,
+                1e-6 * seq.history()[i].perplexity);
+  }
+}
+
+TEST(DistributedSamplerTest, RunIsOneShot) {
+  auto f = small_planted_fixture(3, 80, 3, 40);
+  sim::SimCluster cluster(cluster_config(2));
+  DistributedOptions options;
+  options.base = f.options;
+  DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                          f.hyper, options);
+  dist.run(2);
+  EXPECT_THROW(dist.run(2), scd::UsageError);
+}
+
+TEST(DistributedSamplerTest, NeedsAtLeastOneWorker) {
+  auto f = small_planted_fixture(3, 80, 3, 40);
+  sim::SimCluster cluster(cluster_config(0));  // 1 rank: master only
+  DistributedOptions options;
+  options.base = f.options;
+  EXPECT_THROW(DistributedSampler(cluster, f.split->training(),
+                                  f.split.get(), f.hyper, options),
+               scd::UsageError);
+}
+
+}  // namespace
+}  // namespace scd::core

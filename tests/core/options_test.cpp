@@ -1,0 +1,54 @@
+#include "core/options.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace scd::core {
+namespace {
+
+TEST(SamplerOptionsTest, DefaultsAreValid) {
+  EXPECT_NO_THROW(SamplerOptions{}.validate());
+}
+
+TEST(SamplerOptionsTest, ValidationCatchesBadFields) {
+  {
+    SamplerOptions options;
+    options.num_neighbors = 0;
+    EXPECT_THROW(options.validate(), scd::UsageError);
+  }
+  {
+    SamplerOptions options;
+    options.init_shape = 0.0;
+    EXPECT_THROW(options.validate(), scd::UsageError);
+  }
+  {
+    SamplerOptions options;
+    options.noise_factor = -0.5;
+    EXPECT_THROW(options.validate(), scd::UsageError);
+  }
+  {
+    SamplerOptions options;
+    options.step.c = 0.4;  // violates Robbins-Monro
+    EXPECT_THROW(options.validate(), scd::UsageError);
+  }
+}
+
+TEST(SamplerOptionsTest, MapModeIsValid) {
+  SamplerOptions options;
+  options.noise_factor = 0.0;
+  EXPECT_NO_THROW(options.validate());
+}
+
+TEST(SamplerOptionsTest, DefaultsMatchPaperConventions) {
+  const SamplerOptions options;
+  // Eqn 5 verbatim is the default estimator; the raw Eqn-3 drift is the
+  // default form. Changing either default is a behavioural break that
+  // should be a conscious decision — hence this pin.
+  EXPECT_EQ(options.neighbor_mode, NeighborMode::kUniform);
+  EXPECT_EQ(options.gradient_form, GradientForm::kRawEqn3);
+  EXPECT_DOUBLE_EQ(options.noise_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace scd::core

@@ -1,0 +1,84 @@
+#include "core/parallel_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sequential_sampler.h"
+#include "tests/core/test_fixtures.h"
+
+namespace scd::core {
+namespace {
+
+using testing::small_planted_fixture;
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<unsigned> {};
+
+// The derive_rng scheme makes the trajectory independent of the thread
+// count; only floating-point reassociation in the theta reduction can
+// differ, which is far below these tolerances.
+TEST_P(ParallelEquivalenceTest, MatchesSequentialTrajectory) {
+  auto f = small_planted_fixture(31415, 150, 4, 80);
+  f.options.eval_interval = 20;
+  SequentialSampler seq(f.split->training(), f.split.get(), f.hyper,
+                        f.options);
+  ParallelSampler par(f.split->training(), f.split.get(), f.hyper,
+                      f.options, GetParam());
+  seq.run(100);
+  par.run(100);
+
+  ASSERT_EQ(seq.history().size(), par.history().size());
+  for (std::size_t i = 0; i < seq.history().size(); ++i) {
+    EXPECT_EQ(seq.history()[i].iteration, par.history()[i].iteration);
+    EXPECT_NEAR(par.history()[i].perplexity, seq.history()[i].perplexity,
+                1e-7 * seq.history()[i].perplexity);
+  }
+  for (std::uint32_t k = 0; k < f.hyper.num_communities; ++k) {
+    EXPECT_NEAR(par.global().beta(k), seq.global().beta(k), 1e-6);
+  }
+  const PiMatrix& ps = seq.pi();
+  const PiMatrix& pp = par.pi();
+  for (std::uint32_t v = 0; v < ps.num_vertices(); ++v) {
+    for (std::uint32_t k = 0; k < ps.num_communities(); ++k) {
+      ASSERT_NEAR(pp.pi(v, k), ps.pi(v, k), 1e-5) << "v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelEquivalenceTest,
+                         ::testing::Values(1u, 2u, 4u, 7u));
+
+TEST(ParallelSamplerTest, PerplexityDropsWithMultipleThreads) {
+  auto f = small_planted_fixture(2718);
+  ParallelSampler sampler(f.split->training(), f.split.get(), f.hyper,
+                          f.options, 4);
+  const double initial = sampler.evaluate_perplexity();
+  sampler.run(1000);
+  EXPECT_LT(sampler.history().back().perplexity, 0.88 * initial);
+}
+
+
+TEST(ParallelSamplerTest, LinkAwareModeMatchesSequential) {
+  auto f = small_planted_fixture(1357, 150, 4, 80);
+  f.options.eval_interval = 20;
+  f.options.neighbor_mode = NeighborMode::kLinkAware;
+  SequentialSampler seq(f.split->training(), f.split.get(), f.hyper,
+                        f.options);
+  ParallelSampler par(f.split->training(), f.split.get(), f.hyper,
+                      f.options, 4);
+  seq.run(60);
+  par.run(60);
+  ASSERT_EQ(seq.history().size(), par.history().size());
+  for (std::size_t i = 0; i < seq.history().size(); ++i) {
+    EXPECT_NEAR(par.history()[i].perplexity, seq.history()[i].perplexity,
+                1e-7 * seq.history()[i].perplexity);
+  }
+}
+
+TEST(ParallelSamplerTest, ThreadCountIsReported) {
+  auto f = small_planted_fixture(1, 60, 3, 30);
+  ParallelSampler sampler(f.split->training(), f.split.get(), f.hyper,
+                          f.options, 3);
+  EXPECT_EQ(sampler.num_threads(), 3u);
+}
+
+}  // namespace
+}  // namespace scd::core

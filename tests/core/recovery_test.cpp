@@ -1,0 +1,93 @@
+// End-to-end recovery: on an easy planted graph, the inferred memberships
+// must recover the ground-truth communities well above chance.
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "core/sequential_sampler.h"
+#include "graph/metrics.h"
+#include "tests/core/test_fixtures.h"
+
+namespace scd::core {
+namespace {
+
+TEST(RecoveryTest, PlantedCommunitiesRecovered) {
+  auto f = testing::small_planted_fixture(5150, 200, 4, 100);
+  f.options.step.a = 0.05;
+  SequentialSampler sampler(f.split->training(), f.split.get(), f.hyper,
+                            f.options);
+  sampler.run(1500);
+
+  const CommunityReport report = extract_communities(
+      sampler.pi(), default_membership_threshold(f.hyper.num_communities));
+
+  // Dominant-label NMI against the planted first membership.
+  std::vector<std::uint32_t> truth_labels(f.generated.graph.num_vertices());
+  for (graph::Vertex v = 0; v < f.generated.graph.num_vertices(); ++v) {
+    truth_labels[v] = f.generated.truth.memberships[v].front();
+  }
+  const double label_nmi = graph::nmi(truth_labels, report.dominant);
+  EXPECT_GT(label_nmi, 0.55) << "dominant-label NMI too low";
+
+  // Overlapping cover F1.
+  const double f1 =
+      graph::best_match_f1(f.generated.truth.communities,
+                           report.communities);
+  EXPECT_GT(f1, 0.6) << "best-match F1 too low";
+
+  // Some overlap should be detected (20% of vertices are planted with
+  // two memberships).
+  EXPECT_GT(report.overlapping_vertices, 0u);
+}
+
+TEST(RecoveryTest, BetaEstimatesLandInPlantedRange) {
+  auto f = testing::small_planted_fixture(6006, 200, 4, 100);
+  f.options.step.a = 0.05;
+  SequentialSampler sampler(f.split->training(), f.split.get(), f.hyper,
+                            f.options);
+  sampler.run(1500);
+  // Planted strengths are in [0.25, 0.4]; estimates should end up well
+  // above the background delta for most communities.
+  int strong = 0;
+  for (std::uint32_t k = 0; k < f.hyper.num_communities; ++k) {
+    if (sampler.global().beta(k) > 0.05f) ++strong;
+  }
+  EXPECT_GE(strong, 3);
+}
+
+
+// Sparse-graph regression test for the link-aware neighbor mode: with
+// Eqn 5's uniform V_n the phi gradient carries essentially no link
+// signal at density ~1.5% and the sampler cannot learn; link-aware mode
+// must show a clear perplexity drop. (Config validated empirically:
+// N=800, K=32, deg=12 reaches ~4.5 from 8.4 in 20k iterations.)
+TEST(RecoveryTest, SparseGraphLearnsWithLinkAwareMode) {
+  rng::Xoshiro256 gen_rng(2016);
+  const graph::PlantedConfig config =
+      graph::planted_config_for_degree(800, 32, 12.0);
+  const graph::GeneratedGraph g = graph::generate_planted(gen_rng, config);
+  rng::Xoshiro256 split_rng(7);
+  const graph::HeldOutSplit split(split_rng, g.graph,
+                                  g.graph.num_edges() / 10);
+
+  Hyper hyper;
+  hyper.num_communities = 32;
+  hyper.delta = suggested_delta(g.graph.density());
+  SamplerOptions options;
+  options.minibatch.nonlink_partitions = 8;
+  options.neighbor_mode = NeighborMode::kLinkAware;
+  options.num_neighbors = 16;
+  options.eval_interval = 0;
+  options.step.a = 0.02;
+  options.step.b = 4096.0;
+  options.seed = 2016;
+
+  SequentialSampler sampler(split.training(), &split, hyper, options);
+  const double initial = sampler.evaluate_perplexity();
+  sampler.run(20000);
+  const double final_perp = sampler.evaluate_perplexity();
+  EXPECT_LT(final_perp, 0.75 * initial)
+      << "initial=" << initial << " final=" << final_perp;
+}
+
+}  // namespace
+}  // namespace scd::core

@@ -1,0 +1,57 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::core {
+namespace {
+
+PiMatrix make_pi() {
+  // 4 vertices, 3 communities with hand-set memberships.
+  PiMatrix pi(4, 3);
+  auto set = [&](std::uint32_t v, float a, float b, float c) {
+    auto row = pi.row(v);
+    row[0] = a;
+    row[1] = b;
+    row[2] = c;
+    row[3] = 1.0f;  // phi_sum, unused here
+  };
+  set(0, 0.9f, 0.05f, 0.05f);
+  set(1, 0.5f, 0.5f, 0.0f);  // overlapping 0 and 1
+  set(2, 0.1f, 0.8f, 0.1f);
+  set(3, 0.2f, 0.2f, 0.6f);
+  return pi;
+}
+
+TEST(ReportTest, ThresholdExtraction) {
+  const CommunityReport report =
+      extract_communities(make_pi(), /*threshold=*/0.4);
+  ASSERT_EQ(report.communities.size(), 3u);
+  EXPECT_EQ(report.communities[0], (std::vector<graph::Vertex>{0, 1}));
+  EXPECT_EQ(report.communities[1], (std::vector<graph::Vertex>{1, 2}));
+  EXPECT_EQ(report.communities[2], (std::vector<graph::Vertex>{3}));
+  EXPECT_EQ(report.overlapping_vertices, 1u);
+}
+
+TEST(ReportTest, DominantAssignment) {
+  const CommunityReport report = extract_communities(make_pi(), 0.4);
+  EXPECT_EQ(report.dominant[0], 0u);
+  EXPECT_EQ(report.dominant[2], 1u);
+  EXPECT_EQ(report.dominant[3], 2u);
+}
+
+TEST(ReportTest, HighThresholdEmptiesCommunities) {
+  const CommunityReport report = extract_communities(make_pi(), 0.95);
+  for (const auto& members : report.communities) {
+    EXPECT_TRUE(members.empty());
+  }
+  EXPECT_EQ(report.overlapping_vertices, 0u);
+}
+
+TEST(ReportTest, DefaultThresholdHeuristic) {
+  EXPECT_DOUBLE_EQ(default_membership_threshold(3), 0.5);    // cap
+  EXPECT_DOUBLE_EQ(default_membership_threshold(10), 0.15);
+  EXPECT_DOUBLE_EQ(default_membership_threshold(100), 0.1);  // floor
+}
+
+}  // namespace
+}  // namespace scd::core

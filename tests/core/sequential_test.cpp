@@ -1,0 +1,117 @@
+#include "core/sequential_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.h"
+
+namespace scd::core {
+namespace {
+
+using testing::small_planted_fixture;
+
+TEST(SequentialSamplerTest, PerplexityDropsOnPlantedGraph) {
+  auto f = small_planted_fixture();
+  SequentialSampler sampler(f.split->training(), f.split.get(), f.hyper,
+                            f.options);
+  const double initial = sampler.evaluate_perplexity();
+  // Note Eqn 7 averages probabilities over ALL samples collected so far,
+  // so the reported perplexity lags the current state early in training.
+  sampler.run(2000);
+  ASSERT_FALSE(sampler.history().empty());
+  const double final_perp = sampler.history().back().perplexity;
+  EXPECT_LT(final_perp, 0.85 * initial)
+      << "initial=" << initial << " final=" << final_perp;
+  // The oracle perplexity of this planted setting is ~1.9; the sampler
+  // should be well on its way there.
+  EXPECT_LT(final_perp, 2.6);
+}
+
+TEST(SequentialSamplerTest, StateStaysOnSimplexThroughoutTraining) {
+  auto f = small_planted_fixture(777, 120, 3, 60);
+  SequentialSampler sampler(f.split->training(), f.split.get(), f.hyper,
+                            f.options);
+  for (int round = 0; round < 5; ++round) {
+    sampler.run(40);
+    const PiMatrix& pi = sampler.pi();
+    for (std::uint32_t v = 0; v < pi.num_vertices(); ++v) {
+      double sum = 0.0;
+      for (std::uint32_t k = 0; k < pi.num_communities(); ++k) {
+        ASSERT_GE(pi.pi(v, k), 0.0f);
+        sum += pi.pi(v, k);
+      }
+      ASSERT_NEAR(sum, 1.0, 1e-4) << "vertex " << v;
+      ASSERT_GT(pi.phi_sum(v), 0.0f);
+    }
+    for (std::uint32_t k = 0; k < f.hyper.num_communities; ++k) {
+      ASSERT_GT(sampler.global().beta(k), 0.0f);
+      ASSERT_LT(sampler.global().beta(k), 1.0f);
+      ASSERT_GT(sampler.global().theta(k, 0), 0.0);
+      ASSERT_GT(sampler.global().theta(k, 1), 0.0);
+    }
+  }
+}
+
+TEST(SequentialSamplerTest, FullyDeterministicAcrossRuns) {
+  auto f1 = small_planted_fixture(99);
+  auto f2 = small_planted_fixture(99);
+  SequentialSampler a(f1.split->training(), f1.split.get(), f1.hyper,
+                      f1.options);
+  SequentialSampler b(f2.split->training(), f2.split.get(), f2.hyper,
+                      f2.options);
+  a.run(120);
+  b.run(120);
+  ASSERT_EQ(a.history().size(), b.history().size());
+  for (std::size_t i = 0; i < a.history().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.history()[i].perplexity, b.history()[i].perplexity);
+  }
+  for (std::uint32_t k = 0; k < f1.hyper.num_communities; ++k) {
+    EXPECT_EQ(a.global().beta(k), b.global().beta(k));
+  }
+}
+
+TEST(SequentialSamplerTest, DifferentSeedsDiverge) {
+  auto f1 = small_planted_fixture(99);
+  auto f2 = small_planted_fixture(99);
+  f2.options.seed = f1.options.seed + 1;
+  SequentialSampler a(f1.split->training(), f1.split.get(), f1.hyper,
+                      f1.options);
+  SequentialSampler b(f2.split->training(), f2.split.get(), f2.hyper,
+                      f2.options);
+  a.run(60);
+  b.run(60);
+  EXPECT_NE(a.history().back().perplexity, b.history().back().perplexity);
+}
+
+TEST(SequentialSamplerTest, RandomPairStrategyAlsoConverges) {
+  auto f = small_planted_fixture(55);
+  f.options.minibatch.strategy = graph::MinibatchStrategy::kRandomPair;
+  f.options.minibatch.num_pairs = 64;
+  SequentialSampler sampler(f.split->training(), f.split.get(), f.hyper,
+                            f.options);
+  const double initial = sampler.evaluate_perplexity();
+  sampler.run(1500);
+  EXPECT_LT(sampler.history().back().perplexity, 0.9 * initial);
+}
+
+TEST(SequentialSamplerTest, RunsWithoutHeldOutSplit) {
+  auto f = small_planted_fixture(66, 80, 3, 40);
+  SequentialSampler sampler(f.generated.graph, nullptr, f.hyper, f.options);
+  sampler.run(20);
+  EXPECT_EQ(sampler.iteration(), 20u);
+  EXPECT_TRUE(sampler.history().empty());
+  EXPECT_THROW(sampler.evaluate_perplexity(), scd::UsageError);
+}
+
+TEST(SequentialSamplerTest, HistoryRecordsAtEvalInterval) {
+  auto f = small_planted_fixture(44);
+  f.options.eval_interval = 25;
+  SequentialSampler sampler(f.split->training(), f.split.get(), f.hyper,
+                            f.options);
+  sampler.run(100);
+  ASSERT_EQ(sampler.history().size(), 4u);
+  EXPECT_EQ(sampler.history()[0].iteration, 25u);
+  EXPECT_EQ(sampler.history()[3].iteration, 100u);
+}
+
+}  // namespace
+}  // namespace scd::core

@@ -1,0 +1,101 @@
+#include "core/state.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scd::core {
+namespace {
+
+TEST(DeriveRngTest, DeterministicPerTuple) {
+  auto a = derive_rng(1, rng_label::kPhiNoise, 10, 20);
+  auto b = derive_rng(1, rng_label::kPhiNoise, 10, 20);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(DeriveRngTest, TupleComponentsAllMatter) {
+  const std::uint64_t base = derive_rng(1, 2, 3, 4)();
+  EXPECT_NE(derive_rng(9, 2, 3, 4)(), base);
+  EXPECT_NE(derive_rng(1, 9, 3, 4)(), base);
+  EXPECT_NE(derive_rng(1, 2, 9, 4)(), base);
+  EXPECT_NE(derive_rng(1, 2, 3, 9)(), base);
+}
+
+TEST(PiMatrixTest, InitRowsAreNormalizedWithConsistentSum) {
+  PiMatrix pi(50, 8);
+  pi.init_random(123);
+  for (std::uint32_t v = 0; v < 50; ++v) {
+    double sum = 0.0;
+    for (std::uint32_t k = 0; k < 8; ++k) {
+      EXPECT_GT(pi.pi(v, k), 0.0f);
+      sum += pi.pi(v, k);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    EXPECT_GT(pi.phi_sum(v), 0.0f);
+  }
+}
+
+TEST(PiMatrixTest, InitIsDeterministicPerSeedAndVertex) {
+  PiMatrix a(10, 4);
+  a.init_random(7);
+  PiMatrix b(10, 4);
+  b.init_random(7);
+  for (std::uint32_t v = 0; v < 10; ++v) {
+    for (std::uint32_t k = 0; k < 5; ++k) {  // includes phi_sum slot
+      EXPECT_EQ(a.row(v)[k], b.row(v)[k]);
+    }
+  }
+  PiMatrix c(10, 4);
+  c.init_random(8);
+  EXPECT_NE(a.row(0)[0], c.row(0)[0]);
+}
+
+TEST(PiMatrixTest, InitRowStandaloneMatchesMatrix) {
+  PiMatrix m(5, 6);
+  m.init_random(99, 0.7);
+  std::vector<float> row(7);
+  init_pi_row(99, 3, 0.7, row);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(row[static_cast<std::size_t>(i)], m.row(3)[static_cast<std::size_t>(i)]);
+}
+
+TEST(GlobalStateTest, BetaDerivedFromTheta) {
+  GlobalState g(3);
+  g.set_theta(0, 0, 3.0);
+  g.set_theta(0, 1, 1.0);
+  g.set_theta(1, 0, 1.0);
+  g.set_theta(1, 1, 4.0);
+  g.update_beta_from_theta();
+  EXPECT_NEAR(g.beta(0), 0.25, 1e-6);
+  EXPECT_NEAR(g.beta(1), 0.8, 1e-6);
+}
+
+TEST(GlobalStateTest, BetaClampedIntoOpenInterval) {
+  GlobalState g(1);
+  g.set_theta(0, 0, 0.0);
+  g.set_theta(0, 1, 5.0);
+  g.update_beta_from_theta();
+  EXPECT_LT(g.beta(0), 1.0f);
+  EXPECT_GT(g.beta(0), 0.0f);
+}
+
+TEST(GlobalStateTest, InitRandomPositiveAndDeterministic) {
+  Hyper hyper;
+  hyper.num_communities = 6;
+  GlobalState a(6);
+  a.init_random(5, hyper);
+  GlobalState b(6);
+  b.init_random(5, hyper);
+  for (std::uint32_t k = 0; k < 6; ++k) {
+    EXPECT_GT(a.theta(k, 0), 0.0);
+    EXPECT_GT(a.theta(k, 1), 0.0);
+    EXPECT_EQ(a.theta(k, 0), b.theta(k, 0));
+    EXPECT_EQ(a.beta(k), b.beta(k));
+  }
+}
+
+TEST(StateTest, RowWidthIsKPlusOne) {
+  EXPECT_EQ(pi_row_width(16), 17u);
+}
+
+}  // namespace
+}  // namespace scd::core

@@ -1,0 +1,118 @@
+#include "dkv/cached_dkv.h"
+
+#include <gtest/gtest.h>
+
+#include "dkv/local_dkv.h"
+#include "random/xoshiro.h"
+#include "util/error.h"
+
+namespace scd::dkv {
+namespace {
+
+sim::ComputeModel node() { return sim::ComputeModel{}; }
+
+struct Fixture {
+  LocalDkv inner;
+  CachedDkv cache;
+
+  explicit Fixture(std::uint64_t capacity)
+      : inner(100, 3, node()), cache(inner, capacity) {
+    for (std::uint64_t v = 0; v < 100; ++v) {
+      const auto f = static_cast<float>(v);
+      inner.init_row(v, std::vector<float>{f, f + 0.5f, f + 0.25f});
+    }
+  }
+};
+
+TEST(CachedDkvTest, MissThenHitReturnsSameData) {
+  Fixture f(8);
+  std::vector<std::uint64_t> keys = {7};
+  std::vector<float> out(3);
+  f.cache.get_rows(0, keys, out);
+  EXPECT_EQ(f.cache.misses(), 1u);
+  std::vector<float> again(3);
+  const double cost = f.cache.get_rows(0, keys, again);
+  EXPECT_EQ(f.cache.hits(), 1u);
+  EXPECT_EQ(out, again);
+  EXPECT_DOUBLE_EQ(cost, 0.0);  // all hits: no inner fetch
+}
+
+TEST(CachedDkvTest, MixedBatchSplitsCorrectly) {
+  Fixture f(8);
+  std::vector<std::uint64_t> warm = {1, 2};
+  std::vector<float> out(6);
+  f.cache.get_rows(0, warm, out);
+  std::vector<std::uint64_t> mixed = {2, 3, 1, 4};
+  std::vector<float> out2(12);
+  f.cache.get_rows(0, mixed, out2);
+  EXPECT_EQ(f.cache.hits(), 2u);
+  EXPECT_EQ(f.cache.misses(), 4u);  // 2 warm-up + 2 new
+  // Row order preserved regardless of hit/miss interleaving.
+  EXPECT_FLOAT_EQ(out2[0], 2.0f);
+  EXPECT_FLOAT_EQ(out2[3], 3.0f);
+  EXPECT_FLOAT_EQ(out2[6], 1.0f);
+  EXPECT_FLOAT_EQ(out2[9], 4.0f);
+}
+
+TEST(CachedDkvTest, EvictsLeastRecentlyUsed) {
+  Fixture f(2);
+  std::vector<float> out(3);
+  auto get = [&](std::uint64_t key) {
+    std::vector<std::uint64_t> keys = {key};
+    f.cache.get_rows(0, keys, out);
+  };
+  get(1);
+  get(2);
+  get(1);  // 1 now most recent
+  get(3);  // evicts 2
+  EXPECT_EQ(f.cache.cached_rows(), 2u);
+  const std::uint64_t hits_before = f.cache.hits();
+  get(1);
+  EXPECT_EQ(f.cache.hits(), hits_before + 1);  // 1 survived
+  get(2);
+  EXPECT_EQ(f.cache.misses(), 4u);  // 1,2,3 cold + re-fetch of 2
+}
+
+TEST(CachedDkvTest, PutRefreshesCachedCopy) {
+  Fixture f(4);
+  std::vector<std::uint64_t> keys = {5};
+  std::vector<float> out(3);
+  f.cache.get_rows(0, keys, out);
+  const std::vector<float> updated = {9.0f, 9.5f, 9.25f};
+  f.cache.put_rows(0, keys, updated);
+  f.cache.get_rows(0, keys, out);
+  EXPECT_EQ(out, updated);  // hit served the fresh value
+  EXPECT_EQ(f.cache.hits(), 1u);
+}
+
+TEST(CachedDkvTest, InvalidateAllForcesRefetch) {
+  Fixture f(4);
+  std::vector<std::uint64_t> keys = {5};
+  std::vector<float> out(3);
+  f.cache.get_rows(0, keys, out);
+  f.cache.invalidate_all();
+  EXPECT_EQ(f.cache.cached_rows(), 0u);
+  f.cache.get_rows(0, keys, out);
+  EXPECT_EQ(f.cache.misses(), 2u);
+}
+
+TEST(CachedDkvTest, UniformRandomAccessHitRateIsCapacityOverN) {
+  // The paper's Section III-A claim, quantified: random-row reads hit a
+  // cache of capacity C over N rows at rate ~C/N.
+  Fixture f(10);  // capacity 10 of 100 rows
+  rng::Xoshiro256 rng(3);
+  std::vector<float> out(3);
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<std::uint64_t> keys = {rng.next_below(100)};
+    f.cache.get_rows(0, keys, out);
+  }
+  EXPECT_NEAR(f.cache.hit_rate(), 0.10, 0.02);
+}
+
+TEST(CachedDkvTest, ZeroCapacityRejected) {
+  LocalDkv inner(4, 2, node());
+  EXPECT_THROW(CachedDkv(inner, 0), scd::UsageError);
+}
+
+}  // namespace
+}  // namespace scd::dkv

@@ -1,0 +1,53 @@
+#include "dkv/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::dkv {
+namespace {
+
+class PartitionSweepTest
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, unsigned>> {};
+
+TEST_P(PartitionSweepTest, RangesTileTheRowsAndOwnerInverts) {
+  const auto [rows, shards] = GetParam();
+  const RowPartition part(rows, shards);
+  std::uint64_t covered = 0;
+  std::uint64_t prev_end = 0;
+  for (unsigned s = 0; s < shards; ++s) {
+    const auto [lo, hi] = part.range(s);
+    EXPECT_EQ(lo, prev_end);
+    for (std::uint64_t r = lo; r < hi; ++r) {
+      ASSERT_EQ(part.owner(r), s) << "row " << r;
+    }
+    covered += hi - lo;
+    prev_end = hi;
+  }
+  EXPECT_EQ(covered, rows);
+}
+
+TEST_P(PartitionSweepTest, BalancedWithinOneRow) {
+  const auto [rows, shards] = GetParam();
+  const RowPartition part(rows, shards);
+  std::uint64_t min_size = rows;
+  std::uint64_t max_size = 0;
+  for (unsigned s = 0; s < shards; ++s) {
+    const auto [lo, hi] = part.range(s);
+    min_size = std::min(min_size, hi - lo);
+    max_size = std::max(max_size, hi - lo);
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionSweepTest,
+    ::testing::Values(std::pair{100ull, 1u}, std::pair{100ull, 7u},
+                      std::pair{100ull, 64u}, std::pair{64ull, 64u},
+                      std::pair{65ull, 64u}, std::pair{1000ull, 3u},
+                      std::pair{5ull, 8u}));
+
+TEST(PartitionTest, ZeroShardsRejected) {
+  EXPECT_THROW(RowPartition(10, 0), scd::UsageError);
+}
+
+}  // namespace
+}  // namespace scd::dkv

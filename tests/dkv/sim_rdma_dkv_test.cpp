@@ -1,0 +1,105 @@
+#include "dkv/sim_rdma_dkv.h"
+
+#include <gtest/gtest.h>
+
+#include "random/xoshiro.h"
+#include "util/error.h"
+
+namespace scd::dkv {
+namespace {
+
+sim::NetworkModel net() {
+  sim::NetworkModel n;
+  n.collective_skew_s = 0.0;
+  return n;
+}
+
+sim::ComputeModel node() { return sim::ComputeModel{}; }
+
+class RdmaRoundTripTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RdmaRoundTripTest, RandomRoundTripAcrossShards) {
+  const unsigned shards = GetParam();
+  SimRdmaDkv store(97, 5, shards, net(), node());
+  rng::Xoshiro256 rng(shards);
+  // Write every row from a rotating requester, read back from another.
+  std::vector<float> row(5);
+  for (std::uint64_t key = 0; key < 97; ++key) {
+    for (int i = 0; i < 5; ++i) {
+      row[static_cast<std::size_t>(i)] = static_cast<float>(key * 10 + static_cast<std::uint64_t>(i));
+    }
+    std::vector<std::uint64_t> keys = {key};
+    store.put_rows(static_cast<unsigned>(key % shards), keys, row);
+  }
+  std::vector<float> out(5);
+  for (std::uint64_t key = 0; key < 97; ++key) {
+    std::vector<std::uint64_t> keys = {key};
+    store.get_rows(static_cast<unsigned>((key + 1) % shards), keys, out);
+    EXPECT_EQ(out[0], static_cast<float>(key * 10));
+    EXPECT_EQ(out[4], static_cast<float>(key * 10 + 4));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, RdmaRoundTripTest,
+                         ::testing::Values(1u, 2u, 7u, 64u));
+
+TEST(RdmaDkvTest, LocalRowsCostLessThanRemote) {
+  SimRdmaDkv store(64, 128, 4, net(), node());
+  const double local = store.read_cost(0, 16, 0);
+  const double remote = store.read_cost(0, 0, 16);
+  EXPECT_LT(local, remote);
+}
+
+TEST(RdmaDkvTest, GetRowsChargesByActualLocality) {
+  SimRdmaDkv store(100, 4, 4, net(), node());
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    store.init_row(v, std::vector<float>(4, 1.0f));
+  }
+  // Shard 0 owns rows [0, 25); all-local batch vs all-remote batch.
+  std::vector<std::uint64_t> local_keys = {0, 5, 10};
+  std::vector<std::uint64_t> remote_keys = {30, 60, 90};
+  std::vector<float> out(12);
+  const double t_local = store.get_rows(0, local_keys, out);
+  const double t_remote = store.get_rows(0, remote_keys, out);
+  EXPECT_DOUBLE_EQ(t_local, store.read_cost(0, 3, 0));
+  EXPECT_DOUBLE_EQ(t_remote, store.read_cost(0, 0, 3));
+  EXPECT_LT(t_local, t_remote);
+}
+
+TEST(RdmaDkvTest, RemoteFractionMatchesFormula) {
+  SimRdmaDkv store(100, 4, 5, net(), node());
+  EXPECT_DOUBLE_EQ(store.remote_fraction(), 0.8);
+}
+
+TEST(RdmaDkvTest, CostGrowsWithClusterCongestion) {
+  SimRdmaDkv small(1000, 64, 2, net(), node());
+  SimRdmaDkv large(1000, 64, 64, net(), node());
+  EXPECT_LT(small.read_cost(0, 0, 100), large.read_cost(0, 0, 100));
+}
+
+TEST(RdmaDkvTest, PhantomAnswersCostsButHoldsNoData) {
+  SimRdmaDkv store(1u << 30, 12289, 64, net(), node(), /*phantom=*/true);
+  EXPECT_TRUE(store.phantom());
+  EXPECT_GT(store.read_cost(0, 100, 6300), 0.0);
+  std::vector<std::uint64_t> keys = {0};
+  std::vector<float> out(12289);
+  EXPECT_THROW(store.get_rows(0, keys, out), scd::UsageError);
+  EXPECT_THROW(store.init_row(0, out), scd::UsageError);
+}
+
+TEST(RdmaDkvTest, PhantomAndRealCostsAgree) {
+  SimRdmaDkv real(1000, 65, 8, net(), node());
+  SimRdmaDkv phantom(1000, 65, 8, net(), node(), /*phantom=*/true);
+  EXPECT_DOUBLE_EQ(real.read_cost(3, 10, 70), phantom.read_cost(3, 10, 70));
+  EXPECT_DOUBLE_EQ(real.write_cost(3, 10, 70),
+                   phantom.write_cost(3, 10, 70));
+}
+
+TEST(RdmaDkvTest, WidthMismatchThrows) {
+  SimRdmaDkv store(10, 4, 2, net(), node());
+  EXPECT_THROW(store.init_row(0, std::vector<float>(3, 0.0f)),
+               scd::UsageError);
+}
+
+}  // namespace
+}  // namespace scd::dkv

@@ -1,0 +1,62 @@
+#include "graph/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace scd::graph {
+namespace {
+
+TEST(DatasetsTest, SixStandardDatasetsInPaperOrder) {
+  const auto& specs = standard_datasets();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "com-LiveJournal");
+  EXPECT_EQ(specs[1].name, "com-Friendster");
+  EXPECT_EQ(specs[5].name, "com-Amazon");
+}
+
+TEST(DatasetsTest, PaperNumbersMatchTable2) {
+  const DatasetSpec& friendster = dataset_by_name("com-Friendster");
+  EXPECT_EQ(friendster.paper_vertices, 65608366u);
+  EXPECT_EQ(friendster.paper_edges, 1806067135u);
+  EXPECT_EQ(friendster.paper_ground_truth_communities, 957154u);
+  const DatasetSpec& dblp = dataset_by_name("com-DBLP");
+  EXPECT_EQ(dblp.paper_vertices, 317080u);
+  EXPECT_EQ(dblp.paper_edges, 1049866u);
+}
+
+TEST(DatasetsTest, LookupIsCaseInsensitive) {
+  EXPECT_EQ(dataset_by_name("COM-ORKUT").name, "com-Orkut");
+}
+
+TEST(DatasetsTest, UnknownNameThrows) {
+  EXPECT_THROW(dataset_by_name("com-Nothing"), scd::UsageError);
+}
+
+TEST(DatasetsTest, StandInDensityTracksPaperDensity) {
+  // The smaller stand-ins: generate and compare average degree.
+  for (const char* name : {"com-DBLP", "com-Amazon", "com-Youtube"}) {
+    const DatasetSpec& spec = dataset_by_name(name);
+    rng::Xoshiro256 rng(1234);
+    const GeneratedGraph g = generate_standin(rng, spec);
+    EXPECT_EQ(g.graph.num_vertices(), spec.sim_vertices);
+    const double avg_degree = 2.0 * double(g.graph.num_edges()) /
+                              double(g.graph.num_vertices());
+    EXPECT_NEAR(avg_degree, spec.sim_avg_degree, 0.4 * spec.sim_avg_degree)
+        << name;
+    const double paper_degree = 2.0 * double(spec.paper_edges) /
+                                double(spec.paper_vertices);
+    EXPECT_NEAR(spec.sim_avg_degree, paper_degree, 0.05 * paper_degree)
+        << name;
+  }
+}
+
+TEST(DatasetsTest, GroundTruthHasRequestedCommunityCount) {
+  const DatasetSpec& spec = dataset_by_name("com-DBLP");
+  rng::Xoshiro256 rng(99);
+  const GeneratedGraph g = generate_standin(rng, spec);
+  EXPECT_EQ(g.truth.communities.size(), spec.sim_communities);
+}
+
+}  // namespace
+}  // namespace scd::graph

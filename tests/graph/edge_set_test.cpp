@@ -1,0 +1,79 @@
+#include "graph/edge_set.h"
+
+#include <gtest/gtest.h>
+
+#include "random/xoshiro.h"
+#include "util/error.h"
+
+namespace scd::graph {
+namespace {
+
+TEST(EdgeSetTest, InsertAndContainsAreSymmetric) {
+  EdgeSet set;
+  EXPECT_TRUE(set.insert(3, 7));
+  EXPECT_TRUE(set.contains(3, 7));
+  EXPECT_TRUE(set.contains(7, 3));
+  EXPECT_FALSE(set.contains(3, 8));
+}
+
+TEST(EdgeSetTest, DuplicateInsertReturnsFalse) {
+  EdgeSet set;
+  EXPECT_TRUE(set.insert(1, 2));
+  EXPECT_FALSE(set.insert(2, 1));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(EdgeSetTest, SelfLoopRejected) {
+  EdgeSet set;
+  EXPECT_THROW(set.insert(5, 5), scd::UsageError);
+  EXPECT_FALSE(set.contains(5, 5));
+}
+
+TEST(EdgeSetTest, VertexZeroEdgesWork) {
+  // Edge (0, x) encodes with high bits zero; ensure the empty-slot
+  // sentinel does not collide.
+  EdgeSet set;
+  EXPECT_TRUE(set.insert(0, 1));
+  EXPECT_TRUE(set.contains(0, 1));
+  EXPECT_FALSE(set.contains(0, 2));
+}
+
+TEST(EdgeSetTest, GrowsPastInitialCapacity) {
+  EdgeSet set(4);
+  rng::Xoshiro256 rng(1);
+  std::vector<std::pair<Vertex, Vertex>> inserted;
+  for (int i = 0; i < 5000; ++i) {
+    const auto u = static_cast<Vertex>(rng.next_below(10000));
+    auto v = static_cast<Vertex>(rng.next_below(10000));
+    if (u == v) continue;
+    set.insert(u, v);
+    inserted.emplace_back(u, v);
+  }
+  for (const auto& [u, v] : inserted) {
+    ASSERT_TRUE(set.contains(u, v));
+  }
+}
+
+TEST(EdgeSetTest, ForEachVisitsExactlyTheContents) {
+  EdgeSet set;
+  set.insert(1, 2);
+  set.insert(3, 4);
+  set.insert(1, 4);
+  std::size_t count = 0;
+  set.for_each([&](Vertex u, Vertex v) {
+    EXPECT_TRUE(set.contains(u, v));
+    ++count;
+  });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(EdgeEncodingTest, RoundTripAndCanonical) {
+  const std::uint64_t code = encode_edge(9, 4);
+  EXPECT_EQ(code, encode_edge(4, 9));
+  const Edge e = decode_edge(code);
+  EXPECT_EQ(e.a, 4u);
+  EXPECT_EQ(e.b, 9u);
+}
+
+}  // namespace
+}  // namespace scd::graph

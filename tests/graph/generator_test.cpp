@@ -1,0 +1,154 @@
+#include "graph/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace scd::graph {
+namespace {
+
+TEST(AmmsbExactTest, ProducesConsistentGroundTruth) {
+  rng::Xoshiro256 rng(11);
+  AmmsbExactConfig config;
+  config.num_vertices = 80;
+  config.num_communities = 4;
+  config.alpha = 0.1;
+  const GeneratedGraph g = generate_ammsb_exact(rng, config);
+  EXPECT_EQ(g.graph.num_vertices(), 80u);
+  EXPECT_EQ(g.truth.beta.size(), 4u);
+  for (double b : g.truth.beta) {
+    EXPECT_GT(b, 0.0);
+    EXPECT_LT(b, 1.0);
+  }
+  // memberships and communities agree.
+  for (Vertex v = 0; v < 80; ++v) {
+    for (std::uint32_t c : g.truth.memberships[v]) {
+      const auto& members = g.truth.communities[c];
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), v));
+    }
+  }
+}
+
+TEST(AmmsbExactTest, HigherBetaMeansMoreEdgesThanDeltaOnly) {
+  rng::Xoshiro256 rng(3);
+  AmmsbExactConfig dense;
+  dense.num_vertices = 60;
+  dense.num_communities = 2;
+  dense.alpha = 0.05;   // concentrated memberships
+  dense.eta0 = 20.0;    // strong communities
+  dense.eta1 = 1.0;
+  dense.delta = 1e-4;
+  const GeneratedGraph g = generate_ammsb_exact(rng, dense);
+  // With strong assortativity, edge count far exceeds the delta baseline
+  // of ~0.0001 * 1770 pairs.
+  EXPECT_GT(g.graph.num_edges(), 50u);
+}
+
+TEST(PlantedTest, EveryVertexHasAtLeastOneMembership) {
+  rng::Xoshiro256 rng(21);
+  PlantedConfig config;
+  config.num_vertices = 500;
+  config.num_communities = 8;
+  const GeneratedGraph g = generate_planted(rng, config);
+  for (Vertex v = 0; v < 500; ++v) {
+    EXPECT_GE(g.truth.memberships[v].size(), 1u);
+    EXPECT_LE(g.truth.memberships[v].size(), 3u);
+  }
+}
+
+TEST(PlantedTest, CommunitiesAreSortedAndConsistent) {
+  rng::Xoshiro256 rng(22);
+  PlantedConfig config;
+  config.num_vertices = 300;
+  config.num_communities = 6;
+  const GeneratedGraph g = generate_planted(rng, config);
+  for (const auto& members : g.truth.communities) {
+    EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+  }
+  for (Vertex v = 0; v < 300; ++v) {
+    for (std::uint32_t c : g.truth.memberships[v]) {
+      const auto& members = g.truth.communities[c];
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), v));
+    }
+  }
+}
+
+TEST(PlantedTest, IntraCommunityDensityExceedsBackground) {
+  rng::Xoshiro256 rng(23);
+  PlantedConfig config;
+  config.num_vertices = 400;
+  config.num_communities = 4;
+  config.p_two_memberships = 0.0;
+  config.p_three_memberships = 0.0;
+  config.beta_lo = 0.2;
+  config.beta_hi = 0.3;
+  config.delta = 1e-3;
+  const GeneratedGraph g = generate_planted(rng, config);
+  // Count edges inside community 0 vs across communities 0/1.
+  const auto& c0 = g.truth.communities[0];
+  const auto& c1 = g.truth.communities[1];
+  std::uint64_t intra = 0;
+  for (std::size_t i = 0; i < c0.size(); ++i) {
+    for (std::size_t j = i + 1; j < c0.size(); ++j) {
+      if (g.graph.has_edge(c0[i], c0[j])) ++intra;
+    }
+  }
+  std::uint64_t inter = 0;
+  for (Vertex u : c0) {
+    for (Vertex v : c1) {
+      if (u != v && g.graph.has_edge(u, v)) ++inter;
+    }
+  }
+  const double intra_rate =
+      double(intra) / (double(c0.size()) * (double(c0.size()) - 1) / 2);
+  const double inter_rate =
+      double(inter) / (double(c0.size()) * double(c1.size()));
+  EXPECT_GT(intra_rate, 10 * inter_rate);
+}
+
+class PlantedDegreeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PlantedDegreeTest, ConfigForDegreeLandsNearTarget) {
+  const double target = GetParam();
+  rng::Xoshiro256 rng(31);
+  const PlantedConfig config = planted_config_for_degree(2000, 16, target);
+  const GeneratedGraph g = generate_planted(rng, config);
+  const double avg_degree =
+      2.0 * double(g.graph.num_edges()) / double(g.graph.num_vertices());
+  EXPECT_NEAR(avg_degree, target, 0.35 * target)
+      << "edges=" << g.graph.num_edges();
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PlantedDegreeTest,
+                         ::testing::Values(5.0, 15.0, 40.0));
+
+TEST(PlantedTest, InvalidConfigsThrow) {
+  rng::Xoshiro256 rng(1);
+  PlantedConfig bad;
+  bad.num_vertices = 10;
+  bad.p_two_memberships = 0.8;
+  bad.p_three_memberships = 0.4;  // sums > 1
+  EXPECT_THROW(generate_planted(rng, bad), scd::UsageError);
+
+  PlantedConfig bad_beta;
+  bad_beta.beta_lo = 0.5;
+  bad_beta.beta_hi = 0.4;  // inverted
+  EXPECT_THROW(generate_planted(rng, bad_beta), scd::UsageError);
+}
+
+TEST(PlantedTest, DeterministicGivenSameEngineState) {
+  PlantedConfig config;
+  config.num_vertices = 200;
+  config.num_communities = 5;
+  rng::Xoshiro256 rng1(5);
+  rng::Xoshiro256 rng2(5);
+  const GeneratedGraph a = generate_planted(rng1, config);
+  const GeneratedGraph b = generate_planted(rng2, config);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.truth.beta, b.truth.beta);
+}
+
+}  // namespace
+}  // namespace scd::graph

@@ -1,0 +1,97 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "util/error.h"
+
+namespace scd::graph {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1, 1-2, 0-2 (triangle), 2-3 (tail); vertex 4 isolated.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  return std::move(b).build();
+}
+
+TEST(GraphTest, CountsAndDegrees) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_pairs(), 10u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.density(), 0.4);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  const Graph g = triangle_plus_tail();
+  const auto n2 = g.neighbors(2);
+  ASSERT_EQ(n2.size(), 3u);
+  EXPECT_EQ(n2[0], 0u);
+  EXPECT_EQ(n2[1], 1u);
+  EXPECT_EQ(n2[2], 3u);
+}
+
+TEST(GraphTest, HasEdgeBothDirectionsAndNegatives) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(4, 0));
+  EXPECT_FALSE(g.has_edge(1, 1));  // self
+}
+
+TEST(GraphBuilderTest, DuplicatesAreMerged) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, SelfLoopRejected) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), scd::UsageError);
+}
+
+TEST(GraphBuilderTest, FixedVertexCountEnforced) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), scd::UsageError);
+}
+
+TEST(GraphBuilderTest, AutoVertexCountGrows) {
+  GraphBuilder b;
+  b.add_edge(0, 9);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.num_vertices(), 10u);
+}
+
+TEST(GraphTest, CsrValidationCatchesBadOffsets) {
+  EXPECT_THROW(Graph({0, 2}, {1}), scd::UsageError);   // offsets vs size
+  EXPECT_THROW(Graph({0, 2, 1}, {1, 0}), scd::UsageError);  // non-monotone
+}
+
+TEST(GraphTest, AdjacencyBytesMatchesDegree) {
+  const Graph g = triangle_plus_tail();
+  EXPECT_EQ(g.adjacency_bytes(2), 3 * sizeof(Vertex));
+  EXPECT_EQ(g.adjacency_bytes(4), 0u);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace scd::graph

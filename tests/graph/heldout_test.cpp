@@ -1,0 +1,82 @@
+#include "graph/heldout.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.h"
+#include "util/error.h"
+
+namespace scd::graph {
+namespace {
+
+GeneratedGraph make_graph(std::uint64_t seed = 17) {
+  rng::Xoshiro256 rng(seed);
+  PlantedConfig config;
+  config.num_vertices = 400;
+  config.num_communities = 8;
+  return generate_planted(rng, config);
+}
+
+TEST(HeldOutTest, BalancedLinksAndNonLinks) {
+  const GeneratedGraph g = make_graph();
+  rng::Xoshiro256 rng(1);
+  const HeldOutSplit split(rng, g.graph, 200);
+  std::size_t links = 0;
+  for (const HeldOutPair& p : split.pairs()) {
+    if (p.link) ++links;
+  }
+  EXPECT_EQ(split.pairs().size(), 200u);
+  EXPECT_EQ(links, 100u);
+}
+
+TEST(HeldOutTest, HeldOutLinksRemovedFromTraining) {
+  const GeneratedGraph g = make_graph();
+  rng::Xoshiro256 rng(2);
+  const HeldOutSplit split(rng, g.graph, 100);
+  EXPECT_EQ(split.training().num_edges(), g.graph.num_edges() - 50);
+  for (const HeldOutPair& p : split.pairs()) {
+    if (p.link) {
+      EXPECT_TRUE(g.graph.has_edge(p.a, p.b));
+      EXPECT_FALSE(split.training().has_edge(p.a, p.b));
+    } else {
+      EXPECT_FALSE(g.graph.has_edge(p.a, p.b));
+    }
+  }
+}
+
+TEST(HeldOutTest, IsHeldOutMatchesPairList) {
+  const GeneratedGraph g = make_graph();
+  rng::Xoshiro256 rng(3);
+  const HeldOutSplit split(rng, g.graph, 60);
+  for (const HeldOutPair& p : split.pairs()) {
+    EXPECT_TRUE(split.is_held_out(p.a, p.b));
+    EXPECT_TRUE(split.is_held_out(p.b, p.a));
+  }
+  EXPECT_FALSE(split.is_held_out(0, 0));
+}
+
+TEST(HeldOutTest, PairsAreUnique) {
+  const GeneratedGraph g = make_graph();
+  rng::Xoshiro256 rng(4);
+  const HeldOutSplit split(rng, g.graph, 300);
+  EdgeSet seen;
+  for (const HeldOutPair& p : split.pairs()) {
+    EXPECT_TRUE(seen.insert(p.a, p.b)) << "duplicate pair";
+  }
+}
+
+TEST(HeldOutTest, TrainingKeepsVertexCount) {
+  const GeneratedGraph g = make_graph();
+  rng::Xoshiro256 rng(5);
+  const HeldOutSplit split(rng, g.graph, 100);
+  EXPECT_EQ(split.training().num_vertices(), g.graph.num_vertices());
+}
+
+TEST(HeldOutTest, OversizedSplitThrows) {
+  const GeneratedGraph g = make_graph();
+  rng::Xoshiro256 rng(6);
+  EXPECT_THROW(HeldOutSplit(rng, g.graph, g.graph.num_edges() * 2 + 2),
+               scd::UsageError);
+}
+
+}  // namespace
+}  // namespace scd::graph

@@ -1,0 +1,117 @@
+#include "graph/metrics.h"
+
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scd::graph {
+namespace {
+
+TEST(SetF1Test, IdenticalSetsScoreOne) {
+  const std::vector<Vertex> x = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(set_f1(x, x), 1.0);
+}
+
+TEST(SetF1Test, DisjointSetsScoreZero) {
+  EXPECT_DOUBLE_EQ(set_f1({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(SetF1Test, PartialOverlap) {
+  // |x|=2, |y|=4, intersection=2: precision 0.5, recall 1 -> F1 = 2/3.
+  EXPECT_NEAR(set_f1({1, 2}, {1, 2, 3, 4}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SetF1Test, EmptySetScoresZero) {
+  EXPECT_DOUBLE_EQ(set_f1({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(set_f1({1}, {}), 0.0);
+}
+
+TEST(BestMatchF1Test, PerfectCoverScoresOne) {
+  const Cover cover = {{0, 1, 2}, {3, 4, 5}};
+  EXPECT_DOUBLE_EQ(best_match_f1(cover, cover), 1.0);
+}
+
+TEST(BestMatchF1Test, PermutedCoverScoresOne) {
+  const Cover truth = {{0, 1, 2}, {3, 4, 5}};
+  const Cover detected = {{3, 4, 5}, {0, 1, 2}};
+  EXPECT_DOUBLE_EQ(best_match_f1(truth, detected), 1.0);
+}
+
+TEST(BestMatchF1Test, ExtraEmptyCommunitiesIgnored) {
+  const Cover truth = {{0, 1, 2}};
+  const Cover detected = {{0, 1, 2}, {}, {}};
+  EXPECT_DOUBLE_EQ(best_match_f1(truth, detected), 1.0);
+}
+
+TEST(BestMatchF1Test, SplitCommunityScoresBelowOne) {
+  const Cover truth = {{0, 1, 2, 3}};
+  const Cover detected = {{0, 1}, {2, 3}};
+  const double score = best_match_f1(truth, detected);
+  EXPECT_GT(score, 0.3);
+  EXPECT_LT(score, 1.0);
+}
+
+TEST(NmiTest, IdenticalPartitionsScoreOne) {
+  const std::vector<std::uint32_t> labels = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(nmi(labels, labels), 1.0, 1e-12);
+}
+
+TEST(NmiTest, RelabeledPartitionsScoreOne) {
+  const std::vector<std::uint32_t> a = {0, 0, 1, 1, 2, 2};
+  const std::vector<std::uint32_t> b = {5, 5, 9, 9, 7, 7};
+  EXPECT_NEAR(nmi(a, b), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsScoreNearZero) {
+  // b splits each a-class evenly: zero mutual information.
+  const std::vector<std::uint32_t> a = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<std::uint32_t> b = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(nmi(a, b), 0.0, 1e-12);
+}
+
+TEST(NmiTest, TrivialPartitionsScoreOne) {
+  const std::vector<std::uint32_t> a = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(nmi(a, a), 1.0);
+}
+
+TEST(NmiTest, LengthMismatchThrows) {
+  EXPECT_THROW(nmi({0, 1}, {0}), scd::UsageError);
+}
+
+TEST(CoverLoaderTest, ParsesCommunitiesSortedAndDeduped) {
+  std::istringstream in(
+      "# ground truth\n"
+      "5\t3\t9\t3\n"
+      "\n"
+      "1 2\r\n");
+  const Cover cover = load_cover_stream(in);
+  ASSERT_EQ(cover.size(), 2u);
+  EXPECT_EQ(cover[0], (std::vector<Vertex>{3, 5, 9}));
+  EXPECT_EQ(cover[1], (std::vector<Vertex>{1, 2}));
+}
+
+TEST(CoverLoaderTest, MalformedLineThrowsWithLineNumber) {
+  std::istringstream in("1 2\nfoo\n");
+  try {
+    load_cover_stream(in);
+    FAIL() << "expected DataError";
+  } catch (const scd::DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(CoverLoaderTest, MissingFileThrows) {
+  EXPECT_THROW(load_cover_file("/no/such/cover.txt"), scd::DataError);
+}
+
+TEST(CoverLoaderTest, RoundTripsWithBestMatchF1) {
+  std::istringstream a("0 1 2\n3 4 5\n");
+  std::istringstream b("3 4 5\n0 1 2\n");
+  EXPECT_DOUBLE_EQ(
+      best_match_f1(load_cover_stream(a), load_cover_stream(b)), 1.0);
+}
+
+}  // namespace
+}  // namespace scd::graph

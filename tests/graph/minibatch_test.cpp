@@ -1,0 +1,278 @@
+#include "graph/minibatch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.h"
+#include "graph/generator.h"
+#include "util/error.h"
+
+namespace scd::graph {
+namespace {
+
+GeneratedGraph make_graph(std::uint64_t seed = 9) {
+  rng::Xoshiro256 rng(seed);
+  PlantedConfig config;
+  config.num_vertices = 150;
+  config.num_communities = 5;
+  config.beta_lo = 0.15;
+  config.beta_hi = 0.3;
+  config.delta = 2e-3;
+  return generate_planted(rng, config);
+}
+
+/// An arbitrary *symmetric* per-pair test function. Symmetry matters:
+/// stratified node sampling visits each pair from either endpoint, so it
+/// estimates the symmetrized sum — which equals the plain sum exactly
+/// when g(a,b) = g(b,a), as the theta gradient of Eqn 4 is.
+double test_fn(Vertex a, Vertex b, bool link) {
+  return 0.3 + 0.01 * (a + b) + 1e-4 * double(a) * double(b) +
+         (link ? 5.0 : 0.0);
+}
+
+/// Full-graph target: sum over all non-held-out pairs.
+double full_sum(const Graph& g, const HeldOutSplit* heldout) {
+  double total = 0.0;
+  for (Vertex a = 0; a < g.num_vertices(); ++a) {
+    for (Vertex b = a + 1; b < g.num_vertices(); ++b) {
+      if (heldout != nullptr && heldout->is_held_out(a, b)) continue;
+      total += test_fn(a, b, g.has_edge(a, b));
+    }
+  }
+  return total;
+}
+
+class MinibatchUnbiasednessTest
+    : public ::testing::TestWithParam<MinibatchStrategy> {};
+
+TEST_P(MinibatchUnbiasednessTest, ScaledSumMatchesFullGraphInExpectation) {
+  const GeneratedGraph gen = make_graph();
+  MinibatchSampler::Options options;
+  options.strategy = GetParam();
+  options.num_pairs = 24;
+  options.nonlink_partitions = 8;
+  const MinibatchSampler sampler(gen.graph, nullptr, options);
+  const double target = full_sum(gen.graph, nullptr);
+
+  rng::Xoshiro256 rng(123);
+  double acc = 0.0;
+  constexpr int kDraws = 60000;
+  for (int d = 0; d < kDraws; ++d) {
+    const Minibatch mb = sampler.draw(rng);
+    double s = 0.0;
+    for (const MinibatchPair& p : mb.pairs) {
+      s += test_fn(p.a, p.b, p.link);
+    }
+    acc += mb.scale * s;
+  }
+  const double estimate = acc / kDraws;
+  EXPECT_NEAR(estimate / target, 1.0, 0.03)
+      << "estimate=" << estimate << " target=" << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, MinibatchUnbiasednessTest,
+                         ::testing::Values(
+                             MinibatchStrategy::kRandomPair,
+                             MinibatchStrategy::kStratifiedRandomNode));
+
+TEST(MinibatchTest, RandomPairHasRequestedSizeAndUniquePairs) {
+  const GeneratedGraph gen = make_graph();
+  MinibatchSampler::Options options;
+  options.strategy = MinibatchStrategy::kRandomPair;
+  options.num_pairs = 40;
+  const MinibatchSampler sampler(gen.graph, nullptr, options);
+  rng::Xoshiro256 rng(5);
+  for (int d = 0; d < 50; ++d) {
+    const Minibatch mb = sampler.draw(rng);
+    ASSERT_EQ(mb.pairs.size(), 40u);
+    EdgeSet seen;
+    for (const MinibatchPair& p : mb.pairs) {
+      ASSERT_TRUE(seen.insert(p.a, p.b));
+      ASSERT_EQ(p.link, gen.graph.has_edge(p.a, p.b));
+    }
+  }
+}
+
+TEST(MinibatchTest, VerticesAreSortedUniqueUnionOfPairs) {
+  const GeneratedGraph gen = make_graph();
+  MinibatchSampler::Options options;
+  options.strategy = MinibatchStrategy::kRandomPair;
+  options.num_pairs = 16;
+  const MinibatchSampler sampler(gen.graph, nullptr, options);
+  rng::Xoshiro256 rng(6);
+  const Minibatch mb = sampler.draw(rng);
+  EXPECT_TRUE(std::is_sorted(mb.vertices.begin(), mb.vertices.end()));
+  EXPECT_EQ(std::adjacent_find(mb.vertices.begin(), mb.vertices.end()),
+            mb.vertices.end());
+  for (const MinibatchPair& p : mb.pairs) {
+    EXPECT_TRUE(std::binary_search(mb.vertices.begin(), mb.vertices.end(),
+                                   p.a));
+    EXPECT_TRUE(std::binary_search(mb.vertices.begin(), mb.vertices.end(),
+                                   p.b));
+  }
+}
+
+TEST(MinibatchTest, StratifiedLinkStratumContainsExactlyTheLinks) {
+  const GeneratedGraph gen = make_graph();
+  MinibatchSampler::Options options;
+  options.strategy = MinibatchStrategy::kStratifiedRandomNode;
+  const MinibatchSampler sampler(gen.graph, nullptr, options);
+  rng::Xoshiro256 rng(7);
+  const auto n = static_cast<double>(gen.graph.num_vertices());
+  bool saw_link_stratum = false;
+  for (int d = 0; d < 100 && !saw_link_stratum; ++d) {
+    const Minibatch mb = sampler.draw(rng);
+    if (!mb.pairs.empty() && mb.pairs.front().link) {
+      saw_link_stratum = true;
+      const Vertex a = mb.pairs.front().a;
+      EXPECT_EQ(mb.pairs.size(), gen.graph.degree(a));
+      EXPECT_DOUBLE_EQ(mb.scale, n);
+      for (const MinibatchPair& p : mb.pairs) {
+        EXPECT_EQ(p.a, a);
+        EXPECT_TRUE(p.link);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_link_stratum);
+}
+
+TEST(MinibatchTest, HeldOutPairsNeverSampled) {
+  const GeneratedGraph gen = make_graph();
+  rng::Xoshiro256 hrng(77);
+  const HeldOutSplit split(hrng, gen.graph, 120);
+  MinibatchSampler::Options options;
+  options.strategy = MinibatchStrategy::kRandomPair;
+  options.num_pairs = 32;
+  const MinibatchSampler sampler(split.training(), &split, options);
+  rng::Xoshiro256 rng(8);
+  for (int d = 0; d < 300; ++d) {
+    const Minibatch mb = sampler.draw(rng);
+    for (const MinibatchPair& p : mb.pairs) {
+      ASSERT_FALSE(split.is_held_out(p.a, p.b));
+    }
+  }
+}
+
+TEST(NeighborSamplingTest, DistinctExcludesSelfAndFlagsLinks) {
+  const GeneratedGraph gen = make_graph();
+  rng::Xoshiro256 rng(9);
+  const Vertex a = 3;
+  const auto adj = gen.graph.neighbors(a);
+  for (int d = 0; d < 100; ++d) {
+    const auto samples = sample_neighbors(
+        rng, gen.graph.num_vertices(), a, adj, 20);
+    ASSERT_EQ(samples.size(), 20u);
+    std::set<Vertex> seen;
+    for (const NeighborSample& s : samples) {
+      ASSERT_NE(s.b, a);
+      ASSERT_TRUE(seen.insert(s.b).second);
+      ASSERT_EQ(s.link, gen.graph.has_edge(a, s.b));
+    }
+  }
+}
+
+TEST(NeighborSamplingTest, OverdrawThrows) {
+  const GeneratedGraph gen = make_graph();
+  rng::Xoshiro256 rng(10);
+  EXPECT_THROW(sample_neighbors(rng, 5, 0, {}, 5), scd::UsageError);
+}
+
+
+TEST(NeighborSamplingTest, LinkAwareSetStructure) {
+  const GeneratedGraph gen = make_graph();
+  rng::Xoshiro256 rng(11);
+  const Vertex a = 5;
+  const auto adj = gen.graph.neighbors(a);
+  const NeighborSet set = sample_neighbors_link_aware(
+      rng, gen.graph.num_vertices(), a, adj, 20);
+  ASSERT_EQ(set.exact_prefix, adj.size());
+  ASSERT_EQ(set.samples.size(), adj.size() + 20);
+  // Prefix holds exactly the links, in adjacency order.
+  for (std::size_t i = 0; i < set.exact_prefix; ++i) {
+    EXPECT_EQ(set.samples[i].b, adj[i]);
+    EXPECT_TRUE(set.samples[i].link);
+  }
+  // Tail holds distinct non-links, never self.
+  std::set<Vertex> seen;
+  for (std::size_t i = set.exact_prefix; i < set.samples.size(); ++i) {
+    EXPECT_FALSE(set.samples[i].link);
+    EXPECT_NE(set.samples[i].b, a);
+    EXPECT_FALSE(gen.graph.has_edge(a, set.samples[i].b));
+    EXPECT_TRUE(seen.insert(set.samples[i].b).second);
+  }
+  const double expected_scale =
+      double(gen.graph.num_vertices() - 1 - adj.size()) / 20.0;
+  EXPECT_DOUBLE_EQ(set.sampled_scale, expected_scale);
+}
+
+TEST(NeighborSamplingTest, DrawNeighborSetDispatchesModes) {
+  const GeneratedGraph gen = make_graph();
+  rng::Xoshiro256 rng(12);
+  const Vertex a = 9;
+  const auto adj = gen.graph.neighbors(a);
+  const NeighborSet uniform = draw_neighbor_set(
+      rng, NeighborMode::kUniform, gen.graph.num_vertices(), a, adj, 10);
+  EXPECT_EQ(uniform.exact_prefix, 0u);
+  EXPECT_EQ(uniform.samples.size(), 10u);
+  EXPECT_DOUBLE_EQ(uniform.sampled_scale,
+                   double(gen.graph.num_vertices()) / 10.0);
+  const NeighborSet aware = draw_neighbor_set(
+      rng, NeighborMode::kLinkAware, gen.graph.num_vertices(), a, adj, 10);
+  EXPECT_EQ(aware.exact_prefix, adj.size());
+}
+
+// Property: for any per-neighbor function g, both neighbor-set modes
+// estimate sum over b != a of g(b, y_ab) without bias.
+class NeighborEstimatorTest : public ::testing::TestWithParam<NeighborMode> {
+};
+
+TEST_P(NeighborEstimatorTest, UnbiasedForArbitraryG) {
+  const GeneratedGraph gen = make_graph();
+  const Vertex a = 3;
+  const auto adj = gen.graph.neighbors(a);
+  auto g_fn = [](Vertex b, bool link) {
+    return 0.01 * b + (link ? 3.0 : -0.5);
+  };
+  double target = 0.0;
+  for (Vertex b = 0; b < gen.graph.num_vertices(); ++b) {
+    if (b != a) target += g_fn(b, gen.graph.has_edge(a, b));
+  }
+  rng::Xoshiro256 rng(13);
+  double acc = 0.0;
+  constexpr int kDraws = 40000;
+  for (int d = 0; d < kDraws; ++d) {
+    const NeighborSet set = draw_neighbor_set(
+        rng, GetParam(), gen.graph.num_vertices(), a, adj, 12);
+    double exact = 0.0;
+    double sampled = 0.0;
+    for (std::size_t i = 0; i < set.samples.size(); ++i) {
+      const double g = g_fn(set.samples[i].b, set.samples[i].link);
+      (i < set.exact_prefix ? exact : sampled) += g;
+    }
+    acc += exact + set.sampled_scale * sampled;
+  }
+  EXPECT_NEAR(acc / kDraws / target, 1.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, NeighborEstimatorTest,
+                         ::testing::Values(NeighborMode::kUniform,
+                                           NeighborMode::kLinkAware));
+
+TEST(NeighborSamplingTest, LinkAwareClampsForNearCompleteVertices) {
+  // Vertex 0 is connected to all but one peer: only one non-link exists.
+  GraphBuilder b(6);
+  for (Vertex v = 1; v < 5; ++v) b.add_edge(0, v);
+  const Graph g = std::move(b).build();
+  rng::Xoshiro256 rng(3);
+  const NeighborSet set = sample_neighbors_link_aware(
+      rng, g.num_vertices(), 0, g.neighbors(0), 20);
+  EXPECT_EQ(set.exact_prefix, 4u);
+  EXPECT_EQ(set.samples.size(), 5u);  // 4 links + the single non-link
+  EXPECT_EQ(set.samples.back().b, 5u);
+  EXPECT_DOUBLE_EQ(set.sampled_scale, 1.0);
+}
+
+}  // namespace
+}  // namespace scd::graph

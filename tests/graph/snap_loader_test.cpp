@@ -1,0 +1,75 @@
+#include "graph/snap_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace scd::graph {
+namespace {
+
+TEST(SnapLoaderTest, ParsesCommentsAndEdges) {
+  std::istringstream in(
+      "# Undirected graph: example\n"
+      "# Nodes: 4 Edges: 3\n"
+      "1000\t2000\n"
+      "2000\t3000\n"
+      "1000\t4000\n");
+  const SnapLoadResult result = load_snap_stream(in);
+  EXPECT_EQ(result.graph.num_vertices(), 4u);
+  EXPECT_EQ(result.graph.num_edges(), 3u);
+  // First-seen order remap: 1000 -> 0, 2000 -> 1, 3000 -> 2, 4000 -> 3.
+  EXPECT_EQ(result.original_ids[0], 1000u);
+  EXPECT_EQ(result.original_ids[3], 4000u);
+  EXPECT_TRUE(result.graph.has_edge(0, 1));
+  EXPECT_TRUE(result.graph.has_edge(0, 3));
+  EXPECT_FALSE(result.graph.has_edge(1, 3));
+}
+
+TEST(SnapLoaderTest, SkipsSelfLoopsAndDuplicates) {
+  std::istringstream in(
+      "5 5\n"
+      "5 6\n"
+      "6 5\n");
+  const SnapLoadResult result = load_snap_stream(in);
+  EXPECT_EQ(result.graph.num_edges(), 1u);
+}
+
+TEST(SnapLoaderTest, HandlesSpacesTabsBlankLinesAndCrLf) {
+  std::istringstream in(
+      "\n"
+      "  1 2\r\n"
+      "\t3\t4\r\n"
+      "% percent comments too\n");
+  const SnapLoadResult result = load_snap_stream(in);
+  EXPECT_EQ(result.graph.num_edges(), 2u);
+}
+
+TEST(SnapLoaderTest, MalformedLineThrowsWithLineNumber) {
+  std::istringstream in("1 2\nfoo bar\n");
+  try {
+    load_snap_stream(in);
+    FAIL() << "expected DataError";
+  } catch (const scd::DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SnapLoaderTest, MissingEndpointThrows) {
+  std::istringstream in("1\n");
+  EXPECT_THROW(load_snap_stream(in), scd::DataError);
+}
+
+TEST(SnapLoaderTest, MissingFileThrows) {
+  EXPECT_THROW(load_snap_file("/no/such/file.txt"), scd::DataError);
+}
+
+TEST(SnapLoaderTest, EmptyInputGivesEmptyGraph) {
+  std::istringstream in("# nothing here\n");
+  const SnapLoadResult result = load_snap_stream(in);
+  EXPECT_EQ(result.graph.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace scd::graph

@@ -1,0 +1,128 @@
+#include "random/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/error.h"
+
+namespace scd::rng {
+namespace {
+
+TEST(SamplingTest, WithoutReplacementGivesDistinctInRange) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sample = sample_without_replacement(rng, 50, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    ASSERT_EQ(unique.size(), 10u);
+    for (std::uint64_t v : sample) ASSERT_LT(v, 50u);
+  }
+}
+
+TEST(SamplingTest, WithoutReplacementFullSet) {
+  Xoshiro256 rng(2);
+  const auto sample = sample_without_replacement(rng, 8, 8);
+  std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(SamplingTest, WithoutReplacementIsUniformPerElement) {
+  Xoshiro256 rng(3);
+  constexpr std::uint64_t kN = 20;
+  constexpr std::size_t kK = 5;
+  constexpr int kTrials = 40000;
+  std::vector<int> counts(kN, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    for (std::uint64_t v : sample_without_replacement(rng, kN, kK)) {
+      ++counts[v];
+    }
+  }
+  // Each element has inclusion probability k/n = 0.25.
+  for (int c : counts) {
+    EXPECT_NEAR(c / double(kTrials), 0.25, 0.02);
+  }
+}
+
+TEST(SamplingTest, OverdrawThrows) {
+  Xoshiro256 rng(4);
+  EXPECT_THROW(sample_without_replacement(rng, 3, 4), scd::UsageError);
+}
+
+TEST(SamplingTest, ExcludingSkipsTheValue) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto sample =
+        sample_without_replacement_excluding(rng, 10, 9, 4);
+    ASSERT_EQ(sample.size(), 9u);
+    for (std::uint64_t v : sample) {
+      ASSERT_NE(v, 4u);
+      ASSERT_LT(v, 10u);
+    }
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    ASSERT_EQ(unique.size(), 9u);
+  }
+}
+
+TEST(SamplingTest, ExcludingIsUniformOverRemainder) {
+  Xoshiro256 rng(6);
+  constexpr int kTrials = 50000;
+  std::vector<int> counts(6, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    for (std::uint64_t v : sample_without_replacement_excluding(rng, 6, 2, 0)) {
+      ++counts[v];
+    }
+  }
+  EXPECT_EQ(counts[0], 0);
+  for (std::size_t v = 1; v < 6; ++v) {
+    EXPECT_NEAR(counts[v] / double(kTrials), 0.4, 0.02);
+  }
+}
+
+TEST(SamplingTest, DistinctPairCanonicalAndUniform) {
+  Xoshiro256 rng(7);
+  constexpr int kTrials = 60000;
+  std::vector<int> counts(6, 0);  // pairs over n=4: (0,1)(0,2)(0,3)(1,2)(1,3)(2,3)
+  auto index = [](std::uint64_t a, std::uint64_t b) -> std::uint64_t {
+    if (a == 0) return b - 1;
+    if (a == 1) return b + 1;
+    return 5;
+  };
+  for (int t = 0; t < kTrials; ++t) {
+    const auto [a, b] = sample_distinct_pair(rng, 4);
+    ASSERT_LT(a, b);
+    ASSERT_LT(b, 4u);
+    ++counts[index(a, b)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / double(kTrials), 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(SamplingTest, ShufflePreservesMultiset) {
+  Xoshiro256 rng(8);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 6};
+  std::vector<int> shuffled = values;
+  shuffle(rng, shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(SamplingTest, ShuffleFirstPositionIsUniform) {
+  Xoshiro256 rng(9);
+  constexpr int kTrials = 60000;
+  std::vector<int> first_counts(5, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<int> v = {0, 1, 2, 3, 4};
+    shuffle(rng, v);
+    ++first_counts[v[0]];
+  }
+  for (int c : first_counts) {
+    EXPECT_NEAR(c / double(kTrials), 0.2, 0.015);
+  }
+}
+
+}  // namespace
+}  // namespace scd::rng

@@ -1,0 +1,89 @@
+#include "random/xoshiro.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace scd::rng {
+namespace {
+
+TEST(XoshiroTest, DeterministicForSameSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(XoshiroTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(XoshiroTest, JumpGivesDisjointStream) {
+  Xoshiro256 base(7);
+  Xoshiro256 jumped = base;
+  jumped.jump();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(base());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(seen.count(jumped()), 0u) << "streams overlapped at " << i;
+  }
+}
+
+TEST(XoshiroTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(99);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    min = std::min(min, u);
+    max = std::max(max, u);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(XoshiroTest, NextBelowRespectsBound) {
+  Xoshiro256 rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(XoshiroTest, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(XoshiroTest, SplitMatchesManualJumps) {
+  Xoshiro256 base(77);
+  Xoshiro256 manual = base;
+  manual.jump();
+  manual.jump();
+  manual.jump();
+  Xoshiro256 split = base.split(2);  // 3 jumps total (n + 1)
+  EXPECT_EQ(manual, split);
+}
+
+TEST(XoshiroTest, SplitmixIsStable) {
+  std::uint64_t s = 0;
+  // Known first output of SplitMix64 from seed 0.
+  EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace scd::rng

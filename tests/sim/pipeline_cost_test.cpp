@@ -1,0 +1,65 @@
+#include "sim/pipeline_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::sim {
+namespace {
+
+TEST(PipelineCostTest, EmptyPipelineIsZero) {
+  PipelineCost p;
+  EXPECT_DOUBLE_EQ(p.serial_total(), 0.0);
+  EXPECT_DOUBLE_EQ(p.pipelined_total(), 0.0);
+}
+
+TEST(PipelineCostTest, SingleChunkHasNoOverlap) {
+  PipelineCost p;
+  p.add_chunk(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(p.serial_total(), 5.0);
+  EXPECT_DOUBLE_EQ(p.pipelined_total(), 5.0);
+}
+
+TEST(PipelineCostTest, LoadBoundPipelineApproachesLoadTotal) {
+  // load dominates: pipelined ~= load(0..n-1) + last compute.
+  PipelineCost p;
+  for (int i = 0; i < 10; ++i) p.add_chunk(5.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.serial_total(), 60.0);
+  EXPECT_DOUBLE_EQ(p.pipelined_total(), 10 * 5.0 + 1.0);
+}
+
+TEST(PipelineCostTest, ComputeBoundPipelineApproachesComputeTotal) {
+  PipelineCost p;
+  for (int i = 0; i < 10; ++i) p.add_chunk(1.0, 5.0);
+  // pipelined = load(0) + 9 * max(1, 5) + compute(last) = 1 + 45 + 5.
+  EXPECT_DOUBLE_EQ(p.pipelined_total(), 51.0);
+}
+
+TEST(PipelineCostTest, BalancedChunksNearlyHalve) {
+  PipelineCost p;
+  for (int i = 0; i < 100; ++i) p.add_chunk(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.serial_total(), 200.0);
+  EXPECT_DOUBLE_EQ(p.pipelined_total(), 1.0 + 99.0 + 1.0);
+}
+
+TEST(PipelineCostTest, PipelinedNeverExceedsSerial) {
+  PipelineCost p;
+  const double loads[] = {3.0, 0.5, 2.0, 4.0, 0.1};
+  const double computes[] = {1.0, 2.5, 2.0, 0.2, 3.0};
+  for (int i = 0; i < 5; ++i) p.add_chunk(loads[i], computes[i]);
+  EXPECT_LE(p.pipelined_total(), p.serial_total());
+  // And never less than either stage's total alone.
+  EXPECT_GE(p.pipelined_total(), p.load_total());
+  EXPECT_GE(p.pipelined_total(), p.compute_total());
+}
+
+TEST(PipelineCostTest, SubstageTotalsTracked) {
+  PipelineCost p;
+  p.add_chunk(2.0, 1.0);
+  p.add_chunk(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(p.load_total(), 5.0);
+  EXPECT_DOUBLE_EQ(p.compute_total(), 5.0);
+  EXPECT_DOUBLE_EQ(p.total(false), p.serial_total());
+  EXPECT_DOUBLE_EQ(p.total(true), p.pipelined_total());
+}
+
+}  // namespace
+}  // namespace scd::sim

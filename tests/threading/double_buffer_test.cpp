@@ -1,0 +1,87 @@
+#include "threading/double_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+namespace scd::threading {
+namespace {
+
+struct EventLog {
+  std::mutex mu;
+  std::vector<std::string> events;
+  void add(const std::string& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(e);
+  }
+};
+
+TEST(DoubleBufferTest, SerialModeRunsLoadComputeInOrder) {
+  ThreadPool pool(2);
+  DoubleBufferPipeline pipe(pool);
+  EventLog log;
+  pipe.run(
+      3, /*pipelined=*/false,
+      [&](std::uint64_t c) { log.add("L" + std::to_string(c)); },
+      [&](std::uint64_t c) { log.add("C" + std::to_string(c)); });
+  EXPECT_EQ(log.events,
+            (std::vector<std::string>{"L0", "C0", "L1", "C1", "L2", "C2"}));
+}
+
+TEST(DoubleBufferTest, PipelinedModeCompletesAllChunks) {
+  ThreadPool pool(2);
+  DoubleBufferPipeline pipe(pool);
+  std::vector<int> loaded(8, 0);
+  std::vector<int> computed(8, 0);
+  pipe.run(
+      8, /*pipelined=*/true,
+      [&](std::uint64_t c) { loaded[c] = 1; },
+      [&](std::uint64_t c) {
+        // A chunk can only be computed once loaded.
+        EXPECT_EQ(loaded[c], 1);
+        computed[c] = 1;
+      });
+  for (int c : computed) EXPECT_EQ(c, 1);
+}
+
+TEST(DoubleBufferTest, PipelinedLoadNeverOvertakesByMoreThanOne) {
+  ThreadPool pool(2);
+  DoubleBufferPipeline pipe(pool);
+  std::atomic<std::int64_t> last_computed{-1};
+  pipe.run(
+      16, /*pipelined=*/true,
+      [&](std::uint64_t c) {
+        // load(c) may run while compute(c-1) is in flight, never further.
+        EXPECT_GE(static_cast<std::int64_t>(c),
+                  last_computed.load());
+        EXPECT_LE(static_cast<std::int64_t>(c), last_computed.load() + 2);
+      },
+      [&](std::uint64_t c) {
+        last_computed.store(static_cast<std::int64_t>(c));
+      });
+}
+
+TEST(DoubleBufferTest, ZeroChunksIsNoop) {
+  ThreadPool pool(2);
+  DoubleBufferPipeline pipe(pool);
+  bool touched = false;
+  pipe.run(0, true, [&](std::uint64_t) { touched = true; },
+           [&](std::uint64_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(DoubleBufferTest, SingleThreadPoolFallsBackToSerial) {
+  ThreadPool pool(1);
+  DoubleBufferPipeline pipe(pool);
+  EventLog log;
+  pipe.run(
+      2, /*pipelined=*/true,
+      [&](std::uint64_t c) { log.add("L" + std::to_string(c)); },
+      [&](std::uint64_t c) { log.add("C" + std::to_string(c)); });
+  EXPECT_EQ(log.events,
+            (std::vector<std::string>{"L0", "C0", "L1", "C1"}));
+}
+
+}  // namespace
+}  // namespace scd::threading

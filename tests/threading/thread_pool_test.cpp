@@ -1,0 +1,117 @@
+#include "threading/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "threading/parallel.h"
+#include "util/error.h"
+
+namespace scd::threading {
+namespace {
+
+TEST(ChunkBoundsTest, PartitionCoversRangeExactly) {
+  for (unsigned threads : {1u, 2u, 3u, 7u, 16u}) {
+    for (std::uint64_t n : {0ull, 1ull, 5ull, 16ull, 100ull, 101ull}) {
+      std::uint64_t covered = 0;
+      std::uint64_t prev_end = 0;
+      for (unsigned t = 0; t < threads; ++t) {
+        const auto [lo, hi] = ThreadPool::chunk_bounds(0, n, t, threads);
+        EXPECT_EQ(lo, prev_end) << "gap at thread " << t;
+        EXPECT_LE(lo, hi);
+        covered += hi - lo;
+        prev_end = hi;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(ChunkBoundsTest, BalancedWithinOne) {
+  const auto [lo0, hi0] = ThreadPool::chunk_bounds(0, 10, 0, 3);
+  const auto [lo2, hi2] = ThreadPool::chunk_bounds(0, 10, 2, 3);
+  EXPECT_LE((hi0 - lo0) - (hi2 - lo2), 1u);
+}
+
+class ThreadPoolParamTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadPoolParamTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> visits(1000);
+  pool.parallel_for(0, 1000,
+                    [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+                      for (std::uint64_t i = lo; i < hi; ++i) {
+                        visits[i].fetch_add(1);
+                      }
+                    });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST_P(ThreadPoolParamTest, EmptyRangeIsNoop) {
+  ThreadPool pool(GetParam());
+  bool called = false;
+  pool.parallel_for(5, 5, [&](unsigned, std::uint64_t, std::uint64_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST_P(ThreadPoolParamTest, ExceptionsPropagate) {
+  ThreadPool pool(GetParam());
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](unsigned, std::uint64_t lo, std::uint64_t) {
+                          if (lo == 0) throw scd::Error("worker failed");
+                        }),
+      scd::Error);
+  // Pool remains usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST_P(ThreadPoolParamTest, RunOnAllReachesEveryThread) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> hits(pool.num_threads());
+  pool.run_on_all([&](unsigned id) { hits[id].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ThreadPoolParamTest, ParallelReduceMatchesSerialSum) {
+  ThreadPool pool(GetParam());
+  std::vector<double> values(5000);
+  std::iota(values.begin(), values.end(), 1.0);
+  const double expected =
+      std::accumulate(values.begin(), values.end(), 0.0);
+  const double total = parallel_reduce<double>(
+      pool, 0, values.size(), 0.0,
+      [&](double& acc, std::uint64_t i) { acc += values[i]; },
+      [](double a, double b) { return a + b; });
+  EXPECT_DOUBLE_EQ(total, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolParamTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ThreadPoolTest, ZeroThreadsRejected) {
+  EXPECT_THROW(ThreadPool(0), scd::UsageError);
+}
+
+TEST(ThreadPoolTest, ManySmallLaunchesDoNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.parallel_for(0, 4, [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
+      total += static_cast<int>(hi - lo);
+    });
+  }
+  EXPECT_EQ(total.load(), 2000);
+}
+
+}  // namespace
+}  // namespace scd::threading

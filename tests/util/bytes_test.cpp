@@ -1,0 +1,61 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace scd {
+namespace {
+
+TEST(BytesTest, ScalarRoundTrip) {
+  ByteWriter w;
+  w.put<std::uint64_t>(42);
+  w.put<double>(3.25);
+  w.put<std::uint8_t>(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint64_t>(), 42u);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<std::uint8_t>(), 7);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, SpanRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::uint32_t> values = {1, 2, 3, 5, 8};
+  w.put_span(std::span<const std::uint32_t>(values));
+  w.put_span(std::span<const float>{});  // empty span
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_vector<std::uint32_t>(), values);
+  EXPECT_TRUE(r.get_vector<float>().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, UnderrunThrows) {
+  ByteWriter w;
+  w.put<std::uint32_t>(1);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get<std::uint64_t>(), UsageError);
+}
+
+TEST(BytesTest, CorruptLengthThrows) {
+  ByteWriter w;
+  w.put<std::uint64_t>(1'000'000);  // claims a million elements follow
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_vector<std::uint32_t>(), UsageError);
+}
+
+TEST(BytesTest, MixedPayloadLikeDeployShare) {
+  ByteWriter w;
+  w.put<std::uint64_t>(3);  // iteration
+  const std::vector<std::uint32_t> vertices = {10, 20};
+  const std::vector<std::uint8_t> flags = {1, 0, 1};
+  w.put_span(std::span<const std::uint32_t>(vertices));
+  w.put_span(std::span<const std::uint8_t>(flags));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<std::uint64_t>(), 3u);
+  EXPECT_EQ(r.get_vector<std::uint32_t>(), vertices);
+  EXPECT_EQ(r.get_vector<std::uint8_t>(), flags);
+}
+
+}  // namespace
+}  // namespace scd

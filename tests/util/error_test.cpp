@@ -1,0 +1,35 @@
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+namespace scd {
+namespace {
+
+TEST(ErrorTest, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(SCD_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(ErrorTest, RequireThrowsUsageErrorWithContext) {
+  try {
+    SCD_REQUIRE(false, "the message");
+    FAIL() << "expected throw";
+  } catch (const UsageError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, AssertThrowsOnViolation) {
+  EXPECT_THROW(SCD_ASSERT(false, "broken"), UsageError);
+}
+
+TEST(ErrorTest, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw DataError("bad file"), Error);
+  EXPECT_THROW(throw UsageError("bad call"), Error);
+  EXPECT_THROW(throw Error("generic"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace scd

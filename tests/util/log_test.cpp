@@ -1,0 +1,37 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace scd {
+namespace {
+
+TEST(LogTest, LevelThresholdIsHonored) {
+  Logger& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_EQ(logger.level(), LogLevel::kWarn);
+  // Below-threshold writes are no-ops; these must not crash or deadlock.
+  logger.write(LogLevel::kDebug, "suppressed");
+  logger.write(LogLevel::kInfo, "suppressed");
+  logger.set_level(LogLevel::kOff);
+  logger.write(LogLevel::kError, "also suppressed");
+  logger.set_level(saved);
+}
+
+TEST(LogTest, StreamMacrosCompileAndEmit) {
+  Logger& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kOff);  // keep test output clean
+  SCD_LOG_DEBUG() << "value=" << 42;
+  SCD_LOG_INFO() << "pi=" << 3.14;
+  SCD_LOG_WARN() << "warn";
+  SCD_LOG_ERROR() << "error";
+  logger.set_level(saved);
+}
+
+TEST(LogTest, SingletonIdentity) {
+  EXPECT_EQ(&Logger::instance(), &Logger::instance());
+}
+
+}  // namespace
+}  // namespace scd

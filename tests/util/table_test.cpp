@@ -1,0 +1,52 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace scd {
+namespace {
+
+TEST(TableTest, AsciiAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{42}});
+  t.add_row({std::string("b"), std::int64_t{7}});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 42    |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 7     |"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundsDoublesAtPrecision) {
+  Table t({"x"});
+  t.set_precision(3);
+  t.add_row({3.14159});
+  EXPECT_EQ(t.to_csv(), "x\n3.14\n");
+}
+
+TEST(TableTest, RowArityIsChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::int64_t{1}}), UsageError);
+}
+
+TEST(TableTest, EmptyHeaderRejected) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), UsageError);
+}
+
+TEST(TableTest, CsvHasHeaderAndRows) {
+  Table t({"k", "time_ms"});
+  t.add_row({std::int64_t{1024}, 450.0});
+  t.add_row({std::int64_t{12288}, 365.5});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "k,time_ms\n1024,450\n12288,365.5\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, WriteCsvRejectsBadPath) {
+  Table t({"a"});
+  t.add_row({std::int64_t{1}});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir/x.csv"), Error);
+}
+
+}  // namespace
+}  // namespace scd

@@ -1,0 +1,36 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace scd {
+namespace {
+
+TEST(UnitsTest, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(UnitsTest, Durations) {
+  EXPECT_EQ(format_duration(4.2e-9), "4.2 ns");
+  EXPECT_EQ(format_duration(1.7e-6), "1.70 us");
+  EXPECT_EQ(format_duration(0.365), "365.00 ms");
+  EXPECT_EQ(format_duration(42.0), "42.00 s");
+  EXPECT_EQ(format_duration(600.0), "10.0 min");
+  EXPECT_EQ(format_duration(14400.0), "4.00 h");
+}
+
+TEST(UnitsTest, Bandwidth) {
+  EXPECT_EQ(format_bandwidth(6.8e9), "6.80 GB/s");
+  EXPECT_EQ(format_bandwidth(250.0), "250.00 B/s");
+}
+
+TEST(UnitsTest, CountsGetThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1806067135ull), "1,806,067,135");
+}
+
+}  // namespace
+}  // namespace scd

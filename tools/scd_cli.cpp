@@ -1,0 +1,375 @@
+// scd — command-line front end to the library.
+//
+//   scd generate  --out graph.txt [--vertices N --communities K ...]
+//   scd info      --graph graph.txt
+//   scd fit       --graph graph.txt --communities K [--checkpoint f ...]
+//   scd resume    --graph graph.txt --checkpoint f --iterations N
+//   scd eval      --communities detected.txt --truth truth.txt
+//   scd simulate  [--workers C --communities K --iterations N ...]
+//
+// Every subcommand prints --help. Exit codes: 0 success, 1 usage error,
+// 2 runtime/data error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "core/parallel_sampler.h"
+#include "core/report.h"
+#include "graph/datasets.h"
+#include "graph/generator.h"
+#include "graph/heldout.h"
+#include "graph/metrics.h"
+#include "graph/snap_loader.h"
+#include "sim/cluster.h"
+#include "core/distributed_sampler.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace scd;
+
+namespace {
+
+int cmd_generate(int argc, const char* const* argv) {
+  std::uint64_t vertices = 2000;
+  std::uint64_t communities = 32;
+  double degree = 16.0;
+  double overlap2 = 0.3;
+  double overlap3 = 0.1;
+  std::uint64_t seed = 1;
+  std::string out;
+  std::string truth_out;
+  ArgParser parser("scd generate",
+                   "write a planted-overlap graph as a SNAP edge list");
+  parser.add_uint("vertices", &vertices, "graph size N")
+      .add_uint("communities", &communities, "planted community count")
+      .add_double("degree", &degree, "target average degree")
+      .add_double("overlap2", &overlap2, "P(vertex holds 2 memberships)")
+      .add_double("overlap3", &overlap3, "P(vertex holds 3 memberships)")
+      .add_uint("seed", &seed, "generator seed")
+      .add_string("out", &out, "edge-list output path (required)")
+      .add_string("truth-out", &truth_out,
+                  "ground-truth communities output path (optional)");
+  if (!parser.parse(argc, argv)) return 0;
+  SCD_REQUIRE(!out.empty(), "--out is required");
+
+  rng::Xoshiro256 rng(seed);
+  const graph::PlantedConfig config = graph::planted_config_for_degree(
+      static_cast<graph::Vertex>(vertices),
+      static_cast<std::uint32_t>(communities), degree, overlap2, overlap3);
+  const graph::GeneratedGraph g = graph::generate_planted(rng, config);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  SCD_REQUIRE(f != nullptr, "cannot open --out for writing");
+  std::fprintf(f, "# planted-overlap graph: %u vertices, %llu edges, %llu"
+               " communities\n",
+               g.graph.num_vertices(),
+               static_cast<unsigned long long>(g.graph.num_edges()),
+               static_cast<unsigned long long>(communities));
+  for (graph::Vertex v = 0; v < g.graph.num_vertices(); ++v) {
+    for (graph::Vertex w : g.graph.neighbors(v)) {
+      if (v < w) std::fprintf(f, "%u\t%u\n", v, w);
+    }
+  }
+  std::fclose(f);
+  std::printf("wrote %s: %u vertices, %s edges\n", out.c_str(),
+              g.graph.num_vertices(),
+              format_count(g.graph.num_edges()).c_str());
+
+  if (!truth_out.empty()) {
+    std::FILE* t = std::fopen(truth_out.c_str(), "w");
+    SCD_REQUIRE(t != nullptr, "cannot open --truth-out for writing");
+    for (const auto& members : g.truth.communities) {
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        std::fprintf(t, "%s%u", i ? "\t" : "", members[i]);
+      }
+      std::fputc('\n', t);
+    }
+    std::fclose(t);
+    std::printf("wrote %s: %zu communities\n", truth_out.c_str(),
+                g.truth.communities.size());
+  }
+  return 0;
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  std::string path;
+  ArgParser parser("scd info", "summarize a SNAP edge-list graph");
+  parser.add_string("graph", &path, "edge-list file (required)");
+  if (!parser.parse(argc, argv)) return 0;
+  SCD_REQUIRE(!path.empty(), "--graph is required");
+  const graph::SnapLoadResult loaded = graph::load_snap_file(path);
+  const graph::Graph& g = loaded.graph;
+  std::printf("%s\n", path.c_str());
+  std::printf("  vertices:    %s\n", format_count(g.num_vertices()).c_str());
+  std::printf("  edges:       %s\n", format_count(g.num_edges()).c_str());
+  std::printf("  avg degree:  %.2f\n",
+              2.0 * double(g.num_edges()) / double(g.num_vertices()));
+  std::printf("  max degree:  %s\n", format_count(g.max_degree()).c_str());
+  std::printf("  density:     %.3g\n", g.density());
+  std::printf("  suggested delta: %.3g\n",
+              core::suggested_delta(g.density()));
+  return 0;
+}
+
+struct FitOptions {
+  std::string graph_path;
+  std::uint64_t communities = 64;
+  std::int64_t iterations = 20000;
+  std::uint64_t threads = 4;
+  std::uint64_t heldout = 1000;
+  double step_a = 0.02;
+  std::uint64_t seed = 1;
+  std::string checkpoint_out;
+  std::string communities_out;
+
+  void add_common(ArgParser& parser) {
+    parser.add_string("graph", &graph_path, "edge-list file (required)")
+        .add_int("iterations", &iterations, "iterations to run")
+        .add_uint("threads", &threads, "worker threads")
+        .add_uint("heldout", &heldout, "held-out pair count")
+        .add_double("step-a", &step_a, "step size a")
+        .add_uint("seed", &seed, "root seed")
+        .add_string("checkpoint-out", &checkpoint_out,
+                    "write final state here (optional)")
+        .add_string("communities-out", &communities_out,
+                    "write detected communities here (optional)");
+  }
+};
+
+void report_and_save(const core::ParallelSampler& sampler,
+                     const graph::SnapLoadResult& loaded,
+                     const FitOptions& opts, std::uint32_t k) {
+  for (const core::HistoryPoint& p : sampler.history()) {
+    std::printf("  iter %7llu  %-9s perplexity %.3f\n",
+                static_cast<unsigned long long>(p.iteration),
+                format_duration(p.seconds).c_str(), p.perplexity);
+  }
+  if (!opts.checkpoint_out.empty()) {
+    core::save_checkpoint_file(opts.checkpoint_out, sampler.checkpoint());
+    std::printf("checkpoint written to %s (iteration %llu)\n",
+                opts.checkpoint_out.c_str(),
+                static_cast<unsigned long long>(sampler.iteration()));
+  }
+  if (!opts.communities_out.empty()) {
+    const core::CommunityReport report = core::extract_communities(
+        sampler.pi(), core::default_membership_threshold(k));
+    std::FILE* f = std::fopen(opts.communities_out.c_str(), "w");
+    SCD_REQUIRE(f != nullptr, "cannot open --communities-out");
+    for (const auto& c : report.communities) {
+      if (c.empty()) continue;
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        std::fprintf(f, "%s%llu", i ? "\t" : "",
+                     static_cast<unsigned long long>(
+                         loaded.original_ids[c[i]]));
+      }
+      std::fputc('\n', f);
+    }
+    std::fclose(f);
+    std::printf("communities written to %s\n",
+                opts.communities_out.c_str());
+  }
+}
+
+int cmd_fit(int argc, const char* const* argv) {
+  FitOptions opts;
+  ArgParser parser("scd fit", "train a-MMSB on an edge-list graph");
+  parser.add_uint("communities", &opts.communities, "inferred K");
+  opts.add_common(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  SCD_REQUIRE(!opts.graph_path.empty(), "--graph is required");
+
+  const graph::SnapLoadResult loaded =
+      graph::load_snap_file(opts.graph_path);
+  rng::Xoshiro256 split_rng(opts.seed);
+  const graph::HeldOutSplit split(
+      split_rng, loaded.graph,
+      std::min<std::size_t>(opts.heldout, loaded.graph.num_edges() / 5));
+
+  core::Hyper hyper;
+  hyper.num_communities = static_cast<std::uint32_t>(opts.communities);
+  hyper.delta = core::suggested_delta(loaded.graph.density());
+  core::SamplerOptions options;
+  options.neighbor_mode = core::NeighborMode::kLinkAware;
+  options.num_neighbors = 16;
+  options.eval_interval = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(opts.iterations) / 10);
+  options.step.a = opts.step_a;
+  options.step.b = 4096;
+  options.seed = opts.seed;
+
+  core::ParallelSampler sampler(split.training(), &split, hyper, options,
+                                static_cast<unsigned>(opts.threads));
+  std::printf("training K=%llu on %s (%lld iterations)...\n",
+              static_cast<unsigned long long>(opts.communities),
+              opts.graph_path.c_str(),
+              static_cast<long long>(opts.iterations));
+  sampler.run(static_cast<std::uint64_t>(opts.iterations));
+  report_and_save(sampler, loaded, opts, hyper.num_communities);
+  return 0;
+}
+
+int cmd_resume(int argc, const char* const* argv) {
+  FitOptions opts;
+  std::string checkpoint_in;
+  ArgParser parser("scd resume", "continue training from a checkpoint");
+  parser.add_string("checkpoint", &checkpoint_in,
+                    "checkpoint to resume (required)");
+  opts.add_common(parser);
+  if (!parser.parse(argc, argv)) return 0;
+  SCD_REQUIRE(!opts.graph_path.empty() && !checkpoint_in.empty(),
+              "--graph and --checkpoint are required");
+
+  const graph::SnapLoadResult loaded =
+      graph::load_snap_file(opts.graph_path);
+  const core::Checkpoint checkpoint =
+      core::load_checkpoint_file(checkpoint_in);
+  rng::Xoshiro256 split_rng(opts.seed);
+  const graph::HeldOutSplit split(
+      split_rng, loaded.graph,
+      std::min<std::size_t>(opts.heldout, loaded.graph.num_edges() / 5));
+
+  core::SamplerOptions options;
+  options.neighbor_mode = core::NeighborMode::kLinkAware;
+  options.num_neighbors = 16;
+  options.eval_interval = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(opts.iterations) / 10);
+  options.step.a = opts.step_a;
+  options.step.b = 4096;
+  options.seed = opts.seed;
+
+  core::ParallelSampler sampler(split.training(), &split,
+                                checkpoint.hyper, options,
+                                static_cast<unsigned>(opts.threads));
+  sampler.restore(checkpoint);
+  std::printf("resumed at iteration %llu; running %lld more...\n",
+              static_cast<unsigned long long>(sampler.iteration()),
+              static_cast<long long>(opts.iterations));
+  sampler.run(static_cast<std::uint64_t>(opts.iterations));
+  report_and_save(sampler, loaded, opts,
+                  checkpoint.hyper.num_communities);
+  return 0;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  std::uint64_t workers = 64;
+  std::uint64_t communities = 1024;
+  std::int64_t iterations = 64;
+  std::uint64_t minibatch = 16384;
+  bool no_pipeline = false;
+  ArgParser parser("scd simulate",
+                   "cost-only distributed run at com-Friendster scale");
+  parser.add_uint("workers", &workers, "cluster size (worker nodes)")
+      .add_uint("communities", &communities, "number of communities K")
+      .add_int("iterations", &iterations, "iterations to simulate")
+      .add_uint("minibatch", &minibatch, "minibatch vertices M")
+      .add_flag("no-pipeline", &no_pipeline, "disable double buffering");
+  if (!parser.parse(argc, argv)) return 0;
+
+  core::PhantomWorkload workload;
+  workload.num_vertices = 65'608'366;
+  workload.avg_degree = 55.06;
+  workload.minibatch_vertices = static_cast<std::uint32_t>(minibatch);
+  workload.minibatch_pairs = minibatch / 2;
+
+  sim::SimCluster::Config config;
+  config.num_ranks = static_cast<unsigned>(workers) + 1;
+  sim::SimCluster cluster(config);
+  core::Hyper hyper;
+  hyper.num_communities = static_cast<std::uint32_t>(communities);
+  core::DistributedOptions options;
+  options.base.eval_interval = 0;
+  options.pipeline = !no_pipeline;
+  core::DistributedSampler sampler(cluster, workload, hyper, options);
+  const core::DistributedResult result =
+      sampler.run(static_cast<std::uint64_t>(iterations));
+
+  std::printf("com-Friendster scale, %llu workers, K=%llu, M=%llu,"
+              " pipeline=%s\n",
+              static_cast<unsigned long long>(workers),
+              static_cast<unsigned long long>(communities),
+              static_cast<unsigned long long>(minibatch),
+              no_pipeline ? "off" : "on");
+  std::printf("  virtual time/iteration: %s\n",
+              format_duration(result.avg_iteration_seconds).c_str());
+  Table table({"stage", "ms_per_iteration"});
+  for (std::size_t i = 0; i < sim::kNumPhases; ++i) {
+    const auto phase = static_cast<sim::Phase>(i);
+    table.add_row({std::string(sim::phase_name(phase)),
+                   result.critical_path.get(phase) /
+                       double(iterations) * 1e3});
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  return 0;
+}
+
+int cmd_eval(int argc, const char* const* argv) {
+  std::string detected_path;
+  std::string truth_path;
+  ArgParser parser("scd eval",
+                   "score detected communities against ground truth");
+  parser.add_string("communities", &detected_path,
+                    "detected cover file (required)")
+      .add_string("truth", &truth_path,
+                  "ground-truth cover file (required)");
+  if (!parser.parse(argc, argv)) return 0;
+  SCD_REQUIRE(!detected_path.empty() && !truth_path.empty(),
+              "--communities and --truth are required");
+  const graph::Cover detected = graph::load_cover_file(detected_path);
+  const graph::Cover truth = graph::load_cover_file(truth_path);
+  std::size_t detected_nonempty = 0;
+  for (const auto& c : detected) {
+    if (!c.empty()) ++detected_nonempty;
+  }
+  std::printf("truth:    %zu communities\n", truth.size());
+  std::printf("detected: %zu communities\n", detected_nonempty);
+  std::printf("best-match F1: %.4f\n",
+              graph::best_match_f1(truth, detected));
+  return 0;
+}
+
+void print_usage() {
+  std::fputs(
+      "scd — scalable overlapping community detection\n"
+      "usage: scd <command> [options]\n\n"
+      "commands:\n"
+      "  generate   write a planted-overlap graph as a SNAP edge list\n"
+      "  info       summarize an edge-list graph\n"
+      "  fit        train a-MMSB on an edge-list graph\n"
+      "  eval       score detected communities against ground truth\n"
+      "  resume     continue training from a checkpoint\n"
+      "  simulate   cost-only distributed run on the virtual cluster\n\n"
+      "run `scd <command> --help` for the command's options.\n",
+      stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    print_usage();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string command = argv[1];
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (command == "generate") return cmd_generate(sub_argc, sub_argv);
+    if (command == "info") return cmd_info(sub_argc, sub_argv);
+    if (command == "fit") return cmd_fit(sub_argc, sub_argv);
+    if (command == "resume") return cmd_resume(sub_argc, sub_argv);
+    if (command == "eval") return cmd_eval(sub_argc, sub_argv);
+    if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
+    std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+    print_usage();
+    return 1;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
