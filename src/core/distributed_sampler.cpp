@@ -482,9 +482,10 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
                                        width);
           std::span<const float> row_b(rows.data() + (2 * i + 1) * width,
                                        width);
-          accumulate_theta_ratio(row_a, row_b, terms,
-                                 share.pair_y[i] != 0,
-                                 share.pair_y[i] != 0 ? link : nonlink);
+          fast_accumulate_theta_ratio(row_a, row_b, terms,
+                                      share.pair_y[i] != 0,
+                                      share.pair_y[i] != 0 ? link : nonlink,
+                                      scratch.w);
         }
       } else {
         const std::uint64_t row_count = 2 * p_local;
@@ -524,7 +525,7 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
           std::span<const float> row_b(rows.data() + (2 * i + 1) * width,
                                        width);
           evaluator->add_sample_prob(
-              i, pair_likelihood(row_a, row_b, terms, slice[i].link));
+              i, fast_pair_likelihood(row_a, row_b, terms, slice[i].link));
         }
         evaluator->finish_sample();
         acc[0] = evaluator->sum_log_avg();

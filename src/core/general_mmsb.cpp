@@ -10,8 +10,6 @@
 namespace scd::core {
 
 namespace {
-constexpr double kMinZ = 1e-290;
-
 inline std::size_t k_of(std::span<const float> row) {
   return row.size() - 1;
 }

@@ -12,18 +12,21 @@ void LikelihoodTerms::refresh(std::span<const float> beta, double delta) {
   const std::size_t k = beta.size();
   bt_link.resize(k);
   bt_nonlink.resize(k);
+  btd_link.resize(k);
+  btd_nonlink.resize(k);
+  dt_link = delta;
+  dt_nonlink = 1.0 - delta;
+  const float dl = static_cast<float>(dt_link);
+  const float dn = static_cast<float>(dt_nonlink);
   for (std::size_t i = 0; i < k; ++i) {
     bt_link[i] = beta[i];
     bt_nonlink[i] = 1.0f - beta[i];
+    btd_link[i] = bt_link[i] - dl;
+    btd_nonlink[i] = bt_nonlink[i] - dn;
   }
-  dt_link = delta;
-  dt_nonlink = 1.0 - delta;
 }
 
 namespace {
-/// Smallest probability we let Z fall to; guards the divisions and logs.
-constexpr double kMinZ = 1e-290;
-
 inline std::size_t k_of(std::span<const float> row) {
   return row.size() - 1;  // last slot is phi_sum
 }

@@ -26,19 +26,35 @@ namespace scd::core {
 
 /// Per-iteration cache of the y-dependent beta terms:
 /// bt[1][k] = beta_k, bt[0][k] = 1 - beta_k, plus the delta terms.
+///
+/// refresh() additionally stages btd[y][k] = bt[y][k] - dt[y] once per
+/// iteration, which lets the fused kernels (core/kernels_simd.h) form
+/// w_k = dt + pi_bk * btd_k with a single fma per community instead of
+/// recomputing pi_bk * bt_k + dt * (1 - pi_bk) from scratch.
 struct LikelihoodTerms {
-  std::vector<float> bt_link;     // beta_k
-  std::vector<float> bt_nonlink;  // 1 - beta_k
-  double dt_link = 0.0;           // delta
-  double dt_nonlink = 0.0;        // 1 - delta
+  std::vector<float> bt_link;      // beta_k
+  std::vector<float> bt_nonlink;   // 1 - beta_k
+  std::vector<float> btd_link;     // beta_k - delta
+  std::vector<float> btd_nonlink;  // (1 - beta_k) - (1 - delta)
+  double dt_link = 0.0;            // delta
+  double dt_nonlink = 0.0;         // 1 - delta
 
   void refresh(std::span<const float> beta, double delta);
   std::span<const float> bt(bool y) const {
     return y ? std::span<const float>(bt_link)
              : std::span<const float>(bt_nonlink);
   }
+  std::span<const float> btd(bool y) const {
+    return y ? std::span<const float>(btd_link)
+             : std::span<const float>(btd_nonlink);
+  }
   double dt(bool y) const { return y ? dt_link : dt_nonlink; }
 };
+
+/// Smallest probability Z may fall to; guards the divisions and logs in
+/// both the scalar kernels (grads.cpp) and the fused ones
+/// (kernels_simd.cpp).
+inline constexpr double kMinZ = 1e-290;
 
 /// Z_ab^(y): the model probability of observing y on pair (a, b). O(K).
 double pair_likelihood(std::span<const float> row_a,

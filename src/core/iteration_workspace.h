@@ -1,0 +1,91 @@
+// Reusable per-sampler buffers for the steady-state iteration path.
+//
+// Everything one_iteration touches repeatedly — the minibatch and its
+// dedup scratch, the staged phi rows, the theta ratio partials and
+// gradient, and the per-thread kernel scratch — lives here, sized to
+// conservative upper bounds at construction. After construction the
+// samplers' one_iteration performs no heap allocation at all (verified
+// by tests/core/zero_alloc_test.cpp with a counting allocator), so the
+// iteration cost is pure compute + the paper's parallel structure, with
+// no allocator noise in timings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/phi_kernel.h"
+#include "graph/graph.h"
+#include "graph/minibatch.h"
+
+namespace scd::core {
+
+/// Number of fixed accumulation blocks for the parallel theta-ratio
+/// reduction. Block boundaries depend only on the pair count — never on
+/// the thread count — and blocks are folded serially in index order, so
+/// the theta update (and hence the whole trajectory) is bit-identical
+/// for any number of threads.
+inline constexpr std::size_t kThetaBlocks = 64;
+
+/// Round a double count up to a whole cache line (64 B = 8 doubles) so
+/// adjacent per-block partial slices never false-share.
+inline constexpr std::size_t padded_doubles(std::size_t n) {
+  return (n + 7) / 8 * 8;
+}
+
+/// Per-thread scratch: the phi kernel buffers plus a reusable neighbor
+/// set and its draw scratch.
+struct ThreadSlot {
+  PhiScratch phi;
+  graph::NeighborSet set;
+  graph::NeighborScratch nbr;
+
+  explicit ThreadSlot(std::uint32_t k) : phi(k) {}
+};
+
+struct IterationWorkspace {
+  graph::Minibatch mb;
+  graph::MinibatchScratch mb_scratch;
+  /// Staged [pi | phi_sum] rows, mb.vertices.size() x row_width.
+  std::vector<float> staged;
+  /// Folded theta ratios: [link | nonlink], each k wide.
+  std::vector<double> ratios;
+  /// Assembled theta gradient, 2k wide.
+  std::vector<double> theta_grad;
+  /// kThetaBlocks cache-line-padded partial slices of `theta_stride`
+  /// doubles each (layout as `ratios`); empty for sequential use.
+  std::vector<double> theta_partials;
+  std::size_t theta_stride = 0;
+  std::vector<ThreadSlot> slots;
+
+  /// `blocked_theta` reserves the fixed-block partial buffer (parallel
+  /// samplers); sequential callers accumulate straight into `ratios`.
+  IterationWorkspace(const graph::Graph& graph,
+                     const graph::MinibatchSampler& minibatch,
+                     std::uint32_t k, std::size_t row_width,
+                     unsigned num_threads, std::size_t num_neighbors,
+                     bool blocked_theta)
+      : ratios(std::size_t{k} * 2, 0.0),
+        theta_grad(std::size_t{k} * 2, 0.0) {
+    const std::size_t max_pairs = minibatch.max_pairs_bound();
+    const std::size_t max_vertices = minibatch.max_vertices_bound();
+    mb.pairs.reserve(max_pairs);
+    mb.vertices.reserve(max_vertices);
+    mb_scratch.chosen.reset(max_pairs);
+    staged.reserve(max_vertices * row_width);
+    if (blocked_theta) {
+      theta_stride = padded_doubles(std::size_t{k} * 2);
+      theta_partials.assign(kThetaBlocks * theta_stride, 0.0);
+    }
+    const std::size_t max_neighbors =
+        static_cast<std::size_t>(graph.max_degree()) + num_neighbors;
+    slots.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+      ThreadSlot& slot = slots.emplace_back(k);
+      slot.set.samples.reserve(max_neighbors);
+      slot.nbr.raw.reserve(num_neighbors);
+      slot.nbr.chosen.reset(num_neighbors);
+    }
+  }
+};
+
+}  // namespace scd::core

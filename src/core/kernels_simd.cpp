@@ -1,0 +1,249 @@
+// Fused kernel definitions. This translation unit is compiled with
+// vectorization-friendly flags (see src/core/CMakeLists.txt) so the lane
+// loops below turn into packed SSE/AVX arithmetic regardless of the
+// global build type; the scalar reference kernels in grads.cpp keep the
+// default flags and serve as the equivalence baseline.
+#include "core/kernels_simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "random/distributions.h"
+#include "util/error.h"
+
+// Scratch spans never alias the input rows; telling the compiler so is
+// what allows the staged-w loops to vectorize.
+#define SCD_RESTRICT __restrict__
+
+namespace scd::core {
+
+namespace {
+
+std::atomic<KernelPath>& path_state() {
+  static std::atomic<KernelPath> state = [] {
+    const char* env = std::getenv("SCD_KERNELS");
+    if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+      return KernelPath::kScalar;
+    }
+    return KernelPath::kFused;
+  }();
+  return state;
+}
+
+inline std::size_t k_of(std::span<const float> row) {
+  return row.size() - 1;  // last slot is phi_sum
+}
+
+/// Fold the lane accumulators into the double carry.
+inline double lane_sum(const float (&lanes)[kFusedLanes]) {
+  double s = 0.0;
+  for (std::size_t l = 0; l < kFusedLanes; ++l) {
+    s += static_cast<double>(lanes[l]);
+  }
+  return s;
+}
+
+}  // namespace
+
+KernelPath kernel_path() {
+  return path_state().load(std::memory_order_relaxed);
+}
+
+void set_kernel_path(KernelPath path) {
+  path_state().store(path, std::memory_order_relaxed);
+}
+
+double fused_pair_likelihood(std::span<const float> row_a,
+                             std::span<const float> row_b,
+                             const LikelihoodTerms& terms, bool y) {
+  const std::size_t k = k_of(row_a);
+  SCD_ASSERT(k_of(row_b) == k, "row width mismatch");
+  const float* SCD_RESTRICT pa = row_a.data();
+  const float* SCD_RESTRICT pb = row_b.data();
+  const float* SCD_RESTRICT d = terms.btd(y).data();
+  const float dtf = static_cast<float>(terms.dt(y));
+  double z = 0.0;
+  std::size_t i = 0;
+  for (; i + kFusedBlock <= k; i += kFusedBlock) {
+    float lanes[kFusedLanes] = {0.0f};
+    for (std::size_t j = 0; j < kFusedBlock; j += kFusedLanes) {
+      for (std::size_t l = 0; l < kFusedLanes; ++l) {
+        const std::size_t idx = i + j + l;
+        lanes[l] += pa[idx] * (dtf + pb[idx] * d[idx]);
+      }
+    }
+    z += lane_sum(lanes);
+  }
+  for (; i < k; ++i) {
+    z += static_cast<double>(pa[i]) * (dtf + pb[i] * d[i]);
+  }
+  return std::max(z, kMinZ);
+}
+
+double fused_accumulate_phi_grad(std::span<const float> row_a,
+                                 std::span<const float> row_b,
+                                 const LikelihoodTerms& terms, bool y,
+                                 std::span<double> grad,
+                                 std::span<float> w_scratch) {
+  const std::size_t k = k_of(row_a);
+  SCD_ASSERT(grad.size() == k, "gradient size mismatch");
+  SCD_ASSERT(w_scratch.size() >= k, "w scratch too small");
+  const float* SCD_RESTRICT pa = row_a.data();
+  const float* SCD_RESTRICT pb = row_b.data();
+  const float* SCD_RESTRICT d = terms.btd(y).data();
+  float* SCD_RESTRICT w = w_scratch.data();
+  const float dtf = static_cast<float>(terms.dt(y));
+  const double phi_sum = row_a[k];
+  SCD_ASSERT(phi_sum > 0.0, "phi_sum must be positive");
+
+  // Pass over the inputs: stage w_k and accumulate Z simultaneously.
+  double z = 0.0;
+  std::size_t i = 0;
+  for (; i + kFusedBlock <= k; i += kFusedBlock) {
+    float lanes[kFusedLanes] = {0.0f};
+    for (std::size_t j = 0; j < kFusedBlock; j += kFusedLanes) {
+      for (std::size_t l = 0; l < kFusedLanes; ++l) {
+        const std::size_t idx = i + j + l;
+        const float wi = dtf + pb[idx] * d[idx];
+        w[idx] = wi;
+        lanes[l] += pa[idx] * wi;
+      }
+    }
+    z += lane_sum(lanes);
+  }
+  for (; i < k; ++i) {
+    const float wi = dtf + pb[i] * d[i];
+    w[i] = wi;
+    z += static_cast<double>(pa[i]) * wi;
+  }
+  z = std::max(z, kMinZ);
+
+  // Gradient from the staged w — touches only the scratch, not the rows.
+  const double inv_z = 1.0 / z;
+  const double inv_phi_sum = 1.0 / phi_sum;
+  double* SCD_RESTRICT g = grad.data();
+  for (std::size_t j = 0; j < k; ++j) {
+    g[j] += (static_cast<double>(w[j]) * inv_z - 1.0) * inv_phi_sum;
+  }
+  return z;
+}
+
+double fused_accumulate_theta_ratio(std::span<const float> row_a,
+                                    std::span<const float> row_b,
+                                    const LikelihoodTerms& terms, bool y,
+                                    std::span<double> ratio,
+                                    std::span<float> f_scratch) {
+  const std::size_t k = k_of(row_a);
+  SCD_ASSERT(ratio.size() == k, "ratio size mismatch");
+  SCD_ASSERT(f_scratch.size() >= k, "f scratch too small");
+  const float* SCD_RESTRICT pa = row_a.data();
+  const float* SCD_RESTRICT pb = row_b.data();
+  const float* SCD_RESTRICT bt = terms.bt(y).data();
+  const float* SCD_RESTRICT d = terms.btd(y).data();
+  float* SCD_RESTRICT f = f_scratch.data();
+  const float dtf = static_cast<float>(terms.dt(y));
+
+  // pa * w = dt * pa + (pa * pb) * (bt - dt), and the ratio numerator is
+  // f = (pa * pb) * bt — both come from the one pa * pb product.
+  double z = 0.0;
+  std::size_t i = 0;
+  for (; i + kFusedBlock <= k; i += kFusedBlock) {
+    float lanes[kFusedLanes] = {0.0f};
+    for (std::size_t j = 0; j < kFusedBlock; j += kFusedLanes) {
+      for (std::size_t l = 0; l < kFusedLanes; ++l) {
+        const std::size_t idx = i + j + l;
+        const float prod = pa[idx] * pb[idx];
+        f[idx] = prod * bt[idx];
+        lanes[l] += dtf * pa[idx] + prod * d[idx];
+      }
+    }
+    z += lane_sum(lanes);
+  }
+  for (; i < k; ++i) {
+    const float prod = pa[i] * pb[i];
+    f[i] = prod * bt[i];
+    z += static_cast<double>(dtf * pa[i]) + static_cast<double>(prod * d[i]);
+  }
+  z = std::max(z, kMinZ);
+
+  const double inv_z = 1.0 / z;
+  double* SCD_RESTRICT r = ratio.data();
+  for (std::size_t j = 0; j < k; ++j) {
+    r[j] += static_cast<double>(f[j]) * inv_z;
+  }
+  return z;
+}
+
+void fused_update_phi_row(std::uint64_t seed, std::uint64_t iteration,
+                          std::uint32_t vertex, std::span<float> row,
+                          std::span<const double> grad, double scale,
+                          double eps, double alpha, double noise_factor,
+                          GradientForm form,
+                          std::span<double> noise_scratch) {
+  const std::size_t k = k_of(row);
+  SCD_ASSERT(grad.size() == k, "gradient size mismatch");
+  SCD_ASSERT(noise_scratch.size() >= k, "noise scratch too small");
+
+  // Stage the Langevin noise first: the polar-rejection draws are
+  // inherently serial, and splitting them out leaves the SGRLD step below
+  // as a pure elementwise pass. Same stream, same order as the scalar
+  // path, so the drawn values are identical.
+  rng::Xoshiro256 noise_rng =
+      derive_rng(seed, rng_label::kPhiNoise, iteration, vertex);
+  const double noise_scale = noise_factor * std::sqrt(eps);
+  double* SCD_RESTRICT noise = noise_scratch.data();
+  for (std::size_t i = 0; i < k; ++i) {
+    noise[i] = rng::sample_standard_normal(noise_rng) * noise_scale;
+  }
+
+  const double phi_sum = row[k];
+  const bool precond = form == GradientForm::kPreconditioned;
+  const double half_eps = 0.5 * eps;
+  float* SCD_RESTRICT r = row.data();
+  const double* SCD_RESTRICT g = grad.data();
+
+  // Elementwise SGRLD step; new_sum accumulates in independent double
+  // lanes (same values per element as the scalar path — only the sum's
+  // association differs).
+  double new_sum = 0.0;
+  std::size_t i = 0;
+  constexpr std::size_t kSumLanes = 4;
+  for (; i + kFusedBlock <= k; i += kFusedBlock) {
+    double lanes[kSumLanes] = {0.0};
+    for (std::size_t j = 0; j < kFusedBlock; j += kSumLanes) {
+      for (std::size_t l = 0; l < kSumLanes; ++l) {
+        const std::size_t idx = i + j + l;
+        const double phi = static_cast<double>(r[idx]) * phi_sum;
+        const double gg = precond ? phi * g[idx] : g[idx];
+        double updated = phi + half_eps * (alpha - phi + scale * gg) +
+                         std::sqrt(phi) * noise[idx];
+        updated = std::abs(updated);  // SGRLD reflection at zero
+        updated = std::max(updated, kParamFloor);
+        r[idx] = static_cast<float>(updated);
+        lanes[l] += updated;
+      }
+    }
+    for (std::size_t l = 0; l < kSumLanes; ++l) new_sum += lanes[l];
+  }
+  for (; i < k; ++i) {
+    const double phi = static_cast<double>(r[i]) * phi_sum;
+    const double gg = precond ? phi * g[i] : g[i];
+    double updated = phi + half_eps * (alpha - phi + scale * gg) +
+                     std::sqrt(phi) * noise[i];
+    updated = std::abs(updated);
+    updated = std::max(updated, kParamFloor);
+    r[i] = static_cast<float>(updated);
+    new_sum += updated;
+  }
+
+  const double inv = 1.0 / new_sum;
+  for (std::size_t j = 0; j < k; ++j) {
+    r[j] = static_cast<float>(static_cast<double>(r[j]) * inv);
+  }
+  r[k] = static_cast<float>(new_sum);
+}
+
+}  // namespace scd::core

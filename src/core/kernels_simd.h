@@ -1,0 +1,150 @@
+// Lane-friendly fused variants of the three hot kernels plus the SGRLD
+// row update, and the runtime dispatch every sampler routes through.
+//
+// Why these are faster than the scalar forms in grads.cpp:
+//   * fused single pass — the scalar phi gradient walks the row twice and
+//     recomputes w_k = pi_bk * bt_k + dt * (1 - pi_bk) in both passes.
+//     The fused variant forms w_k = dt + pi_bk * (bt_k - dt) once (the
+//     bt_k - dt table is staged by LikelihoodTerms::refresh), stores it
+//     in a scratch buffer, and derives both Z and the gradient from that
+//     one pass over the inputs.
+//   * lane accumulation — Z is summed into kFusedLanes independent float
+//     accumulators, which breaks the loop-carried add dependency the
+//     scalar double accumulator serializes on and lets the compiler keep
+//     the whole block in vector registers.
+//   * blocked double carry — every kFusedBlock elements the float lane
+//     sums are folded into a running double. All terms of Z are
+//     non-negative (no cancellation), so the relative error of the
+//     blocked float sum stays within a few float ulps of the scalar
+//     double path (~1e-6 relative; see kFusedRelTolerance and
+//     tests/core/kernels_simd_test.cpp).
+//
+// The dispatched fast_* entry points pick the fused path by default; the
+// scalar path remains selectable for A/B testing and debugging via
+// set_kernel_path() or the SCD_KERNELS=scalar environment variable.
+// Every sampler (sequential / parallel / distributed) calls the same
+// fast_* functions, so the cross-sampler equivalence tests stay
+// meaningful under either path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/grads.h"
+
+namespace scd::core {
+
+/// Independent float accumulators per block (breaks the add chain; maps
+/// onto two SSE registers, one AVX register, or half an AVX-512 one).
+inline constexpr std::size_t kFusedLanes = 8;
+
+/// Elements accumulated in float lanes between double-carry folds.
+inline constexpr std::size_t kFusedBlock = 64;
+
+/// Documented agreement bound between the scalar and fused paths for
+/// Z-like positive sums: the fused path stages w_k in float (~1e-7
+/// relative per term) and folds blocks of kFusedBlock float partial sums
+/// into a double carry, so relative error grows like a few float ulps
+/// per block, far below this bound for any realistic K.
+inline constexpr double kFusedRelTolerance = 1e-5;
+
+/// Which kernel implementation the fast_* dispatchers use.
+enum class KernelPath { kScalar, kFused };
+
+/// Current path: kFused unless overridden by set_kernel_path() or the
+/// environment variable SCD_KERNELS=scalar (read once, at first use).
+KernelPath kernel_path();
+void set_kernel_path(KernelPath path);
+
+// --- fused kernels ------------------------------------------------------
+// Signatures mirror the scalar forms in grads.h; the extra scratch spans
+// must be at least K wide and are clobbered. All are defined in
+// kernels_simd.cpp, which is compiled with vectorization-friendly flags
+// independent of the global build type.
+
+/// Z_ab^(y) with a fused single-pass, lane-accumulated sum.
+double fused_pair_likelihood(std::span<const float> row_a,
+                             std::span<const float> row_b,
+                             const LikelihoodTerms& terms, bool y);
+
+/// Phi gradient (Eqn 6): w_k staged into `w_scratch` while Z accumulates,
+/// then the gradient is read back from the scratch — one pass over the
+/// input rows instead of two. Returns Z.
+double fused_accumulate_phi_grad(std::span<const float> row_a,
+                                 std::span<const float> row_b,
+                                 const LikelihoodTerms& terms, bool y,
+                                 std::span<double> grad,
+                                 std::span<float> w_scratch);
+
+/// Theta ratio (factored Eqn 4 form): f_ab(k,k) staged into `f_scratch`
+/// while Z accumulates from the same products. Returns Z.
+double fused_accumulate_theta_ratio(std::span<const float> row_a,
+                                    std::span<const float> row_b,
+                                    const LikelihoodTerms& terms, bool y,
+                                    std::span<double> ratio,
+                                    std::span<float> f_scratch);
+
+/// SGRLD row update (Eqn 5): the serial Langevin noise draws are staged
+/// into `noise_scratch` first (identical stream and order to the scalar
+/// path), then the elementwise update runs as a vectorizable pass with a
+/// lane-accumulated new_sum. Per-element row values match the scalar
+/// path bit-for-bit; only the new_sum reduction (and hence the final
+/// normalization) differs by float-level reassociation.
+void fused_update_phi_row(std::uint64_t seed, std::uint64_t iteration,
+                          std::uint32_t vertex, std::span<float> row,
+                          std::span<const double> grad, double scale,
+                          double eps, double alpha, double noise_factor,
+                          GradientForm form,
+                          std::span<double> noise_scratch);
+
+// --- dispatched entry points -------------------------------------------
+// The samplers call these; scratch spans are only touched on the fused
+// path. The kernel_path() load is a relaxed atomic — negligible next to
+// the O(K) loop it guards.
+
+inline double fast_pair_likelihood(std::span<const float> row_a,
+                                   std::span<const float> row_b,
+                                   const LikelihoodTerms& terms, bool y) {
+  return kernel_path() == KernelPath::kFused
+             ? fused_pair_likelihood(row_a, row_b, terms, y)
+             : pair_likelihood(row_a, row_b, terms, y);
+}
+
+inline double fast_accumulate_phi_grad(std::span<const float> row_a,
+                                       std::span<const float> row_b,
+                                       const LikelihoodTerms& terms, bool y,
+                                       std::span<double> grad,
+                                       std::span<float> w_scratch) {
+  return kernel_path() == KernelPath::kFused
+             ? fused_accumulate_phi_grad(row_a, row_b, terms, y, grad,
+                                         w_scratch)
+             : accumulate_phi_grad(row_a, row_b, terms, y, grad);
+}
+
+inline double fast_accumulate_theta_ratio(std::span<const float> row_a,
+                                          std::span<const float> row_b,
+                                          const LikelihoodTerms& terms,
+                                          bool y, std::span<double> ratio,
+                                          std::span<float> f_scratch) {
+  return kernel_path() == KernelPath::kFused
+             ? fused_accumulate_theta_ratio(row_a, row_b, terms, y, ratio,
+                                            f_scratch)
+             : accumulate_theta_ratio(row_a, row_b, terms, y, ratio);
+}
+
+inline void fast_update_phi_row(std::uint64_t seed, std::uint64_t iteration,
+                                std::uint32_t vertex, std::span<float> row,
+                                std::span<const double> grad, double scale,
+                                double eps, double alpha,
+                                double noise_factor, GradientForm form,
+                                std::span<double> noise_scratch) {
+  if (kernel_path() == KernelPath::kFused) {
+    fused_update_phi_row(seed, iteration, vertex, row, grad, scale, eps,
+                         alpha, noise_factor, form, noise_scratch);
+  } else {
+    update_phi_row(seed, iteration, vertex, row, grad, scale, eps, alpha,
+                   noise_factor, form);
+  }
+}
+
+}  // namespace scd::core

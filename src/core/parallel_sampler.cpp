@@ -2,6 +2,7 @@
 
 #include "core/phi_kernel.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -26,7 +27,9 @@ ParallelSampler::ParallelSampler(const graph::Graph& training,
       pool_(num_threads),
       pi_(training.num_vertices(), hyper.num_communities),
       global_(hyper.num_communities),
-      minibatch_(training, heldout, options.minibatch) {
+      minibatch_(training, heldout, options.minibatch),
+      ws_(training, minibatch_, hyper.num_communities, pi_.row_width(),
+          num_threads, options.num_neighbors, /*blocked_theta=*/true) {
   hyper_.validate();
   options_.validate();
   pi_.init_random(options_.seed, options_.init_shape);
@@ -42,28 +45,31 @@ void ParallelSampler::one_iteration() {
   const double eps = options_.step.eps(iteration_);
   rng::Xoshiro256 mb_rng =
       derive_rng(options_.seed, rng_label::kMinibatch, iteration_);
-  const graph::Minibatch mb = minibatch_.draw(mb_rng);
+  minibatch_.draw_into(mb_rng, ws_.mb, ws_.mb_scratch);
+  const graph::Minibatch& mb = ws_.mb;
   const std::uint32_t k = hyper_.num_communities;
 
   // --- update_phi: data-parallel over minibatch vertices ---------------
-  std::vector<float> staged(mb.vertices.size() * pi_.row_width());
+  ws_.staged.resize(mb.vertices.size() * pi_.row_width());
   pool_.parallel_for(
       0, mb.vertices.size(),
-      [&](unsigned /*thread*/, std::uint64_t lo, std::uint64_t hi) {
-        PhiScratch scratch(k);
+      [&](unsigned thread, std::uint64_t lo, std::uint64_t hi) {
+        ThreadSlot& slot = ws_.slots[thread];
         for (std::uint64_t vi = lo; vi < hi; ++vi) {
           const graph::Vertex a = mb.vertices[vi];
           rng::Xoshiro256 nbr_rng = derive_rng(
               options_.seed, rng_label::kNeighbors, iteration_, a);
-          const graph::NeighborSet set = graph::draw_neighbor_set(
+          graph::draw_neighbor_set_into(
               nbr_rng, options_.neighbor_mode, graph_.num_vertices(), a,
-              graph_.neighbors(a), options_.num_neighbors);
-          std::span<float> out(staged.data() + vi * pi_.row_width(),
+              graph_.neighbors(a), options_.num_neighbors, slot.set,
+              slot.nbr);
+          const graph::NeighborSet& set = slot.set;
+          std::span<float> out(ws_.staged.data() + vi * pi_.row_width(),
                                pi_.row_width());
           staged_phi_update(
               options_.seed, iteration_, a, pi_.row(a), set,
               [&](std::size_t i) { return pi_.row(set.samples[i].b); },
-              terms_, eps, hyper_.normalized_alpha(), out, scratch,
+              terms_, eps, hyper_.normalized_alpha(), out, slot.phi,
               options_.noise_factor, options_.gradient_form);
         }
       });
@@ -73,40 +79,51 @@ void ParallelSampler::one_iteration() {
       0, mb.vertices.size(),
       [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
         for (std::uint64_t vi = lo; vi < hi; ++vi) {
-          std::span<const float> src(staged.data() + vi * pi_.row_width(),
-                                     pi_.row_width());
+          std::span<const float> src(
+              ws_.staged.data() + vi * pi_.row_width(), pi_.row_width());
           std::copy(src.begin(), src.end(),
                     pi_.row(mb.vertices[vi]).begin());
         }
       });
 
-  // --- update_beta/theta: per-thread ratio partials, folded in thread
-  // order, then the factored gradient assembly (see grads.h) ------------
-  std::vector<std::vector<double>> partials(
-      pool_.num_threads(), std::vector<double>(std::size_t{k} * 2, 0.0));
+  // --- update_beta/theta: ratio partials over kThetaBlocks fixed blocks
+  // of the pair range, folded serially in block order. Block boundaries
+  // depend only on the pair count, never on the thread count, so the
+  // reduction — and hence the whole trajectory — is bit-identical for any
+  // number of threads (see tests/core/zero_alloc_test.cpp). -------------
+  std::fill(ws_.theta_partials.begin(), ws_.theta_partials.end(), 0.0);
+  const std::size_t num_pairs = mb.pairs.size();
   pool_.parallel_for(
-      0, mb.pairs.size(),
-      [&](unsigned t, std::uint64_t lo, std::uint64_t hi) {
-        std::span<double> link(partials[t].data(), k);
-        std::span<double> nonlink(partials[t].data() + k, k);
-        for (std::uint64_t i = lo; i < hi; ++i) {
-          const graph::MinibatchPair& p = mb.pairs[i];
-          accumulate_theta_ratio(pi_.row(p.a), pi_.row(p.b), terms_, p.link,
-                                 p.link ? link : nonlink);
+      0, kThetaBlocks,
+      [&](unsigned thread, std::uint64_t blo, std::uint64_t bhi) {
+        ThreadSlot& slot = ws_.slots[thread];
+        for (std::uint64_t b = blo; b < bhi; ++b) {
+          const auto [lo, hi] = threading::ThreadPool::chunk_bounds(
+              0, num_pairs, static_cast<unsigned>(b), kThetaBlocks);
+          double* base = ws_.theta_partials.data() + b * ws_.theta_stride;
+          std::span<double> link(base, k);
+          std::span<double> nonlink(base + k, k);
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            const graph::MinibatchPair& p = mb.pairs[i];
+            fast_accumulate_theta_ratio(pi_.row(p.a), pi_.row(p.b), terms_,
+                                        p.link, p.link ? link : nonlink,
+                                        slot.phi.w);
+          }
         }
       });
-  std::vector<double> ratios(std::size_t{k} * 2, 0.0);
-  for (const auto& partial : partials) {
-    for (std::size_t i = 0; i < ratios.size(); ++i) {
-      ratios[i] += partial[i];
+  std::fill(ws_.ratios.begin(), ws_.ratios.end(), 0.0);
+  for (std::size_t b = 0; b < kThetaBlocks; ++b) {
+    const double* base = ws_.theta_partials.data() + b * ws_.theta_stride;
+    for (std::size_t i = 0; i < ws_.ratios.size(); ++i) {
+      ws_.ratios[i] += base[i];
     }
   }
-  std::vector<double> theta_grad(std::size_t{k} * 2, 0.0);
-  theta_grad_from_ratios(std::span<const double>(ratios.data(), k),
-                         std::span<const double>(ratios.data() + k, k),
-                         global_.theta_flat(), theta_grad);
-  for (double& g : theta_grad) g *= mb.scale;
-  update_theta(options_.seed, iteration_, global_, theta_grad, eps,
+  std::fill(ws_.theta_grad.begin(), ws_.theta_grad.end(), 0.0);
+  theta_grad_from_ratios(std::span<const double>(ws_.ratios.data(), k),
+                         std::span<const double>(ws_.ratios.data() + k, k),
+                         global_.theta_flat(), ws_.theta_grad);
+  for (double& g : ws_.theta_grad) g *= mb.scale;
+  update_theta(options_.seed, iteration_, global_, ws_.theta_grad, eps,
                hyper_.eta0, hyper_.eta1, options_.noise_factor,
                options_.gradient_form);
   terms_.refresh(global_.beta_all(), hyper_.delta);
@@ -115,6 +132,11 @@ void ParallelSampler::one_iteration() {
 }
 
 void ParallelSampler::run(std::uint64_t iterations) {
+  if (evaluator_ && options_.eval_interval > 0) {
+    // Keep history appends out of the steady-state allocation profile.
+    history_.reserve(history_.size() + iterations / options_.eval_interval +
+                     1);
+  }
   for (std::uint64_t i = 0; i < iterations; ++i) {
     const steady::time_point start = steady::now();
     one_iteration();
@@ -136,8 +158,8 @@ double ParallelSampler::evaluate_perplexity() {
       [&](unsigned, std::uint64_t lo, std::uint64_t hi) {
         for (std::uint64_t i = lo; i < hi; ++i) {
           const graph::HeldOutPair& p = evaluator_->slice()[i];
-          const double z =
-              pair_likelihood(pi_.row(p.a), pi_.row(p.b), terms_, p.link);
+          const double z = fast_pair_likelihood(pi_.row(p.a), pi_.row(p.b),
+                                                terms_, p.link);
           evaluator_->add_sample_prob(i, z);
         }
       });

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/grads.h"
+#include "core/kernels_simd.h"
 #include "graph/heldout.h"
 
 namespace scd::core {
@@ -45,13 +46,15 @@ class PerplexityEvaluator {
 
   /// Convenience for single-process samplers: evaluate this slice with
   /// row access through `row_of(vertex)`, update the running averages and
-  /// return the current perplexity of the slice.
+  /// return the current perplexity of the slice. All per-sample
+  /// probability state lives in the preallocated `prob_sums_`, so
+  /// evaluation allocates nothing.
   template <typename RowOf>
   double evaluate(const LikelihoodTerms& terms, RowOf&& row_of) {
     for (std::size_t i = 0; i < slice_.size(); ++i) {
       const graph::HeldOutPair& p = slice_[i];
       const double z =
-          pair_likelihood(row_of(p.a), row_of(p.b), terms, p.link);
+          fast_pair_likelihood(row_of(p.a), row_of(p.b), terms, p.link);
       add_sample_prob(i, z);
     }
     finish_sample();

@@ -5,23 +5,37 @@
 //
 // Keeping this in one place is what makes the cross-sampler equivalence
 // tests meaningful: every execution mode runs literally the same
-// arithmetic for a given (seed, iteration, vertex, neighbor set).
+// arithmetic for a given (seed, iteration, vertex, neighbor set). The
+// arithmetic itself is routed through the fast_* dispatch of
+// core/kernels_simd.h, so all samplers pick the same (fused by default)
+// kernel path.
 #pragma once
 
 #include <algorithm>
 #include <span>
 
 #include "core/grads.h"
+#include "core/kernels_simd.h"
 #include "graph/minibatch.h"
 
 namespace scd::core {
 
-/// Scratch buffers reused across vertices (2 x K doubles).
+/// Per-thread scratch reused across vertices: the exact/sampled gradient
+/// accumulators (2 x K doubles) plus the fused-kernel staging buffers
+/// (w_k floats, Langevin noise doubles). Constructed once per
+/// sampler/thread and reused every iteration — no steady-state
+/// allocation.
 struct PhiScratch {
   std::vector<double> exact;
   std::vector<double> sampled;
+  /// Staged w_k (phi gradient) or f_ab(k,k) (theta ratio) for the fused
+  /// kernels; ignored on the scalar path.
+  std::vector<float> w;
+  /// Staged Langevin noise for the fused SGRLD row update.
+  std::vector<double> noise;
 
-  explicit PhiScratch(std::uint32_t k) : exact(k), sampled(k) {}
+  explicit PhiScratch(std::uint32_t k)
+      : exact(k), sampled(k), w(k), noise(k) {}
 };
 
 /// `row_of(i)` must return the [pi | phi_sum] row of set.samples[i].b.
@@ -42,14 +56,15 @@ void staged_phi_update(std::uint64_t seed, std::uint64_t iteration,
     std::span<double> target = i < set.exact_prefix
                                    ? std::span<double>(scratch.exact)
                                    : std::span<double>(scratch.sampled);
-    accumulate_phi_grad(row_a, row_of(i), terms, nb.link, target);
+    fast_accumulate_phi_grad(row_a, row_of(i), terms, nb.link, target,
+                             scratch.w);
   }
   for (std::size_t k = 0; k < scratch.exact.size(); ++k) {
     scratch.exact[k] += set.sampled_scale * scratch.sampled[k];
   }
   std::copy(row_a.begin(), row_a.end(), out.begin());
-  update_phi_row(seed, iteration, a, out, scratch.exact, /*scale=*/1.0,
-                 eps, alpha, noise_factor, form);
+  fast_update_phi_row(seed, iteration, a, out, scratch.exact, /*scale=*/1.0,
+                      eps, alpha, noise_factor, form, scratch.noise);
 }
 
 }  // namespace scd::core

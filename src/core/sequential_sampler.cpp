@@ -2,6 +2,7 @@
 
 #include "core/phi_kernel.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/error.h"
@@ -22,7 +23,10 @@ SequentialSampler::SequentialSampler(const graph::Graph& training,
       options_(options),
       pi_(training.num_vertices(), hyper.num_communities),
       global_(hyper.num_communities),
-      minibatch_(training, heldout, options.minibatch) {
+      minibatch_(training, heldout, options.minibatch),
+      ws_(training, minibatch_, hyper.num_communities, pi_.row_width(),
+          /*num_threads=*/1, options.num_neighbors,
+          /*blocked_theta=*/false) {
   hyper_.validate();
   options_.validate();
   pi_.init_random(options_.seed, options_.init_shape);
@@ -40,30 +44,33 @@ void SequentialSampler::one_iteration() {
   // uninterrupted trajectory exactly.
   rng::Xoshiro256 mb_rng =
       derive_rng(options_.seed, rng_label::kMinibatch, iteration_);
-  const graph::Minibatch mb = minibatch_.draw(mb_rng);
+  minibatch_.draw_into(mb_rng, ws_.mb, ws_.mb_scratch);
+  const graph::Minibatch& mb = ws_.mb;
   const std::uint32_t k = hyper_.num_communities;
 
   // --- update_phi: gradients against the current state, staged ---------
-  std::vector<float> staged(mb.vertices.size() * pi_.row_width());
-  PhiScratch scratch(k);
+  ws_.staged.resize(mb.vertices.size() * pi_.row_width());
+  ThreadSlot& slot = ws_.slots[0];
   for (std::size_t vi = 0; vi < mb.vertices.size(); ++vi) {
     const graph::Vertex a = mb.vertices[vi];
     rng::Xoshiro256 nbr_rng =
         derive_rng(options_.seed, rng_label::kNeighbors, iteration_, a);
-    const graph::NeighborSet set = graph::draw_neighbor_set(
-        nbr_rng, options_.neighbor_mode, graph_.num_vertices(), a,
-        graph_.neighbors(a), options_.num_neighbors);
-    std::span<float> out(staged.data() + vi * pi_.row_width(),
+    graph::draw_neighbor_set_into(nbr_rng, options_.neighbor_mode,
+                                  graph_.num_vertices(), a,
+                                  graph_.neighbors(a),
+                                  options_.num_neighbors, slot.set, slot.nbr);
+    const graph::NeighborSet& set = slot.set;
+    std::span<float> out(ws_.staged.data() + vi * pi_.row_width(),
                          pi_.row_width());
     staged_phi_update(
         options_.seed, iteration_, a, pi_.row(a), set,
         [&](std::size_t i) { return pi_.row(set.samples[i].b); }, terms_,
-        eps, hyper_.normalized_alpha(), out, scratch);
+        eps, hyper_.normalized_alpha(), out, slot.phi);
   }
 
   // --- update_pi: commit ----------------------------------------------
   for (std::size_t vi = 0; vi < mb.vertices.size(); ++vi) {
-    std::span<const float> src(staged.data() + vi * pi_.row_width(),
+    std::span<const float> src(ws_.staged.data() + vi * pi_.row_width(),
                                pi_.row_width());
     std::copy(src.begin(), src.end(), pi_.row(mb.vertices[vi]).begin());
   }
@@ -71,18 +78,19 @@ void SequentialSampler::one_iteration() {
   // --- update_beta/theta: gradients on the fresh pi --------------------
   // Accumulated in the factored ratio form so the arithmetic matches the
   // distributed sampler's reduce exactly (see grads.h).
-  std::vector<double> ratio_link(k, 0.0);
-  std::vector<double> ratio_nonlink(k, 0.0);
+  std::fill(ws_.ratios.begin(), ws_.ratios.end(), 0.0);
+  std::span<double> ratio_link(ws_.ratios.data(), k);
+  std::span<double> ratio_nonlink(ws_.ratios.data() + k, k);
   for (const graph::MinibatchPair& p : mb.pairs) {
-    accumulate_theta_ratio(pi_.row(p.a), pi_.row(p.b), terms_, p.link,
-                           p.link ? std::span<double>(ratio_link)
-                                  : std::span<double>(ratio_nonlink));
+    fast_accumulate_theta_ratio(pi_.row(p.a), pi_.row(p.b), terms_, p.link,
+                                p.link ? ratio_link : ratio_nonlink,
+                                slot.phi.w);
   }
-  std::vector<double> theta_grad(std::size_t{k} * 2, 0.0);
+  std::fill(ws_.theta_grad.begin(), ws_.theta_grad.end(), 0.0);
   theta_grad_from_ratios(ratio_link, ratio_nonlink, global_.theta_flat(),
-                         theta_grad);
-  for (double& g : theta_grad) g *= mb.scale;
-  update_theta(options_.seed, iteration_, global_, theta_grad, eps,
+                         ws_.theta_grad);
+  for (double& g : ws_.theta_grad) g *= mb.scale;
+  update_theta(options_.seed, iteration_, global_, ws_.theta_grad, eps,
                hyper_.eta0, hyper_.eta1, options_.noise_factor,
                options_.gradient_form);
   terms_.refresh(global_.beta_all(), hyper_.delta);
@@ -91,6 +99,11 @@ void SequentialSampler::one_iteration() {
 }
 
 void SequentialSampler::run(std::uint64_t iterations) {
+  if (evaluator_ && options_.eval_interval > 0) {
+    // Keep history appends out of the steady-state allocation profile.
+    history_.reserve(history_.size() + iterations / options_.eval_interval +
+                     1);
+  }
   for (std::uint64_t i = 0; i < iterations; ++i) {
     const steady::time_point start = steady::now();
     one_iteration();

@@ -20,6 +20,7 @@
 
 #include "core/checkpoint.h"
 #include "core/grads.h"
+#include "core/iteration_workspace.h"
 #include "core/options.h"
 #include "core/perplexity.h"
 #include "core/state.h"
@@ -71,6 +72,9 @@ class SequentialSampler {
   graph::MinibatchSampler minibatch_;
   LikelihoodTerms terms_;
   std::unique_ptr<PerplexityEvaluator> evaluator_;
+  /// Reusable iteration buffers; one_iteration is allocation-free in
+  /// steady state (see core/iteration_workspace.h).
+  IterationWorkspace ws_;
 
   std::uint64_t iteration_ = 0;
   double elapsed_s_ = 0.0;

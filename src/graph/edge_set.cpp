@@ -1,5 +1,6 @@
 #include "graph/edge_set.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/error.h"
@@ -12,6 +13,18 @@ EdgeSet::EdgeSet(std::size_t expected_edges) {
       16, expected_edges + expected_edges / 2));
   slots_.assign(cap, kEmpty);
   mask_ = cap - 1;
+}
+
+void EdgeSet::reset(std::size_t expected_edges) {
+  const std::size_t cap = std::bit_ceil(std::max<std::size_t>(
+      16, expected_edges + expected_edges / 2));
+  if (cap > slots_.size()) {
+    slots_.assign(cap, kEmpty);
+    mask_ = cap - 1;
+  } else {
+    std::fill(slots_.begin(), slots_.end(), kEmpty);
+  }
+  size_ = 0;
 }
 
 std::size_t EdgeSet::probe(std::uint64_t code) const {

@@ -22,6 +22,11 @@ class EdgeSet {
   /// Insert; returns true when newly added. Self-loops are a usage error.
   bool insert(Vertex u, Vertex v);
 
+  /// Clear the set for reuse, keeping (and if needed extending) capacity
+  /// for `expected_edges`. After the first call with the steady-state
+  /// size, subsequent resets never allocate.
+  void reset(std::size_t expected_edges);
+
   bool contains(Vertex u, Vertex v) const;
 
   std::size_t size() const { return size_; }

@@ -10,6 +10,7 @@ namespace scd::graph {
 namespace {
 
 void finalize_vertices(Minibatch& mb) {
+  mb.vertices.clear();
   mb.vertices.reserve(mb.pairs.size() * 2);
   for (const MinibatchPair& p : mb.pairs) {
     mb.vertices.push_back(p.a);
@@ -35,17 +36,49 @@ MinibatchSampler::MinibatchSampler(const Graph& training,
   }
 }
 
-Minibatch MinibatchSampler::draw(rng::Xoshiro256& rng) const {
-  return options_.strategy == MinibatchStrategy::kRandomPair
-             ? draw_random_pair(rng)
-             : draw_stratified_node(rng);
+std::size_t MinibatchSampler::max_pairs_bound() const {
+  if (options_.strategy == MinibatchStrategy::kRandomPair) {
+    return options_.num_pairs;
+  }
+  const std::uint64_t n = graph_.num_vertices();
+  const std::uint64_t m = options_.nonlink_partitions;
+  // Non-link stratum wants ceil(num_nonlinks / m) <= ceil((n - 1) / m);
+  // link stratum is bounded by the maximum degree.
+  const std::uint64_t nonlink_want = (n - 1 + m - 1) / m;
+  return static_cast<std::size_t>(
+      std::max<std::uint64_t>(graph_.max_degree(), nonlink_want));
 }
 
-Minibatch MinibatchSampler::draw_random_pair(rng::Xoshiro256& rng) const {
-  const Vertex n = graph_.num_vertices();
+std::size_t MinibatchSampler::max_vertices_bound() const {
+  return 2 * max_pairs_bound();
+}
+
+Minibatch MinibatchSampler::draw(rng::Xoshiro256& rng) const {
   Minibatch mb;
+  MinibatchScratch scratch;
+  draw_into(rng, mb, scratch);
+  return mb;
+}
+
+void MinibatchSampler::draw_into(rng::Xoshiro256& rng, Minibatch& mb,
+                                 MinibatchScratch& scratch) const {
+  mb.pairs.clear();
+  mb.vertices.clear();
+  mb.scale = 1.0;
+  if (options_.strategy == MinibatchStrategy::kRandomPair) {
+    draw_random_pair_into(rng, mb, scratch);
+  } else {
+    draw_stratified_node_into(rng, mb, scratch);
+  }
+}
+
+void MinibatchSampler::draw_random_pair_into(rng::Xoshiro256& rng,
+                                             Minibatch& mb,
+                                             MinibatchScratch& scratch) const {
+  const Vertex n = graph_.num_vertices();
   mb.pairs.reserve(options_.num_pairs);
-  EdgeSet chosen(options_.num_pairs);
+  EdgeSet& chosen = scratch.chosen;
+  chosen.reset(options_.num_pairs);
   while (mb.pairs.size() < options_.num_pairs) {
     const auto [a64, b64] = rng::sample_distinct_pair(rng, n);
     const auto a = static_cast<Vertex>(a64);
@@ -60,13 +93,12 @@ Minibatch MinibatchSampler::draw_random_pair(rng::Xoshiro256& rng) const {
       (heldout_ ? static_cast<double>(heldout_->pairs().size()) : 0.0);
   mb.scale = population / static_cast<double>(mb.pairs.size());
   finalize_vertices(mb);
-  return mb;
 }
 
-Minibatch MinibatchSampler::draw_stratified_node(rng::Xoshiro256& rng) const {
+void MinibatchSampler::draw_stratified_node_into(
+    rng::Xoshiro256& rng, Minibatch& mb, MinibatchScratch& scratch) const {
   const Vertex n = graph_.num_vertices();
   const double nd = static_cast<double>(n);
-  Minibatch mb;
   const auto a = static_cast<Vertex>(rng.next_below(n));
 
   if (rng.next_double() < 0.5) {
@@ -84,12 +116,13 @@ Minibatch MinibatchSampler::draw_stratified_node(rng::Xoshiro256& rng) const {
       // a is connected to everyone (complete-graph corner): the stratum
       // is empty and contributes nothing this iteration.
       mb.scale = 0.0;
-      return mb;
+      return;
     }
     const std::size_t want = static_cast<std::size_t>(
         std::max<std::uint64_t>(1, (num_nonlinks + m - 1) / m));
     mb.pairs.reserve(want);
-    EdgeSet chosen(want);
+    EdgeSet& chosen = scratch.chosen;
+    chosen.reset(want);
     // Rejection against links / held-out / duplicates; acceptance is high
     // because the graph is sparse.
     std::size_t attempts = 0;
@@ -110,25 +143,27 @@ Minibatch MinibatchSampler::draw_stratified_node(rng::Xoshiro256& rng) const {
                static_cast<double>(mb.pairs.size());
   }
   finalize_vertices(mb);
-  return mb;
 }
 
-NeighborSet sample_neighbors_link_aware(rng::Xoshiro256& rng,
-                                        Vertex num_vertices, Vertex a,
-                                        std::span<const Vertex> adj_a,
-                                        std::size_t count) {
+namespace {
+
+/// Shared body of the link-aware neighbor draw; fills `set` using
+/// `chosen` for dedup.
+void link_aware_into(rng::Xoshiro256& rng, Vertex num_vertices, Vertex a,
+                     std::span<const Vertex> adj_a, std::size_t count,
+                     NeighborSet& set, EdgeSet& chosen) {
   const std::uint64_t num_nonlinks =
       static_cast<std::uint64_t>(num_vertices) - 1 - adj_a.size();
   // A near-complete vertex may have fewer non-links than requested;
   // clamp rather than fail (the scale below stays exact).
   count = std::min<std::size_t>(count, num_nonlinks);
-  NeighborSet set;
+  set.samples.clear();
   set.exact_prefix = adj_a.size();
   set.samples.reserve(adj_a.size() + count);
   for (Vertex b : adj_a) set.samples.push_back({b, true});
   // Rejection against self, links, and duplicates: acceptance is high on
   // sparse graphs, and count <= num_nonlinks guarantees termination.
-  EdgeSet chosen(count);
+  chosen.reset(count);
   while (set.samples.size() < set.exact_prefix + count) {
     auto b = static_cast<Vertex>(rng.next_below(num_vertices - 1));
     if (b >= a) ++b;
@@ -142,21 +177,52 @@ NeighborSet sample_neighbors_link_aware(rng::Xoshiro256& rng,
   set.sampled_scale = count > 0 ? static_cast<double>(num_nonlinks) /
                                       static_cast<double>(count)
                                 : 0.0;
+}
+
+}  // namespace
+
+NeighborSet sample_neighbors_link_aware(rng::Xoshiro256& rng,
+                                        Vertex num_vertices, Vertex a,
+                                        std::span<const Vertex> adj_a,
+                                        std::size_t count) {
+  NeighborSet set;
+  EdgeSet chosen(count);
+  link_aware_into(rng, num_vertices, a, adj_a, count, set, chosen);
   return set;
+}
+
+void draw_neighbor_set_into(rng::Xoshiro256& rng, NeighborMode mode,
+                            Vertex num_vertices, Vertex a,
+                            std::span<const Vertex> adj_a, std::size_t count,
+                            NeighborSet& set, NeighborScratch& scratch) {
+  if (mode == NeighborMode::kLinkAware) {
+    link_aware_into(rng, num_vertices, a, adj_a, count, set, scratch.chosen);
+    return;
+  }
+  SCD_REQUIRE(count <= num_vertices - 1,
+              "neighbor sample larger than V \\ {a}");
+  rng::sample_without_replacement_excluding_into(rng, num_vertices, count, a,
+                                                 scratch.raw);
+  set.samples.clear();
+  set.samples.reserve(count);
+  for (std::uint64_t b64 : scratch.raw) {
+    const auto b = static_cast<Vertex>(b64);
+    const bool link = std::binary_search(adj_a.begin(), adj_a.end(), b);
+    set.samples.push_back({b, link});
+  }
+  set.exact_prefix = 0;
+  set.sampled_scale =
+      static_cast<double>(num_vertices) / static_cast<double>(count);
 }
 
 NeighborSet draw_neighbor_set(rng::Xoshiro256& rng, NeighborMode mode,
                               Vertex num_vertices, Vertex a,
                               std::span<const Vertex> adj_a,
                               std::size_t count) {
-  if (mode == NeighborMode::kLinkAware) {
-    return sample_neighbors_link_aware(rng, num_vertices, a, adj_a, count);
-  }
   NeighborSet set;
-  set.samples = sample_neighbors(rng, num_vertices, a, adj_a, count);
-  set.exact_prefix = 0;
-  set.sampled_scale =
-      static_cast<double>(num_vertices) / static_cast<double>(count);
+  NeighborScratch scratch;
+  draw_neighbor_set_into(rng, mode, num_vertices, a, adj_a, count, set,
+                         scratch);
   return set;
 }
 

@@ -48,6 +48,13 @@ struct Minibatch {
 
 enum class MinibatchStrategy { kRandomPair, kStratifiedRandomNode };
 
+/// Reusable scratch for MinibatchSampler::draw_into: the dedup set used
+/// while drawing. Construct once, pass to every draw; no steady-state
+/// allocation after the first few draws warm its capacity.
+struct MinibatchScratch {
+  EdgeSet chosen{16};
+};
+
 class MinibatchSampler {
  public:
   struct Options {
@@ -65,11 +72,28 @@ class MinibatchSampler {
 
   Minibatch draw(rng::Xoshiro256& rng) const;
 
+  /// Allocation-free draw: refills `mb` (clearing previous contents,
+  /// reusing vector/EdgeSet capacity) using `scratch` for dedup state.
+  /// Identical output and rng consumption to draw().
+  void draw_into(rng::Xoshiro256& rng, Minibatch& mb,
+                 MinibatchScratch& scratch) const;
+
+  /// Upper bound on pairs a draw can produce — for reserving Minibatch
+  /// capacity up front so draw_into never reallocates. Stratified-node
+  /// minibatches are bounded by max(max_degree, ceil((N-1)/m)).
+  std::size_t max_pairs_bound() const;
+
+  /// Capacity bound for Minibatch::vertices: finalization stages both
+  /// endpoints of every pair before dedup, so 2 * max_pairs_bound().
+  std::size_t max_vertices_bound() const;
+
   const Options& options() const { return options_; }
 
  private:
-  Minibatch draw_random_pair(rng::Xoshiro256& rng) const;
-  Minibatch draw_stratified_node(rng::Xoshiro256& rng) const;
+  void draw_random_pair_into(rng::Xoshiro256& rng, Minibatch& mb,
+                             MinibatchScratch& scratch) const;
+  void draw_stratified_node_into(rng::Xoshiro256& rng, Minibatch& mb,
+                                 MinibatchScratch& scratch) const;
   bool excluded(Vertex a, Vertex b) const {
     return heldout_ != nullptr && heldout_->is_held_out(a, b);
   }
@@ -123,5 +147,22 @@ NeighborSet draw_neighbor_set(rng::Xoshiro256& rng, NeighborMode mode,
                               Vertex num_vertices, Vertex a,
                               std::span<const Vertex> adj_a,
                               std::size_t count);
+
+/// Reusable per-thread scratch for draw_neighbor_set_into.
+struct NeighborScratch {
+  /// Raw Floyd draws for the uniform mode.
+  std::vector<std::uint64_t> raw;
+  /// Dedup set for the link-aware rejection loop.
+  EdgeSet chosen{16};
+};
+
+/// Allocation-free form of draw_neighbor_set: refills `set` reusing its
+/// capacity. Identical output and rng consumption. Reserve
+/// set.samples.capacity() >= max_degree + count once to make subsequent
+/// calls allocation-free.
+void draw_neighbor_set_into(rng::Xoshiro256& rng, NeighborMode mode,
+                            Vertex num_vertices, Vertex a,
+                            std::span<const Vertex> adj_a, std::size_t count,
+                            NeighborSet& set, NeighborScratch& scratch);
 
 }  // namespace scd::graph

@@ -1,43 +1,56 @@
 #include "random/sampling.h"
 
-#include <unordered_set>
+#include <algorithm>
 #include <utility>
 
 #include "util/error.h"
 
 namespace scd::rng {
 
+void sample_without_replacement_into(Xoshiro256& rng, std::uint64_t n,
+                                     std::size_t k,
+                                     std::vector<std::uint64_t>& out) {
+  SCD_REQUIRE(k <= n, "cannot sample " + std::to_string(k) +
+                          " distinct values from " + std::to_string(n));
+  out.clear();
+  out.reserve(k);
+  // Floyd: for j = n-k .. n-1, draw t in [0, j]; take t unless already
+  // chosen, in which case take j. The set of chosen values is exactly the
+  // contents of `out`, so membership is a linear scan of out — O(k) per
+  // collision, and collisions are rare for minibatch-sized k. `j` itself
+  // is always new: every previously chosen value is <= some earlier j' <
+  // j. This draws the same rng stream and emits the same sequence as a
+  // hash-set implementation would.
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = rng.next_below(j + 1);
+    const bool taken = std::find(out.begin(), out.end(), t) != out.end();
+    out.push_back(taken ? j : t);
+  }
+}
+
 std::vector<std::uint64_t> sample_without_replacement(Xoshiro256& rng,
                                                       std::uint64_t n,
                                                       std::size_t k) {
-  SCD_REQUIRE(k <= n, "cannot sample " + std::to_string(k) +
-                          " distinct values from " + std::to_string(n));
   std::vector<std::uint64_t> out;
-  out.reserve(k);
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(k * 2);
-  // Floyd: for j = n-k .. n-1, draw t in [0, j]; insert t unless already
-  // present, in which case insert j.
-  for (std::uint64_t j = n - k; j < n; ++j) {
-    const std::uint64_t t = rng.next_below(j + 1);
-    if (seen.insert(t).second) {
-      out.push_back(t);
-    } else {
-      seen.insert(j);
-      out.push_back(j);
-    }
-  }
+  sample_without_replacement_into(rng, n, k, out);
   return out;
+}
+
+void sample_without_replacement_excluding_into(
+    Xoshiro256& rng, std::uint64_t n, std::size_t k, std::uint64_t skip,
+    std::vector<std::uint64_t>& out) {
+  SCD_REQUIRE(skip < n, "excluded value out of range");
+  // Sample from [0, n-1) and remap values >= skip upward by one.
+  sample_without_replacement_into(rng, n - 1, k, out);
+  for (std::uint64_t& v : out) {
+    if (v >= skip) ++v;
+  }
 }
 
 std::vector<std::uint64_t> sample_without_replacement_excluding(
     Xoshiro256& rng, std::uint64_t n, std::size_t k, std::uint64_t skip) {
-  SCD_REQUIRE(skip < n, "excluded value out of range");
-  // Sample from [0, n-1) and remap values >= skip upward by one.
-  std::vector<std::uint64_t> out = sample_without_replacement(rng, n - 1, k);
-  for (std::uint64_t& v : out) {
-    if (v >= skip) ++v;
-  }
+  std::vector<std::uint64_t> out;
+  sample_without_replacement_excluding_into(rng, n, k, skip, out);
   return out;
 }
 

@@ -23,6 +23,21 @@ std::vector<std::uint64_t> sample_without_replacement(Xoshiro256& rng,
 std::vector<std::uint64_t> sample_without_replacement_excluding(
     Xoshiro256& rng, std::uint64_t n, std::size_t k, std::uint64_t skip);
 
+/// Allocation-free form: clears `out` and appends the k draws, reusing
+/// its capacity. Produces byte-identical output to
+/// sample_without_replacement for the same rng state — duplicate
+/// detection scans `out` itself (k is minibatch-sized, and the scan is
+/// only reached on the rare collision), replacing the per-call hash set.
+void sample_without_replacement_into(Xoshiro256& rng, std::uint64_t n,
+                                     std::size_t k,
+                                     std::vector<std::uint64_t>& out);
+
+/// Allocation-free form of sample_without_replacement_excluding; same
+/// output guarantee.
+void sample_without_replacement_excluding_into(
+    Xoshiro256& rng, std::uint64_t n, std::size_t k, std::uint64_t skip,
+    std::vector<std::uint64_t>& out);
+
 /// Fisher–Yates shuffle.
 template <typename T>
 void shuffle(Xoshiro256& rng, std::vector<T>& items) {

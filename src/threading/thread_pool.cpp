@@ -1,5 +1,7 @@
 #include "threading/thread_pool.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace scd::threading {
@@ -24,17 +26,19 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_main(unsigned id) {
   std::uint64_t seen = 0;
   for (;;) {
-    std::function<void(unsigned)> body;
+    RawTask task;
+    void* ctx;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_launch_.wait(lock,
                       [&] { return stopping_ || generation_ > seen; });
       if (stopping_) return;
       seen = generation_;
-      body = body_;
+      task = task_;
+      ctx = task_ctx_;
     }
     try {
-      body(id);
+      task(ctx, id);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -46,14 +50,15 @@ void ThreadPool::worker_main(unsigned id) {
   }
 }
 
-void ThreadPool::launch(const std::function<void(unsigned)>& body) {
+void ThreadPool::launch(RawTask task, void* ctx) {
   if (num_threads_ == 1) {
-    body(0);
+    task(ctx, 0);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    body_ = body;
+    task_ = task;
+    task_ctx_ = ctx;
     pending_ = num_threads_ - 1;
     first_error_ = nullptr;
     ++generation_;
@@ -62,7 +67,7 @@ void ThreadPool::launch(const std::function<void(unsigned)>& body) {
   // The caller participates as thread 0.
   std::exception_ptr caller_error;
   try {
-    body(0);
+    task(ctx, 0);
   } catch (...) {
     caller_error = std::current_exception();
   }
@@ -82,21 +87,6 @@ std::pair<std::uint64_t, std::uint64_t> ThreadPool::chunk_bounds(
       begin + t * base + std::min<std::uint64_t>(t, extra);
   const std::uint64_t hi = lo + base + (t < extra ? 1 : 0);
   return {lo, hi};
-}
-
-void ThreadPool::parallel_for(
-    std::uint64_t begin, std::uint64_t end,
-    const std::function<void(unsigned, std::uint64_t, std::uint64_t)>& fn) {
-  if (begin >= end) return;
-  const unsigned threads = num_threads_;
-  launch([&fn, begin, end, threads](unsigned id) {
-    const auto [lo, hi] = chunk_bounds(begin, end, id, threads);
-    if (lo < hi) fn(id, lo, hi);
-  });
-}
-
-void ThreadPool::run_on_all(const std::function<void(unsigned)>& fn) {
-  launch(fn);
 }
 
 }  // namespace scd::threading

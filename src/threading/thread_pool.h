@@ -6,13 +6,19 @@
 // per worker, which both matches the paper and keeps per-thread RNG stream
 // assignment deterministic (chunk i is always processed by stream i,
 // regardless of OS scheduling).
+//
+// Dispatch is a raw function pointer + context pointer rather than a
+// std::function: caller lambdas of any capture size run without a heap
+// allocation, which is what lets the samplers' one_iteration stay
+// allocation-free in steady state (see tests/core/zero_alloc_test.cpp).
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace scd::threading {
@@ -31,27 +37,49 @@ class ThreadPool {
 
   /// Run fn(thread_index, chunk_begin, chunk_end) on every thread with a
   /// static partition of [begin, end). Blocks until all chunks finish.
-  /// Exceptions from workers are rethrown (first one wins).
-  void parallel_for(std::uint64_t begin, std::uint64_t end,
-                    const std::function<void(unsigned, std::uint64_t,
-                                             std::uint64_t)>& fn);
+  /// Exceptions from workers are rethrown (first one wins). `fn` may be
+  /// any callable; it is invoked through a pointer to the caller's own
+  /// object, so no allocation or copy happens.
+  template <typename Fn>
+  void parallel_for(std::uint64_t begin, std::uint64_t end, Fn&& fn) {
+    if (begin >= end) return;
+    struct Ctx {
+      std::remove_reference_t<Fn>* fn;
+      std::uint64_t begin;
+      std::uint64_t end;
+      unsigned threads;
+    } ctx{&fn, begin, end, num_threads_};
+    launch(
+        [](void* raw, unsigned id) {
+          auto& c = *static_cast<Ctx*>(raw);
+          const auto [lo, hi] = chunk_bounds(c.begin, c.end, id, c.threads);
+          if (lo < hi) (*c.fn)(id, lo, hi);
+        },
+        &ctx);
+  }
 
   /// Run an arbitrary task per thread: fn(thread_index). Blocks.
-  void run_on_all(const std::function<void(unsigned)>& fn);
+  template <typename Fn>
+  void run_on_all(Fn&& fn) {
+    launch(
+        [](void* raw, unsigned id) {
+          (*static_cast<std::remove_reference_t<Fn>*>(raw))(id);
+        },
+        &fn);
+  }
 
   /// Static chunk bounds for thread t of `threads` over [begin, end).
   static std::pair<std::uint64_t, std::uint64_t> chunk_bounds(
       std::uint64_t begin, std::uint64_t end, unsigned t, unsigned threads);
 
  private:
-  struct Task {
-    // Set for each launch; workers index it by their id.
-    std::function<void(unsigned)> body;
-    std::uint64_t generation = 0;
-  };
+  /// Task body: (context, thread_index). The context lives on the
+  /// launching caller's stack; workers only touch it while the caller
+  /// blocks in launch().
+  using RawTask = void (*)(void*, unsigned);
 
   void worker_main(unsigned id);
-  void launch(const std::function<void(unsigned)>& body);
+  void launch(RawTask task, void* ctx);
 
   unsigned num_threads_;
   std::vector<std::thread> workers_;
@@ -59,7 +87,8 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_launch_;
   std::condition_variable cv_done_;
-  std::function<void(unsigned)> body_;
+  RawTask task_ = nullptr;
+  void* task_ctx_ = nullptr;
   std::uint64_t generation_ = 0;
   unsigned pending_ = 0;
   bool stopping_ = false;

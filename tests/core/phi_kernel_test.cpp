@@ -21,8 +21,11 @@ std::vector<float> make_row(rng::Xoshiro256& rng) {
 }
 
 // staged_phi_update with a NeighborSet must equal the manual sequence:
-// accumulate exact + scaled sampled gradients, then update_phi_row with
-// scale 1 — for both weighting layouts.
+// accumulate exact + scaled sampled gradients, then the row update with
+// scale 1 — for both weighting layouts. The manual side goes through the
+// same fast_* dispatch the kernel uses, so the equality is exact under
+// either kernel path (scalar/fused numerics are covered separately by
+// kernels_simd_test).
 TEST(PhiKernelTest, MatchesManualAccumulation) {
   rng::Xoshiro256 rng(3);
   const std::vector<float> row_a = make_row(rng);
@@ -50,20 +53,25 @@ TEST(PhiKernelTest, MatchesManualAccumulation) {
       },
       terms, /*eps=*/0.02, /*alpha=*/0.1, via_kernel, scratch);
 
-  // Manual.
+  // Manual, via the same dispatched kernels.
   std::vector<double> exact(kK, 0.0);
   std::vector<double> sampled(kK, 0.0);
+  std::vector<float> w(kK);
+  std::vector<double> noise(kK);
   for (std::size_t i = 0; i < set.samples.size(); ++i) {
-    accumulate_phi_grad(row_a, neighbor_rows[i], terms,
-                        set.samples[i].link,
-                        i < set.exact_prefix ? std::span<double>(exact)
-                                             : std::span<double>(sampled));
+    fast_accumulate_phi_grad(row_a, neighbor_rows[i], terms,
+                             set.samples[i].link,
+                             i < set.exact_prefix
+                                 ? std::span<double>(exact)
+                                 : std::span<double>(sampled),
+                             w);
   }
   for (std::uint32_t k = 0; k < kK; ++k) {
     exact[k] += set.sampled_scale * sampled[k];
   }
   std::vector<float> manual(row_a);
-  update_phi_row(9, 4, 7, manual, exact, 1.0, 0.02, 0.1);
+  fast_update_phi_row(9, 4, 7, manual, exact, 1.0, 0.02, 0.1,
+                      /*noise_factor=*/1.0, GradientForm::kRawEqn3, noise);
 
   for (std::uint32_t i = 0; i <= kK; ++i) {
     EXPECT_EQ(via_kernel[i], manual[i]) << "slot " << i;
