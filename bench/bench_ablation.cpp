@@ -12,7 +12,7 @@
 //     preconditioned form.
 #include "bench/bench_util.h"
 #include "dkv/cached_dkv.h"
-#include "dkv/local_dkv.h"
+#include "dkv/sim_rdma_dkv.h"
 #include "core/sequential_sampler.h"
 #include "graph/datasets.h"
 #include "graph/heldout.h"
@@ -21,7 +21,7 @@ using namespace scd;
 
 namespace {
 
-void ablate_chunk_size(const bench::BenchIo& io) {
+void ablate_chunk_size(bench::BenchIo& io) {
   const core::PhantomWorkload workload = bench::friendster_workload();
   Table table({"chunk_vertices", "pipelined_iter_ms"});
   for (std::uint32_t chunk : {4u, 16u, 32u, 64u, 256u}) {
@@ -43,7 +43,7 @@ void ablate_chunk_size(const bench::BenchIo& io) {
 // iteration budget: minibatch strategy x neighbor mode, on the
 // LiveJournal convergence-scale graph. Each cell is an independent run;
 // perplexity is instantaneous (single-sample evaluation at the end).
-void ablate_estimators(const bench::BenchIo& io) {
+void ablate_estimators(bench::BenchIo& io) {
   rng::Xoshiro256 gen_rng(2016);
   const graph::DatasetSpec& spec =
       graph::dataset_by_name("com-LiveJournal");
@@ -96,7 +96,7 @@ void ablate_estimators(const bench::BenchIo& io) {
           "(LiveJournal conv-scale, 20k iterations, lower is better)");
 }
 
-void ablate_row_layout(const bench::BenchIo& io) {
+void ablate_row_layout(bench::BenchIo& io) {
   // [pi | sum phi] ships K+1 floats per row; storing phi outright would
   // ship 2K+... the paper's Section III-A trade-off, quantified on the
   // dominant load_pi stage.
@@ -125,7 +125,7 @@ void ablate_row_layout(const bench::BenchIo& io) {
           "Ablation — state layout (com-Friendster, K=12288)");
 }
 
-void ablate_dkv_batching(const bench::BenchIo& io) {
+void ablate_dkv_batching(bench::BenchIo& io) {
   // One RDMA request per row (the paper) vs batching all rows bound for
   // the same owner into one request.
   sim::NetworkModel net;
@@ -149,42 +149,51 @@ void ablate_dkv_batching(const bench::BenchIo& io) {
 // Section III-A claims caching pi is pointless because accesses are
 // uniformly random. Quantify it: replay the sampler's access pattern —
 // random minibatch vertices and neighbor draws — against an LRU cache of
-// various capacities (expressed as the RAM a worker could spare) at
-// com-Friendster row sizes.
-void ablate_pi_caching(const bench::BenchIo& io) {
+// various capacities (expressed as the RAM a worker could spare), with a
+// 16-shard remote store underneath so hits translate into modeled time
+// saved (a hit is a local memcpy; a miss pays the RDMA read).
+void ablate_pi_caching(bench::BenchIo& io) {
   constexpr std::uint64_t kRows = 100'000;  // scaled-down key space
   constexpr std::uint32_t kWidth = 4;       // tiny rows: hit rate is
                                             // capacity-ratio driven
   sim::ComputeModel node;
-  dkv::LocalDkv inner(kRows, kWidth, node);
-  std::vector<float> row(kWidth, 1.0f);
-  // LocalDkv zero-initialises; no per-row init needed for this replay.
+  dkv::SimRdmaDkv inner(kRows, kWidth, /*num_shards=*/16,
+                        sim::NetworkModel{}, node);
 
-  Table table({"cache_fraction_of_pi", "hit_rate_pct"});
+  Table table({"cache_fraction_of_pi", "hit_rate_pct", "read_ms_cached",
+               "read_ms_uncached", "time_saved_pct"});
   for (double fraction : {0.001, 0.01, 0.05, 0.20}) {
     dkv::CachedDkv cache(
-        inner, std::max<std::uint64_t>(
-                   1, static_cast<std::uint64_t>(fraction * kRows)));
+        inner,
+        std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(fraction * kRows)),
+        node);
     rng::Xoshiro256 rng(11);
     std::vector<std::uint64_t> keys(33);  // a vertex + its neighbor set
     std::vector<float> out(keys.size() * kWidth);
+    double cached_s = 0.0;
+    double uncached_s = 0.0;
     // Enough accesses to warm even the largest cache (~7x capacity).
-    for (int iter = 0; iter < 5000; ++iter) {
+    constexpr int kIters = 5000;
+    for (int iter = 0; iter < kIters; ++iter) {
       for (auto& key : keys) key = rng.next_below(kRows);
-      cache.get_rows(0, keys, out);
+      cached_s += cache.get_rows(0, keys, out);
+      uncached_s += inner.read_cost_keys(0, keys);
     }
-    table.add_row({fraction, 100.0 * cache.hit_rate()});
+    table.add_row({fraction, 100.0 * cache.hit_rate(),
+                   cached_s / kIters * 1e3, uncached_s / kIters * 1e3,
+                   100.0 * (1.0 - cached_s / uncached_s)});
   }
   io.emit(table, "ablation_pi_caching",
           "Ablation — LRU caching of pi under the sampler's random "
-          "access pattern (hit rate ~= cache fraction, as Section III-A "
-          "argues)");
+          "access pattern (hit rate and time saved ~= cache fraction, "
+          "as Section III-A argues)");
 }
 
 // Raw Eqn-3 drift vs Patterson-Teh preconditioned drift (see
 // core::GradientForm and PosteriorTest): structure-recovery speed under a
 // fixed budget vs statistical calibration of beta.
-void ablate_gradient_form(const bench::BenchIo& io) {
+void ablate_gradient_form(bench::BenchIo& io) {
   rng::Xoshiro256 gen_rng(2016);
   const graph::DatasetSpec& spec =
       graph::dataset_by_name("com-LiveJournal");

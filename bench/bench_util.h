@@ -14,6 +14,7 @@
 #include "core/hyper.h"
 #include "sim/cluster.h"
 #include "util/cli.h"
+#include "util/error.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -66,9 +67,14 @@ inline core::DistributedResult run_cost_only(
   return result;
 }
 
-/// Common bench CLI: --csv <dir> writes each table as <dir>/<name>.csv.
+/// Common bench CLI: --csv <dir> writes each table as <dir>/<name>.csv;
+/// --json <path> collects every emitted table into one JSON document
+/// (written by the destructor, or explicitly via write_json). The JSON
+/// form is the committed-baseline format tools/check_bench.py diffs
+/// against for regression detection.
 struct BenchIo {
   std::string csv_dir;
+  std::string json_path;
 
   bool parse(int argc, const char* const* argv, const std::string& name,
              const std::string& description, ArgParser* extra = nullptr) {
@@ -76,17 +82,37 @@ struct BenchIo {
     ArgParser& parser = extra != nullptr ? *extra : own;
     parser.add_string("csv", &csv_dir,
                       "directory to write CSV output (optional)");
+    parser.add_string("json", &json_path,
+                      "file to write all tables as one JSON doc (optional)");
     return parser.parse(argc, argv);
   }
 
   void emit(const Table& table, const std::string& name,
-            const std::string& title) const {
+            const std::string& title) {
     std::printf("\n== %s ==\n%s", title.c_str(), table.to_ascii().c_str());
     if (!csv_dir.empty()) {
       table.write_csv(csv_dir + "/" + name + ".csv");
     }
+    if (!json_path.empty()) {
+      if (!json_body_.empty()) json_body_ += ",\n";
+      json_body_ += "  \"" + name + "\": " + table.to_json();
+    }
     std::fflush(stdout);
   }
+
+  void write_json() {
+    if (json_path.empty() || json_body_.empty()) return;
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    SCD_REQUIRE(f != nullptr, "cannot open '" + json_path + "' for writing");
+    std::fprintf(f, "{\n%s\n}\n", json_body_.c_str());
+    std::fclose(f);
+    json_body_.clear();
+  }
+
+  ~BenchIo() { write_json(); }
+
+ private:
+  std::string json_body_;
 };
 
 }  // namespace scd::bench

@@ -1,0 +1,88 @@
+// The master -> worker minibatch deploy message of the distributed
+// sampler: one worker's slice of the minibatch vertices (with their
+// adjacency, the only graph data a worker owns) and of the gradient
+// pairs. Serialization is flat ByteWriter/ByteReader packing; the
+// _into deserializer and clear()/reserve() let both ends reuse one
+// DeployShare's buffers across iterations without allocating.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace scd::core {
+
+/// One worker's share of the minibatch, as shipped by the master.
+struct DeployShare {
+  std::uint64_t iteration = 0;
+  std::vector<graph::Vertex> vertices;
+  std::vector<std::uint32_t> degrees;
+  std::vector<graph::Vertex> adjacency;  // concatenated per vertex
+  std::vector<graph::Vertex> pair_a;
+  std::vector<graph::Vertex> pair_b;
+  std::vector<std::uint8_t> pair_y;
+
+  std::span<const graph::Vertex> adj_of(std::size_t vi,
+                                        std::size_t offset) const {
+    return {adjacency.data() + offset, degrees[vi]};
+  }
+
+  /// Empty the share for refilling; every vector keeps its capacity.
+  void clear() {
+    vertices.clear();
+    degrees.clear();
+    adjacency.clear();
+    pair_a.clear();
+    pair_b.clear();
+    pair_y.clear();
+  }
+
+  void reserve(std::size_t max_vertices, std::size_t max_adjacency,
+               std::size_t max_pairs) {
+    vertices.reserve(max_vertices);
+    degrees.reserve(max_vertices);
+    adjacency.reserve(max_adjacency);
+    pair_a.reserve(max_pairs);
+    pair_b.reserve(max_pairs);
+    pair_y.reserve(max_pairs);
+  }
+};
+
+inline void serialize_share(const DeployShare& share, ByteWriter& w) {
+  w.put(share.iteration);
+  w.put_span(std::span<const graph::Vertex>(share.vertices));
+  w.put_span(std::span<const std::uint32_t>(share.degrees));
+  w.put_span(std::span<const graph::Vertex>(share.adjacency));
+  w.put_span(std::span<const graph::Vertex>(share.pair_a));
+  w.put_span(std::span<const graph::Vertex>(share.pair_b));
+  w.put_span(std::span<const std::uint8_t>(share.pair_y));
+}
+
+/// Refill `share` from a serialized payload, reusing its capacity.
+inline void deserialize_share_into(std::span<const std::byte> bytes,
+                                   DeployShare& share) {
+  ByteReader r(bytes);
+  share.iteration = r.get<std::uint64_t>();
+  r.get_into(share.vertices);
+  r.get_into(share.degrees);
+  r.get_into(share.adjacency);
+  r.get_into(share.pair_a);
+  r.get_into(share.pair_b);
+  r.get_into(share.pair_y);
+  SCD_ASSERT(r.exhausted(), "trailing bytes in deploy share");
+}
+
+/// Wire size of a phantom worker share with the given counts.
+inline std::uint64_t phantom_share_bytes(std::uint64_t vertices,
+                                         std::uint64_t adjacency_entries,
+                                         std::uint64_t pairs) {
+  // iteration + 6 span length headers.
+  return 8 + 6 * 8 + vertices * 4 /*ids*/ + vertices * 4 /*degrees*/ +
+         adjacency_entries * 4 + pairs * (4 + 4 + 1);
+}
+
+}  // namespace scd::core

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/deploy_share.h"
+#include "core/distributed_workspace.h"
 #include "sim/pipeline_cost.h"
 #include "threading/thread_pool.h"
 #include "util/bytes.h"
@@ -20,55 +22,14 @@ constexpr unsigned kChannelWorkers = 1;  // workers only (DKV consistency)
 
 using threading::ThreadPool;
 
-/// One worker's share of the minibatch, as shipped by the master.
-struct DeployShare {
-  std::uint64_t iteration = 0;
-  std::vector<graph::Vertex> vertices;
-  std::vector<std::uint32_t> degrees;
-  std::vector<graph::Vertex> adjacency;  // concatenated per vertex
-  std::vector<graph::Vertex> pair_a;
-  std::vector<graph::Vertex> pair_b;
-  std::vector<std::uint8_t> pair_y;
-
-  std::span<const graph::Vertex> adj_of(std::size_t vi,
-                                        std::size_t offset) const {
-    return {adjacency.data() + offset, degrees[vi]};
-  }
-};
-
-std::vector<std::byte> serialize_share(const DeployShare& share) {
-  ByteWriter w;
-  w.put(share.iteration);
-  w.put_span(std::span<const graph::Vertex>(share.vertices));
-  w.put_span(std::span<const std::uint32_t>(share.degrees));
-  w.put_span(std::span<const graph::Vertex>(share.adjacency));
-  w.put_span(std::span<const graph::Vertex>(share.pair_a));
-  w.put_span(std::span<const graph::Vertex>(share.pair_b));
-  w.put_span(std::span<const std::uint8_t>(share.pair_y));
-  return w.take();
-}
-
-DeployShare deserialize_share(std::span<const std::byte> bytes) {
-  ByteReader r(bytes);
-  DeployShare share;
-  share.iteration = r.get<std::uint64_t>();
-  share.vertices = r.get_vector<graph::Vertex>();
-  share.degrees = r.get_vector<std::uint32_t>();
-  share.adjacency = r.get_vector<graph::Vertex>();
-  share.pair_a = r.get_vector<graph::Vertex>();
-  share.pair_b = r.get_vector<graph::Vertex>();
-  share.pair_y = r.get_vector<std::uint8_t>();
-  SCD_ASSERT(r.exhausted(), "trailing bytes in deploy share");
-  return share;
-}
-
-/// Wire size of a phantom worker share with the given counts.
-std::uint64_t phantom_share_bytes(std::uint64_t vertices,
-                                  std::uint64_t adjacency_entries,
-                                  std::uint64_t pairs) {
-  // iteration + 6 span length headers.
-  return 8 + 6 * 8 + vertices * 4 /*ids*/ + vertices * 4 /*degrees*/ +
-         adjacency_entries * 4 + pairs * (4 + 4 + 1);
+/// Expected number of distinct rows in `refs` (approximately) uniform
+/// row references over a population of `rows` — what the cost-only mode
+/// charges for a deduplicated read stage so it stays in lockstep with
+/// the real mode's KeyIndex.
+std::uint64_t expected_distinct_rows(double refs, double rows) {
+  if (refs <= 0.0 || rows <= 1.0) return 0;
+  const double distinct = rows * -std::expm1(refs * std::log1p(-1.0 / rows));
+  return static_cast<std::uint64_t>(std::llround(std::max(1.0, distinct)));
 }
 
 }  // namespace
@@ -135,6 +96,33 @@ DistributedResult DistributedSampler::run(std::uint64_t iterations) {
   SCD_REQUIRE(!ran_, "a DistributedSampler instance runs exactly once");
   ran_ = true;
   history_.clear();
+  if (options_.base.eval_interval > 0) {
+    history_.reserve(iterations / options_.base.eval_interval + 1);
+  }
+  if (real()) {
+    // Pre-warm the transport's payload pool: with pipelining, up to two
+    // deploy shares per worker are in flight while the master serializes
+    // a third batch.
+    const std::size_t max_vertices = minibatch_->max_vertices_bound();
+    const std::size_t share_vertices = max_vertices / num_workers_ + 1;
+    const std::size_t share_adjacency = std::min<std::size_t>(
+        share_vertices * graph_->max_degree(), 2 * graph_->num_edges());
+    const std::size_t share_pairs =
+        minibatch_->max_pairs_bound() / num_workers_ + 1;
+    cluster_.transport().reserve_buffers(
+        2 * num_workers_ + 2,
+        phantom_share_bytes(share_vertices, share_adjacency, share_pairs));
+  }
+  // Pre-warm the collective slot pool and deploy mailboxes past their
+  // worst-case in-flight depth: each rank can hold one undeparted slot
+  // and each channel one partially-arrived slot, and the pipelined
+  // master stays at most a couple of deploys ahead of any worker.
+  cluster_.transport().reserve_collectives(
+      num_workers_ + 4, 2 * std::size_t{hyper_.num_communities} + 2,
+      std::size_t{hyper_.num_communities} * sizeof(float));
+  for (unsigned wi = 0; wi < num_workers_; ++wi) {
+    cluster_.transport().reserve_mailbox(0, wi + 1, kTagDeploy, 8);
+  }
 
   cluster_.run([this, iterations](sim::RankContext& ctx) {
     if (ctx.is_master()) {
@@ -166,6 +154,9 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
   const unsigned w = num_workers_;
   sim::SimTransport& net = ctx.transport();
 
+  MasterWorkspace ws(k, w);
+  if (real()) ws.reserve_real(*graph_, *minibatch_);
+
   // Initial beta so workers can form likelihood terms.
   std::vector<float> beta_buf(global_.beta_all().begin(),
                               global_.beta_all().end());
@@ -176,12 +167,14 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
     if (real()) {
       rng::Xoshiro256 mb_rng =
           derive_rng(options_.base.seed, rng_label::kMinibatch, t);
-      const graph::Minibatch mb = minibatch_->draw(mb_rng);
+      minibatch_->draw_into(mb_rng, ws.mb, ws.mb_scratch);
+      const graph::Minibatch& mb = ws.mb;
       ctx.charge(sim::Phase::kDrawMinibatch,
                  ctx.compute().draw_cost_per_vertex_s *
                      static_cast<double>(mb.vertices.size()));
       for (unsigned wi = 0; wi < w; ++wi) {
-        DeployShare share;
+        DeployShare& share = ws.shares[wi];
+        share.clear();
         share.iteration = t;
         const auto [vlo, vhi] =
             ThreadPool::chunk_bounds(0, mb.vertices.size(), wi, w);
@@ -200,9 +193,12 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
           share.pair_b.push_back(mb.pairs[i].b);
           share.pair_y.push_back(mb.pairs[i].link ? 1 : 0);
         }
-        std::vector<std::byte> payload = serialize_share(share);
-        net.send(0, wi + 1, kTagDeploy,
-                 std::span<const std::byte>(payload));
+        // Serialize into a pooled payload buffer; the receiving worker
+        // recycles it after deserializing.
+        std::vector<std::byte> payload = net.acquire_buffer();
+        ByteWriter writer(payload);
+        serialize_share(share, writer);
+        net.send_bytes(0, wi + 1, kTagDeploy, std::move(payload));
       }
       return mb.scale;
     }
@@ -229,13 +225,16 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
   double scale_next = 0.0;
 
   for (std::uint64_t t = 0; t < iterations; ++t) {
+    if (options_.master_iteration_hook) options_.master_iteration_hook(t);
+
     // Pipelined: prepare iteration t+1 while workers run update_phi of t.
     if (options_.pipeline && t + 1 < iterations) {
       scale_next = deploy(t + 1);
     }
 
     // update_beta/theta: collect the workers' ratio partials.
-    std::vector<double> ratios(std::size_t{k} * 2, 0.0);
+    std::vector<double>& ratios = ws.ratios;
+    ratios.assign(std::size_t{k} * 2, 0.0);
     {
       const double before = ctx.clock().now();
       net.reduce_sum(0, 0, ratios, kChannelGlobal);
@@ -243,7 +242,8 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
                       ctx.clock().now() - before);
     }
     if (real()) {
-      std::vector<double> grad(std::size_t{k} * 2, 0.0);
+      std::vector<double>& grad = ws.grad;
+      grad.assign(std::size_t{k} * 2, 0.0);
       theta_grad_from_ratios(std::span<const double>(ratios.data(), k),
                              std::span<const double>(ratios.data() + k, k),
                              global_.theta_flat(), grad);
@@ -273,7 +273,8 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
     }
 
     if (eval_due(t)) {
-      std::vector<double> acc = {0.0, 0.0};  // [sum log avg, pair count]
+      std::vector<double>& acc = ws.eval_acc;
+      acc.assign(2, 0.0);  // [sum log avg, pair count]
       const double before = ctx.clock().now();
       net.reduce_sum(0, 0, acc, kChannelGlobal);
       ctx.stats().add(sim::Phase::kBarrierWait,
@@ -300,7 +301,54 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
   const unsigned w = num_workers_;
   const unsigned wi = ctx.rank() - 1;  // worker index == DKV shard
   const std::uint32_t n_nbr = options_.base.num_neighbors;
+  const bool dedup = options_.dedup_reads;
   sim::SimTransport& net = ctx.transport();
+
+  WorkerWorkspace ws(k);
+  // Largest neighbor set a vertex can draw (link-aware adds its links).
+  const std::size_t set_bound =
+      n_nbr + (real() ? graph_->max_degree() : 0);
+  if (real()) {
+    const std::size_t share_vertices =
+        minibatch_->max_vertices_bound() / w + 1;
+    const std::size_t share_adjacency = std::min<std::size_t>(
+        share_vertices * graph_->max_degree(), 2 * graph_->num_edges());
+    const std::size_t share_pairs = minibatch_->max_pairs_bound() / w + 1;
+    const auto [eh_lo, eh_hi] =
+        ThreadPool::chunk_bounds(0, heldout_size_, wi, w);
+    const std::size_t stage_refs_bound = std::max<std::size_t>(
+        {std::size_t{options_.chunk_vertices} * (1 + set_bound),
+         2 * share_pairs, 2 * (eh_hi - eh_lo)});
+    ws.reserve_real(share_vertices, share_adjacency, share_pairs, width,
+                    set_bound, stage_refs_bound, n_nbr);
+  }
+
+  // Deduplicated stage read: fetch each distinct row of ws.keys once
+  // (pi is read-only between the stage barriers, so one copy serves
+  // every reference); row_of maps a reference index back to its row.
+  auto load_stage_rows = [&]() -> double {
+    if (dedup) {
+      ws.key_index.build(ws.keys);
+      const auto unique = ws.key_index.unique_keys();
+      ws.rows.resize(unique.size() * width);
+      return store_->get_rows(wi, unique, ws.rows);
+    }
+    ws.rows.resize(ws.keys.size() * width);
+    return store_->get_rows(wi, ws.keys, ws.rows);
+  };
+  auto row_of = [&](std::size_t ref) -> std::span<const float> {
+    const std::size_t slot = dedup ? ws.key_index.remap()[ref] : ref;
+    return {ws.rows.data() + slot * width, width};
+  };
+  // Cost-only twin of load_stage_rows for `refs` uniform references.
+  auto phantom_read_cost = [&](double refs) -> double {
+    const std::uint64_t rows =
+        dedup ? expected_distinct_rows(refs, static_cast<double>(
+                                                 num_vertices_))
+              : static_cast<std::uint64_t>(std::llround(refs));
+    const std::uint64_t local = rows / w;
+    return store_->read_cost(wi, local, rows - local);
+  };
 
   // Initial beta.
   std::vector<float> beta_buf(k, 0.0f);
@@ -323,15 +371,16 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
 
   for (std::uint64_t t = 0; t < iterations; ++t) {
     // ---- receive this iteration's minibatch share ---------------------
-    DeployShare share;
+    DeployShare& share = ws.share;
     std::uint64_t n_local;
     std::uint64_t p_local;
     {
       const double before = ctx.clock().now();
       if (real()) {
-        const std::vector<std::byte> payload =
-            net.recv<std::byte>(ctx.rank(), 0, kTagDeploy);
-        share = deserialize_share(payload);
+        std::vector<std::byte> payload =
+            net.recv_bytes(ctx.rank(), 0, kTagDeploy);
+        deserialize_share_into(payload, share);
+        net.recycle_buffer(std::move(payload));
         SCD_ASSERT(share.iteration == t, "deploy out of order");
         n_local = share.vertices.size();
         p_local = share.pair_a.size();
@@ -355,81 +404,72 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
         n_nbr + (options_.base.neighbor_mode == NeighborMode::kLinkAware
                      ? phantom_.avg_degree
                      : 0.0);
-    std::vector<graph::NeighborSet> neighbor_sets;
     double total_samples = static_cast<double>(n_local) * phantom_set_size;
     if (real()) {
-      neighbor_sets.resize(n_local);
+      ws.ensure_neighbor_sets(n_local, set_bound);
       total_samples = 0.0;
       std::size_t adj_offset = 0;
       for (std::size_t vi = 0; vi < n_local; ++vi) {
         const graph::Vertex a = share.vertices[vi];
         rng::Xoshiro256 nbr_rng =
             derive_rng(options_.base.seed, rng_label::kNeighbors, t, a);
-        neighbor_sets[vi] = graph::draw_neighbor_set(
+        graph::draw_neighbor_set_into(
             nbr_rng, options_.base.neighbor_mode,
             static_cast<graph::Vertex>(num_vertices_), a,
-            share.adj_of(vi, adj_offset), n_nbr);
+            share.adj_of(vi, adj_offset), n_nbr, ws.neighbor_sets[vi],
+            ws.nbr_scratch);
         adj_offset += share.degrees[vi];
         total_samples +=
-            static_cast<double>(neighbor_sets[vi].samples.size());
+            static_cast<double>(ws.neighbor_sets[vi].samples.size());
       }
     }
     ctx.charge_kernel(sim::Phase::kSampleNeighbors, total_samples,
                       ctx.compute().neighbor_unit_cycles);
 
     // ---- update_phi: chunked loads double-buffered with compute --------
-    std::vector<float> staged(n_local * width);
+    ws.staged.resize(n_local * width);
     sim::PipelineCost pipe;
     const std::uint64_t chunk = options_.chunk_vertices;
-    std::vector<std::uint64_t> keys;
-    std::vector<float> rows;
-    PhiScratch scratch(k);
     for (std::uint64_t lo = 0; lo < n_local; lo += chunk) {
       const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, n_local);
       double load_cost;
       double chunk_samples;
       if (real()) {
-        keys.clear();
+        ws.keys.clear();
         chunk_samples = 0.0;
         for (std::uint64_t vi = lo; vi < hi; ++vi) {
-          keys.push_back(share.vertices[vi]);
+          ws.keys.push_back(share.vertices[vi]);
           for (const graph::NeighborSample& nb :
-               neighbor_sets[vi].samples) {
-            keys.push_back(nb.b);
+               ws.neighbor_sets[vi].samples) {
+            ws.keys.push_back(nb.b);
           }
           chunk_samples +=
-              static_cast<double>(neighbor_sets[vi].samples.size());
+              static_cast<double>(ws.neighbor_sets[vi].samples.size());
         }
-        rows.resize(keys.size() * width);
-        load_cost = store_->get_rows(wi, keys, rows);
+        load_cost = load_stage_rows();
         // Compute phi* for the chunk from the freshly loaded rows.
-        std::size_t row_idx = 0;
+        std::size_t ref_idx = 0;
         for (std::uint64_t vi = lo; vi < hi; ++vi) {
           const graph::Vertex a = share.vertices[vi];
-          const graph::NeighborSet& set = neighbor_sets[vi];
-          std::span<const float> row_a(rows.data() + row_idx * width,
-                                       width);
-          const std::size_t first_nbr_row = row_idx + 1;
-          row_idx += 1 + set.samples.size();
-          std::span<float> out(staged.data() + vi * width, width);
+          const graph::NeighborSet& set = ws.neighbor_sets[vi];
+          std::span<const float> row_a = row_of(ref_idx);
+          const std::size_t first_nbr_ref = ref_idx + 1;
+          ref_idx += 1 + set.samples.size();
+          std::span<float> out(ws.staged.data() + vi * width, width);
           staged_phi_update(
               options_.base.seed, t, a, row_a, set,
-              [&](std::size_t i) {
-                return std::span<const float>(
-                    rows.data() + (first_nbr_row + i) * width, width);
-              },
+              [&](std::size_t i) { return row_of(first_nbr_ref + i); },
               terms, options_.base.step.eps(t),
-              hyper_.normalized_alpha(), out, scratch,
+              hyper_.normalized_alpha(), out, ws.scratch,
               options_.base.noise_factor, options_.base.gradient_form);
         }
       } else {
-        // Expected local/remote split of uniformly random rows.
+        // Expected distinct-row count of uniformly random references,
+        // split into the expected local/remote mix.
         chunk_samples =
             static_cast<double>(hi - lo) * phantom_set_size;
-        const auto rows_in_chunk = static_cast<std::uint64_t>(
+        load_cost = phantom_read_cost(
             static_cast<double>(hi - lo) + chunk_samples);
-        const std::uint64_t local = rows_in_chunk / w;
-        load_cost = store_->read_cost(wi, local, rows_in_chunk - local);
       }
       const double compute_cost = ctx.compute().kernel_time(
           chunk_samples * k, ctx.compute().phi_unit_cycles);
@@ -451,8 +491,9 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
                         ctx.compute().pi_unit_cycles);
       double write_cost;
       if (real()) {
-        keys.assign(share.vertices.begin(), share.vertices.end());
-        write_cost = store_->put_rows(wi, keys, staged);
+        // Minibatch vertices are already unique — no dedup needed.
+        ws.keys.assign(share.vertices.begin(), share.vertices.end());
+        write_cost = store_->put_rows(wi, ws.keys, ws.staged);
       } else {
         const std::uint64_t local = n_local / w;
         write_cost = store_->write_cost(wi, local, n_local - local);
@@ -465,32 +506,28 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
 
     // ---- update_beta: ratio partials over this worker's pair slice -----
     {
-      std::vector<double> ratios(std::size_t{k} * 2, 0.0);
+      std::vector<double>& ratios = ws.ratios;
+      ratios.assign(std::size_t{k} * 2, 0.0);
       double load_cost;
       if (real()) {
-        keys.clear();
+        ws.keys.clear();
         for (std::uint64_t i = 0; i < p_local; ++i) {
-          keys.push_back(share.pair_a[i]);
-          keys.push_back(share.pair_b[i]);
+          ws.keys.push_back(share.pair_a[i]);
+          ws.keys.push_back(share.pair_b[i]);
         }
-        rows.resize(keys.size() * width);
-        load_cost = store_->get_rows(wi, keys, rows);
+        load_cost = load_stage_rows();
         std::span<double> link(ratios.data(), k);
         std::span<double> nonlink(ratios.data() + k, k);
         for (std::uint64_t i = 0; i < p_local; ++i) {
-          std::span<const float> row_a(rows.data() + (2 * i) * width,
-                                       width);
-          std::span<const float> row_b(rows.data() + (2 * i + 1) * width,
-                                       width);
+          std::span<const float> row_a = row_of(2 * i);
+          std::span<const float> row_b = row_of(2 * i + 1);
           fast_accumulate_theta_ratio(row_a, row_b, terms,
                                       share.pair_y[i] != 0,
                                       share.pair_y[i] != 0 ? link : nonlink,
-                                      scratch.w);
+                                      ws.scratch.w);
         }
       } else {
-        const std::uint64_t row_count = 2 * p_local;
-        const std::uint64_t local = row_count / w;
-        load_cost = store_->read_cost(wi, local, row_count - local);
+        load_cost = phantom_read_cost(static_cast<double>(2 * p_local));
       }
       ctx.charge(sim::Phase::kUpdateBetaTheta, load_cost);
       ctx.charge_kernel(sim::Phase::kUpdateBetaTheta,
@@ -508,22 +545,20 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
 
     // ---- perplexity ----------------------------------------------------
     if (eval_due(t)) {
-      std::vector<double> acc = {0.0, 0.0};
+      std::vector<double>& acc = ws.eval_acc;
+      acc.assign(2, 0.0);
       if (real() && evaluator) {
         const auto slice = evaluator->slice();
-        keys.clear();
+        ws.keys.clear();
         for (const graph::HeldOutPair& p : slice) {
-          keys.push_back(p.a);
-          keys.push_back(p.b);
+          ws.keys.push_back(p.a);
+          ws.keys.push_back(p.b);
         }
-        rows.resize(keys.size() * width);
-        const double load_cost = store_->get_rows(wi, keys, rows);
+        const double load_cost = load_stage_rows();
         ctx.charge(sim::Phase::kPerplexity, load_cost);
         for (std::size_t i = 0; i < slice.size(); ++i) {
-          std::span<const float> row_a(rows.data() + (2 * i) * width,
-                                       width);
-          std::span<const float> row_b(rows.data() + (2 * i + 1) * width,
-                                       width);
+          std::span<const float> row_a = row_of(2 * i);
+          std::span<const float> row_b = row_of(2 * i + 1);
           evaluator->add_sample_prob(
               i, fast_pair_likelihood(row_a, row_b, terms, slice[i].link));
         }
@@ -531,10 +566,9 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
         acc[0] = evaluator->sum_log_avg();
         acc[1] = static_cast<double>(slice.size());
       } else if (!real()) {
-        const std::uint64_t row_count = 2 * phantom_slice;
-        const std::uint64_t local = row_count / w;
-        ctx.charge(sim::Phase::kPerplexity,
-                   store_->read_cost(wi, local, row_count - local));
+        ctx.charge(
+            sim::Phase::kPerplexity,
+            phantom_read_cost(static_cast<double>(2 * phantom_slice)));
       }
       ctx.charge_kernel(
           sim::Phase::kPerplexity,

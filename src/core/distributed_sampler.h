@@ -30,6 +30,7 @@
 //     would, enabling paper-scale sweeps (com-Friendster, K = 12288).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -66,6 +67,15 @@ struct DistributedOptions {
   bool pipeline = true;
   /// Vertices per pipeline chunk in update_phi.
   std::uint32_t chunk_vertices = 32;
+  /// Deduplicate DKV row references within each read stage (chunk loads,
+  /// update_beta pair endpoints, perplexity pairs): each distinct row
+  /// crosses the wire once per stage. Safe because pi is read-only
+  /// between the stage barriers; trajectories are bit-identical either
+  /// way (tested). Off reproduces one fetch per reference.
+  bool dedup_reads = true;
+  /// Called by the master rank at the top of every iteration (tests and
+  /// progress reporting; leave empty for none).
+  std::function<void(std::uint64_t)> master_iteration_hook;
 };
 
 struct DistributedResult {

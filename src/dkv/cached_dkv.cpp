@@ -6,8 +6,9 @@
 
 namespace scd::dkv {
 
-CachedDkv::CachedDkv(DkvStore& inner, std::uint64_t capacity_rows)
-    : inner_(inner), capacity_(capacity_rows) {
+CachedDkv::CachedDkv(DkvStore& inner, std::uint64_t capacity_rows,
+                     const sim::ComputeModel& node)
+    : inner_(inner), capacity_(capacity_rows), node_(node) {
   SCD_REQUIRE(capacity_rows >= 1, "cache needs capacity >= 1 row");
 }
 
@@ -35,29 +36,34 @@ double CachedDkv::get_rows(unsigned requester_shard,
               "output buffer size mismatch");
   const std::uint32_t width = row_width();
   // First pass: satisfy hits from the cache and collect the misses.
-  std::vector<std::uint64_t> miss_keys;
-  std::vector<std::size_t> miss_slots;
+  miss_keys_.clear();
+  miss_slots_.clear();
+  std::uint64_t hit_rows = 0;
   for (std::size_t i = 0; i < keys.size(); ++i) {
     auto it = map_.find(keys[i]);
     if (it != map_.end()) {
       ++hits_;
+      ++hit_rows;
       touch(it->second);
       std::memcpy(out.data() + i * width, it->second->value.data(),
                   width * sizeof(float));
     } else {
       ++misses_;
-      miss_keys.push_back(keys[i]);
-      miss_slots.push_back(i);
+      miss_keys_.push_back(keys[i]);
+      miss_slots_.push_back(i);
     }
   }
-  if (miss_keys.empty()) return 0.0;
-  std::vector<float> fetched(miss_keys.size() * width);
-  const double cost = inner_.get_rows(requester_shard, miss_keys, fetched);
-  for (std::size_t m = 0; m < miss_keys.size(); ++m) {
-    std::span<const float> value(fetched.data() + m * width, width);
-    std::memcpy(out.data() + miss_slots[m] * width, value.data(),
+  // Hits stream the cached copy from local RAM; only misses pay the
+  // inner store's (possibly remote) cost.
+  double cost = hit_cost(hit_rows);
+  if (miss_keys_.empty()) return cost;
+  fetched_.resize(miss_keys_.size() * width);
+  cost += inner_.get_rows(requester_shard, miss_keys_, fetched_);
+  for (std::size_t m = 0; m < miss_keys_.size(); ++m) {
+    std::span<const float> value(fetched_.data() + m * width, width);
+    std::memcpy(out.data() + miss_slots_[m] * width, value.data(),
                 width * sizeof(float));
-    insert(miss_keys[m], value);
+    insert(miss_keys_[m], value);
   }
   return cost;
 }

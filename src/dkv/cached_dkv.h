@@ -8,6 +8,10 @@
 // and reports the hit rate, which for uniformly random accesses converges
 // to capacity/N — negligible for any realistic cache.
 //
+// Modeled time: hits cost a local memcpy (row streamed from this node's
+// RAM, priced by the ComputeModel); only misses pay the inner store's
+// cost. bench_ablation therefore reports time saved, not just hit rate.
+//
 // Coherence caveat: a cached row goes stale when its owner rewrites it,
 // so users must drop cached copies at the same barrier where the paper's
 // algorithm serializes writes. invalidate()/put_rows handle this: puts
@@ -20,13 +24,16 @@
 #include <vector>
 
 #include "dkv/dkv.h"
+#include "sim/compute_model.h"
 
 namespace scd::dkv {
 
 class CachedDkv final : public DkvStore {
  public:
   /// Wraps `inner` (not owned) with an LRU cache of `capacity_rows`.
-  CachedDkv(DkvStore& inner, std::uint64_t capacity_rows);
+  /// `node` prices the local copy a hit costs.
+  CachedDkv(DkvStore& inner, std::uint64_t capacity_rows,
+            const sim::ComputeModel& node = sim::ComputeModel{});
 
   std::uint64_t num_rows() const override { return inner_.num_rows(); }
   std::uint32_t row_width() const override { return inner_.row_width(); }
@@ -48,6 +55,19 @@ class CachedDkv final : public DkvStore {
   double write_cost(unsigned requester_shard, std::uint64_t local_rows,
                     std::uint64_t remote_rows) const override {
     return inner_.write_cost(requester_shard, local_rows, remote_rows);
+  }
+  double read_cost_keys(unsigned requester_shard,
+                        std::span<const std::uint64_t> keys) const override {
+    return inner_.read_cost_keys(requester_shard, keys);
+  }
+  double write_cost_keys(unsigned requester_shard,
+                         std::span<const std::uint64_t> keys) const override {
+    return inner_.write_cost_keys(requester_shard, keys);
+  }
+
+  /// Modeled seconds a hit costs: the cached row streamed from local RAM.
+  double hit_cost(std::uint64_t rows) const {
+    return node_.local_bytes_time(rows * row_width() * sizeof(float));
   }
 
   /// Drop every cached row (stale after another shard's writes).
@@ -74,10 +94,15 @@ class CachedDkv final : public DkvStore {
 
   DkvStore& inner_;
   std::uint64_t capacity_;
+  sim::ComputeModel node_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  // Reused per-call scratch for the miss pass.
+  std::vector<std::uint64_t> miss_keys_;
+  std::vector<std::size_t> miss_slots_;
+  std::vector<float> fetched_;
 };
 
 }  // namespace scd::dkv

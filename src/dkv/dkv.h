@@ -51,6 +51,21 @@ class DkvStore {
   virtual double write_cost(unsigned requester_shard,
                             std::uint64_t local_rows,
                             std::uint64_t remote_rows) const = 0;
+
+  /// Keyed cost queries: the exact modeled seconds get_rows/put_rows would
+  /// return for this key multiset, without moving data. Backends whose
+  /// cost depends on *which* shards the keys hit (request coalescing)
+  /// override these; phantom stores answer them identically to real ones,
+  /// which is what keeps cost-only and real runs in lockstep. The default
+  /// treats every key as local, which is correct for purely local stores.
+  virtual double read_cost_keys(unsigned requester_shard,
+                                std::span<const std::uint64_t> keys) const {
+    return read_cost(requester_shard, keys.size(), 0);
+  }
+  virtual double write_cost_keys(unsigned requester_shard,
+                                 std::span<const std::uint64_t> keys) const {
+    return write_cost(requester_shard, keys.size(), 0);
+  }
 };
 
 }  // namespace scd::dkv

@@ -1,5 +1,6 @@
 #include "dkv/sim_rdma_dkv.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/error.h"
@@ -33,14 +34,50 @@ std::span<const float> SimRdmaDkv::row(std::uint64_t key) const {
   return {data_.data() + key * row_width_, row_width_};
 }
 
-std::uint64_t SimRdmaDkv::count_local(
+SimRdmaDkv::KeyTally SimRdmaDkv::tally_keys(
     unsigned shard, std::span<const std::uint64_t> keys) const {
-  const auto [lo, hi] = partition_.range(shard);
-  std::uint64_t local = 0;
-  for (std::uint64_t key : keys) {
-    if (key >= lo && key < hi) ++local;
+  // Epoch-stamped per-shard marks: counting distinct shards is O(batch)
+  // with no clearing pass and no steady-state allocation. thread_local
+  // because one store is shared by all simulated rank threads.
+  static thread_local std::vector<std::uint32_t> stamp;
+  static thread_local std::uint32_t epoch = 0;
+  if (stamp.size() < partition_.num_shards()) {
+    stamp.assign(partition_.num_shards(), 0);
+    epoch = 0;
   }
-  return local;
+  if (++epoch == 0) {  // wrapped: stale stamps could alias the new epoch
+    std::fill(stamp.begin(), stamp.end(), 0u);
+    epoch = 1;
+  }
+  KeyTally t;
+  const auto [lo, hi] = partition_.range(shard);
+  for (std::uint64_t key : keys) {
+    SCD_ASSERT(key < num_rows(), "row key out of range");
+    if (key >= lo && key < hi) {
+      ++t.local;
+    } else {
+      ++t.remote;
+      const unsigned owner = partition_.owner(key);
+      if (stamp[owner] != epoch) {
+        stamp[owner] = epoch;
+        ++t.shards_contacted;
+      }
+    }
+  }
+  return t;
+}
+
+double SimRdmaDkv::coalesced_cost(std::uint64_t local_rows,
+                                  std::uint64_t remote_rows,
+                                  std::uint64_t shards_contacted) const {
+  // Local rows stream from RAM; remote rows ride one coalesced message
+  // per contacted shard. The working set passed to the spread de-rater is
+  // the bytes touched on the remote side.
+  const double local_s = node_.local_bytes_time(local_rows * row_bytes());
+  const std::uint64_t remote_bytes = remote_rows * row_bytes();
+  const double remote_s = net_.dkv_coalesced_time(
+      shards_contacted, remote_bytes, remote_bytes, partition_.num_shards());
+  return local_s + remote_s;
 }
 
 double SimRdmaDkv::get_rows(unsigned requester_shard,
@@ -54,8 +91,7 @@ double SimRdmaDkv::get_rows(unsigned requester_shard,
     std::memcpy(out.data() + i * row_width_,
                 data_.data() + keys[i] * row_width_, row_bytes());
   }
-  const std::uint64_t local = count_local(requester_shard, keys);
-  return read_cost(requester_shard, local, keys.size() - local);
+  return read_cost_keys(requester_shard, keys);
 }
 
 double SimRdmaDkv::put_rows(unsigned requester_shard,
@@ -69,21 +105,18 @@ double SimRdmaDkv::put_rows(unsigned requester_shard,
     std::memcpy(data_.data() + keys[i] * row_width_,
                 values.data() + i * row_width_, row_bytes());
   }
-  const std::uint64_t local = count_local(requester_shard, keys);
-  return write_cost(requester_shard, local, keys.size() - local);
+  return write_cost_keys(requester_shard, keys);
 }
 
 double SimRdmaDkv::read_cost(unsigned /*requester_shard*/,
                              std::uint64_t local_rows,
                              std::uint64_t remote_rows) const {
-  // Local rows stream from RAM; remote rows are one RDMA read each,
-  // batched on the wire. The working set passed to the spread de-rater is
-  // the bytes touched on the remote side.
-  const double local_s = node_.local_bytes_time(local_rows * row_bytes());
-  const std::uint64_t remote_bytes = remote_rows * row_bytes();
-  const double remote_s = net_.dkv_batch_time(
-      remote_rows, remote_bytes, remote_bytes, partition_.num_shards());
-  return local_s + remote_s;
+  // Count-based form: without the keys, assume the remote rows spread
+  // over all C - 1 peers (uniform access), so at most that many coalesced
+  // messages — and never more messages than rows.
+  const std::uint64_t peers = partition_.num_shards() - 1;
+  const std::uint64_t shards_contacted = std::min(remote_rows, peers);
+  return coalesced_cost(local_rows, remote_rows, shards_contacted);
 }
 
 double SimRdmaDkv::write_cost(unsigned requester_shard,
@@ -91,6 +124,18 @@ double SimRdmaDkv::write_cost(unsigned requester_shard,
                               std::uint64_t remote_rows) const {
   // RDMA write ~ RDMA read for payloads above 256B (Fig. 5 discussion).
   return read_cost(requester_shard, local_rows, remote_rows);
+}
+
+double SimRdmaDkv::read_cost_keys(unsigned requester_shard,
+                                  std::span<const std::uint64_t> keys) const {
+  const KeyTally t = tally_keys(requester_shard, keys);
+  return coalesced_cost(t.local, t.remote, t.shards_contacted);
+}
+
+double SimRdmaDkv::write_cost_keys(unsigned requester_shard,
+                                   std::span<const std::uint64_t> keys) const {
+  // RDMA write ~ RDMA read (see write_cost).
+  return read_cost_keys(requester_shard, keys);
 }
 
 }  // namespace scd::dkv

@@ -13,6 +13,16 @@
 // checks nothing at runtime beyond bounds, exactly like its RDMA
 // counterpart. Tests exercise the access discipline instead.
 //
+// Request coalescing: get_rows/put_rows group the batch by owner shard
+// and charge ONE message per contacted shard (the real store batches
+// requests per destination the same way), so per-request overhead is
+// amortized across the rows bound for each shard. The keyed cost queries
+// (read_cost_keys/write_cost_keys) apply the identical formula from the
+// key multiset alone, so a phantom store charges exactly what a real one
+// would. The count-based read_cost/write_cost remain for callers that
+// only know row counts; they assume the remote rows spread over all
+// C - 1 peer shards (the uniform-access expectation of Section IV-C).
+//
 // A store constructed with `phantom = true` allocates no storage and only
 // answers cost queries — the cost-only execution mode for paper-scale
 // parameter sweeps (N up to 65M, K up to 12288: 3 TB of pi in the real
@@ -54,6 +64,11 @@ class SimRdmaDkv final : public DkvStore {
   double write_cost(unsigned requester_shard, std::uint64_t local_rows,
                     std::uint64_t remote_rows) const override;
 
+  double read_cost_keys(unsigned requester_shard,
+                        std::span<const std::uint64_t> keys) const override;
+  double write_cost_keys(unsigned requester_shard,
+                         std::span<const std::uint64_t> keys) const override;
+
   /// Direct row view (tests, perplexity snapshots).
   std::span<const float> row(std::uint64_t key) const;
 
@@ -64,12 +79,24 @@ class SimRdmaDkv final : public DkvStore {
     return (c - 1.0) / c;
   }
 
- private:
   std::uint64_t row_bytes() const {
     return static_cast<std::uint64_t>(row_width_) * sizeof(float);
   }
-  std::uint64_t count_local(unsigned shard,
-                            std::span<const std::uint64_t> keys) const;
+
+ private:
+
+  /// Locality census of a key batch: local/remote row counts plus the
+  /// number of distinct remote shards the batch touches (the message count
+  /// under request coalescing).
+  struct KeyTally {
+    std::uint64_t local = 0;
+    std::uint64_t remote = 0;
+    std::uint64_t shards_contacted = 0;
+  };
+  KeyTally tally_keys(unsigned shard,
+                      std::span<const std::uint64_t> keys) const;
+  double coalesced_cost(std::uint64_t local_rows, std::uint64_t remote_rows,
+                        std::uint64_t shards_contacted) const;
 
   RowPartition partition_;
   std::uint32_t row_width_;

@@ -74,6 +74,21 @@ struct NetworkModel {
            static_cast<double>(bytes) / bw;
   }
 
+  /// Cost of a coalesced batched DKV read/write: the requester groups the
+  /// rows of a batch by owner shard and issues ONE message per contacted
+  /// shard, so `latency_s` is paid once and `dkv_request_overhead_s` once
+  /// per shard instead of once per row (Section III-B batches requests per
+  /// destination exactly this way). Bandwidth/congestion/spread terms are
+  /// unchanged — coalescing amortizes per-request software overhead, it
+  /// does not create wire capacity.
+  double dkv_coalesced_time(std::uint64_t shards_contacted,
+                            std::uint64_t bytes,
+                            std::uint64_t working_set_bytes,
+                            unsigned cluster_size) const {
+    return dkv_batch_time(shards_contacted, bytes, working_set_bytes,
+                          cluster_size);
+  }
+
   /// Tree depth of collectives over `cluster_size` ranks.
   static unsigned tree_depth(unsigned cluster_size) {
     unsigned depth = 0;

@@ -1,7 +1,6 @@
 #include "sim/transport.h"
 
 #include <algorithm>
-#include <functional>
 
 namespace scd::sim {
 
@@ -14,13 +13,63 @@ SimTransport::SimTransport(unsigned num_ranks, const NetworkModel& net,
   nic_free_s_.assign(num_ranks, 0.0);
 }
 
+std::vector<std::byte> SimTransport::acquire_buffer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (buffer_pool_.empty()) return {};
+  std::vector<std::byte> buffer = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  buffer.clear();
+  return buffer;
+}
+
+void SimTransport::recycle_buffer(std::vector<std::byte>&& buffer) {
+  if (buffer.capacity() == 0) return;  // nothing worth pooling
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_pool_.push_back(std::move(buffer));
+}
+
+void SimTransport::reserve_buffers(std::size_t count,
+                                   std::size_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_pool_.reserve(buffer_pool_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::byte> buffer;
+    buffer.reserve(capacity_bytes);
+    buffer_pool_.push_back(std::move(buffer));
+  }
+}
+
+void SimTransport::reserve_collectives(std::size_t slots,
+                                       std::size_t reduce_len,
+                                       std::size_t bcast_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_slots_.reserve(free_slots_.size() + slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    auto slot = std::make_shared<CollSlot>();
+    slot->reduce_inputs.resize(num_ranks_);
+    for (std::vector<double>& input : slot->reduce_inputs) {
+      input.reserve(reduce_len);
+    }
+    slot->has_input.assign(num_ranks_, 0);
+    slot->reduce_acc.reserve(reduce_len);
+    slot->bcast_data.reserve(bcast_bytes);
+    free_slots_.push_back(std::move(slot));
+  }
+}
+
+void SimTransport::reserve_mailbox(unsigned from, unsigned to, int tag,
+                                   std::size_t depth) {
+  SCD_REQUIRE(from < num_ranks_ && to < num_ranks_, "rank out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  mailboxes_[mailbox_key(from, to, tag)].items.reserve(depth);
+}
+
 void SimTransport::send_raw(unsigned from, unsigned to, int tag,
                             std::vector<std::byte> payload,
                             std::uint64_t logical_bytes) {
   SCD_REQUIRE(from < num_ranks_ && to < num_ranks_, "rank out of range");
   const double wire_s =
       static_cast<double>(logical_bytes) / net_.bandwidth_Bps;
-  double arrival;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Posting costs the sender a request overhead; the wire transfer
@@ -28,8 +77,8 @@ void SimTransport::send_raw(unsigned from, unsigned to, int tag,
     clocks_[from].advance(net_.dkv_request_overhead_s);
     const double start = std::max(clocks_[from].now(), nic_free_s_[from]);
     nic_free_s_[from] = start + wire_s;
-    arrival = start + wire_s + net_.latency_s;
-    mailboxes_[channel_key(from, to, tag)].push_back(
+    const double arrival = start + wire_s + net_.latency_s;
+    mailboxes_[mailbox_key(from, to, tag)].push(
         Message{arrival, std::move(payload)});
   }
   cv_.notify_all();
@@ -39,54 +88,78 @@ std::vector<std::byte> SimTransport::recv_raw(unsigned self, unsigned from,
                                               int tag) {
   SCD_REQUIRE(self < num_ranks_ && from < num_ranks_, "rank out of range");
   std::unique_lock<std::mutex> lock(mu_);
-  auto& queue = mailboxes_[channel_key(from, self, tag)];
+  auto& queue = mailboxes_[mailbox_key(from, self, tag)];
   cv_.wait(lock, [&] { return aborted_ || !queue.empty(); });
   if (aborted_) throw Error("transport aborted while receiving");
-  Message msg = std::move(queue.front());
-  queue.pop_front();
+  Message msg = queue.pop();
   clocks_[self].advance_to(msg.arrival_s);
   return std::move(msg.payload);
 }
 
-std::shared_ptr<SimTransport::CollSlot> SimTransport::run_collective(
-    unsigned self, unsigned channel, unsigned participants, CollOp op,
-    unsigned root, std::uint64_t payload_bytes,
-    const std::function<void(CollSlot&)>& contribute) {
+void SimTransport::run_collective(unsigned self, unsigned channel,
+                                  unsigned participants, CollOp op,
+                                  unsigned root,
+                                  std::span<double> reduce_inout,
+                                  std::span<std::byte> bcast_inout) {
   SCD_REQUIRE(self < num_ranks_ && root < num_ranks_, "rank out of range");
   if (participants == 0) participants = num_ranks_;
+  const std::uint64_t payload_bytes = op == CollOp::kReduce
+                                          ? reduce_inout.size_bytes()
+                                          : bcast_inout.size_bytes();
   std::unique_lock<std::mutex> lock(mu_);
-  std::shared_ptr<CollSlot>& current = open_collectives_[channel];
-  if (!current) {
-    auto slot = std::make_shared<CollSlot>();
-    slot->op = op;
-    slot->root = root;
-    slot->participants = participants;
-    slot->payload_bytes = payload_bytes;
-    current = slot;
+  if (channel >= open_collectives_.size()) {
+    open_collectives_.resize(channel + 1);
   }
-  std::shared_ptr<CollSlot> slot = current;
+  if (!open_collectives_[channel]) {
+    std::shared_ptr<CollSlot> fresh;
+    if (!free_slots_.empty()) {
+      fresh = std::move(free_slots_.back());
+      free_slots_.pop_back();
+    } else {
+      fresh = std::make_shared<CollSlot>();
+    }
+    fresh->op = op;
+    fresh->root = root;
+    fresh->participants = participants;
+    fresh->payload_bytes = payload_bytes;
+    open_collectives_[channel] = std::move(fresh);
+  }
+  std::shared_ptr<CollSlot> slot = open_collectives_[channel];
   SCD_REQUIRE(slot->op == op && slot->root == root &&
                   slot->participants == participants &&
                   slot->payload_bytes == payload_bytes,
               "mismatched collective: ranks disagree on op/root/size");
   slot->max_entry = std::max(slot->max_entry, clocks_[self].now());
-  contribute(*slot);
+  if (op == CollOp::kReduce) {
+    if (slot->reduce_inputs.size() < num_ranks_) {
+      slot->reduce_inputs.resize(num_ranks_);
+      slot->has_input.assign(num_ranks_, 0);
+    }
+    SCD_REQUIRE(!slot->has_input[self], "rank joined the same reduce twice");
+    slot->has_input[self] = 1;
+    slot->reduce_inputs[self].assign(reduce_inout.begin(),
+                                     reduce_inout.end());
+  } else if (op == CollOp::kBroadcast && self == root) {
+    slot->bcast_data.assign(bcast_inout.begin(), bcast_inout.end());
+  }
   if (++slot->arrived == participants) {
     slot->finish =
         slot->max_entry + net_.collective_time(participants, payload_bytes);
     if (slot->op == CollOp::kReduce) {
       // Deterministic rank-order fold, independent of arrival order.
-      for (const auto& [rank, contribution] : slot->reduce_inputs) {
-        if (slot->reduce_acc.empty()) {
-          slot->reduce_acc.assign(contribution.size(), 0.0);
-        }
+      slot->reduce_acc.assign(reduce_inout.size(), 0.0);
+      for (unsigned rank = 0; rank < num_ranks_; ++rank) {
+        if (!slot->has_input[rank]) continue;
+        const std::vector<double>& contribution = slot->reduce_inputs[rank];
+        SCD_REQUIRE(contribution.size() == reduce_inout.size(),
+                    "reduce length mismatch across ranks");
         for (std::size_t i = 0; i < contribution.size(); ++i) {
           slot->reduce_acc[i] += contribution[i];
         }
       }
     }
     slot->complete = true;
-    current.reset();  // next collective on this channel opens fresh
+    open_collectives_[channel].reset();  // next one opens fresh
     cv_.notify_all();
   } else {
     cv_.wait(lock, [&] { return aborted_ || slot->complete; });
@@ -95,7 +168,31 @@ std::shared_ptr<SimTransport::CollSlot> SimTransport::run_collective(
     }
   }
   clocks_[self].advance_to(slot->finish);
-  return slot;
+  // Collect results before departing — the last rank out recycles the
+  // slot, after which its buffers may be reused by another collective.
+  if (op == CollOp::kReduce && self == root) {
+    SCD_REQUIRE(slot->reduce_acc.size() == reduce_inout.size(),
+                "reduce length mismatch across ranks");
+    std::copy(slot->reduce_acc.begin(), slot->reduce_acc.end(),
+              reduce_inout.begin());
+  }
+  if (op == CollOp::kBroadcast && self != root && !bcast_inout.empty()) {
+    SCD_REQUIRE(slot->bcast_data.size() == bcast_inout.size(),
+                "broadcast length mismatch across ranks");
+    std::copy(slot->bcast_data.begin(), slot->bcast_data.end(),
+              bcast_inout.begin());
+  }
+  if (++slot->departed == slot->participants) {
+    slot->arrived = 0;
+    slot->departed = 0;
+    slot->max_entry = 0.0;
+    slot->complete = false;
+    slot->finish = 0.0;
+    slot->bcast_data.clear();
+    std::fill(slot->has_input.begin(), slot->has_input.end(),
+              static_cast<std::uint8_t>(0));
+    free_slots_.push_back(std::move(slot));
+  }
 }
 
 void SimTransport::abort_all() {
@@ -108,45 +205,21 @@ void SimTransport::abort_all() {
 
 void SimTransport::barrier(unsigned self, unsigned channel,
                            unsigned participants) {
-  run_collective(self, channel, participants, CollOp::kBarrier, 0, 0,
-                 [](CollSlot&) {});
+  run_collective(self, channel, participants, CollOp::kBarrier, 0, {}, {});
 }
 
 void SimTransport::reduce_sum(unsigned self, unsigned root,
                               std::span<double> inout, unsigned channel,
                               unsigned participants) {
-  auto slot = run_collective(
-      self, channel, participants, CollOp::kReduce, root,
-      inout.size_bytes(), [&](CollSlot& s) {
-        SCD_REQUIRE(s.reduce_inputs.find(self) == s.reduce_inputs.end(),
-                    "rank joined the same reduce twice");
-        s.reduce_inputs.emplace(
-            self, std::vector<double>(inout.begin(), inout.end()));
-      });
-  if (self == slot->root) {
-    SCD_REQUIRE(slot->reduce_acc.size() == inout.size(),
-                "reduce length mismatch across ranks");
-    std::copy(slot->reduce_acc.begin(), slot->reduce_acc.end(),
-              inout.begin());
-  }
+  run_collective(self, channel, participants, CollOp::kReduce, root, inout,
+                 {});
 }
 
 void SimTransport::broadcast(unsigned self, unsigned root,
                              std::span<std::byte> data, unsigned channel,
                              unsigned participants) {
-  auto slot = run_collective(
-      self, channel, participants, CollOp::kBroadcast, root,
-      data.size_bytes(), [&](CollSlot& s) {
-        if (self == root) {
-          s.bcast_data.assign(data.begin(), data.end());
-        }
-      });
-  if (self != root && !data.empty()) {
-    SCD_REQUIRE(slot->bcast_data.size() == data.size(),
-                "broadcast length mismatch across ranks");
-    std::copy(slot->bcast_data.begin(), slot->bcast_data.end(),
-              data.begin());
-  }
+  run_collective(self, channel, participants, CollOp::kBroadcast, root, {},
+                 data);
 }
 
 }  // namespace scd::sim

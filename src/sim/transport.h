@@ -21,12 +21,19 @@
 //
 // The transport never drops or reorders messages with equal
 // (from, to, tag); the algorithm's stage structure guarantees matching.
+//
+// Steady-state allocation: payload buffers are pooled
+// (acquire_buffer/send_bytes/recv_bytes/recycle_buffer move one buffer
+// sender -> mailbox -> receiver -> pool), mailboxes are head-indexed
+// rings that keep their capacity, and collective slots are recycled with
+// their rank-indexed contribution buffers. After warm-up the messaging
+// hot path performs no heap allocation — a requirement of the
+// zero-allocation distributed iteration test.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstring>
-#include <deque>
-#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -52,11 +59,21 @@ class SimTransport {
   template <typename T>
   void send(unsigned from, unsigned to, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> bytes(data.size_bytes());
+    std::vector<std::byte> bytes = acquire_buffer();
+    bytes.resize(data.size_bytes());
     if (!data.empty()) {
       std::memcpy(bytes.data(), data.data(), data.size_bytes());
     }
     send_raw(from, to, tag, std::move(bytes), data.size_bytes());
+  }
+
+  /// Zero-copy send of an already-serialized payload, typically one
+  /// obtained from acquire_buffer(). The receiver gets the exact bytes
+  /// via recv_bytes and should recycle_buffer() them when done.
+  void send_bytes(unsigned from, unsigned to, int tag,
+                  std::vector<std::byte>&& payload) {
+    const std::uint64_t bytes = payload.size();
+    send_raw(from, to, tag, std::move(payload), bytes);
   }
 
   /// Cost-only send: moves no data, charges time for `logical_bytes`.
@@ -73,13 +90,42 @@ class SimTransport {
     SCD_ASSERT(bytes.size() % sizeof(T) == 0, "payload size mismatch");
     std::vector<T> out(bytes.size() / sizeof(T));
     if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    recycle_buffer(std::move(bytes));
     return out;
+  }
+
+  /// Raw receive: blocks until the matching send arrives, returns its
+  /// payload. Pass the buffer back via recycle_buffer() after consuming
+  /// it to keep the pool warm.
+  std::vector<std::byte> recv_bytes(unsigned self, unsigned from, int tag) {
+    return recv_raw(self, from, tag);
   }
 
   /// Receive a phantom (or typed) message, discarding any payload.
   void recv_discard(unsigned self, unsigned from, int tag) {
-    recv_raw(self, from, tag);
+    recycle_buffer(recv_raw(self, from, tag));
   }
+
+  /// Take an empty buffer from the pool (capacity from earlier traffic).
+  std::vector<std::byte> acquire_buffer();
+  /// Return a consumed payload's storage to the pool.
+  void recycle_buffer(std::vector<std::byte>&& buffer);
+  /// Pre-warm the pool with `count` buffers of `capacity_bytes` each so
+  /// even the first iterations allocate nothing on the messaging path.
+  void reserve_buffers(std::size_t count, std::size_t capacity_bytes);
+
+  /// Pre-warm the collective slot pool: `slots` recycled slots whose
+  /// rank-indexed contribution buffers can hold `reduce_len` doubles and
+  /// whose broadcast staging holds `bcast_bytes`. Without this, the slot
+  /// pool grows lazily to its high-water mark, and thread scheduling can
+  /// first reach that mark arbitrarily late in a run.
+  void reserve_collectives(std::size_t slots, std::size_t reduce_len,
+                           std::size_t bcast_bytes);
+
+  /// Pre-warm one point-to-point mailbox ring to `depth` queued messages
+  /// (the map node plus the ring's backing storage).
+  void reserve_mailbox(unsigned from, unsigned to, int tag,
+                       std::size_t depth);
 
   /// Collectives run on a *channel*: a group of `participants` ranks that
   /// all call the same operation in the same order. participants == 0
@@ -125,6 +171,40 @@ class SimTransport {
     std::vector<std::byte> payload;
   };
 
+  /// FIFO that reuses its storage: pops advance a head index, and the
+  /// backing vector resets (keeping capacity) when it drains or compacts
+  /// in place when a push would otherwise grow past consumed slots — the
+  /// pipelined sampler keeps a deploy permanently in flight, so the queue
+  /// may never be empty at push time. Unlike a deque, the steady
+  /// push/pop cycle never reallocates.
+  struct MessageQueue {
+    std::vector<Message> items;
+    std::size_t head = 0;
+
+    bool empty() const { return head == items.size(); }
+    void push(Message&& msg) {
+      if (empty()) {
+        items.clear();
+        head = 0;
+      } else if (head > 0 && items.size() == items.capacity()) {
+        std::move(items.begin() + static_cast<std::ptrdiff_t>(head),
+                  items.end(), items.begin());
+        items.resize(items.size() - head);
+        head = 0;
+      }
+      items.push_back(std::move(msg));
+    }
+    Message pop() {
+      Message msg = std::move(items[head]);
+      ++head;
+      if (empty()) {
+        items.clear();
+        head = 0;
+      }
+      return msg;
+    }
+  };
+
   enum class CollOp { kBarrier, kReduce, kBroadcast };
 
   struct CollSlot {
@@ -133,17 +213,20 @@ class SimTransport {
     unsigned participants = 0;
     std::uint64_t payload_bytes = 0;
     unsigned arrived = 0;
+    unsigned departed = 0;
     double max_entry = 0.0;
     bool complete = false;
     double finish = 0.0;
-    /// Reduce contributions keyed by rank, summed in rank order at
-    /// completion so the result is arrival-order independent.
-    std::map<unsigned, std::vector<double>> reduce_inputs;
+    /// Reduce contributions indexed by rank (has_input marks presence),
+    /// summed in rank order at completion so the result is arrival-order
+    /// independent. Buffers keep their capacity across recycled uses.
+    std::vector<std::vector<double>> reduce_inputs;
+    std::vector<std::uint8_t> has_input;
     std::vector<double> reduce_acc;
     std::vector<std::byte> bcast_data;
   };
 
-  static std::uint64_t channel_key(unsigned from, unsigned to, int tag) {
+  static std::uint64_t mailbox_key(unsigned from, unsigned to, int tag) {
     return (static_cast<std::uint64_t>(from) << 40) |
            (static_cast<std::uint64_t>(to) << 16) |
            static_cast<std::uint64_t>(static_cast<std::uint16_t>(tag));
@@ -153,11 +236,13 @@ class SimTransport {
                 std::vector<std::byte> payload, std::uint64_t logical_bytes);
   std::vector<std::byte> recv_raw(unsigned self, unsigned from, int tag);
 
-  /// Shared collective rendezvous; returns the slot after completion.
-  std::shared_ptr<CollSlot> run_collective(
-      unsigned self, unsigned channel, unsigned participants, CollOp op,
-      unsigned root, std::uint64_t payload_bytes,
-      const std::function<void(CollSlot&)>& contribute);
+  /// Shared collective rendezvous. Reduce ranks contribute and (at the
+  /// root) collect through `reduce_inout`; broadcast ranks publish (root)
+  /// or receive (others) through `bcast_inout`. The slot is recycled to
+  /// the free pool by the last rank to depart.
+  void run_collective(unsigned self, unsigned channel, unsigned participants,
+                      CollOp op, unsigned root, std::span<double> reduce_inout,
+                      std::span<std::byte> bcast_inout);
 
   unsigned num_ranks_;
   NetworkModel net_;
@@ -165,9 +250,11 @@ class SimTransport {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::map<std::uint64_t, std::deque<Message>> mailboxes_;
+  std::map<std::uint64_t, MessageQueue> mailboxes_;
   std::vector<double> nic_free_s_;  // per-rank outbound NIC availability
-  std::map<unsigned, std::shared_ptr<CollSlot>> open_collectives_;
+  std::vector<std::shared_ptr<CollSlot>> open_collectives_;  // by channel
+  std::vector<std::shared_ptr<CollSlot>> free_slots_;
+  std::vector<std::vector<std::byte>> buffer_pool_;
   bool aborted_ = false;
 };
 

@@ -86,6 +86,31 @@ std::string Table::to_csv() const {
   return os.str();
 }
 
+std::string Table::to_json() const {
+  auto json_cell = [](const Cell& cell) -> std::string {
+    if (const auto* s = std::get_if<std::string>(&cell))
+      return "\"" + *s + "\"";
+    if (const auto* i = std::get_if<std::int64_t>(&cell))
+      return std::to_string(*i);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(cell));
+    return buf;
+  };
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n" : ",\n");
+    os << "    {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      os << "\"" << headers_[c] << "\": " << json_cell(rows_[r][c]);
+    }
+    os << "}";
+  }
+  os << "\n  ]";
+  return os.str();
+}
+
 void Table::write_csv(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw Error("cannot open '" + path + "' for writing");

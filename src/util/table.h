@@ -37,6 +37,12 @@ class Table {
   /// Write CSV to `path`; throws scd::Error on I/O failure.
   void write_csv(const std::string& path) const;
 
+  /// Render as a JSON array of row objects keyed by header. Doubles are
+  /// printed with 17 significant digits (independent of set_precision) so
+  /// a committed baseline round-trips exactly — tools/check_bench.py
+  /// diffs these files numerically.
+  std::string to_json() const;
+
  private:
   std::string render_cell(const Cell& cell) const;
 

@@ -203,6 +203,38 @@ TEST(DistributedSamplerTest, LinkAwareModeAlsoMatchesSequential) {
   }
 }
 
+TEST(DistributedSamplerTest, DedupReadsChangeTimeNotNumbers) {
+  // Acceptance criterion: deduplicating the per-stage key lists only
+  // removes redundant transfers — every worker still sees the same pi
+  // rows, so the trajectory is bit-identical with dedup on vs off.
+  auto f = small_planted_fixture(4242, 150, 4, 80);
+  f.options.eval_interval = 15;
+  f.options.neighbor_mode = NeighborMode::kLinkAware;
+
+  auto run_mode = [&](bool dedup) {
+    sim::SimCluster cluster(cluster_config(4));
+    DistributedOptions options;
+    options.base = f.options;
+    options.chunk_vertices = 8;
+    options.dedup_reads = dedup;
+    DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                            f.hyper, options);
+    return dist.run(45);
+  };
+  const DistributedResult with = run_mode(true);
+  const DistributedResult without = run_mode(false);
+
+  ASSERT_EQ(with.history.size(), without.history.size());
+  ASSERT_GT(with.history.size(), 0u);
+  for (std::size_t i = 0; i < with.history.size(); ++i) {
+    EXPECT_EQ(with.history[i].iteration, without.history[i].iteration);
+    EXPECT_EQ(with.history[i].perplexity, without.history[i].perplexity)
+        << "eval point " << i;
+  }
+  // Fewer rows on the wire can only help the modeled time.
+  EXPECT_LE(with.virtual_seconds, without.virtual_seconds);
+}
+
 TEST(DistributedSamplerTest, RunIsOneShot) {
   auto f = small_planted_fixture(3, 80, 3, 40);
   sim::SimCluster cluster(cluster_config(2));

@@ -17,8 +17,15 @@
 #include <new>
 #include <vector>
 
+#ifdef SCD_ZERO_ALLOC_BACKTRACE
+#include <execinfo.h>
+
+#include <cstdio>
+#endif
+
 #include <gtest/gtest.h>
 
+#include "core/distributed_sampler.h"
 #include "core/parallel_sampler.h"
 #include "core/sequential_sampler.h"
 #include "tests/core/test_fixtures.h"
@@ -31,6 +38,14 @@ std::atomic<bool> g_tracking{false};
 void* counted_alloc(std::size_t size) {
   if (g_tracking.load(std::memory_order_relaxed)) {
     g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+#ifdef SCD_ZERO_ALLOC_BACKTRACE
+    g_tracking.store(false, std::memory_order_relaxed);
+    void* frames[32];
+    const int n = backtrace(frames, 32);
+    backtrace_symbols_fd(frames, n, 2);
+    std::fprintf(stderr, "---- alloc of %zu bytes ----\n", size);
+    g_tracking.store(true, std::memory_order_relaxed);
+#endif
   }
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
@@ -101,6 +116,44 @@ TEST(ZeroAllocTest, PerplexityEvaluationIsAllocationFreeAfterWarmup) {
   sampler.evaluate_perplexity();
   EXPECT_EQ(guard.count(), 0u)
       << "per-sample probability writes must reuse the evaluator state";
+}
+
+TEST(ZeroAllocTest, DistributedIterationIsAllocationFreeAfterWarmup) {
+  // The distributed path (master deploy -> worker stages -> collectives)
+  // must also be heap-quiet once warm: DistributedWorkspace owns every
+  // per-iteration buffer and the transport recycles payload buffers and
+  // collective slots from pools. run() is one-shot, so the tracking
+  // window is carved out of a single 60-iteration run via the master
+  // hook: iterations [0, 20) warm the pools, [20, 55) are tracked, and
+  // the tail is left untracked so worker shutdown is not counted.
+  testing::Fixture f = testing::small_planted_fixture();
+  f.options.eval_interval = 0;  // isolate the iteration path
+
+  sim::SimCluster::Config config;
+  config.num_ranks = 3;  // master + 2 workers
+  sim::SimCluster cluster(config);
+  DistributedOptions options;
+  options.base = f.options;
+  options.pipeline = true;
+  options.dedup_reads = true;
+  options.chunk_vertices = 8;
+  std::uint64_t hook_calls = 0;
+  options.master_iteration_hook = [&hook_calls](std::uint64_t t) {
+    ++hook_calls;
+    if (t == 20) {
+      g_alloc_count.store(0, std::memory_order_relaxed);
+      g_tracking.store(true, std::memory_order_relaxed);
+    } else if (t == 55) {
+      g_tracking.store(false, std::memory_order_relaxed);
+    }
+  };
+  DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                          f.hyper, options);
+  dist.run(60);
+  g_tracking.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(hook_calls, 60u);  // the tracking window really ran
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
+      << "steady-state distributed iterations must not touch the heap";
 }
 
 TEST(ZeroAllocTest, ParallelTrajectoryBitIdenticalAcrossThreadCounts) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "dkv/local_dkv.h"
+#include "dkv/sim_rdma_dkv.h"
 #include "random/xoshiro.h"
 #include "util/error.h"
 
@@ -34,7 +35,27 @@ TEST(CachedDkvTest, MissThenHitReturnsSameData) {
   const double cost = f.cache.get_rows(0, keys, again);
   EXPECT_EQ(f.cache.hits(), 1u);
   EXPECT_EQ(out, again);
-  EXPECT_DOUBLE_EQ(cost, 0.0);  // all hits: no inner fetch
+  // All hits: no inner fetch, just the local copy of one cached row.
+  EXPECT_DOUBLE_EQ(cost, f.cache.hit_cost(1));
+  EXPECT_GT(cost, 0.0);
+}
+
+TEST(CachedDkvTest, HitsCostLessThanRemoteMisses) {
+  // Wrap a sharded store so misses pay network cost: a hit (local memcpy)
+  // must be strictly cheaper than re-fetching the row remotely.
+  SimRdmaDkv inner(100, 3, 4, sim::NetworkModel{}, node());
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    const auto f = static_cast<float>(v);
+    inner.init_row(v, std::vector<float>{f, f + 0.5f, f + 0.25f});
+  }
+  CachedDkv cache(inner, 8, node());
+  std::vector<std::uint64_t> keys = {80};  // remote for requester shard 0
+  std::vector<float> out(3);
+  const double miss_cost = cache.get_rows(0, keys, out);
+  const double hit_cost = cache.get_rows(0, keys, out);
+  EXPECT_DOUBLE_EQ(miss_cost, inner.read_cost_keys(0, keys));
+  EXPECT_LT(hit_cost, miss_cost);
+  EXPECT_GT(hit_cost, 0.0);
 }
 
 TEST(CachedDkvTest, MixedBatchSplitsCorrectly) {

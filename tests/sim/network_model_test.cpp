@@ -89,6 +89,22 @@ TEST(NetworkModelTest, CollectiveTimeGrowsWithClusterAndPayload) {
   EXPECT_LT(net.collective_time(64, 0), net.collective_time(64, 1 << 20));
 }
 
+TEST(NetworkModelTest, CoalescedTimeSavesPerRequestOverheadOnly) {
+  NetworkModel net;
+  const std::uint64_t rows = 1000;
+  const std::uint64_t bytes = rows * 4100;
+  const std::uint64_t shards = 15;
+  const double per_row = net.dkv_batch_time(rows, bytes, bytes, 16);
+  const double coalesced = net.dkv_coalesced_time(shards, bytes, bytes, 16);
+  // Coalescing amortizes request overhead but moves the same bytes.
+  EXPECT_LT(coalesced, per_row);
+  EXPECT_NEAR(per_row - coalesced,
+              static_cast<double>(rows - shards) * net.dkv_request_overhead_s,
+              1e-12);
+  // Degenerate case: one message per row is the uncoalesced cost.
+  EXPECT_DOUBLE_EQ(net.dkv_coalesced_time(rows, bytes, bytes, 16), per_row);
+}
+
 TEST(NetworkModelTest, ValidationCatchesNonsense) {
   NetworkModel net;
   net.bandwidth_Bps = 0.0;

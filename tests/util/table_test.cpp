@@ -42,6 +42,19 @@ TEST(TableTest, CsvHasHeaderAndRows) {
   EXPECT_EQ(t.num_rows(), 2u);
 }
 
+TEST(TableTest, JsonEmitsRowObjectsWithExactDoubles) {
+  Table t({"stage", "k", "ms"});
+  t.set_precision(3);  // must not affect JSON: doubles round-trip exactly
+  t.add_row({std::string("load_pi"), std::int64_t{1024}, 0.1});
+  t.add_row({std::string("update_pi"), std::int64_t{12288}, 365.5});
+  EXPECT_EQ(t.to_json(),
+            "[\n"
+            "    {\"stage\": \"load_pi\", \"k\": 1024, "
+            "\"ms\": 0.10000000000000001},\n"
+            "    {\"stage\": \"update_pi\", \"k\": 12288, \"ms\": 365.5}\n"
+            "  ]");
+}
+
 TEST(TableTest, WriteCsvRejectsBadPath) {
   Table t({"a"});
   t.add_row({std::int64_t{1}});

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff a fresh bench run against its committed JSON baseline.
+
+Usage:
+    check_bench.py --bench <binary> --baseline <committed.json> \
+        [--tolerance 0.20]
+
+Runs `<binary> --json <tmpfile>`, then recursively compares every numeric
+field against the committed baseline. Exits 1 if any value drifts by more
+than `tolerance` relative to the baseline (or if the document structure
+changed). Non-numeric fields must match exactly.
+
+The modeled benches are deterministic (fixed seeds, virtual time), so any
+drift means a code change altered the cost model or the replayed traffic
+— exactly what this check is for. Baselines are regenerated on purpose
+with `<binary> --json <baseline>` when a change is intentional.
+"""
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def compare(baseline, fresh, tolerance, path, failures):
+    """Recursively compare `fresh` against `baseline`, appending human-
+    readable drift descriptions to `failures`."""
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict):
+            failures.append(f"{path}: expected object, got {type(fresh).__name__}")
+            return
+        for key in baseline:
+            if key not in fresh:
+                failures.append(f"{path}.{key}: missing from fresh run")
+            else:
+                compare(baseline[key], fresh[key], tolerance, f"{path}.{key}", failures)
+        for key in fresh:
+            if key not in baseline:
+                failures.append(f"{path}.{key}: not in baseline (regenerate it?)")
+    elif isinstance(baseline, list):
+        if not isinstance(fresh, list):
+            failures.append(f"{path}: expected array, got {type(fresh).__name__}")
+            return
+        if len(baseline) != len(fresh):
+            failures.append(
+                f"{path}: length {len(fresh)} != baseline {len(baseline)}")
+            return
+        for i, (b, f) in enumerate(zip(baseline, fresh)):
+            compare(b, f, tolerance, f"{path}[{i}]", failures)
+    elif isinstance(baseline, bool) or not isinstance(baseline, (int, float)):
+        if baseline != fresh:
+            failures.append(f"{path}: '{fresh}' != baseline '{baseline}'")
+    else:
+        if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
+            failures.append(f"{path}: expected number, got {fresh!r}")
+            return
+        if baseline == 0:
+            # Exact-zero fields (e.g. parity_max_rel_err) have no scale to
+            # be relative against; any nonzero value is a failure.
+            if fresh != 0:
+                failures.append(f"{path}: {fresh} != baseline 0")
+            return
+        drift = abs(fresh - baseline) / abs(baseline)
+        if drift > tolerance:
+            failures.append(
+                f"{path}: {fresh:g} drifted {drift:.1%} from baseline "
+                f"{baseline:g} (tolerance {tolerance:.0%})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", required=True,
+                        help="bench binary to run with --json")
+    parser.add_argument("--baseline", required=True,
+                        help="committed JSON baseline to diff against")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="max allowed relative drift (default 0.20)")
+    args = parser.parse_args()
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_file():
+        print(f"check_bench: baseline '{baseline_path}' not found", file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        fresh_path = Path(tmp.name)
+    try:
+        result = subprocess.run([args.bench, "--json", str(fresh_path)],
+                                stdout=subprocess.DEVNULL)
+        if result.returncode != 0:
+            print(f"check_bench: '{args.bench}' exited {result.returncode}",
+                  file=sys.stderr)
+            return 1
+        fresh = json.loads(fresh_path.read_text())
+    finally:
+        fresh_path.unlink(missing_ok=True)
+
+    failures = []
+    compare(baseline, fresh, args.tolerance, "$", failures)
+    name = Path(args.bench).name
+    if failures:
+        print(f"check_bench: {name} drifted from {baseline_path.name}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"check_bench: {name} matches {baseline_path.name} "
+          f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the default build + full test suite, then the same
+# suite under AddressSanitizer + UBSan (the `asan` CMake preset). Run from
+# anywhere; both build trees live next to the sources (build/, build-asan/).
+#
+#   tools/tier1.sh           # default + asan
+#   SKIP_ASAN=1 tools/tier1.sh   # default only (fast local loop)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: default preset =="
+cmake --preset default
+cmake --build --preset default -j
+ctest --preset default -j
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== tier-1: asan preset =="
+  cmake --preset asan
+  cmake --build --preset asan -j
+  ctest --preset asan -j
+fi
+
+echo "tier-1: all green"
