@@ -4,9 +4,12 @@
 // — a miniature of the paper's Section IV on your laptop.
 //
 //   ./cluster_sim [--workers 8] [--iterations 6000] [--communities 32]
+//               [--seed 5] [--fault-plan chaos.json]
 #include <cstdio>
+#include <string>
 
 #include "core/distributed_sampler.h"
+#include "fault/fault_plan.h"
 #include "graph/generator.h"
 #include "graph/heldout.h"
 #include "util/cli.h"
@@ -21,13 +24,25 @@ int main(int argc, char** argv) {
   std::int64_t iterations = 6000;
   std::uint64_t communities = 32;
   std::uint64_t vertices = 1000;
+  std::uint64_t seed = 5;
+  std::string fault_plan_path;
   ArgParser parser("cluster_sim",
                    "distributed sampler on the virtual cluster");
   parser.add_uint("workers", &workers, "simulated worker nodes")
       .add_int("iterations", &iterations, "iterations to run")
       .add_uint("communities", &communities, "inferred K")
-      .add_uint("vertices", &vertices, "graph size");
+      .add_uint("vertices", &vertices, "graph size")
+      .add_uint("seed", &seed, "root seed (same seed => same run)")
+      .add_string("fault-plan", &fault_plan_path,
+                  "JSON fault schedule to inject (see src/fault)");
   if (!parser.parse(argc, argv)) return 0;
+
+  fault::FaultPlan fault_plan;
+  const bool chaos = !fault_plan_path.empty();
+  if (chaos) {
+    fault_plan = fault::FaultPlan::from_file(fault_plan_path);
+    fault_plan.validate(static_cast<unsigned>(workers) + 1);
+  }
 
   rng::Xoshiro256 gen_rng(11);
   const graph::PlantedConfig config = graph::planted_config_for_degree(
@@ -53,8 +68,9 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(iterations) / 4;
     options.base.step.a = 0.03;
     options.base.step.b = 4096;
-    options.base.seed = 5;
+    options.base.seed = seed;
     options.pipeline = pipeline;
+    if (chaos) options.fault_plan = &fault_plan;
     core::DistributedSampler sampler(cluster, split.training(), &split,
                                      hyper, options);
     return sampler.run(static_cast<std::uint64_t>(iterations));
@@ -92,8 +108,23 @@ int main(int argc, char** argv) {
               format_duration(serial.virtual_seconds).c_str(),
               100.0 * (serial.virtual_seconds - pipelined.virtual_seconds) /
                   serial.virtual_seconds);
-  std::printf("perplexity trace (identical in both modes — pipelining"
-              " changes time, not numbers):\n");
+  if (chaos) {
+    auto fault_summary = [](const char* mode,
+                            const core::DistributedResult& r) {
+      std::printf("%s: %zu crashed rank(s)", mode, r.crashed_ranks.size());
+      for (unsigned rank : r.crashed_ranks) std::printf(" %u", rank);
+      std::printf(", %llu iteration(s) redone after recovery\n",
+                  static_cast<unsigned long long>(r.redone_iterations));
+    };
+    fault_summary("pipelined", pipelined);
+    fault_summary("single-buffered", serial);
+    // Crash times are virtual-time triggers, and the two modes run on
+    // different virtual clocks — their faulted trajectories may differ.
+    std::printf("perplexity trace (pipelined run):\n");
+  } else {
+    std::printf("perplexity trace (identical in both modes — pipelining"
+                " changes time, not numbers):\n");
+  }
   for (const core::HistoryPoint& p : pipelined.history) {
     std::printf("  iter %5llu  virtual %-10s perplexity %.3f\n",
                 static_cast<unsigned long long>(p.iteration),

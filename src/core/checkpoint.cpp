@@ -3,6 +3,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "util/error.h"
 
@@ -104,6 +105,17 @@ void save_checkpoint_file(const std::string& path,
 Checkpoint load_checkpoint_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw DataError("cannot open checkpoint '" + path + "'");
+  return load_checkpoint(in);
+}
+
+std::string checkpoint_to_bytes(const Checkpoint& checkpoint) {
+  std::ostringstream out(std::ios::binary);
+  save_checkpoint(out, checkpoint);
+  return std::move(out).str();
+}
+
+Checkpoint checkpoint_from_bytes(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
   return load_checkpoint(in);
 }
 

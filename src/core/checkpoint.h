@@ -33,4 +33,10 @@ void save_checkpoint_file(const std::string& path,
 Checkpoint load_checkpoint(std::istream& in);
 Checkpoint load_checkpoint_file(const std::string& path);
 
+/// In-memory round-trip through the same binary format — the
+/// fault-tolerant sampler's rollback snapshots, and anything else that
+/// wants checkpoint semantics without touching the filesystem.
+std::string checkpoint_to_bytes(const Checkpoint& checkpoint);
+Checkpoint checkpoint_from_bytes(const std::string& bytes);
+
 }  // namespace scd::core

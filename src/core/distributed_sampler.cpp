@@ -4,9 +4,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <type_traits>
 
+#include "core/checkpoint.h"
 #include "core/deploy_share.h"
 #include "core/distributed_workspace.h"
+#include "fault/fault_injector.h"
 #include "sim/pipeline_cost.h"
 #include "threading/thread_pool.h"
 #include "util/bytes.h"
@@ -19,6 +23,37 @@ namespace {
 constexpr int kTagDeploy = 1;
 constexpr unsigned kChannelGlobal = 0;   // master + all workers
 constexpr unsigned kChannelWorkers = 1;  // workers only (DKV consistency)
+
+// Fault-tolerant protocol tags. FT mode replaces the collectives with
+// master-coordinated point-to-point rounds (collectives require static
+// membership; these survive a shrinking live set).
+constexpr int kTagCtrl = 2;       // master -> worker FtCtrl records
+constexpr int kTagHeartbeat = 3;  // worker -> master stage-done beacons
+constexpr int kTagRatios = 4;     // worker -> master 2K ratio partials
+constexpr int kTagBeta = 5;       // master -> worker fresh beta
+constexpr int kTagEval = 6;       // worker -> master perplexity partials
+
+enum FtOp : std::uint32_t {
+  kFtDeploy = 1,  // new iteration: share follows (and beta, when flagged)
+  kFtPiGo,        // all live workers finished update_phi — write pi
+  kFtBetaGo,      // all live workers finished update_pi — compute ratios
+  kFtBeta,        // theta stepped; beta payload follows
+  kFtRestart,     // membership changed — discard stage, await new deploy
+  kFtStop,        // run complete
+};
+
+/// One master->worker control record. live_count/member_index tell the
+/// worker which slice of the minibatch and held-out set is now its own —
+/// reassignment after a death is just these two fields changing.
+struct FtCtrl {
+  std::uint64_t iteration = 0;
+  std::uint32_t op = 0;
+  std::uint32_t live_count = 0;
+  std::uint32_t member_index = 0;
+  std::uint32_t eval = 0;           // this iteration ends with an eval round
+  std::uint32_t beta_follows = 0;   // a kTagBeta payload precedes the share
+};
+static_assert(std::is_trivially_copyable_v<FtCtrl>);
 
 using threading::ThreadPool;
 
@@ -124,13 +159,33 @@ DistributedResult DistributedSampler::run(std::uint64_t iterations) {
     cluster_.transport().reserve_mailbox(0, wi + 1, kTagDeploy, 8);
   }
 
+  if (options_.fault_plan != nullptr) {
+    SCD_REQUIRE(real(), "fault-tolerant mode needs a real-mode sampler");
+    injector_ = std::make_unique<fault::FaultInjector>(*options_.fault_plan,
+                                                       cluster_.num_ranks());
+    cluster_.install_fault_hooks(injector_.get());
+    store_->install_fault(injector_.get(), &cluster_.clocks());
+  }
+
   cluster_.run([this, iterations](sim::RankContext& ctx) {
-    if (ctx.is_master()) {
+    if (injector_ != nullptr) {
+      if (ctx.is_master()) {
+        ft_master_loop(ctx, iterations);
+      } else {
+        ft_worker_loop(ctx);
+      }
+    } else if (ctx.is_master()) {
       master_loop(ctx, iterations);
     } else {
       worker_loop(ctx, iterations);
     }
   });
+
+  if (injector_ != nullptr) {
+    // The injector dies with this sampler; leave no dangling hooks behind.
+    cluster_.install_fault_hooks(nullptr);
+    store_->install_fault(nullptr, nullptr);
+  }
 
   DistributedResult result;
   result.iterations = iterations;
@@ -141,8 +196,12 @@ DistributedResult DistributedSampler::run(std::uint64_t iterations) {
                      : 0.0;
   result.critical_path = cluster_.max_stats();
   result.history = history_;
+  result.crashed_ranks = crashed_ranks_;
+  result.redone_iterations = redone_iterations_;
   return result;
 }
+
+DistributedSampler::~DistributedSampler() = default;
 
 // ---------------------------------------------------------------------
 // Master
@@ -577,6 +636,559 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
               k,
           ctx.compute().perplexity_unit_cycles);
       net.reduce_sum(ctx.rank(), 0, acc, kChannelGlobal);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Fault-tolerant twins (options_.fault_plan != nullptr)
+//
+// The collectives of the legacy loops assume static membership, so FT
+// mode replaces them with master-coordinated point-to-point rounds: the
+// master drives every stage with FtCtrl records, workers answer with
+// per-stage heartbeats, and a missing heartbeat (recv_bytes_or_dead) is
+// the failure detector. Virtual-time parity with the legacy path is kept
+// by charging the collective skew once per replaced collective (4 per
+// iteration + 1 per eval). Recovery: the interrupted iteration is redone
+// over the survivors (pi writes that landed before the crash are kept —
+// SG-MCMC tolerates the perturbation), the dead rank's DKV shard is
+// re-homed to the lowest surviving worker, and its minibatch/held-out
+// slices are re-sliced by (member_index, live_count). With
+// rollback_interval > 0 the master instead restores the last in-memory
+// core/checkpoint snapshot. Workers fail-stop only at fixed protocol
+// points when their virtual clock passes the plan's crash time, after
+// completing all earlier sends — which makes detection, and therefore
+// the whole faulted trajectory, deterministic.
+// ---------------------------------------------------------------------
+
+void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
+                                        std::uint64_t iterations) {
+  const std::uint32_t k = hyper_.num_communities;
+  const unsigned w = num_workers_;
+  sim::SimTransport& net = ctx.transport();
+  const double skew = ctx.network().collective_skew_s;
+
+  MasterWorkspace ws(k, w);
+  ws.reserve_real(*graph_, *minibatch_);
+
+  std::vector<unsigned> live(w);
+  for (unsigned wi = 0; wi < w; ++wi) live[wi] = wi + 1;
+
+  std::vector<float> beta_buf(global_.beta_all().begin(),
+                              global_.beta_all().end());
+  auto send_beta = [&](unsigned rank) {
+    net.send<float>(0, rank, kTagBeta, std::span<const float>(beta_buf));
+  };
+  auto send_ctrl = [&](unsigned rank, const FtCtrl& c) {
+    net.send<FtCtrl>(0, rank, kTagCtrl, std::span<const FtCtrl>(&c, 1));
+  };
+  for (unsigned rank : live) send_beta(rank);
+
+  // Rollback snapshots: a full checkpoint serialized to memory. Taking
+  // one costs the master a wire-read of every pi row (workers are
+  // quiescent — blocked on the next deploy — whenever this runs).
+  std::string snap_bytes;
+  const double snap_wire_s = ctx.network().transfer_time(
+      static_cast<std::uint64_t>(num_vertices_) * store_->row_bytes());
+  auto take_snapshot = [&](std::uint64_t t) {
+    Checkpoint cp;
+    cp.iteration = t;
+    cp.hyper = hyper_;
+    cp.pi = snapshot_pi();
+    cp.global = global_;
+    snap_bytes = checkpoint_to_bytes(cp);
+    ctx.charge(sim::Phase::kBarrierWait, snap_wire_s);
+  };
+  if (options_.rollback_interval > 0) take_snapshot(0);
+
+  // Rank-ordered gather from every live worker; consume(rank, payload)
+  // runs per arrival, so reductions fold in rank order (deterministic).
+  // Returns true when at least one worker turned out dead instead.
+  std::vector<unsigned> dead_now;
+  auto gather = [&](int tag, auto&& consume) {
+    dead_now.clear();
+    const double before = ctx.clock().now();
+    for (unsigned rank : live) {
+      auto payload = net.recv_bytes_or_dead(0, rank, tag);
+      if (!payload.has_value()) {
+        dead_now.push_back(rank);
+        continue;
+      }
+      consume(rank, *payload);
+      net.recycle_buffer(std::move(*payload));
+    }
+    ctx.stats().add(sim::Phase::kBarrierWait, ctx.clock().now() - before);
+    return !dead_now.empty();
+  };
+
+  bool beta_follows = false;  // next deploy must re-ship beta (rollback)
+
+  // Failure detected at iteration `t`: charge the heartbeat timeout,
+  // shrink membership, re-home the dead shards, optionally roll back,
+  // and tell the survivors to restart. `lost` = the iteration was still
+  // in flight (vs. fully applied, eval round aside). Returns the next
+  // iteration to run.
+  auto handle_death = [&](bool lost, std::uint64_t t) -> std::uint64_t {
+    double detect = ctx.clock().now();
+    for (unsigned rank : dead_now) {
+      detect = std::max(detect, injector_->crash_time(rank) +
+                                    injector_->heartbeat_timeout_s());
+    }
+    ctx.stats().add(sim::Phase::kBarrierWait, detect - ctx.clock().now());
+    ctx.clock().advance_to(detect);
+    for (unsigned rank : dead_now) {
+      crashed_ranks_.push_back(rank);
+      live.erase(std::find(live.begin(), live.end(), rank));
+    }
+    SCD_REQUIRE(!live.empty(), "all workers failed; run cannot continue");
+    for (unsigned rank : dead_now) {
+      const unsigned heir = live.front() - 1;
+      ctx.charge(sim::Phase::kBarrierWait, store_->rehome_cost(rank - 1));
+      store_->rehome_shard(rank - 1, heir);
+    }
+    std::uint64_t next = lost ? t : t + 1;
+    if (options_.rollback_interval > 0) {
+      const Checkpoint cp = checkpoint_from_bytes(snap_bytes);
+      for (std::uint64_t v = 0; v < num_vertices_; ++v) {
+        store_->init_row(v, cp.pi.row(static_cast<std::uint32_t>(v)));
+      }
+      global_ = cp.global;
+      std::copy(global_.beta_all().begin(), global_.beta_all().end(),
+                beta_buf.begin());
+      ctx.charge(sim::Phase::kBarrierWait, snap_wire_s);
+      beta_follows = true;
+      next = cp.iteration;
+    }
+    redone_iterations_ += (t + 1) - next;
+    for (std::size_t li = 0; li < live.size(); ++li) {
+      send_ctrl(live[li], {next, kFtRestart,
+                           static_cast<std::uint32_t>(live.size()),
+                           static_cast<std::uint32_t>(li), 0, 0});
+    }
+    return next;
+  };
+
+  auto beat_check = [&](std::uint64_t t) {
+    return [t](unsigned, const std::vector<std::byte>& payload) {
+      SCD_ASSERT(payload.size() == sizeof(std::uint64_t),
+                 "malformed heartbeat");
+      std::uint64_t beat;
+      std::memcpy(&beat, payload.data(), sizeof(beat));
+      SCD_ASSERT(beat == t, "heartbeat from a stale iteration");
+    };
+  };
+
+  std::uint64_t t = 0;
+  while (t < iterations) {
+    if (options_.master_iteration_hook) options_.master_iteration_hook(t);
+    const unsigned lw = static_cast<unsigned>(live.size());
+    const bool ev = eval_due(t);
+
+    // ---- deploy: ctrl (+ beta after rollback) + minibatch share --------
+    rng::Xoshiro256 mb_rng =
+        derive_rng(options_.base.seed, rng_label::kMinibatch, t);
+    minibatch_->draw_into(mb_rng, ws.mb, ws.mb_scratch);
+    const graph::Minibatch& mb = ws.mb;
+    const double scale = mb.scale;
+    ctx.charge(sim::Phase::kDrawMinibatch,
+               ctx.compute().draw_cost_per_vertex_s *
+                   static_cast<double>(mb.vertices.size()));
+    for (unsigned li = 0; li < lw; ++li) {
+      send_ctrl(live[li], {t, kFtDeploy, lw, li, ev ? 1u : 0u,
+                           beta_follows ? 1u : 0u});
+      if (beta_follows) send_beta(live[li]);
+      DeployShare& share = ws.shares[li];
+      share.clear();
+      share.iteration = t;
+      const auto [vlo, vhi] =
+          ThreadPool::chunk_bounds(0, mb.vertices.size(), li, lw);
+      for (std::uint64_t i = vlo; i < vhi; ++i) {
+        const graph::Vertex a = mb.vertices[i];
+        share.vertices.push_back(a);
+        const auto adj = graph_->neighbors(a);
+        share.degrees.push_back(static_cast<std::uint32_t>(adj.size()));
+        share.adjacency.insert(share.adjacency.end(), adj.begin(),
+                               adj.end());
+      }
+      const auto [plo, phi] =
+          ThreadPool::chunk_bounds(0, mb.pairs.size(), li, lw);
+      for (std::uint64_t i = plo; i < phi; ++i) {
+        share.pair_a.push_back(mb.pairs[i].a);
+        share.pair_b.push_back(mb.pairs[i].b);
+        share.pair_y.push_back(mb.pairs[i].link ? 1 : 0);
+      }
+      std::vector<std::byte> payload = net.acquire_buffer();
+      ByteWriter writer(payload);
+      serialize_share(share, writer);
+      net.send_bytes(0, live[li], kTagDeploy, std::move(payload));
+    }
+    beta_follows = false;
+
+    // ---- phi done? -----------------------------------------------------
+    if (gather(kTagHeartbeat, beat_check(t))) {
+      t = handle_death(/*lost=*/true, t);
+      continue;
+    }
+    ctx.charge(sim::Phase::kBarrierWait, skew);
+    for (unsigned rank : live) send_ctrl(rank, {t, kFtPiGo, lw, 0, 0, 0});
+
+    // ---- pi done? ------------------------------------------------------
+    if (gather(kTagHeartbeat, beat_check(t))) {
+      t = handle_death(/*lost=*/true, t);
+      continue;
+    }
+    ctx.charge(sim::Phase::kBarrierWait, skew);
+    for (unsigned rank : live) send_ctrl(rank, {t, kFtBetaGo, lw, 0, 0, 0});
+
+    // ---- gather ratio partials, step theta -----------------------------
+    std::vector<double>& ratios = ws.ratios;
+    ratios.assign(std::size_t{k} * 2, 0.0);
+    const bool ratio_death =
+        gather(kTagRatios, [&](unsigned, const std::vector<std::byte>& p) {
+          SCD_ASSERT(p.size() == ratios.size() * sizeof(double),
+                     "malformed ratio partial");
+          for (std::size_t i = 0; i < ratios.size(); ++i) {
+            double part;
+            std::memcpy(&part, p.data() + i * sizeof(double), sizeof(part));
+            ratios[i] += part;
+          }
+        });
+    if (ratio_death) {
+      t = handle_death(/*lost=*/true, t);
+      continue;
+    }
+    ctx.charge(sim::Phase::kBarrierWait, skew);
+    std::vector<double>& grad = ws.grad;
+    grad.assign(std::size_t{k} * 2, 0.0);
+    theta_grad_from_ratios(std::span<const double>(ratios.data(), k),
+                           std::span<const double>(ratios.data() + k, k),
+                           global_.theta_flat(), grad);
+    for (double& g : grad) g *= scale;
+    update_theta(options_.base.seed, t, global_, grad,
+                 options_.base.step.eps(t), hyper_.eta0, hyper_.eta1,
+                 options_.base.noise_factor, options_.base.gradient_form);
+    std::copy(global_.beta_all().begin(), global_.beta_all().end(),
+              beta_buf.begin());
+    ctx.charge_serial(sim::Phase::kUpdateBetaTheta,
+                      static_cast<double>(k) * 2.0,
+                      ctx.compute().theta_unit_cycles);
+    for (unsigned rank : live) {
+      send_ctrl(rank, {t, kFtBeta, lw, 0, 0, 0});
+      send_beta(rank);
+    }
+    ctx.charge(sim::Phase::kUpdateBetaTheta, skew);
+
+    // ---- perplexity over the live ranks' held-out slices ---------------
+    if (ev) {
+      std::vector<double>& acc = ws.eval_acc;
+      acc.assign(2, 0.0);
+      const bool eval_death =
+          gather(kTagEval, [&](unsigned, const std::vector<std::byte>& p) {
+            SCD_ASSERT(p.size() == 2 * sizeof(double),
+                       "malformed eval partial");
+            double part[2];
+            std::memcpy(part, p.data(), sizeof(part));
+            acc[0] += part[0];
+            acc[1] += part[1];
+          });
+      ctx.charge(sim::Phase::kBarrierWait, skew);
+      if (acc[1] > 0.0) {
+        const double perp = PerplexityEvaluator::perplexity(
+            acc[0], static_cast<std::uint64_t>(acc[1]));
+        history_.push_back({t + 1, ctx.clock().now(), perp});
+      }
+      if (eval_death) {
+        // Theta/beta/pi for t are fully applied — nothing to redo.
+        t = handle_death(/*lost=*/false, t);
+        continue;
+      }
+    }
+
+    ++t;
+    if (options_.rollback_interval > 0 && t < iterations &&
+        t % options_.rollback_interval == 0) {
+      take_snapshot(t);
+    }
+  }
+
+  for (unsigned rank : live) {
+    send_ctrl(rank, {iterations, kFtStop, 0, 0, 0, 0});
+  }
+}
+
+void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
+  const std::uint32_t k = hyper_.num_communities;
+  const std::uint32_t width = pi_row_width(k);
+  const unsigned w = num_workers_;
+  const unsigned wi = ctx.rank() - 1;  // DKV shard (static even in FT)
+  const std::uint32_t n_nbr = options_.base.num_neighbors;
+  const bool dedup = options_.dedup_reads;
+  sim::SimTransport& net = ctx.transport();
+
+  WorkerWorkspace ws(k);
+  const std::size_t set_bound = n_nbr + graph_->max_degree();
+  {
+    // Reserve for the static-membership slice; a survivor's slice grows
+    // after a death and the buffers simply grow with it (FT mode does not
+    // promise an allocation-free steady state).
+    const std::size_t share_vertices =
+        minibatch_->max_vertices_bound() / w + 1;
+    const std::size_t share_adjacency = std::min<std::size_t>(
+        share_vertices * graph_->max_degree(), 2 * graph_->num_edges());
+    const std::size_t share_pairs = minibatch_->max_pairs_bound() / w + 1;
+    const std::size_t stage_refs_bound = std::max<std::size_t>(
+        {std::size_t{options_.chunk_vertices} * (1 + set_bound),
+         2 * share_pairs, 2 * heldout_size_});
+    ws.reserve_real(share_vertices, share_adjacency, share_pairs, width,
+                    set_bound, stage_refs_bound, n_nbr);
+  }
+
+  auto load_stage_rows = [&]() -> double {
+    if (dedup) {
+      ws.key_index.build(ws.keys);
+      const auto unique = ws.key_index.unique_keys();
+      ws.rows.resize(unique.size() * width);
+      return store_->get_rows(wi, unique, ws.rows);
+    }
+    ws.rows.resize(ws.keys.size() * width);
+    return store_->get_rows(wi, ws.keys, ws.rows);
+  };
+  auto row_of = [&](std::size_t ref) -> std::span<const float> {
+    const std::size_t slot = dedup ? ws.key_index.remap()[ref] : ref;
+    return {ws.rows.data() + slot * width, width};
+  };
+
+  std::vector<float> beta_buf(k, 0.0f);
+  LikelihoodTerms terms;
+  auto recv_beta = [&]() {
+    const std::vector<float> fresh = net.recv<float>(ctx.rank(), 0, kTagBeta);
+    SCD_ASSERT(fresh.size() == k, "malformed beta payload");
+    std::copy(fresh.begin(), fresh.end(), beta_buf.begin());
+    terms.refresh(beta_buf, hyper_.delta);
+  };
+  recv_beta();
+
+  auto recv_ctrl = [&](sim::Phase p) -> FtCtrl {
+    const double before = ctx.clock().now();
+    const std::vector<FtCtrl> msg =
+        net.recv<FtCtrl>(ctx.rank(), 0, kTagCtrl);
+    SCD_ASSERT(msg.size() == 1, "malformed ctrl record");
+    ctx.stats().add(p, ctx.clock().now() - before);
+    return msg[0];
+  };
+  // Fail-stop point: past the plan's crash time this rank dies here —
+  // after completing every earlier send, before the upcoming one — which
+  // is what makes the master's detection order deterministic.
+  auto fail_stop = [&]() -> bool {
+    if (!injector_->crashed(ctx.rank(), ctx.clock().now())) return false;
+    net.mark_rank_dead(ctx.rank());
+    return true;
+  };
+  auto send_beat = [&](std::uint64_t t) {
+    const std::uint64_t beat = t;
+    net.send<std::uint64_t>(ctx.rank(), 0, kTagHeartbeat,
+                            std::span<const std::uint64_t>(&beat, 1));
+  };
+
+  // Held-out slice of the current membership; rebuilt when (live_count,
+  // member_index) changes. Running per-pair averages restart then — the
+  // pairs moved owner, and their history moved off-cluster with the dead
+  // rank (documented approximation in DESIGN.md).
+  std::unique_ptr<PerplexityEvaluator> evaluator;
+  unsigned eval_live = 0;
+  unsigned eval_member = 0;
+
+  for (;;) {
+    const FtCtrl c = recv_ctrl(sim::Phase::kDeployMinibatch);
+    if (c.op == kFtStop) return;
+    if (c.op == kFtRestart) continue;  // stale membership; await deploy
+    SCD_ASSERT(c.op == kFtDeploy, "unexpected ctrl op at deploy point");
+    const std::uint64_t t = c.iteration;
+    const unsigned lw = c.live_count;
+    const unsigned li = c.member_index;
+    if (c.beta_follows != 0) recv_beta();
+
+    // ---- minibatch share ----------------------------------------------
+    DeployShare& share = ws.share;
+    std::uint64_t n_local;
+    std::uint64_t p_local;
+    {
+      const double before = ctx.clock().now();
+      std::vector<std::byte> payload =
+          net.recv_bytes(ctx.rank(), 0, kTagDeploy);
+      deserialize_share_into(payload, share);
+      net.recycle_buffer(std::move(payload));
+      SCD_ASSERT(share.iteration == t, "deploy out of order");
+      n_local = share.vertices.size();
+      p_local = share.pair_a.size();
+      ctx.stats().add(sim::Phase::kDeployMinibatch,
+                      ctx.clock().now() - before);
+    }
+
+    // ---- sample neighbor sets V_n -------------------------------------
+    ws.ensure_neighbor_sets(n_local, set_bound);
+    double total_samples = 0.0;
+    {
+      std::size_t adj_offset = 0;
+      for (std::size_t vi = 0; vi < n_local; ++vi) {
+        const graph::Vertex a = share.vertices[vi];
+        rng::Xoshiro256 nbr_rng =
+            derive_rng(options_.base.seed, rng_label::kNeighbors, t, a);
+        graph::draw_neighbor_set_into(
+            nbr_rng, options_.base.neighbor_mode,
+            static_cast<graph::Vertex>(num_vertices_), a,
+            share.adj_of(vi, adj_offset), n_nbr, ws.neighbor_sets[vi],
+            ws.nbr_scratch);
+        adj_offset += share.degrees[vi];
+        total_samples +=
+            static_cast<double>(ws.neighbor_sets[vi].samples.size());
+      }
+    }
+    ctx.charge_kernel(sim::Phase::kSampleNeighbors, total_samples,
+                      ctx.compute().neighbor_unit_cycles);
+
+    // ---- update_phi ----------------------------------------------------
+    ws.staged.resize(n_local * width);
+    sim::PipelineCost pipe;
+    const std::uint64_t chunk = options_.chunk_vertices;
+    for (std::uint64_t lo = 0; lo < n_local; lo += chunk) {
+      const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, n_local);
+      ws.keys.clear();
+      double chunk_samples = 0.0;
+      for (std::uint64_t vi = lo; vi < hi; ++vi) {
+        ws.keys.push_back(share.vertices[vi]);
+        for (const graph::NeighborSample& nb :
+             ws.neighbor_sets[vi].samples) {
+          ws.keys.push_back(nb.b);
+        }
+        chunk_samples +=
+            static_cast<double>(ws.neighbor_sets[vi].samples.size());
+      }
+      const double load_cost = load_stage_rows();
+      std::size_t ref_idx = 0;
+      for (std::uint64_t vi = lo; vi < hi; ++vi) {
+        const graph::Vertex a = share.vertices[vi];
+        const graph::NeighborSet& set = ws.neighbor_sets[vi];
+        std::span<const float> row_a = row_of(ref_idx);
+        const std::size_t first_nbr_ref = ref_idx + 1;
+        ref_idx += 1 + set.samples.size();
+        std::span<float> out(ws.staged.data() + vi * width, width);
+        staged_phi_update(
+            options_.base.seed, t, a, row_a, set,
+            [&](std::size_t i) { return row_of(first_nbr_ref + i); },
+            terms, options_.base.step.eps(t), hyper_.normalized_alpha(),
+            out, ws.scratch, options_.base.noise_factor,
+            options_.base.gradient_form);
+      }
+      const double compute_cost = ctx.compute().kernel_time(
+          chunk_samples * k, ctx.compute().phi_unit_cycles);
+      pipe.add_chunk(load_cost, compute_cost);
+    }
+    // The pipeline total bypasses charge(), so the straggler slowdown is
+    // applied here explicitly.
+    const double factor =
+        injector_->compute_factor(ctx.rank(), ctx.clock().now());
+    ctx.stats().add(sim::Phase::kLoadPi, pipe.load_total() * factor);
+    ctx.stats().add(sim::Phase::kUpdatePhi, pipe.compute_total() * factor);
+    ctx.clock().advance(pipe.total(options_.pipeline) * factor);
+
+    if (fail_stop()) return;
+    send_beat(t);
+    {
+      const FtCtrl go = recv_ctrl(sim::Phase::kBarrierWait);
+      if (go.op == kFtRestart) continue;
+      SCD_ASSERT(go.op == kFtPiGo && go.iteration == t,
+                 "unexpected ctrl op at pi point");
+    }
+
+    // ---- update_pi -----------------------------------------------------
+    ctx.charge_kernel(sim::Phase::kUpdatePi,
+                      static_cast<double>(n_local) * k,
+                      ctx.compute().pi_unit_cycles);
+    ws.keys.assign(share.vertices.begin(), share.vertices.end());
+    ctx.charge(sim::Phase::kUpdatePi,
+               store_->put_rows(wi, ws.keys, ws.staged));
+
+    if (fail_stop()) return;
+    send_beat(t);
+    {
+      const FtCtrl go = recv_ctrl(sim::Phase::kBarrierWait);
+      if (go.op == kFtRestart) continue;
+      SCD_ASSERT(go.op == kFtBetaGo && go.iteration == t,
+                 "unexpected ctrl op at beta point");
+    }
+
+    // ---- update_beta: ratio partials -----------------------------------
+    std::vector<double>& ratios = ws.ratios;
+    ratios.assign(std::size_t{k} * 2, 0.0);
+    {
+      ws.keys.clear();
+      for (std::uint64_t i = 0; i < p_local; ++i) {
+        ws.keys.push_back(share.pair_a[i]);
+        ws.keys.push_back(share.pair_b[i]);
+      }
+      const double load_cost = load_stage_rows();
+      std::span<double> link(ratios.data(), k);
+      std::span<double> nonlink(ratios.data() + k, k);
+      for (std::uint64_t i = 0; i < p_local; ++i) {
+        std::span<const float> row_a = row_of(2 * i);
+        std::span<const float> row_b = row_of(2 * i + 1);
+        fast_accumulate_theta_ratio(row_a, row_b, terms,
+                                    share.pair_y[i] != 0,
+                                    share.pair_y[i] != 0 ? link : nonlink,
+                                    ws.scratch.w);
+      }
+      ctx.charge(sim::Phase::kUpdateBetaTheta, load_cost);
+      ctx.charge_kernel(sim::Phase::kUpdateBetaTheta,
+                        static_cast<double>(p_local) * k,
+                        ctx.compute().beta_unit_cycles);
+    }
+    if (fail_stop()) return;
+    net.send<double>(ctx.rank(), 0, kTagRatios,
+                     std::span<const double>(ratios));
+    {
+      const FtCtrl go = recv_ctrl(sim::Phase::kUpdateBetaTheta);
+      if (go.op == kFtRestart) continue;
+      SCD_ASSERT(go.op == kFtBeta && go.iteration == t,
+                 "unexpected ctrl op at beta receive point");
+      recv_beta();
+    }
+
+    // ---- perplexity ----------------------------------------------------
+    if (c.eval != 0 && heldout_ != nullptr && heldout_size_ > 0) {
+      if (evaluator == nullptr || eval_live != lw || eval_member != li) {
+        const auto [lo, hi] =
+            ThreadPool::chunk_bounds(0, heldout_size_, li, lw);
+        evaluator = std::make_unique<PerplexityEvaluator>(
+            std::span<const graph::HeldOutPair>(
+                heldout_->pairs().data() + lo, hi - lo));
+        eval_live = lw;
+        eval_member = li;
+      }
+      std::vector<double>& acc = ws.eval_acc;
+      acc.assign(2, 0.0);
+      const auto slice = evaluator->slice();
+      ws.keys.clear();
+      for (const graph::HeldOutPair& p : slice) {
+        ws.keys.push_back(p.a);
+        ws.keys.push_back(p.b);
+      }
+      ctx.charge(sim::Phase::kPerplexity, load_stage_rows());
+      for (std::size_t i = 0; i < slice.size(); ++i) {
+        std::span<const float> row_a = row_of(2 * i);
+        std::span<const float> row_b = row_of(2 * i + 1);
+        evaluator->add_sample_prob(
+            i, fast_pair_likelihood(row_a, row_b, terms, slice[i].link));
+      }
+      evaluator->finish_sample();
+      acc[0] = evaluator->sum_log_avg();
+      acc[1] = static_cast<double>(slice.size());
+      ctx.charge_kernel(sim::Phase::kPerplexity,
+                        static_cast<double>(evaluator->size()) * k,
+                        ctx.compute().perplexity_unit_cycles);
+      if (fail_stop()) return;
+      net.send<double>(ctx.rank(), 0, kTagEval,
+                       std::span<const double>(acc));
     }
   }
 }

@@ -45,6 +45,11 @@
 #include "graph/minibatch.h"
 #include "sim/cluster.h"
 
+namespace scd::fault {
+struct FaultPlan;
+class FaultInjector;
+}  // namespace scd::fault
+
 namespace scd::core {
 
 /// Loop trip counts for cost-only runs at paper scale.
@@ -76,6 +81,20 @@ struct DistributedOptions {
   /// Called by the master rank at the top of every iteration (tests and
   /// progress reporting; leave empty for none).
   std::function<void(std::uint64_t)> master_iteration_hook;
+  /// Fault-tolerant mode: when non-null (even an *empty* plan) the run
+  /// uses the master-coordinated FT protocol — per-stage heartbeats with
+  /// dead-worker detection, minibatch reassignment over the surviving
+  /// ranks, and DKV shard re-homing — driven by this plan's injected
+  /// faults. Null keeps the legacy collectives path, bit-identical in
+  /// both numbers and virtual time to builds without the fault
+  /// subsystem. Real mode only; the plan must outlive run().
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// FT mode: every this many iterations the master serializes a
+  /// core/checkpoint snapshot of pi + theta, and a worker death rolls
+  /// the run back to the latest snapshot instead of accepting the dead
+  /// worker's lost in-flight pi writes. 0 disables rollback (the default
+  /// recovery: redo the interrupted iteration on the survivors).
+  std::uint64_t rollback_interval = 0;
 };
 
 struct DistributedResult {
@@ -87,6 +106,11 @@ struct DistributedResult {
   sim::PhaseStats critical_path;
   /// Perplexity trace (real mode; seconds are virtual cluster time).
   std::vector<HistoryPoint> history;
+  /// FT mode: worker ranks that fail-stopped during the run, in
+  /// detection order.
+  std::vector<unsigned> crashed_ranks;
+  /// FT mode: iterations redone after a crash (restart or rollback).
+  std::uint64_t redone_iterations = 0;
 };
 
 class DistributedSampler {
@@ -102,6 +126,8 @@ class DistributedSampler {
                      const PhantomWorkload& workload, const Hyper& hyper,
                      const DistributedOptions& options);
 
+  ~DistributedSampler();
+
   /// Execute `iterations` iterations. One-shot: a sampler instance runs
   /// once (per-worker evaluator state lives inside the run).
   DistributedResult run(std::uint64_t iterations);
@@ -115,6 +141,12 @@ class DistributedSampler {
  private:
   void master_loop(sim::RankContext& ctx, std::uint64_t iterations);
   void worker_loop(sim::RankContext& ctx, std::uint64_t iterations);
+  /// Fault-tolerant twins, active when options_.fault_plan is set:
+  /// collectives are replaced by master-coordinated heartbeat rounds so
+  /// membership can shrink mid-run. See "Fault model & recovery" in
+  /// DESIGN.md.
+  void ft_master_loop(sim::RankContext& ctx, std::uint64_t iterations);
+  void ft_worker_loop(sim::RankContext& ctx);
   bool real() const { return graph_ != nullptr; }
   bool eval_due(std::uint64_t t) const {
     const std::uint64_t every = options_.base.eval_interval;
@@ -135,8 +167,12 @@ class DistributedSampler {
   GlobalState global_;
   std::optional<graph::MinibatchSampler> minibatch_;
 
+  std::unique_ptr<fault::FaultInjector> injector_;  // FT mode only
+
   bool ran_ = false;
   std::vector<HistoryPoint> history_;  // written by master rank only
+  std::vector<unsigned> crashed_ranks_;   // written by master rank only
+  std::uint64_t redone_iterations_ = 0;   // written by master rank only
 };
 
 }  // namespace scd::core

@@ -35,7 +35,7 @@ std::span<const float> SimRdmaDkv::row(std::uint64_t key) const {
 }
 
 SimRdmaDkv::KeyTally SimRdmaDkv::tally_keys(
-    unsigned shard, std::span<const std::uint64_t> keys) const {
+    unsigned shard, std::span<const std::uint64_t> keys, double now) const {
   // Epoch-stamped per-shard marks: counting distinct shards is O(batch)
   // with no clearing pass and no steady-state allocation. thread_local
   // because one store is shared by all simulated rank threads.
@@ -50,21 +50,65 @@ SimRdmaDkv::KeyTally SimRdmaDkv::tally_keys(
     epoch = 1;
   }
   KeyTally t;
+  const bool remapped = !remap_.empty();
   const auto [lo, hi] = partition_.range(shard);
   for (std::uint64_t key : keys) {
     SCD_ASSERT(key < num_rows(), "row key out of range");
-    if (key >= lo && key < hi) {
-      ++t.local;
-    } else {
-      ++t.remote;
-      const unsigned owner = partition_.owner(key);
-      if (stamp[owner] != epoch) {
-        stamp[owner] = epoch;
-        ++t.shards_contacted;
+    unsigned owner;
+    if (!remapped) {
+      if (key >= lo && key < hi) {
+        ++t.local;
+        continue;
       }
+      owner = partition_.owner(key);
+    } else {
+      owner = remap_[partition_.owner(key)];
+      if (owner == shard) {
+        ++t.local;
+        continue;
+      }
+    }
+    ++t.remote;
+    if (stamp[owner] != epoch) {
+      stamp[owner] = epoch;
+      ++t.shards_contacted;
+      if (fault_ != nullptr) t.stall_s += fault_->shard_stall_s(owner, now);
     }
   }
   return t;
+}
+
+void SimRdmaDkv::install_fault(const sim::FaultHooks* hooks,
+                               const std::vector<sim::SimClock>* clocks,
+                               unsigned rank_offset) {
+  SCD_REQUIRE(hooks == nullptr || clocks != nullptr,
+              "fault hooks need the rank clocks");
+  fault_ = hooks;
+  clocks_ = clocks;
+  rank_offset_ = rank_offset;
+}
+
+void SimRdmaDkv::rehome_shard(unsigned shard, unsigned new_owner) {
+  SCD_REQUIRE(shard < partition_.num_shards() &&
+                  new_owner < partition_.num_shards(),
+              "shard out of range");
+  SCD_REQUIRE(shard != new_owner, "cannot re-home a shard onto itself");
+  if (remap_.empty()) {
+    remap_.resize(partition_.num_shards());
+    for (unsigned s = 0; s < partition_.num_shards(); ++s) remap_[s] = s;
+  }
+  SCD_REQUIRE(remap_[new_owner] == new_owner,
+              "cannot re-home onto a shard that itself moved away");
+  // Chained failure: anything previously re-homed onto `shard` moves on
+  // with it.
+  for (unsigned& owner : remap_) {
+    if (owner == shard) owner = new_owner;
+  }
+}
+
+double SimRdmaDkv::rehome_cost(unsigned shard) const {
+  const auto [lo, hi] = partition_.range(shard);
+  return net_.transfer_time((hi - lo) * row_bytes());
 }
 
 double SimRdmaDkv::coalesced_cost(std::uint64_t local_rows,
@@ -128,8 +172,9 @@ double SimRdmaDkv::write_cost(unsigned requester_shard,
 
 double SimRdmaDkv::read_cost_keys(unsigned requester_shard,
                                   std::span<const std::uint64_t> keys) const {
-  const KeyTally t = tally_keys(requester_shard, keys);
-  return coalesced_cost(t.local, t.remote, t.shards_contacted);
+  const KeyTally t =
+      tally_keys(requester_shard, keys, now_for(requester_shard));
+  return coalesced_cost(t.local, t.remote, t.shards_contacted) + t.stall_s;
 }
 
 double SimRdmaDkv::write_cost_keys(unsigned requester_shard,

@@ -33,7 +33,9 @@
 
 #include "dkv/dkv.h"
 #include "dkv/partition.h"
+#include "sim/clock.h"
 #include "sim/compute_model.h"
+#include "sim/fault_hooks.h"
 #include "sim/network_model.h"
 
 namespace scd::dkv {
@@ -83,6 +85,30 @@ class SimRdmaDkv final : public DkvStore {
     return static_cast<std::uint64_t>(row_width_) * sizeof(float);
   }
 
+  /// Install (or clear, with nullptr) fault hooks: coalesced messages to
+  /// a stalled shard pay the plan's extra service delay. `clocks` supplies
+  /// the requester's virtual time; shard s is served by the rank at index
+  /// s + rank_offset (the sampler's worker-rank convention).
+  void install_fault(const sim::FaultHooks* hooks,
+                     const std::vector<sim::SimClock>* clocks,
+                     unsigned rank_offset = 1);
+
+  /// Re-home `shard`'s rows onto `new_owner` (a surviving shard) after
+  /// its worker fail-stops: subsequent accesses treat those rows as owned
+  /// by `new_owner` — local to its worker, one coalesced message from
+  /// everyone else. The storage itself never moves (all simulated ranks
+  /// share the address space); the orchestrator charges rehome_cost().
+  void rehome_shard(unsigned shard, unsigned new_owner);
+
+  /// Modeled bulk-transfer time of shipping `shard`'s rows to its heir.
+  double rehome_cost(unsigned shard) const;
+
+  /// Effective owner of `key` after any re-homing.
+  unsigned effective_owner(std::uint64_t key) const {
+    const unsigned owner = partition_.owner(key);
+    return remap_.empty() ? owner : remap_[owner];
+  }
+
  private:
 
   /// Locality census of a key batch: local/remote row counts plus the
@@ -92,11 +118,18 @@ class SimRdmaDkv final : public DkvStore {
     std::uint64_t local = 0;
     std::uint64_t remote = 0;
     std::uint64_t shards_contacted = 0;
+    /// Injected extra service delay summed over stalled contacted shards.
+    double stall_s = 0.0;
   };
-  KeyTally tally_keys(unsigned shard,
-                      std::span<const std::uint64_t> keys) const;
+  KeyTally tally_keys(unsigned shard, std::span<const std::uint64_t> keys,
+                      double now) const;
   double coalesced_cost(std::uint64_t local_rows, std::uint64_t remote_rows,
                         std::uint64_t shards_contacted) const;
+  /// Requester's virtual time, 0 when no fault hooks are installed.
+  double now_for(unsigned requester_shard) const {
+    if (fault_ == nullptr || clocks_ == nullptr) return 0.0;
+    return (*clocks_)[requester_shard + rank_offset_].now();
+  }
 
   RowPartition partition_;
   std::uint32_t row_width_;
@@ -104,6 +137,10 @@ class SimRdmaDkv final : public DkvStore {
   sim::ComputeModel node_;
   bool phantom_;
   std::vector<float> data_;
+  std::vector<unsigned> remap_;  // shard -> effective shard; empty = identity
+  const sim::FaultHooks* fault_ = nullptr;
+  const std::vector<sim::SimClock>* clocks_ = nullptr;
+  unsigned rank_offset_ = 1;
 };
 
 }  // namespace scd::dkv

@@ -1,0 +1,46 @@
+// Runtime replay of a FaultPlan: the concrete sim::FaultHooks.
+//
+// All probabilistic decisions (drop/duplicate draws) hash the plan seed
+// with the link identity and a per-link message sequence number, so they
+// depend only on the message's position in the sender's program order —
+// never on real-thread scheduling. Window checks (stragglers, stalls,
+// link windows, crashes) compare against virtual clocks, which are
+// themselves deterministic. The net effect: one (plan, workload, seed)
+// triple always produces the same faulted trajectory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "sim/fault_hooks.h"
+
+namespace scd::fault {
+
+class FaultInjector final : public sim::FaultHooks {
+ public:
+  /// Validates the plan against the cluster size (throws on violation).
+  FaultInjector(const FaultPlan& plan, unsigned num_ranks);
+
+  sim::SendFaults on_send(unsigned from, unsigned to, double now) override;
+  double compute_factor(unsigned rank, double now) const override;
+  double shard_stall_s(unsigned shard, double now) const override;
+  double retry_backoff_s() const override { return plan_.retry_backoff_s; }
+
+  /// Virtual time at which `rank` fail-stops; +inf when the plan never
+  /// kills it.
+  double crash_time(unsigned rank) const { return crash_time_[rank]; }
+  bool crashed(unsigned rank, double now) const {
+    return now >= crash_time_[rank];
+  }
+  double heartbeat_timeout_s() const { return plan_.heartbeat_timeout_s; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  unsigned num_ranks_;
+  std::vector<double> crash_time_;       // per rank, +inf = immortal
+  std::vector<std::uint64_t> link_seq_;  // per (from, to) send counter
+};
+
+}  // namespace scd::fault

@@ -1,0 +1,113 @@
+// Declarative, seeded fault schedules for the virtual-time cluster.
+//
+// A FaultPlan is the complete description of everything that goes wrong
+// in a chaos run: which ranks crash and when (virtual time), which links
+// drop/duplicate/delay messages inside which windows, which ranks slow
+// down (stragglers), and which DKV shards stall. Together with its seed
+// it fully determines every injected fault — two runs with the same plan
+// and the same workload produce bit-identical faulted trajectories,
+// which is what makes failures debuggable in the simulator when they
+// never would be on a real fabric.
+//
+// Plans are built programmatically or parsed from a small JSON file
+// (see from_json for the schema); the CLI's --fault-plan flag feeds the
+// latter. An empty plan is valid and injects nothing — it is how the
+// fault-tolerant protocol itself is benchmarked against the legacy
+// collectives path.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scd::fault {
+
+/// `rank` fail-stops the first time its virtual clock reaches `time_s`.
+/// Rank 0 (the master) is not allowed to crash.
+struct CrashEvent {
+  unsigned rank = 0;
+  double time_s = 0.0;
+};
+
+/// Transient lossy window on the directed link `from` -> `to`.
+struct LinkFault {
+  unsigned from = 0;
+  unsigned to = 0;
+  double start_s = 0.0;
+  double end_s = std::numeric_limits<double>::infinity();
+  /// Per-transmission loss probability (retried with backoff until a
+  /// transmission survives, so must be < 1).
+  double drop_prob = 0.0;
+  /// Probability the surviving transmission is sent twice (delivered
+  /// once; the duplicate only costs wire time).
+  double dup_prob = 0.0;
+  /// Extra in-flight delay on every delivery inside the window.
+  double delay_s = 0.0;
+};
+
+/// `rank`'s compute charges are multiplied by `slowdown` inside the
+/// window (OS jitter, co-tenant interference, thermal throttling).
+struct StragglerWindow {
+  unsigned rank = 0;
+  double start_s = 0.0;
+  double end_s = std::numeric_limits<double>::infinity();
+  double slowdown = 1.0;
+};
+
+/// Every coalesced DKV message to `shard` pays an extra `stall_s` inside
+/// the window (a busy or paging shard server).
+struct ShardStall {
+  unsigned shard = 0;
+  double start_s = 0.0;
+  double end_s = std::numeric_limits<double>::infinity();
+  double stall_s = 0.0;
+};
+
+struct FaultPlan {
+  /// Seeds every probabilistic decision (drop/duplicate draws).
+  std::uint64_t seed = 0;
+  /// The master declares a worker dead when its heartbeat is this far
+  /// overdue (virtual seconds).
+  double heartbeat_timeout_s = 0.25;
+  /// Base retry backoff of a dropped transmission; attempt i waits
+  /// base * 2^i before the re-post.
+  double retry_backoff_s = 50e-6;
+
+  std::vector<CrashEvent> crashes;
+  std::vector<LinkFault> links;
+  std::vector<StragglerWindow> stragglers;
+  std::vector<ShardStall> dkv_stalls;
+
+  /// True when the plan injects nothing at all.
+  bool empty() const {
+    return crashes.empty() && links.empty() && stragglers.empty() &&
+           dkv_stalls.empty();
+  }
+
+  /// Structural checks against a concrete cluster: ranks in range, the
+  /// master never crashes, probabilities and windows sane. Throws
+  /// scd::UsageError on violation.
+  void validate(unsigned num_ranks) const;
+
+  /// Parse from the JSON schema below. Unknown keys are an error (typos
+  /// must not silently produce a fault-free run). Throws scd::DataError
+  /// on malformed input.
+  ///
+  ///   {
+  ///     "seed": 7, "heartbeat_timeout_s": 0.25, "retry_backoff_s": 5e-5,
+  ///     "crashes":    [{"rank": 2, "time_s": 0.5}],
+  ///     "links":      [{"from": 1, "to": 0, "start_s": 0.0, "end_s": 1.0,
+  ///                     "drop_prob": 0.1, "dup_prob": 0.05,
+  ///                     "delay_s": 1e-3}],
+  ///     "stragglers": [{"rank": 1, "start_s": 0.2, "end_s": 0.4,
+  ///                     "slowdown": 3.0}],
+  ///     "dkv_stalls": [{"shard": 0, "start_s": 0.1, "end_s": 0.3,
+  ///                     "stall_s": 2e-3}]
+  ///   }
+  static FaultPlan from_json(std::string_view text);
+  static FaultPlan from_file(const std::string& path);
+};
+
+}  // namespace scd::fault

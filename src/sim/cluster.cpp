@@ -24,6 +24,11 @@ const ComputeModel& RankContext::compute() const {
 PhaseStats& RankContext::stats() { return cluster_.stats(rank_); }
 
 void RankContext::charge(Phase p, double seconds) {
+  // Straggler windows from an installed fault plan dilate this rank's
+  // compute; the factor is 1 (and the branch never taken) otherwise.
+  if (const FaultHooks* hooks = cluster_.fault_hooks()) {
+    seconds *= hooks->compute_factor(rank_, clock().now());
+  }
   clock().advance(seconds);
   stats().add(p, seconds);
 }
@@ -101,6 +106,12 @@ void SimCluster::reset() {
   // Transport NIC state is timing-only; rebuild for a clean slate.
   transport_ = std::make_unique<SimTransport>(config_.num_ranks,
                                               config_.network, clocks_);
+  transport_->install_fault_hooks(fault_);
+}
+
+void SimCluster::install_fault_hooks(FaultHooks* hooks) {
+  fault_ = hooks;
+  transport_->install_fault_hooks(hooks);
 }
 
 }  // namespace scd::sim

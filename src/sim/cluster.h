@@ -12,6 +12,7 @@
 
 #include "sim/clock.h"
 #include "sim/compute_model.h"
+#include "sim/fault_hooks.h"
 #include "sim/network_model.h"
 #include "sim/phase_stats.h"
 #include "sim/transport.h"
@@ -83,14 +84,22 @@ class SimCluster {
 
   SimTransport& transport() { return *transport_; }
   SimClock& clock(unsigned rank) { return clocks_[rank]; }
+  const std::vector<SimClock>& clocks() const { return clocks_; }
   const NetworkModel& network() const { return config_.network; }
   const ComputeModel& compute_model() const { return config_.compute; }
+
+  /// Install (or clear, with nullptr) fault-injection hooks on the
+  /// cluster and its transport. Survives reset(). The hooks must outlive
+  /// the installation; pass nullptr before destroying them.
+  void install_fault_hooks(FaultHooks* hooks);
+  FaultHooks* fault_hooks() const { return fault_; }
 
  private:
   Config config_;
   std::vector<SimClock> clocks_;
   std::vector<PhaseStats> stats_;
   std::unique_ptr<SimTransport> transport_;
+  FaultHooks* fault_ = nullptr;
 };
 
 }  // namespace scd::sim

@@ -11,6 +11,7 @@ SimTransport::SimTransport(unsigned num_ranks, const NetworkModel& net,
   SCD_REQUIRE(clocks.size() >= num_ranks, "one clock per rank required");
   net_.validate();
   nic_free_s_.assign(num_ranks, 0.0);
+  dead_.assign(num_ranks, 0);
 }
 
 std::vector<std::byte> SimTransport::acquire_buffer() {
@@ -75,9 +76,35 @@ void SimTransport::send_raw(unsigned from, unsigned to, int tag,
     // Posting costs the sender a request overhead; the wire transfer
     // occupies the sender's NIC, serializing back-to-back sends.
     clocks_[from].advance(net_.dkv_request_overhead_s);
+    double extra_delay_s = 0.0;
+    if (fault_ != nullptr) {
+      const SendFaults faults =
+          fault_->on_send(from, to, clocks_[from].now());
+      // Each lost transmission occupies the NIC for the full payload,
+      // then the sender waits out an exponential-backoff timeout and
+      // re-posts. Delivery always happens eventually — the plan caps
+      // drop_prob below 1 — so protocols above see delay, not loss.
+      for (unsigned a = 0; a < faults.dropped_attempts; ++a) {
+        const double start =
+            std::max(clocks_[from].now(), nic_free_s_[from]);
+        nic_free_s_[from] = start + wire_s;
+        clocks_[from].advance_to(start + wire_s);
+        clocks_[from].advance(fault_->retry_backoff_s() *
+                              static_cast<double>(1u << std::min(a, 10u)));
+        clocks_[from].advance(net_.dkv_request_overhead_s);
+      }
+      // A duplicated transmission pays the wire twice but is delivered
+      // once (receiver-side sequence numbers drop the copy).
+      for (unsigned d = 0; d < faults.duplicates; ++d) {
+        const double start =
+            std::max(clocks_[from].now(), nic_free_s_[from]);
+        nic_free_s_[from] = start + wire_s;
+      }
+      extra_delay_s = faults.extra_delay_s;
+    }
     const double start = std::max(clocks_[from].now(), nic_free_s_[from]);
     nic_free_s_[from] = start + wire_s;
-    const double arrival = start + wire_s + net_.latency_s;
+    const double arrival = start + wire_s + net_.latency_s + extra_delay_s;
     mailboxes_[mailbox_key(from, to, tag)].push(
         Message{arrival, std::move(payload)});
   }
@@ -89,11 +116,45 @@ std::vector<std::byte> SimTransport::recv_raw(unsigned self, unsigned from,
   SCD_REQUIRE(self < num_ranks_ && from < num_ranks_, "rank out of range");
   std::unique_lock<std::mutex> lock(mu_);
   auto& queue = mailboxes_[mailbox_key(from, self, tag)];
-  cv_.wait(lock, [&] { return aborted_ || !queue.empty(); });
+  cv_.wait(lock,
+           [&] { return aborted_ || !queue.empty() || dead_[from] != 0; });
   if (aborted_) throw Error("transport aborted while receiving");
+  if (queue.empty()) {
+    // Only reachable when `from` fail-stopped with nothing in flight.
+    throw TransportError("receive from dead rank " + std::to_string(from));
+  }
   Message msg = queue.pop();
   clocks_[self].advance_to(msg.arrival_s);
   return std::move(msg.payload);
+}
+
+std::optional<std::vector<std::byte>> SimTransport::recv_bytes_or_dead(
+    unsigned self, unsigned from, int tag) {
+  SCD_REQUIRE(self < num_ranks_ && from < num_ranks_, "rank out of range");
+  std::unique_lock<std::mutex> lock(mu_);
+  auto& queue = mailboxes_[mailbox_key(from, self, tag)];
+  cv_.wait(lock,
+           [&] { return aborted_ || !queue.empty() || dead_[from] != 0; });
+  if (aborted_) throw Error("transport aborted while receiving");
+  if (queue.empty()) return std::nullopt;  // dead, fully drained
+  Message msg = queue.pop();
+  clocks_[self].advance_to(msg.arrival_s);
+  return std::move(msg.payload);
+}
+
+void SimTransport::mark_rank_dead(unsigned rank) {
+  SCD_REQUIRE(rank < num_ranks_, "rank out of range");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dead_[rank] = 1;
+  }
+  cv_.notify_all();
+}
+
+bool SimTransport::rank_dead(unsigned rank) const {
+  SCD_REQUIRE(rank < num_ranks_, "rank out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_[rank] != 0;
 }
 
 void SimTransport::run_collective(unsigned self, unsigned channel,

@@ -37,14 +37,24 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "sim/clock.h"
+#include "sim/fault_hooks.h"
 #include "sim/network_model.h"
 #include "util/error.h"
 
 namespace scd::sim {
+
+/// Typed failure of a transport operation under fault injection — e.g.
+/// a blocking receive whose peer fail-stopped. Distinct from the generic
+/// abort Error so recovery code can catch exactly communication faults.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error(what) {}
+};
 
 class SimTransport {
  public:
@@ -100,6 +110,15 @@ class SimTransport {
   std::vector<std::byte> recv_bytes(unsigned self, unsigned from, int tag) {
     return recv_raw(self, from, tag);
   }
+
+  /// Failure-aware receive: like recv_bytes, but when `from` has been
+  /// marked dead and no matching message remains it returns std::nullopt
+  /// instead of blocking forever — the master's heartbeat-timeout
+  /// primitive. Deterministic because ranks die only at virtual-time
+  /// points fixed by the fault plan, after finishing all earlier sends.
+  std::optional<std::vector<std::byte>> recv_bytes_or_dead(unsigned self,
+                                                           unsigned from,
+                                                           int tag);
 
   /// Receive a phantom (or typed) message, discarding any payload.
   void recv_discard(unsigned self, unsigned from, int tag) {
@@ -164,6 +183,19 @@ class SimTransport {
   /// Wake every blocked rank with an error — called when any rank's code
   /// throws, so a failure surfaces instead of deadlocking the cluster.
   void abort_all();
+
+  /// Install (or clear, with nullptr) the fault-injection hooks. With no
+  /// hooks the messaging path is the unmodified happy path behind a
+  /// single null check. on_send is invoked under the transport lock, in
+  /// the sender's program order.
+  void install_fault_hooks(FaultHooks* hooks) { fault_ = hooks; }
+
+  /// Declare `rank` fail-stopped: wakes its waiting receivers. Messages
+  /// it sent before dying stay deliverable; once drained, blocking
+  /// receives from it throw TransportError and recv_bytes_or_dead
+  /// returns std::nullopt.
+  void mark_rank_dead(unsigned rank);
+  bool rank_dead(unsigned rank) const;
 
  private:
   struct Message {
@@ -248,13 +280,15 @@ class SimTransport {
   NetworkModel net_;
   std::vector<SimClock>& clocks_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::uint64_t, MessageQueue> mailboxes_;
   std::vector<double> nic_free_s_;  // per-rank outbound NIC availability
   std::vector<std::shared_ptr<CollSlot>> open_collectives_;  // by channel
   std::vector<std::shared_ptr<CollSlot>> free_slots_;
   std::vector<std::vector<std::byte>> buffer_pool_;
+  std::vector<std::uint8_t> dead_;  // per-rank fail-stop flags
+  FaultHooks* fault_ = nullptr;
   bool aborted_ = false;
 };
 

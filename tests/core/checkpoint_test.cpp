@@ -108,6 +108,63 @@ TEST(CheckpointTest, ResumedRunContinuesExactTrajectory) {
   }
 }
 
+TEST(CheckpointTest, BytesRoundTripIsExact) {
+  const Checkpoint original = make_checkpoint();
+  const std::string bytes = checkpoint_to_bytes(original);
+  const Checkpoint loaded = checkpoint_from_bytes(bytes);
+  EXPECT_EQ(loaded.iteration, original.iteration);
+  for (std::uint32_t v = 0; v < 20; ++v) {
+    for (std::uint32_t i = 0; i < 7; ++i) {
+      ASSERT_EQ(loaded.pi.row(v)[i], original.pi.row(v)[i]);
+    }
+  }
+  for (std::uint32_t k = 0; k < 6; ++k) {
+    EXPECT_EQ(loaded.global.theta(k, 0), original.global.theta(k, 0));
+    EXPECT_EQ(loaded.global.beta(k), original.global.beta(k));
+  }
+  EXPECT_THROW(checkpoint_from_bytes(bytes.substr(0, bytes.size() / 3)),
+               scd::DataError);
+  EXPECT_THROW(checkpoint_from_bytes("garbage"), scd::DataError);
+}
+
+// Restoring at an iteration that is NOT an eval boundary must still
+// reproduce the uninterrupted trajectory bit-for-bit: every RNG stream
+// is keyed on the iteration counter carried by the checkpoint, not on
+// anything accumulated between evals.
+TEST(CheckpointTest, MidIntervalRestoreReproducesTrajectory) {
+  auto f = small_planted_fixture(6060, 120, 4, 60);
+  f.options.eval_interval = 25;  // evals at 25, 50, 75
+  SequentialSampler uninterrupted(f.split->training(), f.split.get(),
+                                  f.hyper, f.options);
+  uninterrupted.run(80);
+
+  SequentialSampler first_part(f.split->training(), f.split.get(), f.hyper,
+                               f.options);
+  first_part.run(35);  // between the first and second eval
+  const std::string bytes = checkpoint_to_bytes(first_part.checkpoint());
+
+  SequentialSampler resumed(f.split->training(), f.split.get(), f.hyper,
+                            f.options);
+  resumed.restore(checkpoint_from_bytes(bytes));
+  EXPECT_EQ(resumed.iteration(), 35u);
+  resumed.run(45);
+
+  const PiMatrix& a = uninterrupted.pi();
+  const PiMatrix& b = resumed.pi();
+  for (std::uint32_t v = 0; v < a.num_vertices(); ++v) {
+    for (std::uint32_t k = 0; k < a.num_communities(); ++k) {
+      ASSERT_EQ(a.pi(v, k), b.pi(v, k)) << "v=" << v << " k=" << k;
+    }
+  }
+  for (std::uint32_t k = 0; k < f.hyper.num_communities; ++k) {
+    EXPECT_EQ(uninterrupted.global().beta(k), resumed.global().beta(k));
+    EXPECT_EQ(uninterrupted.global().theta(k, 0),
+              resumed.global().theta(k, 0));
+    EXPECT_EQ(uninterrupted.global().theta(k, 1),
+              resumed.global().theta(k, 1));
+  }
+}
+
 TEST(CheckpointTest, CrossSamplerHandoff) {
   // Train with the parallel sampler, checkpoint, resume sequentially:
   // the engines share state formats and trajectories.

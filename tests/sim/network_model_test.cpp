@@ -105,6 +105,34 @@ TEST(NetworkModelTest, CoalescedTimeSavesPerRequestOverheadOnly) {
   EXPECT_DOUBLE_EQ(net.dkv_coalesced_time(rows, bytes, bytes, 16), per_row);
 }
 
+// The skew term models the OS-jitter/straggler variance every collective
+// absorbs: paid exactly once per operation, additively, on top of the
+// tree transfer — and never by the degenerate one-rank "collective".
+TEST(NetworkModelTest, CollectiveSkewIsOneAdditiveTermPerOperation) {
+  NetworkModel with_skew;
+  NetworkModel no_skew;
+  no_skew.collective_skew_s = 0.0;
+  for (const unsigned cluster : {2u, 4u, 64u}) {
+    for (const std::uint64_t bytes : {std::uint64_t{0}, std::uint64_t{1} << 20}) {
+      EXPECT_DOUBLE_EQ(with_skew.collective_time(cluster, bytes),
+                       no_skew.collective_time(cluster, bytes) +
+                           with_skew.collective_skew_s)
+          << "cluster=" << cluster << " bytes=" << bytes;
+    }
+  }
+  // Independent of depth: doubling the cluster grows the tree term, not
+  // the skew term (up to the rounding of the `+ skew` additions).
+  const double delta_skew = with_skew.collective_time(64, 1024) -
+                            with_skew.collective_time(4, 1024);
+  const double delta_no_skew =
+      no_skew.collective_time(64, 1024) - no_skew.collective_time(4, 1024);
+  EXPECT_NEAR(delta_skew, delta_no_skew, 1e-15);
+  // One rank: no communication, no skew.
+  EXPECT_DOUBLE_EQ(with_skew.collective_time(1, 1 << 20), 0.0);
+  // A pure barrier (0 bytes) still pays the full skew.
+  EXPECT_GE(with_skew.collective_time(2, 0), with_skew.collective_skew_s);
+}
+
 TEST(NetworkModelTest, ValidationCatchesNonsense) {
   NetworkModel net;
   net.bandwidth_Bps = 0.0;

@@ -80,9 +80,20 @@ def main():
 
     baseline_path = Path(args.baseline)
     if not baseline_path.is_file():
-        print(f"check_bench: baseline '{baseline_path}' not found", file=sys.stderr)
+        # A missing baseline is a skip, not a failure: new benches land
+        # before their first committed baseline, and a fresh checkout
+        # must not fail the build for it.
+        print(f"check_bench: SKIP {Path(args.bench).name} — baseline "
+              f"'{baseline_path}' not committed yet; generate it with "
+              f"`{Path(args.bench).name} --json {baseline_path.name}`")
+        return 0
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except json.JSONDecodeError as e:
+        print(f"check_bench: baseline '{baseline_path}' is not valid JSON "
+              f"(line {e.lineno}, column {e.colno}: {e.msg})",
+              file=sys.stderr)
         return 1
-    baseline = json.loads(baseline_path.read_text())
 
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         fresh_path = Path(tmp.name)
@@ -93,7 +104,13 @@ def main():
             print(f"check_bench: '{args.bench}' exited {result.returncode}",
                   file=sys.stderr)
             return 1
-        fresh = json.loads(fresh_path.read_text())
+        try:
+            fresh = json.loads(fresh_path.read_text())
+        except json.JSONDecodeError as e:
+            print(f"check_bench: '{args.bench}' wrote invalid JSON "
+                  f"(line {e.lineno}, column {e.colno}: {e.msg})",
+                  file=sys.stderr)
+            return 1
     finally:
         fresh_path.unlink(missing_ok=True)
 

@@ -15,6 +15,7 @@
 
 #include "core/checkpoint.h"
 #include "core/parallel_sampler.h"
+#include "fault/fault_plan.h"
 #include "core/report.h"
 #include "graph/datasets.h"
 #include "graph/generator.h"
@@ -257,21 +258,24 @@ int cmd_simulate(int argc, const char* const* argv) {
   std::uint64_t communities = 1024;
   std::int64_t iterations = 64;
   std::uint64_t minibatch = 16384;
+  std::uint64_t vertices = 1000;
+  std::uint64_t seed = 1;
   bool no_pipeline = false;
+  std::string fault_plan_path;
   ArgParser parser("scd simulate",
                    "cost-only distributed run at com-Friendster scale");
   parser.add_uint("workers", &workers, "cluster size (worker nodes)")
       .add_uint("communities", &communities, "number of communities K")
       .add_int("iterations", &iterations, "iterations to simulate")
       .add_uint("minibatch", &minibatch, "minibatch vertices M")
-      .add_flag("no-pipeline", &no_pipeline, "disable double buffering");
+      .add_uint("seed", &seed, "root seed (same seed => same run)")
+      .add_flag("no-pipeline", &no_pipeline, "disable double buffering")
+      .add_string("fault-plan", &fault_plan_path,
+                  "JSON fault schedule; switches to a real-inference"
+                  " planted-graph chaos run")
+      .add_uint("vertices", &vertices,
+                "planted graph size (--fault-plan runs only)");
   if (!parser.parse(argc, argv)) return 0;
-
-  core::PhantomWorkload workload;
-  workload.num_vertices = 65'608'366;
-  workload.avg_degree = 55.06;
-  workload.minibatch_vertices = static_cast<std::uint32_t>(minibatch);
-  workload.minibatch_pairs = minibatch / 2;
 
   sim::SimCluster::Config config;
   config.num_ranks = static_cast<unsigned>(workers) + 1;
@@ -279,8 +283,64 @@ int cmd_simulate(int argc, const char* const* argv) {
   core::Hyper hyper;
   hyper.num_communities = static_cast<std::uint32_t>(communities);
   core::DistributedOptions options;
-  options.base.eval_interval = 0;
   options.pipeline = !no_pipeline;
+
+  if (!fault_plan_path.empty()) {
+    // Fault tolerance needs real inference (recovery replays real
+    // numbers), so chaos runs use a planted graph instead of the
+    // cost-only phantom workload.
+    const fault::FaultPlan plan =
+        fault::FaultPlan::from_file(fault_plan_path);
+    plan.validate(config.num_ranks);
+
+    rng::Xoshiro256 gen_rng(seed);
+    const graph::PlantedConfig planted = graph::planted_config_for_degree(
+        static_cast<graph::Vertex>(vertices),
+        static_cast<std::uint32_t>(communities), 20.0);
+    const graph::GeneratedGraph g =
+        graph::generate_planted(gen_rng, planted);
+    rng::Xoshiro256 split_rng(seed + 1);
+    const graph::HeldOutSplit split(split_rng, g.graph,
+                                    g.graph.num_edges() / 20);
+    hyper.delta = core::suggested_delta(g.graph.density());
+    options.base.neighbor_mode = core::NeighborMode::kLinkAware;
+    options.base.num_neighbors = 16;
+    options.base.eval_interval = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(iterations) / 4);
+    options.base.seed = seed;
+    options.fault_plan = &plan;
+    core::DistributedSampler sampler(cluster, split.training(), &split,
+                                     hyper, options);
+    const core::DistributedResult result =
+        sampler.run(static_cast<std::uint64_t>(iterations));
+
+    std::printf("chaos run: %llu workers, K=%llu, %u-vertex planted"
+                " graph, plan %s, seed %llu\n",
+                static_cast<unsigned long long>(workers),
+                static_cast<unsigned long long>(communities),
+                g.graph.num_vertices(), fault_plan_path.c_str(),
+                static_cast<unsigned long long>(seed));
+    std::printf("  virtual time: %s  (%zu crashed rank(s), %llu"
+                " iteration(s) redone)\n",
+                format_duration(result.virtual_seconds).c_str(),
+                result.crashed_ranks.size(),
+                static_cast<unsigned long long>(result.redone_iterations));
+    for (const core::HistoryPoint& p : result.history) {
+      std::printf("  iter %5llu  virtual %-10s perplexity %.3f\n",
+                  static_cast<unsigned long long>(p.iteration),
+                  format_duration(p.seconds).c_str(), p.perplexity);
+    }
+    return 0;
+  }
+
+  core::PhantomWorkload workload;
+  workload.num_vertices = 65'608'366;
+  workload.avg_degree = 55.06;
+  workload.minibatch_vertices = static_cast<std::uint32_t>(minibatch);
+  workload.minibatch_pairs = minibatch / 2;
+
+  options.base.eval_interval = 0;
+  options.base.seed = seed;
   core::DistributedSampler sampler(cluster, workload, hyper, options);
   const core::DistributedResult result =
       sampler.run(static_cast<std::uint64_t>(iterations));

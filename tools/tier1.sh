@@ -12,12 +12,17 @@ echo "== tier-1: default preset =="
 cmake --preset default
 cmake --build --preset default -j
 ctest --preset default -j
+# The chaos suite (fault injection + recovery) carries its own ctest
+# label; run it by label so a mislabeled/undiscovered suite fails loudly
+# instead of silently shrinking the full run above.
+ctest --preset default -L chaos --no-tests=error --output-on-failure
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "== tier-1: asan preset =="
   cmake --preset asan
   cmake --build --preset asan -j
   ctest --preset asan -j
+  ctest --preset asan -L chaos --no-tests=error --output-on-failure
 fi
 
 echo "tier-1: all green"
