@@ -5,13 +5,18 @@
 //
 //   ./cluster_sim [--workers 8] [--iterations 6000] [--communities 32]
 //               [--seed 5] [--fault-plan chaos.json]
+//               [--trace-out trace.json]
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/distributed_sampler.h"
 #include "fault/fault_plan.h"
 #include "graph/generator.h"
 #include "graph/heldout.h"
+#include "trace/chrome_trace.h"
+#include "trace/critical_path.h"
+#include "trace/recorder.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -26,6 +31,7 @@ int main(int argc, char** argv) {
   std::uint64_t vertices = 1000;
   std::uint64_t seed = 5;
   std::string fault_plan_path;
+  std::string trace_out;
   ArgParser parser("cluster_sim",
                    "distributed sampler on the virtual cluster");
   parser.add_uint("workers", &workers, "simulated worker nodes")
@@ -34,7 +40,10 @@ int main(int argc, char** argv) {
       .add_uint("vertices", &vertices, "graph size")
       .add_uint("seed", &seed, "root seed (same seed => same run)")
       .add_string("fault-plan", &fault_plan_path,
-                  "JSON fault schedule to inject (see src/fault)");
+                  "JSON fault schedule to inject (see src/fault)")
+      .add_string("trace-out", &trace_out,
+                  "trace the pipelined run; write Chrome trace_event"
+                  " JSON here (optional)");
   if (!parser.parse(argc, argv)) return 0;
 
   fault::FaultPlan fault_plan;
@@ -57,6 +66,14 @@ int main(int argc, char** argv) {
   hyper.num_communities = static_cast<std::uint32_t>(communities);
   hyper.delta = core::suggested_delta(g.graph.density());
 
+  // The recorder traces only the pipelined run (the headline mode);
+  // tracing never perturbs modeled time, so the comparison stands.
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  if (!trace_out.empty()) {
+    recorder = std::make_unique<trace::TraceRecorder>(
+        static_cast<unsigned>(workers) + 1);
+  }
+
   auto run_mode = [&](bool pipeline) {
     sim::SimCluster::Config cluster_config;
     cluster_config.num_ranks = static_cast<unsigned>(workers) + 1;
@@ -71,6 +88,7 @@ int main(int argc, char** argv) {
     options.base.seed = seed;
     options.pipeline = pipeline;
     if (chaos) options.fault_plan = &fault_plan;
+    if (pipeline) options.trace = recorder.get();
     core::DistributedSampler sampler(cluster, split.training(), &split,
                                      hyper, options);
     return sampler.run(static_cast<std::uint64_t>(iterations));
@@ -129,6 +147,19 @@ int main(int argc, char** argv) {
     std::printf("  iter %5llu  virtual %-10s perplexity %.3f\n",
                 static_cast<unsigned long long>(p.iteration),
                 format_duration(p.seconds).c_str(), p.perplexity);
+  }
+
+  if (recorder != nullptr) {
+    trace::write_chrome_trace(*recorder, trace_out);
+    std::printf("\ntrace of the pipelined run written to %s (%zu spans;"
+                " load in Perfetto or chrome://tracing)\n",
+                trace_out.c_str(), recorder->total_spans());
+    const trace::CriticalPathReport report =
+        trace::analyze_critical_path(*recorder);
+    std::printf("critical path: %s over %zu step(s)\n",
+                format_duration(report.total_s).c_str(),
+                report.steps.size());
+    std::printf("%s", report.table().to_ascii().c_str());
   }
   return 0;
 }

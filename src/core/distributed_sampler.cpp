@@ -167,6 +167,21 @@ DistributedResult DistributedSampler::run(std::uint64_t iterations) {
     store_->install_fault(injector_.get(), &cluster_.clocks());
   }
 
+  if (options_.trace != nullptr) {
+    trace::TraceRecorder& rec = *options_.trace;
+    cluster_.install_trace(&rec);  // REQUIREs a lane per rank
+    store_->install_trace(&rec);
+    rec.set_lane_name(0, "rank 0 (master)");
+    for (unsigned wi = 0; wi < num_workers_; ++wi) {
+      rec.set_lane_name(wi + 1, "rank " + std::to_string(wi + 1) +
+                                    " (worker " + std::to_string(wi) + ")");
+    }
+    // Worst case per rank-iteration: ~12 spans (workers touch every
+    // stage) and ~8 message/collective edges. Reserving up front keeps
+    // recording allocation-free for the whole run.
+    rec.reserve(iterations * 12 + 16, iterations * 8 + 16);
+  }
+
   cluster_.run([this, iterations](sim::RankContext& ctx) {
     if (injector_ != nullptr) {
       if (ctx.is_master()) {
@@ -185,6 +200,10 @@ DistributedResult DistributedSampler::run(std::uint64_t iterations) {
     // The injector dies with this sampler; leave no dangling hooks behind.
     cluster_.install_fault_hooks(nullptr);
     store_->install_fault(nullptr, nullptr);
+  }
+  if (options_.trace != nullptr) {
+    cluster_.install_trace(nullptr);
+    store_->install_trace(nullptr);
   }
 
   DistributedResult result;
@@ -219,18 +238,25 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
   // Initial beta so workers can form likelihood terms.
   std::vector<float> beta_buf(global_.beta_all().begin(),
                               global_.beta_all().end());
-  net.broadcast(0, 0, std::span<float>(beta_buf), kChannelGlobal);
+  {
+    const auto sp = ctx.trace_span(trace::Stage::kSetup);
+    net.broadcast(0, 0, std::span<float>(beta_buf), kChannelGlobal);
+  }
 
   // Draw + scatter one minibatch; returns its h(E_n) scale.
   auto deploy = [&](std::uint64_t t) -> double {
     if (real()) {
-      rng::Xoshiro256 mb_rng =
-          derive_rng(options_.base.seed, rng_label::kMinibatch, t);
-      minibatch_->draw_into(mb_rng, ws.mb, ws.mb_scratch);
+      {
+        const auto sp = ctx.trace_span(sim::Phase::kDrawMinibatch, t);
+        rng::Xoshiro256 mb_rng =
+            derive_rng(options_.base.seed, rng_label::kMinibatch, t);
+        minibatch_->draw_into(mb_rng, ws.mb, ws.mb_scratch);
+        ctx.charge(sim::Phase::kDrawMinibatch,
+                   ctx.compute().draw_cost_per_vertex_s *
+                       static_cast<double>(ws.mb.vertices.size()));
+      }
       const graph::Minibatch& mb = ws.mb;
-      ctx.charge(sim::Phase::kDrawMinibatch,
-                 ctx.compute().draw_cost_per_vertex_s *
-                     static_cast<double>(mb.vertices.size()));
+      const auto sp = ctx.trace_span(sim::Phase::kDeployMinibatch, t);
       for (unsigned wi = 0; wi < w; ++wi) {
         DeployShare& share = ws.shares[wi];
         share.clear();
@@ -263,9 +289,13 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
     }
     // Cost-only: charge the draw and ship phantom shares of the right
     // size.
-    ctx.charge(sim::Phase::kDrawMinibatch,
-               ctx.compute().draw_cost_per_vertex_s *
-                   static_cast<double>(phantom_.minibatch_vertices));
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kDrawMinibatch, t);
+      ctx.charge(sim::Phase::kDrawMinibatch,
+                 ctx.compute().draw_cost_per_vertex_s *
+                     static_cast<double>(phantom_.minibatch_vertices));
+    }
+    const auto sp = ctx.trace_span(sim::Phase::kDeployMinibatch, t);
     for (unsigned wi = 0; wi < w; ++wi) {
       const auto [vlo, vhi] =
           ThreadPool::chunk_bounds(0, phantom_.minibatch_vertices, wi, w);
@@ -295,6 +325,7 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
     std::vector<double>& ratios = ws.ratios;
     ratios.assign(std::size_t{k} * 2, 0.0);
     {
+      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
       const double before = ctx.clock().now();
       net.reduce_sum(0, 0, ratios, kChannelGlobal);
       ctx.stats().add(sim::Phase::kBarrierWait,
@@ -316,10 +347,11 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
     } else {
       beta_buf.assign(k, 0.5f);
     }
-    ctx.charge_serial(sim::Phase::kUpdateBetaTheta,
-                      static_cast<double>(k) * 2.0,
-                      ctx.compute().theta_unit_cycles);
     {
+      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
+      ctx.charge_serial(sim::Phase::kUpdateBetaTheta,
+                        static_cast<double>(k) * 2.0,
+                        ctx.compute().theta_unit_cycles);
       const double before = ctx.clock().now();
       net.broadcast(0, 0, std::span<float>(beta_buf), kChannelGlobal);
       ctx.stats().add(sim::Phase::kUpdateBetaTheta,
@@ -334,6 +366,7 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
     if (eval_due(t)) {
       std::vector<double>& acc = ws.eval_acc;
       acc.assign(2, 0.0);  // [sum log avg, pair count]
+      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
       const double before = ctx.clock().now();
       net.reduce_sum(0, 0, acc, kChannelGlobal);
       ctx.stats().add(sim::Phase::kBarrierWait,
@@ -411,7 +444,11 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
 
   // Initial beta.
   std::vector<float> beta_buf(k, 0.0f);
-  net.broadcast(ctx.rank(), 0, std::span<float>(beta_buf), kChannelGlobal);
+  {
+    const auto sp = ctx.trace_span(trace::Stage::kSetup);
+    net.broadcast(ctx.rank(), 0, std::span<float>(beta_buf),
+                  kChannelGlobal);
+  }
   LikelihoodTerms terms;
   terms.refresh(beta_buf, hyper_.delta);
 
@@ -434,6 +471,7 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
     std::uint64_t n_local;
     std::uint64_t p_local;
     {
+      const auto sp = ctx.trace_span(sim::Phase::kDeployMinibatch, t);
       const double before = ctx.clock().now();
       if (real()) {
         std::vector<std::byte> payload =
@@ -482,8 +520,11 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
             static_cast<double>(ws.neighbor_sets[vi].samples.size());
       }
     }
-    ctx.charge_kernel(sim::Phase::kSampleNeighbors, total_samples,
-                      ctx.compute().neighbor_unit_cycles);
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kSampleNeighbors, t);
+      ctx.charge_kernel(sim::Phase::kSampleNeighbors, total_samples,
+                        ctx.compute().neighbor_unit_cycles);
+    }
 
     // ---- update_phi: chunked loads double-buffered with compute --------
     ws.staged.resize(n_local * width);
@@ -535,16 +576,26 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
       pipe.add_chunk(load_cost, compute_cost);
     }
     // Stats record the sub-stage views of Table III; the clock advances
-    // by the (possibly overlapped) critical path.
-    ctx.stats().add(sim::Phase::kLoadPi, pipe.load_total());
-    ctx.stats().add(sim::Phase::kUpdatePhi, pipe.compute_total());
-    ctx.clock().advance(pipe.total(options_.pipeline));
+    // by the (possibly overlapped) critical path. One kUpdatePhi span
+    // covers the overlapped load+compute pipeline — the kLoadPi
+    // sub-stage view lives only in PhaseStats, since the two interleave
+    // within the same virtual interval.
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kUpdatePhi, t);
+      ctx.stats().add(sim::Phase::kLoadPi, pipe.load_total());
+      ctx.stats().add(sim::Phase::kUpdatePhi, pipe.compute_total());
+      ctx.clock().advance(pipe.total(options_.pipeline));
+    }
 
     // phi must be fully read cluster-wide before anyone writes pi.
-    ctx.timed_barrier(kChannelWorkers, w);
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+      ctx.timed_barrier(kChannelWorkers, w);
+    }
 
     // ---- update_pi: normalize (folded in phi*) + DKV write-back --------
     {
+      const auto sp = ctx.trace_span(sim::Phase::kUpdatePi, t);
       ctx.charge_kernel(sim::Phase::kUpdatePi,
                         static_cast<double>(n_local) * k,
                         ctx.compute().pi_unit_cycles);
@@ -561,10 +612,14 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
     }
 
     // pi must be visible cluster-wide before update_beta reads it.
-    ctx.timed_barrier(kChannelWorkers, w);
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+      ctx.timed_barrier(kChannelWorkers, w);
+    }
 
     // ---- update_beta: ratio partials over this worker's pair slice -----
     {
+      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
       std::vector<double>& ratios = ws.ratios;
       ratios.assign(std::size_t{k} * 2, 0.0);
       double load_cost;
@@ -604,6 +659,7 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
 
     // ---- perplexity ----------------------------------------------------
     if (eval_due(t)) {
+      const auto sp = ctx.trace_span(sim::Phase::kPerplexity, t);
       std::vector<double>& acc = ws.eval_acc;
       acc.assign(2, 0.0);
       if (real() && evaluator) {
@@ -682,7 +738,10 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
   auto send_ctrl = [&](unsigned rank, const FtCtrl& c) {
     net.send<FtCtrl>(0, rank, kTagCtrl, std::span<const FtCtrl>(&c, 1));
   };
-  for (unsigned rank : live) send_beta(rank);
+  {
+    const auto sp = ctx.trace_span(trace::Stage::kSetup);
+    for (unsigned rank : live) send_beta(rank);
+  }
 
   // Rollback snapshots: a full checkpoint serialized to memory. Taking
   // one costs the master a wire-read of every pi row (workers are
@@ -691,6 +750,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
   const double snap_wire_s = ctx.network().transfer_time(
       static_cast<std::uint64_t>(num_vertices_) * store_->row_bytes());
   auto take_snapshot = [&](std::uint64_t t) {
+    const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
     Checkpoint cp;
     cp.iteration = t;
     cp.hyper = hyper_;
@@ -729,6 +789,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
   // in flight (vs. fully applied, eval round aside). Returns the next
   // iteration to run.
   auto handle_death = [&](bool lost, std::uint64_t t) -> std::uint64_t {
+    const auto sp = ctx.trace_span(trace::Stage::kRecovery, t);
     double detect = ctx.clock().now();
     for (unsigned rank : dead_now) {
       detect = std::max(detect, injector_->crash_time(rank) +
@@ -760,6 +821,12 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
       next = cp.iteration;
     }
     redone_iterations_ += (t + 1) - next;
+    if (trace::TraceRecorder* rec = ctx.trace()) {
+      rec->metrics().count(trace::Metric::kRecoveries, ctx.rank(),
+                           dead_now.size());
+      rec->metrics().count(trace::Metric::kRedoneIterations, ctx.rank(),
+                           (t + 1) - next);
+    }
     for (std::size_t li = 0; li < live.size(); ++li) {
       send_ctrl(live[li], {next, kFtRestart,
                            static_cast<std::uint32_t>(live.size()),
@@ -785,113 +852,148 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
     const bool ev = eval_due(t);
 
     // ---- deploy: ctrl (+ beta after rollback) + minibatch share --------
-    rng::Xoshiro256 mb_rng =
-        derive_rng(options_.base.seed, rng_label::kMinibatch, t);
-    minibatch_->draw_into(mb_rng, ws.mb, ws.mb_scratch);
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kDrawMinibatch, t);
+      rng::Xoshiro256 mb_rng =
+          derive_rng(options_.base.seed, rng_label::kMinibatch, t);
+      minibatch_->draw_into(mb_rng, ws.mb, ws.mb_scratch);
+      ctx.charge(sim::Phase::kDrawMinibatch,
+                 ctx.compute().draw_cost_per_vertex_s *
+                     static_cast<double>(ws.mb.vertices.size()));
+    }
     const graph::Minibatch& mb = ws.mb;
     const double scale = mb.scale;
-    ctx.charge(sim::Phase::kDrawMinibatch,
-               ctx.compute().draw_cost_per_vertex_s *
-                   static_cast<double>(mb.vertices.size()));
-    for (unsigned li = 0; li < lw; ++li) {
-      send_ctrl(live[li], {t, kFtDeploy, lw, li, ev ? 1u : 0u,
-                           beta_follows ? 1u : 0u});
-      if (beta_follows) send_beta(live[li]);
-      DeployShare& share = ws.shares[li];
-      share.clear();
-      share.iteration = t;
-      const auto [vlo, vhi] =
-          ThreadPool::chunk_bounds(0, mb.vertices.size(), li, lw);
-      for (std::uint64_t i = vlo; i < vhi; ++i) {
-        const graph::Vertex a = mb.vertices[i];
-        share.vertices.push_back(a);
-        const auto adj = graph_->neighbors(a);
-        share.degrees.push_back(static_cast<std::uint32_t>(adj.size()));
-        share.adjacency.insert(share.adjacency.end(), adj.begin(),
-                               adj.end());
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kDeployMinibatch, t);
+      for (unsigned li = 0; li < lw; ++li) {
+        send_ctrl(live[li], {t, kFtDeploy, lw, li, ev ? 1u : 0u,
+                             beta_follows ? 1u : 0u});
+        if (beta_follows) send_beta(live[li]);
+        DeployShare& share = ws.shares[li];
+        share.clear();
+        share.iteration = t;
+        const auto [vlo, vhi] =
+            ThreadPool::chunk_bounds(0, mb.vertices.size(), li, lw);
+        for (std::uint64_t i = vlo; i < vhi; ++i) {
+          const graph::Vertex a = mb.vertices[i];
+          share.vertices.push_back(a);
+          const auto adj = graph_->neighbors(a);
+          share.degrees.push_back(static_cast<std::uint32_t>(adj.size()));
+          share.adjacency.insert(share.adjacency.end(), adj.begin(),
+                                 adj.end());
+        }
+        const auto [plo, phi] =
+            ThreadPool::chunk_bounds(0, mb.pairs.size(), li, lw);
+        for (std::uint64_t i = plo; i < phi; ++i) {
+          share.pair_a.push_back(mb.pairs[i].a);
+          share.pair_b.push_back(mb.pairs[i].b);
+          share.pair_y.push_back(mb.pairs[i].link ? 1 : 0);
+        }
+        std::vector<std::byte> payload = net.acquire_buffer();
+        ByteWriter writer(payload);
+        serialize_share(share, writer);
+        net.send_bytes(0, live[li], kTagDeploy, std::move(payload));
       }
-      const auto [plo, phi] =
-          ThreadPool::chunk_bounds(0, mb.pairs.size(), li, lw);
-      for (std::uint64_t i = plo; i < phi; ++i) {
-        share.pair_a.push_back(mb.pairs[i].a);
-        share.pair_b.push_back(mb.pairs[i].b);
-        share.pair_y.push_back(mb.pairs[i].link ? 1 : 0);
-      }
-      std::vector<std::byte> payload = net.acquire_buffer();
-      ByteWriter writer(payload);
-      serialize_share(share, writer);
-      net.send_bytes(0, live[li], kTagDeploy, std::move(payload));
+      beta_follows = false;
     }
-    beta_follows = false;
 
     // ---- phi done? -----------------------------------------------------
-    if (gather(kTagHeartbeat, beat_check(t))) {
+    bool death;
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+      death = gather(kTagHeartbeat, beat_check(t));
+      if (!death) {
+        ctx.charge(sim::Phase::kBarrierWait, skew);
+        for (unsigned rank : live) {
+          send_ctrl(rank, {t, kFtPiGo, lw, 0, 0, 0});
+        }
+      }
+    }
+    if (death) {
       t = handle_death(/*lost=*/true, t);
       continue;
     }
-    ctx.charge(sim::Phase::kBarrierWait, skew);
-    for (unsigned rank : live) send_ctrl(rank, {t, kFtPiGo, lw, 0, 0, 0});
 
     // ---- pi done? ------------------------------------------------------
-    if (gather(kTagHeartbeat, beat_check(t))) {
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+      death = gather(kTagHeartbeat, beat_check(t));
+      if (!death) {
+        ctx.charge(sim::Phase::kBarrierWait, skew);
+        for (unsigned rank : live) {
+          send_ctrl(rank, {t, kFtBetaGo, lw, 0, 0, 0});
+        }
+      }
+    }
+    if (death) {
       t = handle_death(/*lost=*/true, t);
       continue;
     }
-    ctx.charge(sim::Phase::kBarrierWait, skew);
-    for (unsigned rank : live) send_ctrl(rank, {t, kFtBetaGo, lw, 0, 0, 0});
 
     // ---- gather ratio partials, step theta -----------------------------
     std::vector<double>& ratios = ws.ratios;
     ratios.assign(std::size_t{k} * 2, 0.0);
-    const bool ratio_death =
-        gather(kTagRatios, [&](unsigned, const std::vector<std::byte>& p) {
-          SCD_ASSERT(p.size() == ratios.size() * sizeof(double),
-                     "malformed ratio partial");
-          for (std::size_t i = 0; i < ratios.size(); ++i) {
-            double part;
-            std::memcpy(&part, p.data() + i * sizeof(double), sizeof(part));
-            ratios[i] += part;
-          }
-        });
+    bool ratio_death;
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+      ratio_death =
+          gather(kTagRatios, [&](unsigned, const std::vector<std::byte>& p) {
+            SCD_ASSERT(p.size() == ratios.size() * sizeof(double),
+                       "malformed ratio partial");
+            for (std::size_t i = 0; i < ratios.size(); ++i) {
+              double part;
+              std::memcpy(&part, p.data() + i * sizeof(double),
+                          sizeof(part));
+              ratios[i] += part;
+            }
+          });
+      if (!ratio_death) ctx.charge(sim::Phase::kBarrierWait, skew);
+    }
     if (ratio_death) {
       t = handle_death(/*lost=*/true, t);
       continue;
     }
-    ctx.charge(sim::Phase::kBarrierWait, skew);
-    std::vector<double>& grad = ws.grad;
-    grad.assign(std::size_t{k} * 2, 0.0);
-    theta_grad_from_ratios(std::span<const double>(ratios.data(), k),
-                           std::span<const double>(ratios.data() + k, k),
-                           global_.theta_flat(), grad);
-    for (double& g : grad) g *= scale;
-    update_theta(options_.base.seed, t, global_, grad,
-                 options_.base.step.eps(t), hyper_.eta0, hyper_.eta1,
-                 options_.base.noise_factor, options_.base.gradient_form);
-    std::copy(global_.beta_all().begin(), global_.beta_all().end(),
-              beta_buf.begin());
-    ctx.charge_serial(sim::Phase::kUpdateBetaTheta,
-                      static_cast<double>(k) * 2.0,
-                      ctx.compute().theta_unit_cycles);
-    for (unsigned rank : live) {
-      send_ctrl(rank, {t, kFtBeta, lw, 0, 0, 0});
-      send_beta(rank);
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
+      std::vector<double>& grad = ws.grad;
+      grad.assign(std::size_t{k} * 2, 0.0);
+      theta_grad_from_ratios(std::span<const double>(ratios.data(), k),
+                             std::span<const double>(ratios.data() + k, k),
+                             global_.theta_flat(), grad);
+      for (double& g : grad) g *= scale;
+      update_theta(options_.base.seed, t, global_, grad,
+                   options_.base.step.eps(t), hyper_.eta0, hyper_.eta1,
+                   options_.base.noise_factor, options_.base.gradient_form);
+      std::copy(global_.beta_all().begin(), global_.beta_all().end(),
+                beta_buf.begin());
+      ctx.charge_serial(sim::Phase::kUpdateBetaTheta,
+                        static_cast<double>(k) * 2.0,
+                        ctx.compute().theta_unit_cycles);
+      for (unsigned rank : live) {
+        send_ctrl(rank, {t, kFtBeta, lw, 0, 0, 0});
+        send_beta(rank);
+      }
+      ctx.charge(sim::Phase::kUpdateBetaTheta, skew);
     }
-    ctx.charge(sim::Phase::kUpdateBetaTheta, skew);
 
     // ---- perplexity over the live ranks' held-out slices ---------------
     if (ev) {
       std::vector<double>& acc = ws.eval_acc;
       acc.assign(2, 0.0);
-      const bool eval_death =
-          gather(kTagEval, [&](unsigned, const std::vector<std::byte>& p) {
-            SCD_ASSERT(p.size() == 2 * sizeof(double),
-                       "malformed eval partial");
-            double part[2];
-            std::memcpy(part, p.data(), sizeof(part));
-            acc[0] += part[0];
-            acc[1] += part[1];
-          });
-      ctx.charge(sim::Phase::kBarrierWait, skew);
+      bool eval_death;
+      {
+        const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+        eval_death =
+            gather(kTagEval, [&](unsigned, const std::vector<std::byte>& p) {
+              SCD_ASSERT(p.size() == 2 * sizeof(double),
+                         "malformed eval partial");
+              double part[2];
+              std::memcpy(part, p.data(), sizeof(part));
+              acc[0] += part[0];
+              acc[1] += part[1];
+            });
+        ctx.charge(sim::Phase::kBarrierWait, skew);
+      }
       if (acc[1] > 0.0) {
         const double perp = PerplexityEvaluator::perplexity(
             acc[0], static_cast<std::uint64_t>(acc[1]));
@@ -911,8 +1013,11 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
     }
   }
 
-  for (unsigned rank : live) {
-    send_ctrl(rank, {iterations, kFtStop, 0, 0, 0, 0});
+  {
+    const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, iterations);
+    for (unsigned rank : live) {
+      send_ctrl(rank, {iterations, kFtStop, 0, 0, 0, 0});
+    }
   }
 }
 
@@ -966,9 +1071,13 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
     std::copy(fresh.begin(), fresh.end(), beta_buf.begin());
     terms.refresh(beta_buf, hyper_.delta);
   };
-  recv_beta();
+  {
+    const auto sp = ctx.trace_span(trace::Stage::kSetup);
+    recv_beta();
+  }
 
   auto recv_ctrl = [&](sim::Phase p) -> FtCtrl {
+    const auto sp = ctx.trace_span(p);
     const double before = ctx.clock().now();
     const std::vector<FtCtrl> msg =
         net.recv<FtCtrl>(ctx.rank(), 0, kTagCtrl);
@@ -985,6 +1094,7 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
     return true;
   };
   auto send_beat = [&](std::uint64_t t) {
+    const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
     const std::uint64_t beat = t;
     net.send<std::uint64_t>(ctx.rank(), 0, kTagHeartbeat,
                             std::span<const std::uint64_t>(&beat, 1));
@@ -1006,13 +1116,18 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
     const std::uint64_t t = c.iteration;
     const unsigned lw = c.live_count;
     const unsigned li = c.member_index;
-    if (c.beta_follows != 0) recv_beta();
+    if (c.beta_follows != 0) {
+      // Re-shipped beta after a rollback — part of the recovery.
+      const auto sp = ctx.trace_span(trace::Stage::kRecovery, t);
+      recv_beta();
+    }
 
     // ---- minibatch share ----------------------------------------------
     DeployShare& share = ws.share;
     std::uint64_t n_local;
     std::uint64_t p_local;
     {
+      const auto sp = ctx.trace_span(sim::Phase::kDeployMinibatch, t);
       const double before = ctx.clock().now();
       std::vector<std::byte> payload =
           net.recv_bytes(ctx.rank(), 0, kTagDeploy);
@@ -1044,8 +1159,11 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
             static_cast<double>(ws.neighbor_sets[vi].samples.size());
       }
     }
-    ctx.charge_kernel(sim::Phase::kSampleNeighbors, total_samples,
-                      ctx.compute().neighbor_unit_cycles);
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kSampleNeighbors, t);
+      ctx.charge_kernel(sim::Phase::kSampleNeighbors, total_samples,
+                        ctx.compute().neighbor_unit_cycles);
+    }
 
     // ---- update_phi ----------------------------------------------------
     ws.staged.resize(n_local * width);
@@ -1086,11 +1204,15 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
     }
     // The pipeline total bypasses charge(), so the straggler slowdown is
     // applied here explicitly.
-    const double factor =
-        injector_->compute_factor(ctx.rank(), ctx.clock().now());
-    ctx.stats().add(sim::Phase::kLoadPi, pipe.load_total() * factor);
-    ctx.stats().add(sim::Phase::kUpdatePhi, pipe.compute_total() * factor);
-    ctx.clock().advance(pipe.total(options_.pipeline) * factor);
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kUpdatePhi, t);
+      const double factor =
+          injector_->compute_factor(ctx.rank(), ctx.clock().now());
+      ctx.stats().add(sim::Phase::kLoadPi, pipe.load_total() * factor);
+      ctx.stats().add(sim::Phase::kUpdatePhi,
+                      pipe.compute_total() * factor);
+      ctx.clock().advance(pipe.total(options_.pipeline) * factor);
+    }
 
     if (fail_stop()) return;
     send_beat(t);
@@ -1102,12 +1224,15 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
     }
 
     // ---- update_pi -----------------------------------------------------
-    ctx.charge_kernel(sim::Phase::kUpdatePi,
-                      static_cast<double>(n_local) * k,
-                      ctx.compute().pi_unit_cycles);
-    ws.keys.assign(share.vertices.begin(), share.vertices.end());
-    ctx.charge(sim::Phase::kUpdatePi,
-               store_->put_rows(wi, ws.keys, ws.staged));
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kUpdatePi, t);
+      ctx.charge_kernel(sim::Phase::kUpdatePi,
+                        static_cast<double>(n_local) * k,
+                        ctx.compute().pi_unit_cycles);
+      ws.keys.assign(share.vertices.begin(), share.vertices.end());
+      ctx.charge(sim::Phase::kUpdatePi,
+                 store_->put_rows(wi, ws.keys, ws.staged));
+    }
 
     if (fail_stop()) return;
     send_beat(t);
@@ -1122,6 +1247,7 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
     std::vector<double>& ratios = ws.ratios;
     ratios.assign(std::size_t{k} * 2, 0.0);
     {
+      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
       ws.keys.clear();
       for (std::uint64_t i = 0; i < p_local; ++i) {
         ws.keys.push_back(share.pair_a[i]);
@@ -1144,18 +1270,23 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
                         ctx.compute().beta_unit_cycles);
     }
     if (fail_stop()) return;
-    net.send<double>(ctx.rank(), 0, kTagRatios,
-                     std::span<const double>(ratios));
+    {
+      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
+      net.send<double>(ctx.rank(), 0, kTagRatios,
+                       std::span<const double>(ratios));
+    }
     {
       const FtCtrl go = recv_ctrl(sim::Phase::kUpdateBetaTheta);
       if (go.op == kFtRestart) continue;
       SCD_ASSERT(go.op == kFtBeta && go.iteration == t,
                  "unexpected ctrl op at beta receive point");
+      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
       recv_beta();
     }
 
     // ---- perplexity ----------------------------------------------------
     if (c.eval != 0 && heldout_ != nullptr && heldout_size_ > 0) {
+      const auto sp = ctx.trace_span(sim::Phase::kPerplexity, t);
       if (evaluator == nullptr || eval_live != lw || eval_member != li) {
         const auto [lo, hi] =
             ThreadPool::chunk_bounds(0, heldout_size_, li, lw);

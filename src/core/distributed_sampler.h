@@ -95,6 +95,15 @@ struct DistributedOptions {
   /// worker's lost in-flight pi writes. 0 disables rollback (the default
   /// recovery: redo the interrupted iteration on the survivors).
   std::uint64_t rollback_interval = 0;
+  /// When non-null, run() installs this recorder on the cluster,
+  /// transport, and DKV store: every clock-advancing region is wrapped
+  /// in a virtual-time span on its rank's lane, message/collective edges
+  /// are recorded for critical-path analysis, and the typed metrics
+  /// (bytes, messages, DKV rows, recoveries) are counted. Recording only
+  /// samples the clocks — trajectories and modeled virtual times are
+  /// bit-identical to an untraced run. Must outlive run() and have at
+  /// least workers + 1 lanes; uninstalled before run() returns.
+  trace::TraceRecorder* trace = nullptr;
 };
 
 struct DistributedResult {

@@ -41,13 +41,31 @@ ParallelSampler::ParallelSampler(const graph::Graph& training,
   }
 }
 
+double ParallelSampler::trace_now() {
+  if (!trace_origin_set_) {
+    trace_origin_ = steady::now();
+    trace_origin_set_ = true;
+  }
+  return std::chrono::duration<double>(steady::now() - trace_origin_)
+      .count();
+}
+
 void ParallelSampler::one_iteration() {
   const double eps = options_.step.eps(iteration_);
+  // Wall-clock stage boundaries, recorded on lane 0 when tracing is on.
+  double mark = trace_ != nullptr ? trace_now() : 0.0;
+  auto record_stage = [&](trace::Stage stage) {
+    if (trace_ == nullptr) return;
+    const double now = trace_now();
+    trace_->record_span(0, stage, mark, now, iteration_);
+    mark = now;
+  };
   rng::Xoshiro256 mb_rng =
       derive_rng(options_.seed, rng_label::kMinibatch, iteration_);
   minibatch_.draw_into(mb_rng, ws_.mb, ws_.mb_scratch);
   const graph::Minibatch& mb = ws_.mb;
   const std::uint32_t k = hyper_.num_communities;
+  record_stage(trace::Stage::kDrawMinibatch);
 
   // --- update_phi: data-parallel over minibatch vertices ---------------
   ws_.staged.resize(mb.vertices.size() * pi_.row_width());
@@ -73,6 +91,7 @@ void ParallelSampler::one_iteration() {
               options_.noise_factor, options_.gradient_form);
         }
       });
+  record_stage(trace::Stage::kUpdatePhi);
 
   // --- update_pi: parallel commit --------------------------------------
   pool_.parallel_for(
@@ -85,6 +104,7 @@ void ParallelSampler::one_iteration() {
                     pi_.row(mb.vertices[vi]).begin());
         }
       });
+  record_stage(trace::Stage::kUpdatePi);
 
   // --- update_beta/theta: ratio partials over kThetaBlocks fixed blocks
   // of the pair range, folded serially in block order. Block boundaries
@@ -127,6 +147,7 @@ void ParallelSampler::one_iteration() {
                hyper_.eta0, hyper_.eta1, options_.noise_factor,
                options_.gradient_form);
   terms_.refresh(global_.beta_all(), hyper_.delta);
+  record_stage(trace::Stage::kUpdateBetaTheta);
 
   ++iteration_;
 }
@@ -151,6 +172,7 @@ void ParallelSampler::run(std::uint64_t iterations) {
 double ParallelSampler::evaluate_perplexity() {
   SCD_REQUIRE(evaluator_ != nullptr,
               "no held-out split was given to the sampler");
+  const double eval_begin = trace_ != nullptr ? trace_now() : 0.0;
   // Parallel per-pair probabilities (disjoint writes), then a serial
   // log-average over the slice (deterministic order).
   pool_.parallel_for(
@@ -166,6 +188,10 @@ double ParallelSampler::evaluate_perplexity() {
   evaluator_->finish_sample();
   const double perp = PerplexityEvaluator::perplexity(
       evaluator_->sum_log_avg(), evaluator_->size());
+  if (trace_ != nullptr) {
+    trace_->record_span(0, trace::Stage::kPerplexity, eval_begin,
+                        trace_now(), iteration_);
+  }
   history_.push_back({iteration_, elapsed_s_, perp});
   return perp;
 }

@@ -14,6 +14,7 @@
 // matches SequentialSampler to floating-point reassociation.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "graph/heldout.h"
 #include "graph/minibatch.h"
 #include "threading/thread_pool.h"
+#include "trace/recorder.h"
 
 namespace scd::core {
 
@@ -50,8 +52,17 @@ class ParallelSampler {
   Checkpoint checkpoint() const;
   void restore(const Checkpoint& checkpoint);
 
+  /// Install (or clear, with nullptr) a trace recorder: every stage of
+  /// every subsequent iteration records a WALL-CLOCK span on lane 0 —
+  /// there is no virtual cluster here, so timestamps are real seconds
+  /// since the first recorded span. The recorder must outlive this
+  /// installation.
+  void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
  private:
   void one_iteration();
+  /// Wall-clock seconds since the first call (lazy origin).
+  double trace_now();
 
   const graph::Graph& graph_;
   const graph::HeldOutSplit* heldout_;
@@ -71,6 +82,9 @@ class ParallelSampler {
   std::uint64_t iteration_ = 0;
   double elapsed_s_ = 0.0;
   std::vector<HistoryPoint> history_;
+  trace::TraceRecorder* trace_ = nullptr;
+  std::chrono::steady_clock::time_point trace_origin_{};
+  bool trace_origin_set_ = false;
 };
 
 }  // namespace scd::core

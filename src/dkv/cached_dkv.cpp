@@ -53,6 +53,14 @@ double CachedDkv::get_rows(unsigned requester_shard,
       miss_slots_.push_back(i);
     }
   }
+  if (trace_ != nullptr) {
+    const unsigned lane = requester_shard + trace_rank_offset_;
+    if (lane < trace_->num_lanes()) {
+      trace::MetricsRegistry& metrics = trace_->metrics();
+      metrics.count(trace::Metric::kDkvHits, lane, hit_rows);
+      metrics.count(trace::Metric::kDkvMisses, lane, miss_keys_.size());
+    }
+  }
   // Hits stream the cached copy from local RAM; only misses pay the
   // inner store's (possibly remote) cost.
   double cost = hit_cost(hit_rows);

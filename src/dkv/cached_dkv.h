@@ -25,6 +25,7 @@
 
 #include "dkv/dkv.h"
 #include "sim/compute_model.h"
+#include "trace/recorder.h"
 
 namespace scd::dkv {
 
@@ -73,6 +74,16 @@ class CachedDkv final : public DkvStore {
   /// Drop every cached row (stale after another shard's writes).
   void invalidate_all();
 
+  /// Install (or clear, with nullptr) a trace recorder: get_rows counts
+  /// hit and miss rows on the requester's lane (shard s -> lane
+  /// s + rank_offset). The wrapped inner store is not installed here —
+  /// call its install_trace separately if it has one.
+  void install_trace(trace::TraceRecorder* recorder,
+                     unsigned rank_offset = 1) {
+    trace_ = recorder;
+    trace_rank_offset_ = rank_offset;
+  }
+
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   double hit_rate() const {
@@ -99,6 +110,8 @@ class CachedDkv final : public DkvStore {
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  trace::TraceRecorder* trace_ = nullptr;
+  unsigned trace_rank_offset_ = 1;
   // Reused per-call scratch for the miss pass.
   std::vector<std::uint64_t> miss_keys_;
   std::vector<std::size_t> miss_slots_;

@@ -88,6 +88,28 @@ void SimRdmaDkv::install_fault(const sim::FaultHooks* hooks,
   rank_offset_ = rank_offset;
 }
 
+void SimRdmaDkv::install_trace(trace::TraceRecorder* recorder,
+                               unsigned rank_offset) {
+  trace_ = recorder;
+  trace_rank_offset_ = rank_offset;
+}
+
+void SimRdmaDkv::record_batch(unsigned requester_shard,
+                              std::uint64_t local_rows,
+                              std::uint64_t remote_rows,
+                              std::uint64_t messages, bool write) const {
+  if (trace_ == nullptr) return;
+  const unsigned lane = requester_shard + trace_rank_offset_;
+  if (lane >= trace_->num_lanes()) return;
+  trace::MetricsRegistry& metrics = trace_->metrics();
+  metrics.count(write ? trace::Metric::kDkvRowsWritten
+                      : trace::Metric::kDkvRowsRead,
+                lane, local_rows + remote_rows);
+  metrics.count(trace::Metric::kDkvRemoteRows, lane, remote_rows);
+  metrics.count(trace::Metric::kDkvBatches, lane);
+  metrics.count(trace::Metric::kDkvMessages, lane, messages);
+}
+
 void SimRdmaDkv::rehome_shard(unsigned shard, unsigned new_owner) {
   SCD_REQUIRE(shard < partition_.num_shards() &&
                   new_owner < partition_.num_shards(),
@@ -135,7 +157,11 @@ double SimRdmaDkv::get_rows(unsigned requester_shard,
     std::memcpy(out.data() + i * row_width_,
                 data_.data() + keys[i] * row_width_, row_bytes());
   }
-  return read_cost_keys(requester_shard, keys);
+  const KeyTally t =
+      tally_keys(requester_shard, keys, now_for(requester_shard));
+  record_batch(requester_shard, t.local, t.remote, t.shards_contacted,
+               /*write=*/false);
+  return coalesced_cost(t.local, t.remote, t.shards_contacted) + t.stall_s;
 }
 
 double SimRdmaDkv::put_rows(unsigned requester_shard,
@@ -149,17 +175,24 @@ double SimRdmaDkv::put_rows(unsigned requester_shard,
     std::memcpy(data_.data() + keys[i] * row_width_,
                 values.data() + i * row_width_, row_bytes());
   }
-  return write_cost_keys(requester_shard, keys);
+  const KeyTally t =
+      tally_keys(requester_shard, keys, now_for(requester_shard));
+  record_batch(requester_shard, t.local, t.remote, t.shards_contacted,
+               /*write=*/true);
+  return coalesced_cost(t.local, t.remote, t.shards_contacted) + t.stall_s;
 }
 
-double SimRdmaDkv::read_cost(unsigned /*requester_shard*/,
+double SimRdmaDkv::read_cost(unsigned requester_shard,
                              std::uint64_t local_rows,
                              std::uint64_t remote_rows) const {
   // Count-based form: without the keys, assume the remote rows spread
   // over all C - 1 peers (uniform access), so at most that many coalesced
-  // messages — and never more messages than rows.
+  // messages — and never more messages than rows. This is the phantom
+  // store's read operation, so it counts as a batch in the trace.
   const std::uint64_t peers = partition_.num_shards() - 1;
   const std::uint64_t shards_contacted = std::min(remote_rows, peers);
+  record_batch(requester_shard, local_rows, remote_rows, shards_contacted,
+               /*write=*/false);
   return coalesced_cost(local_rows, remote_rows, shards_contacted);
 }
 
@@ -167,7 +200,11 @@ double SimRdmaDkv::write_cost(unsigned requester_shard,
                               std::uint64_t local_rows,
                               std::uint64_t remote_rows) const {
   // RDMA write ~ RDMA read for payloads above 256B (Fig. 5 discussion).
-  return read_cost(requester_shard, local_rows, remote_rows);
+  const std::uint64_t peers = partition_.num_shards() - 1;
+  const std::uint64_t shards_contacted = std::min(remote_rows, peers);
+  record_batch(requester_shard, local_rows, remote_rows, shards_contacted,
+               /*write=*/true);
+  return coalesced_cost(local_rows, remote_rows, shards_contacted);
 }
 
 double SimRdmaDkv::read_cost_keys(unsigned requester_shard,

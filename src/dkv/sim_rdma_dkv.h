@@ -37,6 +37,7 @@
 #include "sim/compute_model.h"
 #include "sim/fault_hooks.h"
 #include "sim/network_model.h"
+#include "trace/recorder.h"
 
 namespace scd::dkv {
 
@@ -93,6 +94,15 @@ class SimRdmaDkv final : public DkvStore {
                      const std::vector<sim::SimClock>* clocks,
                      unsigned rank_offset = 1);
 
+  /// Install (or clear, with nullptr) a trace recorder: get_rows /
+  /// put_rows and the phantom read_cost/write_cost operations count
+  /// rows, remote rows, batches, and coalesced messages on the
+  /// requesting worker's lane (shard s maps to lane s + rank_offset,
+  /// the sampler's worker-rank convention). The passive keyed cost
+  /// queries record nothing.
+  void install_trace(trace::TraceRecorder* recorder,
+                     unsigned rank_offset = 1);
+
   /// Re-home `shard`'s rows onto `new_owner` (a surviving shard) after
   /// its worker fail-stops: subsequent accesses treat those rows as owned
   /// by `new_owner` — local to its worker, one coalesced message from
@@ -125,6 +135,10 @@ class SimRdmaDkv final : public DkvStore {
                       double now) const;
   double coalesced_cost(std::uint64_t local_rows, std::uint64_t remote_rows,
                         std::uint64_t shards_contacted) const;
+  /// Count one batch operation on the requester's metrics lane.
+  void record_batch(unsigned requester_shard, std::uint64_t local_rows,
+                    std::uint64_t remote_rows, std::uint64_t messages,
+                    bool write) const;
   /// Requester's virtual time, 0 when no fault hooks are installed.
   double now_for(unsigned requester_shard) const {
     if (fault_ == nullptr || clocks_ == nullptr) return 0.0;
@@ -141,6 +155,8 @@ class SimRdmaDkv final : public DkvStore {
   const sim::FaultHooks* fault_ = nullptr;
   const std::vector<sim::SimClock>* clocks_ = nullptr;
   unsigned rank_offset_ = 1;
+  trace::TraceRecorder* trace_ = nullptr;
+  unsigned trace_rank_offset_ = 1;
 };
 
 }  // namespace scd::dkv

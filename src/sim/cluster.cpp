@@ -107,11 +107,20 @@ void SimCluster::reset() {
   transport_ = std::make_unique<SimTransport>(config_.num_ranks,
                                               config_.network, clocks_);
   transport_->install_fault_hooks(fault_);
+  transport_->install_trace(trace_);
 }
 
 void SimCluster::install_fault_hooks(FaultHooks* hooks) {
   fault_ = hooks;
   transport_->install_fault_hooks(hooks);
+}
+
+void SimCluster::install_trace(trace::TraceRecorder* recorder) {
+  SCD_REQUIRE(recorder == nullptr ||
+                  recorder->num_lanes() >= config_.num_ranks,
+              "trace recorder needs a lane per rank");
+  trace_ = recorder;
+  transport_->install_trace(recorder);
 }
 
 }  // namespace scd::sim

@@ -15,6 +15,7 @@
 #include "sim/fault_hooks.h"
 #include "sim/network_model.h"
 #include "sim/phase_stats.h"
+#include "sim/trace_span.h"
 #include "sim/transport.h"
 
 namespace scd::sim {
@@ -47,6 +48,14 @@ class RankContext {
 
   /// Enter a barrier, separately booking productive arrival vs idle wait.
   void timed_barrier(unsigned channel = 0, unsigned participants = 0);
+
+  /// The cluster's trace recorder, or nullptr when tracing is off.
+  trace::TraceRecorder* trace() const;
+
+  /// Open an RAII span on this rank's lane; a no-op scope when tracing
+  /// is off. Defined after SimCluster below.
+  TraceSpan trace_span(Phase p, std::uint64_t iteration = 0);
+  TraceSpan trace_span(trace::Stage s, std::uint64_t iteration = 0);
 
  private:
   unsigned rank_;
@@ -94,12 +103,33 @@ class SimCluster {
   void install_fault_hooks(FaultHooks* hooks);
   FaultHooks* fault_hooks() const { return fault_; }
 
+  /// Install (or clear, with nullptr) a trace recorder on the cluster
+  /// and its transport. Survives reset(). The recorder must outlive the
+  /// installation and have at least num_ranks() lanes.
+  void install_trace(trace::TraceRecorder* recorder);
+  trace::TraceRecorder* trace_recorder() const { return trace_; }
+
  private:
   Config config_;
   std::vector<SimClock> clocks_;
   std::vector<PhaseStats> stats_;
   std::unique_ptr<SimTransport> transport_;
   FaultHooks* fault_ = nullptr;
+  trace::TraceRecorder* trace_ = nullptr;
 };
+
+inline trace::TraceRecorder* RankContext::trace() const {
+  return cluster_.trace_recorder();
+}
+
+inline TraceSpan RankContext::trace_span(Phase p, std::uint64_t iteration) {
+  return trace_span(to_stage(p), iteration);
+}
+
+inline TraceSpan RankContext::trace_span(trace::Stage s,
+                                         std::uint64_t iteration) {
+  return TraceSpan(cluster_.trace_recorder(), rank_, s,
+                   cluster_.clock(rank_), iteration);
+}
 
 }  // namespace scd::sim

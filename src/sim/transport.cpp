@@ -105,8 +105,16 @@ void SimTransport::send_raw(unsigned from, unsigned to, int tag,
     const double start = std::max(clocks_[from].now(), nic_free_s_[from]);
     nic_free_s_[from] = start + wire_s;
     const double arrival = start + wire_s + net_.latency_s + extra_delay_s;
+    const double sent = clocks_[from].now();
+    if (trace_ != nullptr) {
+      trace::MetricsRegistry& metrics = trace_->metrics();
+      metrics.count(trace::Metric::kMessagesSent, from);
+      metrics.count(trace::Metric::kBytesSent, from, logical_bytes);
+      metrics.observe(trace_->message_bytes_histogram(), from,
+                      static_cast<double>(logical_bytes));
+    }
     mailboxes_[mailbox_key(from, to, tag)].push(
-        Message{arrival, std::move(payload)});
+        Message{arrival, sent, logical_bytes, std::move(payload)});
   }
   cv_.notify_all();
 }
@@ -124,7 +132,15 @@ std::vector<std::byte> SimTransport::recv_raw(unsigned self, unsigned from,
     throw TransportError("receive from dead rank " + std::to_string(from));
   }
   Message msg = queue.pop();
+  const double wait_from = clocks_[self].now();
   clocks_[self].advance_to(msg.arrival_s);
+  if (trace_ != nullptr) {
+    trace_->record_recv(self, from, msg.sent_s, msg.arrival_s, wait_from,
+                        msg.logical_bytes);
+    trace::MetricsRegistry& metrics = trace_->metrics();
+    metrics.count(trace::Metric::kMessagesReceived, self);
+    metrics.count(trace::Metric::kBytesReceived, self, msg.logical_bytes);
+  }
   return std::move(msg.payload);
 }
 
@@ -138,7 +154,15 @@ std::optional<std::vector<std::byte>> SimTransport::recv_bytes_or_dead(
   if (aborted_) throw Error("transport aborted while receiving");
   if (queue.empty()) return std::nullopt;  // dead, fully drained
   Message msg = queue.pop();
+  const double wait_from = clocks_[self].now();
   clocks_[self].advance_to(msg.arrival_s);
+  if (trace_ != nullptr) {
+    trace_->record_recv(self, from, msg.sent_s, msg.arrival_s, wait_from,
+                        msg.logical_bytes);
+    trace::MetricsRegistry& metrics = trace_->metrics();
+    metrics.count(trace::Metric::kMessagesReceived, self);
+    metrics.count(trace::Metric::kBytesReceived, self, msg.logical_bytes);
+  }
   return std::move(msg.payload);
 }
 
@@ -190,7 +214,15 @@ void SimTransport::run_collective(unsigned self, unsigned channel,
                   slot->participants == participants &&
                   slot->payload_bytes == payload_bytes,
               "mismatched collective: ranks disagree on op/root/size");
-  slot->max_entry = std::max(slot->max_entry, clocks_[self].now());
+  const double entry = clocks_[self].now();
+  // Track the last rank in (ties broken toward the lowest rank so the
+  // record is independent of thread arrival order) — the trace's
+  // collective edge points at it.
+  if (entry > slot->max_entry ||
+      (entry == slot->max_entry && self < slot->gating_rank)) {
+    slot->max_entry = entry;
+    slot->gating_rank = self;
+  }
   if (op == CollOp::kReduce) {
     if (slot->reduce_inputs.size() < num_ranks_) {
       slot->reduce_inputs.resize(num_ranks_);
@@ -243,10 +275,16 @@ void SimTransport::run_collective(unsigned self, unsigned channel,
     std::copy(slot->bcast_data.begin(), slot->bcast_data.end(),
               bcast_inout.begin());
   }
+  if (trace_ != nullptr) {
+    trace_->record_collective(self, slot->finish, entry, slot->max_entry,
+                              slot->gating_rank, payload_bytes);
+    trace_->metrics().count(trace::Metric::kCollectives, self);
+  }
   if (++slot->departed == slot->participants) {
     slot->arrived = 0;
     slot->departed = 0;
     slot->max_entry = 0.0;
+    slot->gating_rank = kNoGatingRank;
     slot->complete = false;
     slot->finish = 0.0;
     slot->bcast_data.clear();

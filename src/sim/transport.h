@@ -44,6 +44,7 @@
 #include "sim/clock.h"
 #include "sim/fault_hooks.h"
 #include "sim/network_model.h"
+#include "trace/recorder.h"
 #include "util/error.h"
 
 namespace scd::sim {
@@ -190,6 +191,15 @@ class SimTransport {
   /// the sender's program order.
   void install_fault_hooks(FaultHooks* hooks) { fault_ = hooks; }
 
+  /// Install (or clear, with nullptr) a trace recorder. Sends count
+  /// bytes/messages on the sender's lane; receives record the message
+  /// edge (post time -> arrival) on the receiver's lane; collectives
+  /// record finish, the gating rank, and its entry time on every
+  /// participant's lane. The recorder only samples clocks — modeled
+  /// times are identical with or without it.
+  void install_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+  trace::TraceRecorder* trace_recorder() const { return trace_; }
+
   /// Declare `rank` fail-stopped: wakes its waiting receivers. Messages
   /// it sent before dying stay deliverable; once drained, blocking
   /// receives from it throw TransportError and recv_bytes_or_dead
@@ -200,6 +210,8 @@ class SimTransport {
  private:
   struct Message {
     double arrival_s = 0.0;
+    double sent_s = 0.0;  // sender's clock at post, for trace edges
+    std::uint64_t logical_bytes = 0;
     std::vector<std::byte> payload;
   };
 
@@ -239,6 +251,8 @@ class SimTransport {
 
   enum class CollOp { kBarrier, kReduce, kBroadcast };
 
+  static constexpr unsigned kNoGatingRank = ~0u;
+
   struct CollSlot {
     CollOp op{};
     unsigned root = 0;
@@ -247,6 +261,7 @@ class SimTransport {
     unsigned arrived = 0;
     unsigned departed = 0;
     double max_entry = 0.0;
+    unsigned gating_rank = kNoGatingRank;  // last-in rank (ties: lowest)
     bool complete = false;
     double finish = 0.0;
     /// Reduce contributions indexed by rank (has_input marks presence),
@@ -289,6 +304,7 @@ class SimTransport {
   std::vector<std::vector<std::byte>> buffer_pool_;
   std::vector<std::uint8_t> dead_;  // per-rank fail-stop flags
   FaultHooks* fault_ = nullptr;
+  trace::TraceRecorder* trace_ = nullptr;
   bool aborted_ = false;
 };
 

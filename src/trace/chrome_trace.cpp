@@ -1,0 +1,118 @@
+#include "trace/chrome_trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace scd::trace {
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_event(std::string& out, const char* name, char ph,
+                  unsigned tid, double ts_us, std::uint64_t iteration,
+                  bool& first) {
+  char buf[192];
+  if (!first) out.push_back(',');
+  first = false;
+  if (ph == 'B') {
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s\",\"cat\":\"stage\",\"ph\":\"B\","
+                  "\"pid\":0,\"tid\":%u,\"ts\":%.6f,"
+                  "\"args\":{\"iteration\":%" PRIu64 "}}",
+                  name, tid, ts_us, iteration);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s\",\"ph\":\"E\",\"pid\":0,"
+                  "\"tid\":%u,\"ts\":%.6f}",
+                  name, tid, ts_us);
+  }
+  out.append(buf);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceRecorder& recorder) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"args\":{\"name\":\"scd virtual cluster\"}}");
+    out.append(buf);
+    first = false;
+  }
+  for (unsigned lane = 0; lane < recorder.num_lanes(); ++lane) {
+    out.push_back(',');
+    std::string name_json;
+    append_escaped(name_json, recorder.lane_name(lane));
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%u,\"args\":{\"name\":\"",
+                  lane);
+    out.append(buf);
+    out.append(name_json);
+    out.append("\"}}");
+  }
+  std::vector<SpanEvent> sorted;
+  std::vector<SpanEvent> open;
+  for (unsigned lane = 0; lane < recorder.num_lanes(); ++lane) {
+    // Spans are appended at close time, so nested scopes land inner
+    // before outer. Re-sort by (begin asc, end desc) and replay through
+    // a stack: scopes strictly nest within a lane, so popping every open
+    // span that ends at or before the next span's begin yields balanced
+    // B/E events in non-decreasing timestamp order.
+    sorted.assign(recorder.spans(lane).begin(), recorder.spans(lane).end());
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                       if (a.begin_s != b.begin_s) {
+                         return a.begin_s < b.begin_s;
+                       }
+                       return a.end_s > b.end_s;
+                     });
+    open.clear();
+    for (const SpanEvent& span : sorted) {
+      while (!open.empty() && open.back().end_s <= span.begin_s) {
+        append_event(out, stage_name(open.back().stage), 'E', lane,
+                     open.back().end_s * 1e6, 0, first);
+        open.pop_back();
+      }
+      append_event(out, stage_name(span.stage), 'B', lane,
+                   span.begin_s * 1e6, span.iteration, first);
+      open.push_back(span);
+    }
+    while (!open.empty()) {
+      append_event(out, stage_name(open.back().stage), 'E', lane,
+                   open.back().end_s * 1e6, 0, first);
+      open.pop_back();
+    }
+  }
+  out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
+  return out;
+}
+
+void write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open trace output file: " + path);
+  const std::string json = chrome_trace_json(recorder);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) throw Error("failed writing trace output file: " + path);
+}
+
+}  // namespace scd::trace

@@ -1,0 +1,21 @@
+// Chrome trace_event exporter: renders a TraceRecorder as the JSON
+// format Perfetto / chrome://tracing load directly. One lane per rank
+// (tid = rank), timestamps in virtual microseconds, balanced B/E
+// duration events in non-decreasing time order per lane — the contract
+// tools/check_trace.py verifies.
+#pragma once
+
+#include <string>
+
+#include "trace/recorder.h"
+
+namespace scd::trace {
+
+std::string chrome_trace_json(const TraceRecorder& recorder);
+
+/// Write chrome_trace_json(recorder) to `path`; throws Error on I/O
+/// failure.
+void write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path);
+
+}  // namespace scd::trace

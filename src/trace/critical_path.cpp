@@ -1,0 +1,163 @@
+#include "trace/critical_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scd::trace {
+namespace {
+
+/// A clock-advancing event on a lane: the lane's clock jumped to
+/// `effect_s` because of data that left `from_lane` at `from_s`.
+struct Gate {
+  double effect_s = 0.0;
+  double from_s = 0.0;
+  unsigned from_lane = 0;
+  Stage bucket = Stage::kNetwork;
+};
+
+struct LaneView {
+  std::vector<SpanEvent> spans;  // sorted by (begin asc, end desc)
+  std::vector<Gate> gates;       // sorted by effect_s
+};
+
+}  // namespace
+
+Table CriticalPathReport::table() const {
+  Table out({"stage", "on_path_s", "share_pct", "max_rank_s", "slack_s"});
+  for (std::size_t idx = 0; idx < kNumStages; ++idx) {
+    if (on_path_s[idx] <= 0.0 && max_lane_s[idx] <= 0.0) continue;
+    const double share =
+        total_s > 0.0 ? 100.0 * on_path_s[idx] / total_s : 0.0;
+    out.add_row({std::string(stage_name(static_cast<Stage>(idx))),
+                 on_path_s[idx], share, max_lane_s[idx],
+                 max_lane_s[idx] - on_path_s[idx]});
+  }
+  return out;
+}
+
+CriticalPathReport analyze_critical_path(const TraceRecorder& recorder) {
+  CriticalPathReport report;
+  const unsigned lanes = recorder.num_lanes();
+  std::vector<LaneView> views(lanes);
+  double horizon = 0.0;
+  unsigned start_lane = 0;
+  for (unsigned lane = 0; lane < lanes; ++lane) {
+    LaneView& view = views[lane];
+    view.spans.assign(recorder.spans(lane).begin(),
+                      recorder.spans(lane).end());
+    std::stable_sort(view.spans.begin(), view.spans.end(),
+                     [](const SpanEvent& a, const SpanEvent& b) {
+                       if (a.begin_s != b.begin_s) {
+                         return a.begin_s < b.begin_s;
+                       }
+                       return a.end_s > b.end_s;
+                     });
+    std::array<double, kNumStages> lane_totals{};
+    for (const SpanEvent& s : view.spans) {
+      lane_totals[static_cast<std::size_t>(s.stage)] += s.end_s - s.begin_s;
+      if (s.end_s > horizon) {
+        horizon = s.end_s;
+        start_lane = lane;
+      }
+    }
+    for (std::size_t idx = 0; idx < kNumStages; ++idx) {
+      report.max_lane_s[idx] =
+          std::max(report.max_lane_s[idx], lane_totals[idx]);
+    }
+    for (const RecvEvent& r : recorder.recvs(lane)) {
+      if (r.arrival_s <= r.wait_from_s) continue;  // message was waiting
+      view.gates.push_back(
+          Gate{r.arrival_s, r.sent_s, r.from, Stage::kNetwork});
+    }
+    for (const CollectiveEvent& c : recorder.collectives(lane)) {
+      if (c.finish_s <= c.entry_s) continue;
+      view.gates.push_back(Gate{c.finish_s, c.max_entry_s, c.gating_rank,
+                                Stage::kCollective});
+    }
+    std::stable_sort(view.gates.begin(), view.gates.end(),
+                     [](const Gate& a, const Gate& b) {
+                       return a.effect_s < b.effect_s;
+                     });
+  }
+  report.total_s = horizon;
+  if (horizon <= 0.0) return report;
+
+  const double eps = 1e-9 * std::max(1.0, horizon);
+  auto untracked = [&](unsigned lane, double lo, double hi) {
+    if (hi - lo <= eps) return;
+    report.on_path_s[static_cast<std::size_t>(Stage::kUntracked)] += hi - lo;
+    report.steps.push_back(
+        CriticalPathStep{lane, Stage::kUntracked, lo, hi});
+  };
+  auto on_path = [&](unsigned lane, Stage stage, double lo, double hi) {
+    if (hi <= lo) return;
+    report.on_path_s[static_cast<std::size_t>(stage)] += hi - lo;
+    report.steps.push_back(CriticalPathStep{lane, stage, lo, hi});
+  };
+
+  unsigned lane = start_lane;
+  double cursor = horizon;
+  // Index of the current span in views[lane].spans, or npos when the
+  // walk just switched lanes and must locate the covering span first.
+  std::ptrdiff_t idx = -1;
+  bool locate = true;
+  // Every step either strictly reduces `cursor` (lane switches, gap
+  // hops) or reduces `idx` on a fixed lane, so the walk terminates; the
+  // cap guards against degenerate recorded data (e.g. spans out of
+  // order) turning that invariant false.
+  std::size_t budget = 4 * recorder.total_spans() + 64;
+  while (budget-- > 0) {
+    const std::vector<SpanEvent>& spans = views[lane].spans;
+    if (locate) {
+      // Last span with begin <= cursor (innermost under nesting).
+      const auto it = std::upper_bound(
+          spans.begin(), spans.end(), cursor + eps,
+          [](double t, const SpanEvent& s) { return t < s.begin_s; });
+      idx = (it - spans.begin()) - 1;
+      locate = false;
+    }
+    if (idx < 0) {
+      untracked(lane, 0.0, cursor);
+      break;
+    }
+    const SpanEvent& span = spans[static_cast<std::size_t>(idx)];
+    if (span.end_s < cursor - eps) {
+      // Gap between the covering span and the cursor.
+      untracked(lane, span.end_s, cursor);
+      cursor = span.end_s;
+      continue;
+    }
+    // Latest gate inside (span.begin, cursor].
+    const std::vector<Gate>& gates = views[lane].gates;
+    const auto git = std::upper_bound(
+        gates.begin(), gates.end(), cursor + eps,
+        [](double t, const Gate& g) { return t < g.effect_s; });
+    const Gate* gate = nullptr;
+    if (git != gates.begin()) {
+      const Gate& candidate = *(git - 1);
+      if (candidate.effect_s > span.begin_s + eps) gate = &candidate;
+    }
+    if (gate != nullptr) {
+      on_path(lane, span.stage, gate->effect_s, cursor);
+      on_path(lane, gate->bucket, gate->from_s, gate->effect_s);
+      lane = gate->from_lane;
+      cursor = gate->from_s;
+      locate = true;
+      continue;
+    }
+    on_path(lane, span.stage, span.begin_s, cursor);
+    cursor = span.begin_s;
+    --idx;
+    if (idx >= 0) {
+      const SpanEvent& prev = spans[static_cast<std::size_t>(idx)];
+      untracked(lane, std::min(prev.end_s, cursor), cursor);
+      cursor = std::min(prev.end_s, cursor);
+    } else {
+      untracked(lane, 0.0, cursor);
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace scd::trace

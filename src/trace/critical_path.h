@@ -1,0 +1,62 @@
+// Critical-path analysis over a recorded trace.
+//
+// The span DAG: within a lane, consecutive spans are ordered by virtual
+// time; across lanes, a RecvEvent whose arrival advanced the receiver's
+// clock is an edge from the sender's span at post time, and a
+// CollectiveEvent is an edge from the gating (last-in) rank's entry.
+// analyze() walks that DAG backwards from the latest span end,
+// attributing each on-path interval to its span's stage — or to the
+// kNetwork / kCollective buckets while the chain rides a message or a
+// collective's gather cost, or kUntracked where no span covers the
+// chain. When instrumentation wraps every clock-advancing operation
+// (the DistributedSampler does), the buckets tile [0, total_s] exactly
+// and total_s equals the run's total virtual time.
+//
+// Assumes flat lanes: spans on one lane do not overlap. Nested spans do
+// not break the walk but their shared interval is attributed to the
+// innermost span only.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "trace/recorder.h"
+
+namespace scd::trace {
+
+/// One on-path segment, latest first: the chain occupied lane `lane`
+/// from `begin_s` to `end_s` doing `stage` work.
+struct CriticalPathStep {
+  unsigned lane = 0;
+  Stage stage{};
+  double begin_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct CriticalPathReport {
+  /// Length of the longest chain == latest span end over all lanes.
+  double total_s = 0.0;
+  /// Seconds each stage contributes to the chain; sums to total_s.
+  std::array<double, kNumStages> on_path_s{};
+  /// Per-stage max-over-lanes total span seconds (the stage's heaviest
+  /// rank), for slack: max_lane_s - on_path_s is how much of that
+  /// rank's stage time the chain does NOT pass through.
+  std::array<double, kNumStages> max_lane_s{};
+  /// The chain itself, walked backwards (latest segment first).
+  std::vector<CriticalPathStep> steps;
+
+  double on_path(Stage s) const {
+    return on_path_s[static_cast<std::size_t>(s)];
+  }
+  double slack(Stage s) const {
+    return max_lane_s[static_cast<std::size_t>(s)] - on_path(s);
+  }
+
+  /// One row per stage on the path: on-path seconds, share of total,
+  /// heaviest rank's seconds, and slack.
+  Table table() const;
+};
+
+CriticalPathReport analyze_critical_path(const TraceRecorder& recorder);
+
+}  // namespace scd::trace

@@ -1,0 +1,121 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace scd::trace {
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kMessagesSent: return "messages_sent";
+    case Metric::kBytesSent: return "bytes_sent";
+    case Metric::kMessagesReceived: return "messages_received";
+    case Metric::kBytesReceived: return "bytes_received";
+    case Metric::kCollectives: return "collectives";
+    case Metric::kDkvBatches: return "dkv_batches";
+    case Metric::kDkvMessages: return "dkv_messages";
+    case Metric::kDkvRowsRead: return "dkv_rows_read";
+    case Metric::kDkvRowsWritten: return "dkv_rows_written";
+    case Metric::kDkvRemoteRows: return "dkv_remote_rows";
+    case Metric::kDkvHits: return "dkv_hits";
+    case Metric::kDkvMisses: return "dkv_misses";
+    case Metric::kRedoneIterations: return "redone_iterations";
+    case Metric::kRecoveries: return "recoveries";
+    case Metric::kCount: break;
+  }
+  return "?";
+}
+
+MetricsRegistry::MetricsRegistry(unsigned num_ranks)
+    : num_ranks_(num_ranks) {
+  SCD_REQUIRE(num_ranks >= 1, "metrics registry needs at least one rank");
+  for (std::size_t m = 0; m < kNumMetrics; ++m) {
+    add_counter(metric_name(static_cast<Metric>(m)));
+  }
+}
+
+MetricsRegistry::CounterId MetricsRegistry::add_counter(std::string name) {
+  const CounterId id = counter_names_.size();
+  counter_names_.push_back(std::move(name));
+  counter_cells_.resize(counter_names_.size() * num_ranks_, 0);
+  return id;
+}
+
+MetricsRegistry::GaugeId MetricsRegistry::add_gauge(std::string name) {
+  const GaugeId id = gauge_names_.size();
+  gauge_names_.push_back(std::move(name));
+  gauge_cells_.resize(gauge_names_.size() * num_ranks_, 0.0);
+  return id;
+}
+
+MetricsRegistry::HistogramId MetricsRegistry::add_histogram(
+    std::string name) {
+  const HistogramId id = histogram_names_.size();
+  histogram_names_.push_back(std::move(name));
+  histogram_cells_.resize(
+      histogram_names_.size() * num_ranks_ * kHistogramBuckets, 0);
+  return id;
+}
+
+void MetricsRegistry::observe(HistogramId id, unsigned rank, double value) {
+  std::size_t bucket = 0;
+  if (value >= 1.0) {
+    bucket = static_cast<std::size_t>(std::floor(std::log2(value))) + 1;
+    bucket = std::min(bucket, kHistogramBuckets - 1);
+  }
+  histogram_cells_[(id * num_ranks_ + rank) * kHistogramBuckets + bucket]++;
+}
+
+std::uint64_t MetricsRegistry::counter_total(CounterId id) const {
+  std::uint64_t total = 0;
+  for (unsigned r = 0; r < num_ranks_; ++r) total += counter(id, r);
+  return total;
+}
+
+std::uint64_t MetricsRegistry::histogram_bucket(HistogramId id,
+                                                std::size_t bucket) const {
+  std::uint64_t total = 0;
+  for (unsigned r = 0; r < num_ranks_; ++r) {
+    total +=
+        histogram_cells_[(id * num_ranks_ + r) * kHistogramBuckets + bucket];
+  }
+  return total;
+}
+
+std::uint64_t MetricsRegistry::histogram_count(HistogramId id) const {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    total += histogram_bucket(id, b);
+  }
+  return total;
+}
+
+void MetricsRegistry::clear() {
+  std::fill(counter_cells_.begin(), counter_cells_.end(), 0);
+  std::fill(gauge_cells_.begin(), gauge_cells_.end(), 0.0);
+  std::fill(histogram_cells_.begin(), histogram_cells_.end(), 0);
+}
+
+Table MetricsRegistry::table() const {
+  Table out({"metric", "total", "min_rank", "max_rank"});
+  for (CounterId id = 0; id < counter_names_.size(); ++id) {
+    std::uint64_t total = 0;
+    std::uint64_t lo = counter(id, 0);
+    std::uint64_t hi = lo;
+    for (unsigned r = 0; r < num_ranks_; ++r) {
+      const std::uint64_t v = counter(id, r);
+      total += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (total == 0) continue;
+    out.add_row({counter_names_[id], static_cast<std::int64_t>(total),
+                 static_cast<std::int64_t>(lo),
+                 static_cast<std::int64_t>(hi)});
+  }
+  return out;
+}
+
+}  // namespace scd::trace

@@ -1,9 +1,37 @@
 #include "util/log.h"
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 namespace scd {
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+Logger::Logger() {
+  if (const char* env = std::getenv("SCD_LOG_LEVEL")) {
+    if (const auto level = parse_log_level(env)) {
+      level_ = *level;
+    } else {
+      // level_ is still kInfo, so this warning is visible.
+      write(LogLevel::kWarn,
+            std::string("ignoring unrecognized SCD_LOG_LEVEL '") + env +
+                "' (expected debug|info|warn|error|off)");
+    }
+  }
+}
 
 Logger& Logger::instance() {
   static Logger logger;

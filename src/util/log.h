@@ -3,15 +3,24 @@
 // Logging in the hot path is forbidden by convention; the samplers log only
 // at iteration-report granularity. The logger is a process-wide singleton
 // guarded by a mutex, which is fine at that rate.
+//
+// The initial threshold comes from the SCD_LOG_LEVEL environment variable
+// (debug | info | warn | error | off, case-insensitive), defaulting to
+// info; set_level overrides it at any time.
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace scd {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Parse a level name ("debug", "WARN", ...); nullopt if unrecognized.
+std::optional<LogLevel> parse_log_level(std::string_view name);
 
 /// Process-wide logger. Thread safe.
 class Logger {
@@ -25,7 +34,7 @@ class Logger {
   void write(LogLevel level, const std::string& message);
 
  private:
-  Logger() = default;
+  Logger();  // reads SCD_LOG_LEVEL
   LogLevel level_ = LogLevel::kInfo;
   std::mutex mu_;
 };

@@ -29,6 +29,7 @@
 #include "core/parallel_sampler.h"
 #include "core/sequential_sampler.h"
 #include "tests/core/test_fixtures.h"
+#include "trace/recorder.h"
 
 namespace {
 
@@ -154,6 +155,43 @@ TEST(ZeroAllocTest, DistributedIterationIsAllocationFreeAfterWarmup) {
   EXPECT_EQ(hook_calls, 60u);  // the tracking window really ran
   EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
       << "steady-state distributed iterations must not touch the heap";
+}
+
+TEST(ZeroAllocTest, TracedDistributedIterationIsAllocationFreeAfterWarmup) {
+  // Same carve-out as above, but with a TraceRecorder installed: after
+  // run() pre-sizes the lanes via reserve(), steady-state span/metric
+  // recording must not touch the heap either.
+  testing::Fixture f = testing::small_planted_fixture();
+  f.options.eval_interval = 0;
+
+  sim::SimCluster::Config config;
+  config.num_ranks = 3;
+  sim::SimCluster cluster(config);
+  trace::TraceRecorder recorder(config.num_ranks);
+  DistributedOptions options;
+  options.base = f.options;
+  options.pipeline = true;
+  options.dedup_reads = true;
+  options.chunk_vertices = 8;
+  options.trace = &recorder;
+  std::uint64_t hook_calls = 0;
+  options.master_iteration_hook = [&hook_calls](std::uint64_t t) {
+    ++hook_calls;
+    if (t == 20) {
+      g_alloc_count.store(0, std::memory_order_relaxed);
+      g_tracking.store(true, std::memory_order_relaxed);
+    } else if (t == 55) {
+      g_tracking.store(false, std::memory_order_relaxed);
+    }
+  };
+  DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                          f.hyper, options);
+  dist.run(60);
+  g_tracking.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(hook_calls, 60u);
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u)
+      << "steady-state tracing must record into reserved lanes";
+  EXPECT_GT(recorder.total_spans(), 0u);
 }
 
 TEST(ZeroAllocTest, ParallelTrajectoryBitIdenticalAcrossThreadCounts) {

@@ -5,6 +5,7 @@
 #include "dkv/local_dkv.h"
 #include "dkv/sim_rdma_dkv.h"
 #include "random/xoshiro.h"
+#include "trace/recorder.h"
 #include "util/error.h"
 
 namespace scd::dkv {
@@ -133,6 +134,59 @@ TEST(CachedDkvTest, UniformRandomAccessHitRateIsCapacityOverN) {
 TEST(CachedDkvTest, ZeroCapacityRejected) {
   LocalDkv inner(4, 2, node());
   EXPECT_THROW(CachedDkv(inner, 0), scd::UsageError);
+}
+
+TEST(CachedDkvTest, TraceCountsHitAndMissRowsOnRequesterLane) {
+  Fixture f(8);
+  trace::TraceRecorder rec(4);
+  f.cache.install_trace(&rec, /*rank_offset=*/1);  // shard s -> lane s+1
+
+  std::vector<std::uint64_t> warm = {1, 2};
+  std::vector<float> out(6);
+  f.cache.get_rows(1, warm, out);  // 2 cold misses on lane 2
+  std::vector<std::uint64_t> mixed = {2, 3, 1};
+  std::vector<float> out2(9);
+  f.cache.get_rows(1, mixed, out2);  // 2 hits + 1 miss on lane 2
+
+  using trace::Metric;
+  EXPECT_EQ(rec.metrics().counter(Metric::kDkvHits, 2), 2u);
+  EXPECT_EQ(rec.metrics().counter(Metric::kDkvMisses, 2), 3u);
+  EXPECT_EQ(rec.metrics().counter(Metric::kDkvHits, 1), 0u)
+      << "counts land on the requester's lane only";
+  EXPECT_EQ(rec.metrics().counter_total(Metric::kDkvHits),
+            f.cache.hits());
+  EXPECT_EQ(rec.metrics().counter_total(Metric::kDkvMisses),
+            f.cache.misses());
+
+  f.cache.install_trace(nullptr);
+  f.cache.get_rows(1, mixed, out2);  // uninstalled: nothing more counted
+  EXPECT_EQ(rec.metrics().counter_total(Metric::kDkvHits), 2u);
+}
+
+TEST(CachedDkvTest, TraceCostSplitHitsLocalMissesForwarded) {
+  // The accounting contract behind the counters: a batch of H hits and
+  // M misses costs exactly hit_cost(H) (local memcpy of the cached
+  // rows) plus the inner store's price for the M missed keys.
+  SimRdmaDkv inner(100, 3, 4, sim::NetworkModel{}, node());
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    const auto f = static_cast<float>(v);
+    inner.init_row(v, std::vector<float>{f, f + 0.5f, f + 0.25f});
+  }
+  CachedDkv cache(inner, 8, node());
+  trace::TraceRecorder rec(5);
+  cache.install_trace(&rec);
+
+  std::vector<std::uint64_t> warm = {80, 81};  // remote for shard 0
+  std::vector<float> out(6);
+  cache.get_rows(0, warm, out);
+  std::vector<std::uint64_t> mixed = {80, 81, 40};  // 2 hits + 1 miss
+  std::vector<float> out2(9);
+  const double cost = cache.get_rows(0, mixed, out2);
+  const std::vector<std::uint64_t> missed = {40};
+  EXPECT_DOUBLE_EQ(cost,
+                   cache.hit_cost(2) + inner.read_cost_keys(0, missed));
+  EXPECT_EQ(rec.metrics().counter(trace::Metric::kDkvHits, 1), 2u);
+  EXPECT_EQ(rec.metrics().counter(trace::Metric::kDkvMisses, 1), 3u);
 }
 
 }  // namespace

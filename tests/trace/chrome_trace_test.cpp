@@ -1,0 +1,120 @@
+#include "trace/chrome_trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace scd::trace {
+namespace {
+
+/// Count non-overlapping occurrences of `needle` in `text`.
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TraceRecorder two_lane_recorder() {
+  TraceRecorder rec(2);
+  rec.set_lane_name(0, "rank 0 (master)");
+  rec.set_lane_name(1, "rank 1 (worker 0)");
+  rec.record_span(0, Stage::kDrawMinibatch, 0.0, 1.0, 0);
+  rec.record_span(0, Stage::kBarrierWait, 1.0, 3.0, 0);
+  rec.record_span(1, Stage::kDeployMinibatch, 0.5, 1.5, 0);
+  rec.record_span(1, Stage::kUpdatePhi, 1.5, 3.0, 0);
+  return rec;
+}
+
+TEST(ChromeTraceTest, EventsAreBalancedAndMonotonePerLane) {
+  const TraceRecorder rec = two_lane_recorder();
+  const std::string json = chrome_trace_json(rec);
+
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 4u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 4u);
+  for (unsigned tid : {0u, 1u}) {
+    std::vector<double> ts;
+    {
+      SCOPED_TRACE(tid);
+      std::istringstream lines(json);
+      std::string line;
+      const std::string tid_key = "\"tid\":" + std::to_string(tid) + ",";
+      while (std::getline(lines, line)) {
+        if (line.find("\"ph\":\"M\"") != std::string::npos) continue;
+        if (line.find(tid_key) == std::string::npos) continue;
+        const std::size_t pos = line.find("\"ts\":");
+        ASSERT_NE(pos, std::string::npos) << line;
+        ts.push_back(std::stod(line.substr(pos + 5)));
+      }
+    }
+    ASSERT_EQ(ts.size(), 4u);
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      EXPECT_LE(ts[i - 1], ts[i]) << "lane " << tid << " event " << i;
+    }
+  }
+}
+
+TEST(ChromeTraceTest, MetadataNamesProcessAndLanes) {
+  const std::string json = chrome_trace_json(two_lane_recorder());
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"thread_name\""), 2u);
+  EXPECT_NE(json.find("rank 1 (worker 0)"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, NestedSpansEmitProperlyNestedEvents) {
+  TraceRecorder rec(1);
+  // Inner closes before outer is appended (RAII order); the exporter
+  // must re-sort into outer-B, inner-B, inner-E, outer-E.
+  rec.record_span(0, Stage::kUpdateBetaTheta, 1.0, 2.0, 0);  // inner
+  rec.record_span(0, Stage::kRecovery, 0.0, 3.0, 0);         // outer
+  const std::string json = chrome_trace_json(rec);
+  const std::size_t outer_b = json.find("\"name\":\"recovery\",\"cat\"");
+  const std::size_t inner_b =
+      json.find("\"name\":\"update_beta_theta\",\"cat\"");
+  const std::size_t inner_e =
+      json.find("{\"name\":\"update_beta_theta\",\"ph\":\"E\"");
+  const std::size_t outer_e = json.find("{\"name\":\"recovery\",\"ph\":\"E\"");
+  ASSERT_NE(outer_b, std::string::npos);
+  ASSERT_NE(inner_b, std::string::npos);
+  ASSERT_NE(inner_e, std::string::npos);
+  ASSERT_NE(outer_e, std::string::npos);
+  EXPECT_LT(outer_b, inner_b);
+  EXPECT_LT(inner_b, inner_e);
+  EXPECT_LT(inner_e, outer_e);
+}
+
+TEST(ChromeTraceTest, TimestampsAreVirtualMicroseconds) {
+  TraceRecorder rec(1);
+  rec.record_span(0, Stage::kSetup, 0.5, 1.0, 0);  // seconds
+  const std::string json = chrome_trace_json(rec);
+  EXPECT_NE(json.find("\"ts\":500000.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000000.000000"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, WriteToFileRoundTripsAndBadPathThrows) {
+  const TraceRecorder rec = two_lane_recorder();
+  const std::string path =
+      ::testing::TempDir() + "/scd_chrome_trace_test.json";
+  write_chrome_trace(rec, path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), chrome_trace_json(rec));
+  std::remove(path.c_str());
+
+  EXPECT_THROW(write_chrome_trace(rec, "/nonexistent-dir/trace.json"),
+               scd::Error);
+}
+
+}  // namespace
+}  // namespace scd::trace

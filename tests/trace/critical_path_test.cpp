@@ -1,0 +1,124 @@
+#include "trace/critical_path.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::trace {
+namespace {
+
+// Hand-checkable 2-rank fixture:
+//
+//   lane 0 (master): draw [0,1] --msg--> barrier_wait [1,4]
+//   lane 1 (worker): setup [0,0.5] deploy [0.5,1.5] update_phi [1.5,5]
+//
+// The message posts at t=1.0 and arrives at t=1.5, gating the worker
+// (its clock was at 0.5). Longest chain, walked backwards from the
+// horizon at t=5: update_phi [1.5,5] -> network [1.0,1.5] -> draw
+// [0,1] = 3.5 + 0.5 + 1.0 = 5.0 = total virtual time.
+TEST(CriticalPathTest, TwoRankMessageChainTilesTotalTime) {
+  TraceRecorder rec(2);
+  rec.record_span(0, Stage::kDrawMinibatch, 0.0, 1.0);
+  rec.record_span(0, Stage::kBarrierWait, 1.0, 4.0);
+  rec.record_span(1, Stage::kSetup, 0.0, 0.5);
+  rec.record_span(1, Stage::kDeployMinibatch, 0.5, 1.5);
+  rec.record_span(1, Stage::kUpdatePhi, 1.5, 5.0);
+  rec.record_recv(1, /*from=*/0, /*sent_s=*/1.0, /*arrival_s=*/1.5,
+                  /*wait_from_s=*/0.5, /*bytes=*/256);
+
+  const CriticalPathReport report = analyze_critical_path(rec);
+  EXPECT_DOUBLE_EQ(report.total_s, 5.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUpdatePhi), 3.5);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kNetwork), 0.5);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kDrawMinibatch), 1.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kBarrierWait), 0.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUntracked), 0.0);
+
+  double sum = 0.0;
+  for (double s : report.on_path_s) sum += s;
+  EXPECT_NEAR(sum, report.total_s, 1e-12) << "buckets must tile [0, total]";
+
+  // The chain itself, latest first.
+  ASSERT_EQ(report.steps.size(), 3u);
+  EXPECT_EQ(report.steps[0].lane, 1u);
+  EXPECT_EQ(report.steps[0].stage, Stage::kUpdatePhi);
+  EXPECT_EQ(report.steps[1].stage, Stage::kNetwork);
+  EXPECT_EQ(report.steps[2].lane, 0u);
+  EXPECT_EQ(report.steps[2].stage, Stage::kDrawMinibatch);
+
+  // Slack: the master's 3s of barrier_wait is entirely off-path.
+  EXPECT_DOUBLE_EQ(report.slack(Stage::kBarrierWait), 3.0);
+  EXPECT_DOUBLE_EQ(report.slack(Stage::kUpdatePhi), 0.0);
+}
+
+// A collective gated by the last rank in: the chain crosses to the
+// gating rank at its entry time and charges the gather interval to the
+// kCollective bucket.
+TEST(CriticalPathTest, CollectiveEdgeCrossesToGatingRank) {
+  TraceRecorder rec(2);
+  // lane 0 enters the collective at 1.0, lane 1 (gating) at 2.0; all
+  // finish at 2.5. Lane 0 then runs update_pi to the horizon at 3.0.
+  rec.record_span(0, Stage::kDrawMinibatch, 0.0, 1.0);
+  rec.record_span(0, Stage::kBarrierWait, 1.0, 2.5);
+  rec.record_span(0, Stage::kUpdatePi, 2.5, 3.0);
+  rec.record_span(1, Stage::kUpdatePhi, 0.0, 2.0);
+  rec.record_span(1, Stage::kBarrierWait, 2.0, 2.5);
+  rec.record_collective(0, /*finish_s=*/2.5, /*entry_s=*/1.0,
+                        /*max_entry_s=*/2.0, /*gating_rank=*/1,
+                        /*bytes=*/64);
+  rec.record_collective(1, /*finish_s=*/2.5, /*entry_s=*/2.0,
+                        /*max_entry_s=*/2.0, /*gating_rank=*/1,
+                        /*bytes=*/64);
+
+  const CriticalPathReport report = analyze_critical_path(rec);
+  EXPECT_DOUBLE_EQ(report.total_s, 3.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUpdatePi), 0.5);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kCollective), 0.5);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUpdatePhi), 2.0);
+  double sum = 0.0;
+  for (double s : report.on_path_s) sum += s;
+  EXPECT_NEAR(sum, report.total_s, 1e-12);
+  // The walk ends on the gating rank's lane.
+  EXPECT_EQ(report.steps.back().lane, 1u);
+}
+
+TEST(CriticalPathTest, GapsAreAttributedToUntracked) {
+  TraceRecorder rec(1);
+  rec.record_span(0, Stage::kUpdatePhi, 1.0, 2.0);
+  const CriticalPathReport report = analyze_critical_path(rec);
+  EXPECT_DOUBLE_EQ(report.total_s, 2.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUpdatePhi), 1.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUntracked), 1.0);
+}
+
+TEST(CriticalPathTest, MessageThatWasAlreadyWaitingIsNotAnEdge) {
+  // arrival <= wait_from: the receiver never stalled on the message, so
+  // the chain stays on the receiving lane.
+  TraceRecorder rec(2);
+  rec.record_span(0, Stage::kDrawMinibatch, 0.0, 0.5);
+  rec.record_span(1, Stage::kUpdatePhi, 0.0, 3.0);
+  rec.record_recv(1, /*from=*/0, /*sent_s=*/0.5, /*arrival_s=*/1.0,
+                  /*wait_from_s=*/2.0, /*bytes=*/64);
+  const CriticalPathReport report = analyze_critical_path(rec);
+  EXPECT_DOUBLE_EQ(report.total_s, 3.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUpdatePhi), 3.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kNetwork), 0.0);
+}
+
+TEST(CriticalPathTest, EmptyRecorderYieldsEmptyReport) {
+  TraceRecorder rec(3);
+  const CriticalPathReport report = analyze_critical_path(rec);
+  EXPECT_DOUBLE_EQ(report.total_s, 0.0);
+  EXPECT_TRUE(report.steps.empty());
+}
+
+TEST(CriticalPathTest, TableReportsSharesAndSlack) {
+  TraceRecorder rec(1);
+  rec.record_span(0, Stage::kUpdatePhi, 0.0, 4.0);
+  const CriticalPathReport report = analyze_critical_path(rec);
+  const std::string ascii = report.table().to_ascii();
+  EXPECT_NE(ascii.find("update_phi"), std::string::npos);
+  EXPECT_NE(ascii.find("100"), std::string::npos);  // 100% share
+  EXPECT_EQ(ascii.find("perplexity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scd::trace

@@ -1,0 +1,84 @@
+#include "trace/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::trace {
+namespace {
+
+TEST(MetricsTest, BuiltinCountersAreRegisteredInOrder) {
+  MetricsRegistry reg(2);
+  ASSERT_EQ(reg.num_counters(), kNumMetrics);
+  for (std::size_t i = 0; i < kNumMetrics; ++i) {
+    EXPECT_EQ(reg.counter_name(i), metric_name(static_cast<Metric>(i)));
+  }
+  EXPECT_STREQ(metric_name(Metric::kDkvHits), "dkv_hits");
+  EXPECT_STREQ(metric_name(Metric::kRecoveries), "recoveries");
+}
+
+TEST(MetricsTest, CountersArePerRankWithTotals) {
+  MetricsRegistry reg(3);
+  reg.count(Metric::kMessagesSent, 0);
+  reg.count(Metric::kMessagesSent, 2, 4);
+  EXPECT_EQ(reg.counter(Metric::kMessagesSent, 0), 1u);
+  EXPECT_EQ(reg.counter(Metric::kMessagesSent, 1), 0u);
+  EXPECT_EQ(reg.counter(Metric::kMessagesSent, 2), 4u);
+  EXPECT_EQ(reg.counter_total(Metric::kMessagesSent), 5u);
+  EXPECT_EQ(reg.counter_total(Metric::kBytesSent), 0u);
+}
+
+TEST(MetricsTest, CustomInstrumentsGetDenseIds) {
+  MetricsRegistry reg(2);
+  const auto c = reg.add_counter("cache_probes");
+  EXPECT_EQ(c, kNumMetrics);  // built-ins occupy [0, kNumMetrics)
+  reg.count(c, 1, 7);
+  EXPECT_EQ(reg.counter(c, 1), 7u);
+  EXPECT_EQ(reg.counter_name(c), "cache_probes");
+
+  const auto g = reg.add_gauge("queue_depth");
+  reg.set_gauge(g, 0, 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge(g, 0), 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge(g, 1), 0.0);
+}
+
+TEST(MetricsTest, HistogramUsesLog2Buckets) {
+  MetricsRegistry reg(2);
+  const auto h = reg.add_histogram("payload_bytes");
+  reg.observe(h, 0, 0.5);   // < 1        -> bucket 0
+  reg.observe(h, 0, 1.0);   // [1, 2)     -> bucket 1
+  reg.observe(h, 1, 3.0);   // [2, 4)     -> bucket 2
+  reg.observe(h, 1, 1024);  // [512,1024] -> bucket 11
+  EXPECT_EQ(reg.histogram_bucket(h, 0), 1u);
+  EXPECT_EQ(reg.histogram_bucket(h, 1), 1u);
+  EXPECT_EQ(reg.histogram_bucket(h, 2), 1u);
+  EXPECT_EQ(reg.histogram_bucket(h, 11), 1u);
+  EXPECT_EQ(reg.histogram_count(h), 4u);
+}
+
+TEST(MetricsTest, ClearZeroesCellsButKeepsInstruments) {
+  MetricsRegistry reg(2);
+  const auto h = reg.add_histogram("h");
+  reg.count(Metric::kDkvBatches, 1, 9);
+  reg.observe(h, 0, 8.0);
+  reg.clear();
+  EXPECT_EQ(reg.counter_total(Metric::kDkvBatches), 0u);
+  EXPECT_EQ(reg.histogram_count(h), 0u);
+  EXPECT_EQ(reg.num_counters(), kNumMetrics + 0u);
+  reg.count(Metric::kDkvBatches, 0);  // still usable after clear
+  EXPECT_EQ(reg.counter_total(Metric::kDkvBatches), 1u);
+}
+
+TEST(MetricsTest, TableListsOnlyNonZeroCounters) {
+  MetricsRegistry reg(2);
+  EXPECT_EQ(reg.table().num_rows(), 0u);
+  reg.count(Metric::kDkvHits, 0, 3);
+  reg.count(Metric::kDkvMisses, 1, 2);
+  const Table t = reg.table();
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("dkv_hits"), std::string::npos);
+  EXPECT_NE(ascii.find("dkv_misses"), std::string::npos);
+  EXPECT_EQ(ascii.find("messages_sent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scd::trace

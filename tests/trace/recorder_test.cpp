@@ -1,0 +1,112 @@
+#include "trace/recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::trace {
+namespace {
+
+/// Minimal clock satisfying ScopedSpan's `double now() const` contract.
+struct FakeClock {
+  double t = 0.0;
+  double now() const { return t; }
+};
+
+TEST(RecorderTest, RecordsSpansPerLane) {
+  TraceRecorder rec(2);
+  rec.record_span(0, Stage::kDrawMinibatch, 0.0, 1.0, 7);
+  rec.record_span(1, Stage::kUpdatePhi, 0.5, 2.5, 7);
+  ASSERT_EQ(rec.spans(0).size(), 1u);
+  ASSERT_EQ(rec.spans(1).size(), 1u);
+  EXPECT_EQ(rec.spans(0)[0].stage, Stage::kDrawMinibatch);
+  EXPECT_DOUBLE_EQ(rec.spans(1)[0].end_s, 2.5);
+  EXPECT_EQ(rec.spans(0)[0].iteration, 7u);
+  EXPECT_EQ(rec.total_spans(), 2u);
+  EXPECT_DOUBLE_EQ(rec.max_time(), 2.5);
+}
+
+TEST(RecorderTest, RecordsRecvAndCollectiveEvents) {
+  TraceRecorder rec(2);
+  rec.record_recv(1, /*from=*/0, /*sent_s=*/1.0, /*arrival_s=*/1.5,
+                  /*wait_from_s=*/0.8, /*bytes=*/64);
+  rec.record_collective(0, /*finish_s=*/3.0, /*entry_s=*/2.0,
+                        /*max_entry_s=*/2.5, /*gating_rank=*/1,
+                        /*bytes=*/128);
+  ASSERT_EQ(rec.recvs(1).size(), 1u);
+  EXPECT_EQ(rec.recvs(1)[0].from, 0u);
+  EXPECT_DOUBLE_EQ(rec.recvs(1)[0].arrival_s, 1.5);
+  ASSERT_EQ(rec.collectives(0).size(), 1u);
+  EXPECT_EQ(rec.collectives(0)[0].gating_rank, 1u);
+  EXPECT_DOUBLE_EQ(rec.collectives(0)[0].max_entry_s, 2.5);
+}
+
+TEST(RecorderTest, ScopedSpanRecordsOnDestruction) {
+  TraceRecorder rec(1);
+  FakeClock clock;
+  clock.t = 1.0;
+  {
+    ScopedSpan<FakeClock> span(&rec, 0, Stage::kSampleNeighbors, clock, 3);
+    clock.t = 4.0;
+    EXPECT_TRUE(rec.spans(0).empty());  // only closes record
+  }
+  ASSERT_EQ(rec.spans(0).size(), 1u);
+  EXPECT_EQ(rec.spans(0)[0].stage, Stage::kSampleNeighbors);
+  EXPECT_DOUBLE_EQ(rec.spans(0)[0].begin_s, 1.0);
+  EXPECT_DOUBLE_EQ(rec.spans(0)[0].end_s, 4.0);
+  EXPECT_EQ(rec.spans(0)[0].iteration, 3u);
+}
+
+TEST(RecorderTest, NullRecorderSpanIsANoOp) {
+  FakeClock clock;
+  clock.t = 5.0;
+  // Must not read the clock or crash; the disabled path is a branch.
+  ScopedSpan<FakeClock> span(nullptr, 99, Stage::kUpdatePi, clock);
+}
+
+TEST(RecorderTest, LaneNamesAndClear) {
+  TraceRecorder rec(2);
+  rec.set_lane_name(0, "master");
+  rec.set_lane_name(1, "worker 0");
+  rec.record_span(1, Stage::kSetup, 0.0, 0.1);
+  rec.clear();
+  EXPECT_EQ(rec.total_spans(), 0u);
+  EXPECT_DOUBLE_EQ(rec.max_time(), 0.0);
+  EXPECT_EQ(rec.lane_name(0), "master");  // names survive clear
+  EXPECT_EQ(rec.lane_name(1), "worker 0");
+}
+
+TEST(RecorderTest, ReserveMakesRecordingAllocationFree) {
+  TraceRecorder rec(1);
+  rec.reserve(/*spans_per_lane=*/100, /*events_per_lane=*/100);
+  const SpanEvent* before = rec.spans(0).data();
+  (void)before;
+  for (int i = 0; i < 100; ++i) {
+    rec.record_span(0, Stage::kUpdatePhi, i, i + 0.5);
+    rec.record_recv(0, 0, 0.0, 1.0, 0.5, 8);
+    rec.record_collective(0, 1.0, 0.5, 0.75, 0, 8);
+  }
+  // No reallocation: the backing array never moved.
+  EXPECT_EQ(rec.spans(0).data(), before);
+  EXPECT_EQ(rec.spans(0).size(), 100u);
+}
+
+TEST(RecorderTest, SummaryTableRollsUpPerStage) {
+  TraceRecorder rec(2);
+  rec.record_span(0, Stage::kDrawMinibatch, 0.0, 1.0);
+  rec.record_span(1, Stage::kUpdatePhi, 0.0, 2.0);
+  rec.record_span(1, Stage::kUpdatePhi, 2.0, 3.0);
+  const std::string ascii = rec.summary_table().to_ascii();
+  EXPECT_NE(ascii.find("draw_minibatch"), std::string::npos);
+  EXPECT_NE(ascii.find("update_phi"), std::string::npos);
+  EXPECT_EQ(ascii.find("perplexity"), std::string::npos)
+      << "stages with no spans must not appear";
+}
+
+TEST(RecorderTest, MessageBytesHistogramIsRegistered) {
+  TraceRecorder rec(1);
+  rec.metrics().observe(rec.message_bytes_histogram(), 0, 4096.0);
+  EXPECT_EQ(rec.metrics().histogram_count(rec.message_bytes_histogram()),
+            1u);
+}
+
+}  // namespace
+}  // namespace scd::trace

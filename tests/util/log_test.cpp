@@ -33,5 +33,30 @@ TEST(LogTest, SingletonIdentity) {
   EXPECT_EQ(&Logger::instance(), &Logger::instance());
 }
 
+// The SCD_LOG_LEVEL environment variable goes through this parser at
+// startup (Logger's constructor); the singleton in this process is
+// already built, so the parser is what is testable here.
+TEST(LogTest, ParseLogLevelRecognizesAllLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+}
+
+TEST(LogTest, ParseLogLevelIsCaseInsensitive) {
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("OFF"), LogLevel::kOff);
+}
+
+TEST(LogTest, ParseLogLevelRejectsUnknownNames) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("2"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace scd

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate an exported Chrome trace_event JSON file.
+
+Usage:
+    check_trace.py <trace.json>
+    check_trace.py --generate <cmd> [args...] -- <trace.json>
+
+With --generate, everything up to `--` is run as a command first (it is
+expected to write the trace file named after the `--`); the file is then
+validated. This is how ctest exercises the full export path: run
+`cluster_sim --trace-out <tmp>` and validate what came out.
+
+Checks:
+  * the file parses as JSON and has a `traceEvents` array;
+  * every event has the fields its phase requires (`ph`, `pid`, `ts`
+    and `name` for B/E; metadata M events name a process or thread);
+  * per (pid, tid) lane, timestamps are non-decreasing and every B has
+    a matching E with the same name (properly nested, nothing left
+    open at the end);
+  * durations are non-negative and timestamps are finite numbers.
+
+Exits 0 when the trace is valid, 1 with a per-problem report otherwise.
+"""
+import json
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+
+def validate(path):
+    """Return a list of human-readable problems (empty == valid)."""
+    problems = []
+    try:
+        doc = json.loads(Path(path).read_text())
+    except OSError as e:
+        return [f"cannot read '{path}': {e}"]
+    except json.JSONDecodeError as e:
+        return [f"'{path}' is not valid JSON "
+                f"(line {e.lineno}, column {e.colno}: {e.msg})"]
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+
+    # Per-lane open-span stack and timestamp high-water mark.
+    stacks = {}
+    last_ts = {}
+    begin_end = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: event is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("B", "E", "M"):
+            problems.append(f"{where}: unsupported phase {ph!r}")
+            continue
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name"):
+                problems.append(
+                    f"{where}: metadata event names neither a process "
+                    f"nor a thread ({ev.get('name')!r})")
+            elif not isinstance(ev.get("args", {}).get("name"), str):
+                problems.append(f"{where}: metadata event has no args.name")
+            continue
+
+        begin_end += 1
+        name = ev.get("name")
+        ts = ev.get("ts")
+        lane = (ev.get("pid"), ev.get("tid"))
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: B/E event has no name")
+            continue
+        if (not isinstance(ts, (int, float)) or isinstance(ts, bool)
+                or not math.isfinite(ts)):
+            problems.append(f"{where}: '{name}' has bad ts {ts!r}")
+            continue
+        if None in lane:
+            problems.append(f"{where}: '{name}' is missing pid or tid")
+            continue
+        if ts < last_ts.get(lane, float("-inf")):
+            problems.append(
+                f"{where}: '{name}' goes back in time on lane "
+                f"pid={lane[0]} tid={lane[1]} "
+                f"({ts} after {last_ts[lane]})")
+        last_ts[lane] = ts
+
+        stack = stacks.setdefault(lane, [])
+        if ph == "B":
+            stack.append(name)
+        else:  # "E"
+            if not stack:
+                problems.append(
+                    f"{where}: E '{name}' on lane pid={lane[0]} "
+                    f"tid={lane[1]} with no open span")
+            elif stack[-1] != name:
+                problems.append(
+                    f"{where}: E '{name}' does not close the innermost "
+                    f"open span '{stack[-1]}' on lane pid={lane[0]} "
+                    f"tid={lane[1]}")
+                stack.pop()
+            else:
+                stack.pop()
+
+    for lane, stack in stacks.items():
+        for name in stack:
+            problems.append(
+                f"span '{name}' on lane pid={lane[0]} tid={lane[1]} "
+                f"was never closed")
+    if begin_end == 0:
+        problems.append("trace contains no B/E span events")
+    return problems
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--generate":
+        try:
+            sep = argv.index("--")
+        except ValueError:
+            print("check_trace: --generate needs `-- <trace.json>`",
+                  file=sys.stderr)
+            return 2
+        command, rest = argv[2:sep], argv[sep + 1:]
+        if not command or len(rest) != 1:
+            print("check_trace: usage: check_trace.py --generate <cmd> "
+                  "[args...] -- <trace.json>", file=sys.stderr)
+            return 2
+        path = rest[0]
+        result = subprocess.run(command, stdout=subprocess.DEVNULL)
+        if result.returncode != 0:
+            print(f"check_trace: generator exited {result.returncode}",
+                  file=sys.stderr)
+            return 1
+    elif len(argv) == 2:
+        path = argv[1]
+    else:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    problems = validate(path)
+    if problems:
+        print(f"check_trace: '{path}' is not a valid Chrome trace:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"check_trace: '{path}' is a valid Chrome trace")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

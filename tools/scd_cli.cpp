@@ -6,11 +6,13 @@
 //   scd resume    --graph graph.txt --checkpoint f --iterations N
 //   scd eval      --communities detected.txt --truth truth.txt
 //   scd simulate  [--workers C --communities K --iterations N ...]
+//   scd trace     [--workers C --iterations N --out trace.json ...]
 //
 // Every subcommand prints --help. Exit codes: 0 success, 1 usage error,
 // 2 runtime/data error.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/checkpoint.h"
@@ -24,6 +26,9 @@
 #include "graph/snap_loader.h"
 #include "sim/cluster.h"
 #include "core/distributed_sampler.h"
+#include "trace/chrome_trace.h"
+#include "trace/critical_path.h"
+#include "trace/recorder.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -253,6 +258,22 @@ int cmd_resume(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Shared tail of --trace-out handling: export the Chrome trace and
+/// print the critical-path breakdown.
+void export_trace(const trace::TraceRecorder& recorder,
+                  const std::string& path) {
+  trace::write_chrome_trace(recorder, path);
+  std::printf("trace written to %s (%zu spans; load in Perfetto or"
+              " chrome://tracing)\n",
+              path.c_str(), recorder.total_spans());
+  const trace::CriticalPathReport report =
+      trace::analyze_critical_path(recorder);
+  std::printf("critical path: %s over %zu step(s)\n",
+              format_duration(report.total_s).c_str(),
+              report.steps.size());
+  std::printf("%s", report.table().to_ascii().c_str());
+}
+
 int cmd_simulate(int argc, const char* const* argv) {
   std::uint64_t workers = 64;
   std::uint64_t communities = 1024;
@@ -262,6 +283,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   std::uint64_t seed = 1;
   bool no_pipeline = false;
   std::string fault_plan_path;
+  std::string trace_out;
   ArgParser parser("scd simulate",
                    "cost-only distributed run at com-Friendster scale");
   parser.add_uint("workers", &workers, "cluster size (worker nodes)")
@@ -274,7 +296,10 @@ int cmd_simulate(int argc, const char* const* argv) {
                   "JSON fault schedule; switches to a real-inference"
                   " planted-graph chaos run")
       .add_uint("vertices", &vertices,
-                "planted graph size (--fault-plan runs only)");
+                "planted graph size (--fault-plan runs only)")
+      .add_string("trace-out", &trace_out,
+                  "record a virtual-time trace and write it here as"
+                  " Chrome trace_event JSON (optional)");
   if (!parser.parse(argc, argv)) return 0;
 
   sim::SimCluster::Config config;
@@ -284,6 +309,11 @@ int cmd_simulate(int argc, const char* const* argv) {
   hyper.num_communities = static_cast<std::uint32_t>(communities);
   core::DistributedOptions options;
   options.pipeline = !no_pipeline;
+  std::unique_ptr<trace::TraceRecorder> recorder;
+  if (!trace_out.empty()) {
+    recorder = std::make_unique<trace::TraceRecorder>(config.num_ranks);
+    options.trace = recorder.get();
+  }
 
   if (!fault_plan_path.empty()) {
     // Fault tolerance needs real inference (recovery replays real
@@ -330,6 +360,7 @@ int cmd_simulate(int argc, const char* const* argv) {
                   static_cast<unsigned long long>(p.iteration),
                   format_duration(p.seconds).c_str(), p.perplexity);
     }
+    if (recorder != nullptr) export_trace(*recorder, trace_out);
     return 0;
   }
 
@@ -361,6 +392,77 @@ int cmd_simulate(int argc, const char* const* argv) {
                        double(iterations) * 1e3});
   }
   std::printf("%s", table.to_ascii().c_str());
+  if (recorder != nullptr) export_trace(*recorder, trace_out);
+  return 0;
+}
+
+/// Trace-first front end: a short simulated run with the recorder always
+/// installed, reporting the per-stage summary, metrics, and critical
+/// path (and optionally the Chrome trace file).
+int cmd_trace(int argc, const char* const* argv) {
+  std::uint64_t workers = 4;
+  std::uint64_t communities = 256;
+  std::int64_t iterations = 16;
+  std::uint64_t minibatch = 4096;
+  std::uint64_t seed = 1;
+  bool no_pipeline = false;
+  std::string out;
+  ArgParser parser("scd trace",
+                   "trace a simulated distributed run and analyze its"
+                   " critical path");
+  parser.add_uint("workers", &workers, "cluster size (worker nodes)")
+      .add_uint("communities", &communities, "number of communities K")
+      .add_int("iterations", &iterations, "iterations to simulate")
+      .add_uint("minibatch", &minibatch, "minibatch vertices M")
+      .add_uint("seed", &seed, "root seed (same seed => same run)")
+      .add_flag("no-pipeline", &no_pipeline, "disable double buffering")
+      .add_string("out", &out,
+                  "Chrome trace_event JSON output path (optional)");
+  if (!parser.parse(argc, argv)) return 0;
+
+  sim::SimCluster::Config config;
+  config.num_ranks = static_cast<unsigned>(workers) + 1;
+  sim::SimCluster cluster(config);
+  core::Hyper hyper;
+  hyper.num_communities = static_cast<std::uint32_t>(communities);
+  core::PhantomWorkload workload;
+  workload.num_vertices = 65'608'366;
+  workload.avg_degree = 55.06;
+  workload.minibatch_vertices = static_cast<std::uint32_t>(minibatch);
+  workload.minibatch_pairs = minibatch / 2;
+
+  trace::TraceRecorder recorder(config.num_ranks);
+  core::DistributedOptions options;
+  options.pipeline = !no_pipeline;
+  options.base.eval_interval = 0;
+  options.base.seed = seed;
+  options.trace = &recorder;
+  core::DistributedSampler sampler(cluster, workload, hyper, options);
+  const core::DistributedResult result =
+      sampler.run(static_cast<std::uint64_t>(iterations));
+
+  std::printf("traced %lld iteration(s), %llu workers, K=%llu:"
+              " virtual time %s\n",
+              static_cast<long long>(iterations),
+              static_cast<unsigned long long>(workers),
+              static_cast<unsigned long long>(communities),
+              format_duration(result.virtual_seconds).c_str());
+  std::printf("\nper-stage span summary:\n%s",
+              recorder.summary_table().to_ascii().c_str());
+  std::printf("\nmetrics (totals with per-rank min/max):\n%s",
+              recorder.metrics().table().to_ascii().c_str());
+  const trace::CriticalPathReport report =
+      trace::analyze_critical_path(recorder);
+  std::printf("\ncritical path: %s over %zu step(s)\n",
+              format_duration(report.total_s).c_str(),
+              report.steps.size());
+  std::printf("%s", report.table().to_ascii().c_str());
+  if (!out.empty()) {
+    trace::write_chrome_trace(recorder, out);
+    std::printf("\ntrace written to %s (%zu spans; load in Perfetto or"
+                " chrome://tracing)\n",
+                out.c_str(), recorder.total_spans());
+  }
   return 0;
 }
 
@@ -399,7 +501,8 @@ void print_usage() {
       "  fit        train a-MMSB on an edge-list graph\n"
       "  eval       score detected communities against ground truth\n"
       "  resume     continue training from a checkpoint\n"
-      "  simulate   cost-only distributed run on the virtual cluster\n\n"
+      "  simulate   cost-only distributed run on the virtual cluster\n"
+      "  trace      trace a simulated run; report its critical path\n\n"
       "run `scd <command> --help` for the command's options.\n",
       stdout);
 }
@@ -422,6 +525,7 @@ int main(int argc, char** argv) {
     if (command == "resume") return cmd_resume(sub_argc, sub_argv);
     if (command == "eval") return cmd_eval(sub_argc, sub_argv);
     if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
+    if (command == "trace") return cmd_trace(sub_argc, sub_argv);
     std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
     print_usage();
     return 1;

@@ -25,4 +25,11 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   ctest --preset asan -L chaos --no-tests=error --output-on-failure
 fi
 
+# Bench drift guard: diff the deterministic modeled benches against their
+# committed JSON baselines. Runs from the default tree only — the asan
+# preset builds with SCD_BUILD_BENCH=OFF (and drift is build-type
+# independent anyway: the benches measure virtual time, not wall time).
+echo "== tier-1: bench baselines =="
+cmake --build --preset default -j --target check_bench
+
 echo "tier-1: all green"
