@@ -67,6 +67,16 @@ std::uint64_t expected_distinct_rows(double refs, double rows) {
   return static_cast<std::uint64_t>(std::llround(std::max(1.0, distinct)));
 }
 
+/// Per-vertex cost of the master's minibatch draw: the alias-anchor path
+/// (graph/minibatch.h) trades the Lemire rejection loop for a table
+/// lookup, which the compute model prices separately.
+double draw_cost_per_vertex(const sim::RankContext& ctx,
+                            const DistributedOptions& options) {
+  return options.base.minibatch.alias_anchor
+             ? ctx.compute().draw_cost_per_vertex_alias_s
+             : ctx.compute().draw_cost_per_vertex_s;
+}
+
 }  // namespace
 
 DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
@@ -252,7 +262,7 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
             derive_rng(options_.base.seed, rng_label::kMinibatch, t);
         minibatch_->draw_into(mb_rng, ws.mb, ws.mb_scratch);
         ctx.charge(sim::Phase::kDrawMinibatch,
-                   ctx.compute().draw_cost_per_vertex_s *
+                   draw_cost_per_vertex(ctx, options_) *
                        static_cast<double>(ws.mb.vertices.size()));
       }
       const graph::Minibatch& mb = ws.mb;
@@ -292,7 +302,7 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
     {
       const auto sp = ctx.trace_span(sim::Phase::kDrawMinibatch, t);
       ctx.charge(sim::Phase::kDrawMinibatch,
-                 ctx.compute().draw_cost_per_vertex_s *
+                 draw_cost_per_vertex(ctx, options_) *
                      static_cast<double>(phantom_.minibatch_vertices));
     }
     const auto sp = ctx.trace_span(sim::Phase::kDeployMinibatch, t);
@@ -432,6 +442,19 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
     const std::size_t slot = dedup ? ws.key_index.remap()[ref] : ref;
     return {ws.rows.data() + slot * width, width};
   };
+  // Modeled worker-side row cache (cost-only): remote rows are served at
+  // the steady-state LRU hit rate — capacity over the remote row
+  // population this worker can request (every row not on its own shard).
+  // Uniform references make that the stationary occupancy of any
+  // capacity-bounded cache, so no replacement policy needs simulating.
+  const double cache_population =
+      static_cast<double>(num_vertices_) -
+      static_cast<double>(num_vertices_) / static_cast<double>(w);
+  const double cache_hit_rate =
+      options_.dkv_cache_rows == 0 || cache_population <= 0.0
+          ? 0.0
+          : std::min(1.0, static_cast<double>(options_.dkv_cache_rows) /
+                              cache_population);
   // Cost-only twin of load_stage_rows for `refs` uniform references.
   auto phantom_read_cost = [&](double refs) -> double {
     const std::uint64_t rows =
@@ -439,7 +462,21 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
                                                  num_vertices_))
               : static_cast<std::uint64_t>(std::llround(refs));
     const std::uint64_t local = rows / w;
-    return store_->read_cost(wi, local, rows - local);
+    const std::uint64_t remote = rows - local;
+    if (cache_hit_rate == 0.0) return store_->read_cost(wi, local, remote);
+    const auto hits = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(remote) * cache_hit_rate));
+    const std::uint64_t misses = remote - hits;
+    if (trace::TraceRecorder* rec = ctx.trace()) {
+      rec->metrics().count(trace::Metric::kDkvHits, ctx.rank(), hits);
+      rec->metrics().count(trace::Metric::kDkvMisses, ctx.rank(), misses);
+    }
+    // Hits stream the cached rows from local memory; misses pay the
+    // remote read plus the cache's insert/evict bookkeeping.
+    const double cache_s =
+        ctx.compute().local_bytes_time(hits * store_->row_bytes()) +
+        static_cast<double>(misses) * ctx.compute().dkv_cache_insert_s;
+    return cache_s + store_->read_cost(wi, local, misses);
   };
 
   // Initial beta.
@@ -858,7 +895,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
           derive_rng(options_.base.seed, rng_label::kMinibatch, t);
       minibatch_->draw_into(mb_rng, ws.mb, ws.mb_scratch);
       ctx.charge(sim::Phase::kDrawMinibatch,
-                 ctx.compute().draw_cost_per_vertex_s *
+                 draw_cost_per_vertex(ctx, options_) *
                      static_cast<double>(ws.mb.vertices.size()));
     }
     const graph::Minibatch& mb = ws.mb;

@@ -95,6 +95,17 @@ struct DistributedOptions {
   /// worker's lost in-flight pi writes. 0 disables rollback (the default
   /// recovery: redo the interrupted iteration on the survivors).
   std::uint64_t rollback_interval = 0;
+  /// Cost-only mode: modeled per-worker LRU cache over remote pi rows,
+  /// in rows (0 = no cache). Expected remote rows are served at the
+  /// steady-state LRU hit rate (capacity / remote row population,
+  /// clamped to 1); hits cost a local memory stream, misses pay the
+  /// remote read plus ComputeModel::dkv_cache_insert_s of bookkeeping.
+  /// Hit/miss counts land in Metric::kDkvHits/kDkvMisses when tracing.
+  /// Real mode ignores this (dkv/cached_dkv.h is the real-mode wrapper);
+  /// the knob exists so the autotuner can search cache capacity — and
+  /// rediscover the paper's Section IV-C observation that caching buys
+  /// nothing once N is far beyond any plausible capacity.
+  std::uint64_t dkv_cache_rows = 0;
   /// When non-null, run() installs this recorder on the cluster,
   /// transport, and DKV store: every clock-advancing region is wrapped
   /// in a virtual-time span on its rank's lane, message/collective edges

@@ -1,0 +1,102 @@
+#pragma once
+// Vose's alias method: O(1) sampling from a fixed discrete distribution
+// after an O(n) deterministic build. The minibatch sampler uses it as an
+// alternative anchor-draw path (graph::MinibatchSampler::Options::
+// alias_anchor); the autotuner searches over that choice because the two
+// paths have different constant-time cost profiles even when the sampled
+// distribution is identical.
+//
+// Construction is fully deterministic: the small/large worklists are
+// plain vectors filled in index order, so the same weights always yield
+// the same (prob, alias) tables on every platform.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "random/xoshiro.h"
+#include "util/error.h"
+
+namespace scd::rng {
+
+class AliasTable {
+ public:
+  /// Builds the table from non-negative weights (not necessarily
+  /// normalised). Throws scd::UsageError on an empty span or a
+  /// zero/negative total weight.
+  explicit AliasTable(std::span<const double> weights) {
+    SCD_REQUIRE(!weights.empty(), "AliasTable: empty weight vector");
+    double sum = 0.0;
+    for (const double w : weights) {
+      SCD_REQUIRE(w >= 0.0, "AliasTable: negative weight");
+      sum += w;
+    }
+    SCD_REQUIRE(sum > 0.0, "AliasTable: zero total weight");
+
+    const std::size_t n = weights.size();
+    prob_.resize(n);
+    alias_.resize(n);
+    // Scale so the average bucket holds exactly 1.0 of probability mass.
+    // With equal weights every scaled entry is exactly w*n/(w*n) == 1.0
+    // in IEEE arithmetic, so prob_[i] == 1.0 and alias_[i] == i: the
+    // sample() coin always stays on the rolled index and the draw is
+    // exactly uniform (the equivalence test relies on this).
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / sum;
+    }
+    std::vector<std::uint32_t> small;
+    std::vector<std::uint32_t> large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::uint32_t s = small.back();
+      const std::uint32_t l = large.back();
+      small.pop_back();
+      large.pop_back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Leftovers are within rounding of 1.0; pin them so the coin never
+    // dereferences an unset alias.
+    for (const std::uint32_t i : large) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+    for (const std::uint32_t i : small) {
+      prob_[i] = 1.0;
+      alias_[i] = i;
+    }
+  }
+
+  /// Equal-weight table over [0, n): sample() is exactly uniform.
+  static AliasTable uniform(std::size_t n) {
+    std::vector<double> w(n, 1.0);
+    return AliasTable(std::span<const double>(w));
+  }
+
+  /// Draws one index. Consumes exactly one next_below() and one
+  /// next_double() from the stream regardless of the outcome, so callers
+  /// interleaving other draws stay reproducible.
+  std::uint64_t sample(Xoshiro256& rng) const {
+    const std::uint64_t i = rng.next_below(prob_.size());
+    return rng.next_double() < prob_[i] ? i : alias_[i];
+  }
+
+  std::size_t size() const { return prob_.size(); }
+  double prob(std::size_t i) const { return prob_[i]; }
+  std::uint32_t alias(std::size_t i) const { return alias_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace scd::rng

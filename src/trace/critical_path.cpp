@@ -18,6 +18,11 @@ struct Gate {
 struct LaneView {
   std::vector<SpanEvent> spans;  // sorted by (begin asc, end desc)
   std::vector<Gate> gates;       // sorted by effect_s
+  /// prefix_max_end[i] = max end_s over spans[0..i]. A span whose end
+  /// is below its prefix max is wholly covered by an earlier span
+  /// (zero-length markers, nested inners that close early); the walk
+  /// must skip it or it would book covered time as untracked.
+  std::vector<double> prefix_max_end;
 };
 
 }  // namespace
@@ -53,8 +58,13 @@ CriticalPathReport analyze_critical_path(const TraceRecorder& recorder) {
                        return a.end_s > b.end_s;
                      });
     std::array<double, kNumStages> lane_totals{};
-    for (const SpanEvent& s : view.spans) {
+    view.prefix_max_end.resize(view.spans.size());
+    double running_max_end = 0.0;
+    for (std::size_t i = 0; i < view.spans.size(); ++i) {
+      const SpanEvent& s = view.spans[i];
       lane_totals[static_cast<std::size_t>(s.stage)] += s.end_s - s.begin_s;
+      running_max_end = std::max(running_max_end, s.end_s);
+      view.prefix_max_end[i] = running_max_end;
       if (s.end_s > horizon) {
         horizon = s.end_s;
         start_lane = lane;
@@ -116,6 +126,18 @@ CriticalPathReport analyze_critical_path(const TraceRecorder& recorder) {
       idx = (it - spans.begin()) - 1;
       locate = false;
     }
+    // Skip spans wholly covered by an earlier, longer span — their end
+    // sits below the prefix maximum. Zero-length markers and nested
+    // inners that close early carry no walkable time, and treating
+    // their end as the gap boundary would book covered time as
+    // untracked.
+    {
+      const std::vector<double>& pmax = views[lane].prefix_max_end;
+      while (idx >= 0 && spans[static_cast<std::size_t>(idx)].end_s <
+                             pmax[static_cast<std::size_t>(idx)]) {
+        --idx;
+      }
+    }
     if (idx < 0) {
       untracked(lane, 0.0, cursor);
       break;
@@ -147,15 +169,9 @@ CriticalPathReport analyze_critical_path(const TraceRecorder& recorder) {
     }
     on_path(lane, span.stage, span.begin_s, cursor);
     cursor = span.begin_s;
+    // The next iteration normalizes idx past covered spans and books
+    // any gap down to the previous span's end via the gap branch.
     --idx;
-    if (idx >= 0) {
-      const SpanEvent& prev = spans[static_cast<std::size_t>(idx)];
-      untracked(lane, std::min(prev.end_s, cursor), cursor);
-      cursor = std::min(prev.end_s, cursor);
-    } else {
-      untracked(lane, 0.0, cursor);
-      break;
-    }
   }
   return report;
 }

@@ -118,4 +118,6 @@ Table MetricsRegistry::table() const {
   return out;
 }
 
+std::string MetricsRegistry::to_json() const { return table().to_json(); }
+
 }  // namespace scd::trace

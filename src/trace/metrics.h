@@ -104,6 +104,12 @@ class MetricsRegistry {
   /// and total across ranks.
   Table table() const;
 
+  /// table() serialized as a JSON array of row objects
+  /// ({"metric", "total", "min_rank", "max_rank"}) using util/table.h's
+  /// %.17g number idiom — what probes, `scd trace --metrics-out`, and
+  /// the tuning log embed instead of stdout-only tables.
+  std::string to_json() const;
+
  private:
   unsigned num_ranks_;
   std::vector<std::string> counter_names_;

@@ -1,0 +1,24 @@
+// Report writers for a finished tuning session.
+//
+// Two outputs, per the design contract:
+//  * tuning_log_json — the machine-readable log: every probe with its
+//    config, virtual time, per-stage critical-path buckets, and metrics
+//    snapshot, plus every pruning decision. Doubles use the %.17g idiom
+//    of util/table.h so the log round-trips exactly; two runs with the
+//    same seed produce byte-identical files (tested).
+//  * why_report — the human-readable explanation: what was searched,
+//    what won, where its time goes, and — for every pruned direction —
+//    the critical-path share that justified cutting it.
+#pragma once
+
+#include <string>
+
+#include "tune/tuner.h"
+
+namespace scd::tune {
+
+std::string tuning_log_json(const TuneResult& result);
+
+std::string why_report(const TuneResult& result);
+
+}  // namespace scd::tune

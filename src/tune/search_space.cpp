@@ -1,0 +1,92 @@
+#include "tune/search_space.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace scd::tune {
+
+const char* dim_name(Dim d) {
+  switch (d) {
+    case Dim::kWorkers: return "workers";
+    case Dim::kThreadsPerNode: return "threads_per_node";
+    case Dim::kPipeline: return "pipeline";
+    case Dim::kMinibatchVertices: return "minibatch_vertices";
+    case Dim::kDkvCacheRows: return "dkv_cache_rows";
+    case Dim::kAliasDraw: return "alias_draw";
+    case Dim::kCount: break;
+  }
+  return "?";
+}
+
+std::string TuneConfig::key() const {
+  return "w" + std::to_string(workers) + " t" +
+         std::to_string(threads_per_node) +
+         " pipe=" + std::to_string(pipeline ? 1 : 0) + " M" +
+         std::to_string(minibatch_vertices) +
+         " cache=" + std::to_string(dkv_cache_rows) +
+         " alias=" + std::to_string(alias_draw ? 1 : 0);
+}
+
+std::uint64_t SearchSpace::grid_size() const {
+  std::uint64_t n = 1;
+  for (const auto& v : values) n *= v.size();
+  return n;
+}
+
+TuneConfig SearchSpace::materialize(const ConfigIndex& index) const {
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    SCD_REQUIRE(index[d] < values[d].size(), "config index out of range");
+  }
+  TuneConfig c;
+  c.workers = static_cast<unsigned>(dim(Dim::kWorkers)[index[0]]);
+  c.threads_per_node =
+      static_cast<unsigned>(dim(Dim::kThreadsPerNode)[index[1]]);
+  c.pipeline = dim(Dim::kPipeline)[index[2]] != 0;
+  c.minibatch_vertices =
+      static_cast<std::uint32_t>(dim(Dim::kMinibatchVertices)[index[3]]);
+  c.dkv_cache_rows = dim(Dim::kDkvCacheRows)[index[4]];
+  c.alias_draw = dim(Dim::kAliasDraw)[index[5]] != 0;
+  return c;
+}
+
+void SearchSpace::validate() const {
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    SCD_REQUIRE(!values[d].empty(),
+                std::string("search space: empty dimension ") +
+                    dim_name(static_cast<Dim>(d)));
+  }
+  for (const Dim b : {Dim::kPipeline, Dim::kAliasDraw}) {
+    for (const std::uint64_t v : dim(b)) {
+      SCD_REQUIRE(v <= 1, std::string("search space: ") + dim_name(b) +
+                              " values must be 0/1");
+    }
+  }
+  for (const Dim d : {Dim::kWorkers, Dim::kThreadsPerNode,
+                      Dim::kMinibatchVertices}) {
+    for (const std::uint64_t v : dim(d)) {
+      SCD_REQUIRE(v >= 1, std::string("search space: ") + dim_name(d) +
+                              " values must be >= 1");
+    }
+  }
+}
+
+SearchSpace SearchSpace::default_space(std::uint64_t num_vertices) {
+  SearchSpace s;
+  s.dim(Dim::kWorkers) = {4, 8, 16, 32};
+  s.dim(Dim::kThreadsPerNode) = {4, 8, 16};
+  s.dim(Dim::kPipeline) = {0, 1};
+  s.dim(Dim::kMinibatchVertices) = {2048, 4096, 8192, 16384};
+  // Cache candidates scale with the problem; dedup in case N is tiny
+  // enough for the tiers to collide.
+  std::vector<std::uint64_t> cache = {0, num_vertices / 64,
+                                      num_vertices / 4};
+  std::sort(cache.begin(), cache.end());
+  cache.erase(std::unique(cache.begin(), cache.end()), cache.end());
+  s.dim(Dim::kDkvCacheRows) = cache;
+  s.dim(Dim::kAliasDraw) = {0, 1};
+  s.validate();
+  return s;
+}
+
+}  // namespace scd::tune

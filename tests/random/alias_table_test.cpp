@@ -1,0 +1,89 @@
+#include "random/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace scd::rng {
+namespace {
+
+TEST(AliasTableTest, EqualWeightsDegenerateToExactUniform) {
+  // Vose with equal weights: every scaled bucket is exactly 1.0 in IEEE
+  // arithmetic, so the coin never redirects — the table is a pure
+  // pass-through of next_below. The minibatch distribution-equivalence
+  // argument rests on this.
+  const AliasTable t = AliasTable::uniform(37);
+  ASSERT_EQ(t.size(), 37u);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.prob(i), 1.0);
+    EXPECT_EQ(t.alias(i), i);
+  }
+}
+
+TEST(AliasTableTest, BucketsConserveProbabilityMass) {
+  // Each index i receives prob[i] from bucket i plus (1 - prob[j]) from
+  // every bucket j aliased to it; the reconstructed masses must match
+  // the normalized input weights.
+  const std::vector<double> w = {1.0, 5.0, 0.25, 2.75, 0.0, 7.0};
+  const AliasTable t{std::span<const double>(w)};
+  double sum = 0.0;
+  for (const double x : w) sum += x;
+  std::vector<double> mass(w.size(), 0.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    mass[i] += t.prob(i);
+    if (t.prob(i) < 1.0) mass[t.alias(i)] += 1.0 - t.prob(i);
+  }
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(mass[i] / static_cast<double>(w.size()), w[i] / sum, 1e-12)
+        << "index " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightIndexIsNeverDrawn) {
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  const AliasTable t{std::span<const double>(w)};
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_NE(t.sample(rng), 1u);
+  }
+}
+
+TEST(AliasTableTest, SampleTracksWeightsWithinSamplingError) {
+  const std::vector<double> w = {2.0, 1.0, 4.0, 1.0};
+  const AliasTable t{std::span<const double>(w)};
+  Xoshiro256 rng(11);
+  const int n = 200000;
+  std::vector<int> counts(w.size(), 0);
+  for (int i = 0; i < n; ++i) counts[t.sample(rng)]++;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double expect = w[i] / 8.0;
+    const double got = static_cast<double>(counts[i]) / n;
+    // ~4 sigma of a binomial at n = 2e5.
+    EXPECT_NEAR(got, expect, 4.0 * std::sqrt(expect * (1 - expect) / n))
+        << "index " << i;
+  }
+}
+
+TEST(AliasTableTest, ConstructionIsDeterministic) {
+  const std::vector<double> w = {0.5, 3.0, 1.5, 0.25, 2.0};
+  const AliasTable a{std::span<const double>(w)};
+  const AliasTable b{std::span<const double>(w)};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.prob(i), b.prob(i));
+    EXPECT_EQ(a.alias(i), b.alias(i));
+  }
+}
+
+TEST(AliasTableTest, RejectsDegenerateWeights) {
+  EXPECT_THROW(AliasTable{std::span<const double>()}, UsageError);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(AliasTable{std::span<const double>(zero)}, UsageError);
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(AliasTable{std::span<const double>(negative)}, UsageError);
+}
+
+}  // namespace
+}  // namespace scd::rng

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/distributed_sampler.h"
+#include "sim/cluster.h"
+
 namespace scd::trace {
 namespace {
 
@@ -118,6 +121,87 @@ TEST(CriticalPathTest, TableReportsSharesAndSlack) {
   EXPECT_NE(ascii.find("update_phi"), std::string::npos);
   EXPECT_NE(ascii.find("100"), std::string::npos);  // 100% share
   EXPECT_EQ(ascii.find("perplexity"), std::string::npos);
+}
+
+// -- probe-sized degenerate traces ----------------------------------------
+// The autotuner feeds the analyzer far smaller traces than the fixtures
+// above: single-rank lanes, spans of zero length, and one-iteration
+// cost-only runs. Each must come back tiled, not crash or leak time
+// into the wrong bucket.
+
+TEST(CriticalPathTest, SingleRankChainTilesWithoutCrossEdges) {
+  TraceRecorder rec(1);
+  rec.record_span(0, Stage::kSetup, 0.0, 0.5);
+  rec.record_span(0, Stage::kDrawMinibatch, 0.5, 2.0);
+  rec.record_span(0, Stage::kUpdateBetaTheta, 2.0, 3.0);
+  const CriticalPathReport report = analyze_critical_path(rec);
+  EXPECT_DOUBLE_EQ(report.total_s, 3.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kSetup), 0.5);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kDrawMinibatch), 1.5);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUpdateBetaTheta), 1.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kNetwork), 0.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kCollective), 0.0);
+  double sum = 0.0;
+  for (double s : report.on_path_s) sum += s;
+  EXPECT_NEAR(sum, report.total_s, 1e-12);
+}
+
+TEST(CriticalPathTest, ZeroLengthSpansContributeNothingButDoNotBreak) {
+  TraceRecorder rec(2);
+  // An entirely zero-length lane 0 plus a lane 1 whose spans include
+  // zero-length markers between real work.
+  rec.record_span(0, Stage::kSetup, 0.0, 0.0);
+  rec.record_span(1, Stage::kSetup, 0.0, 0.0);
+  rec.record_span(1, Stage::kUpdatePhi, 0.0, 2.0);
+  rec.record_span(1, Stage::kUpdatePi, 2.0, 2.0);
+  rec.record_span(1, Stage::kUpdateBetaTheta, 2.0, 2.5);
+  const CriticalPathReport report = analyze_critical_path(rec);
+  EXPECT_DOUBLE_EQ(report.total_s, 2.5);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUpdatePhi), 2.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUpdateBetaTheta), 0.5);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUpdatePi), 0.0);
+  EXPECT_DOUBLE_EQ(report.on_path(Stage::kUntracked), 0.0);
+  double sum = 0.0;
+  for (double s : report.on_path_s) sum += s;
+  EXPECT_NEAR(sum, report.total_s, 1e-12);
+}
+
+TEST(CriticalPathTest, AllZeroHorizonYieldsEmptyChain) {
+  TraceRecorder rec(2);
+  rec.record_span(0, Stage::kSetup, 0.0, 0.0);
+  rec.record_span(1, Stage::kSetup, 0.0, 0.0);
+  const CriticalPathReport report = analyze_critical_path(rec);
+  EXPECT_DOUBLE_EQ(report.total_s, 0.0);
+  for (double s : report.on_path_s) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(CriticalPathTest, OneIterationCostOnlyProbeTilesTotalTime) {
+  // The smallest trace the autotuner produces: one cost-only iteration
+  // on a two-worker cluster. The buckets must still tile the run.
+  sim::SimCluster::Config config;
+  config.num_ranks = 3;
+  sim::SimCluster cluster(config);
+  trace::TraceRecorder rec(config.num_ranks);
+  core::Hyper hyper;
+  hyper.num_communities = 64;
+  core::PhantomWorkload workload;
+  workload.num_vertices = 100000;
+  workload.avg_degree = 16.0;
+  workload.minibatch_vertices = 256;
+  workload.minibatch_pairs = 128;
+  core::DistributedOptions options;
+  options.base.eval_interval = 0;
+  options.trace = &rec;
+  core::DistributedSampler sampler(cluster, workload, hyper, options);
+  const core::DistributedResult result = sampler.run(1);
+
+  const CriticalPathReport report = analyze_critical_path(rec);
+  EXPECT_GT(report.total_s, 0.0);
+  EXPECT_NEAR(report.total_s, result.virtual_seconds, 1e-12);
+  double sum = 0.0;
+  for (double s : report.on_path_s) sum += s;
+  EXPECT_NEAR(sum, report.total_s, 1e-9 * report.total_s);
+  EXPECT_FALSE(report.steps.empty());
 }
 
 }  // namespace

@@ -67,6 +67,23 @@ TEST(MetricsTest, ClearZeroesCellsButKeepsInstruments) {
   EXPECT_EQ(reg.counter_total(Metric::kDkvBatches), 1u);
 }
 
+TEST(MetricsTest, ToJsonSerializesNonZeroCountersAsRowObjects) {
+  MetricsRegistry reg(2);
+  // Empty registry: an empty-but-valid JSON array, so consumers can
+  // embed it unconditionally.
+  EXPECT_EQ(reg.to_json(), "[\n  ]");
+  reg.count(Metric::kDkvHits, 0, 3);
+  reg.count(Metric::kDkvHits, 1, 4);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"metric\": \"dkv_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"min_rank\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"max_rank\": 4"), std::string::npos);
+  EXPECT_EQ(json.find("messages_sent"), std::string::npos);
+  // Deterministic: serializing the same registry twice is byte-equal.
+  EXPECT_EQ(json, reg.to_json());
+}
+
 TEST(MetricsTest, TableListsOnlyNonZeroCounters) {
   MetricsRegistry reg(2);
   EXPECT_EQ(reg.table().num_rows(), 0u);

@@ -7,6 +7,7 @@
 //   scd eval      --communities detected.txt --truth truth.txt
 //   scd simulate  [--workers C --communities K --iterations N ...]
 //   scd trace     [--workers C --iterations N --out trace.json ...]
+//   scd tune      [--vertices N --communities K --log tune.json ...]
 //
 // Every subcommand prints --help. Exit codes: 0 success, 1 usage error,
 // 2 runtime/data error.
@@ -29,6 +30,8 @@
 #include "trace/chrome_trace.h"
 #include "trace/critical_path.h"
 #include "trace/recorder.h"
+#include "tune/report.h"
+#include "tune/tuner.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -258,6 +261,13 @@ int cmd_resume(int argc, const char* const* argv) {
   return 0;
 }
 
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  SCD_REQUIRE(f != nullptr, "cannot open '" + path + "' for writing");
+  std::fwrite(text.data(), 1, text.size(), f);
+  SCD_REQUIRE(std::fclose(f) == 0, "short write to '" + path + "'");
+}
+
 /// Shared tail of --trace-out handling: export the Chrome trace and
 /// print the critical-path breakdown.
 void export_trace(const trace::TraceRecorder& recorder,
@@ -407,6 +417,7 @@ int cmd_trace(int argc, const char* const* argv) {
   std::uint64_t seed = 1;
   bool no_pipeline = false;
   std::string out;
+  std::string metrics_out;
   ArgParser parser("scd trace",
                    "trace a simulated distributed run and analyze its"
                    " critical path");
@@ -417,7 +428,9 @@ int cmd_trace(int argc, const char* const* argv) {
       .add_uint("seed", &seed, "root seed (same seed => same run)")
       .add_flag("no-pipeline", &no_pipeline, "disable double buffering")
       .add_string("out", &out,
-                  "Chrome trace_event JSON output path (optional)");
+                  "Chrome trace_event JSON output path (optional)")
+      .add_string("metrics-out", &metrics_out,
+                  "metrics snapshot JSON output path (optional)");
   if (!parser.parse(argc, argv)) return 0;
 
   sim::SimCluster::Config config;
@@ -463,6 +476,67 @@ int cmd_trace(int argc, const char* const* argv) {
                 " chrome://tracing)\n",
                 out.c_str(), recorder.total_spans());
   }
+  if (!metrics_out.empty()) {
+    write_text_file(metrics_out, recorder.metrics().to_json() + "\n");
+    std::printf("\nmetrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
+/// Trace-attributed autotuner: search the configuration grid with short
+/// deterministic simulated probes, pruning directions the critical-path
+/// attribution rules out, and explain every decision.
+int cmd_tune(int argc, const char* const* argv) {
+  std::uint64_t vertices = 1'000'000;
+  double avg_degree = 32.0;
+  std::uint64_t communities = 1024;
+  std::uint64_t neighbors = 32;
+  std::uint64_t probe_iterations = 6;
+  std::uint64_t seed = 1;
+  double sat_vertices = 8192.0;
+  std::string log_out;
+  std::string report_out;
+  ArgParser parser("scd tune",
+                   "search shard/rank/pipeline/minibatch/cache settings"
+                   " with attributed simulated probes");
+  parser.add_uint("vertices", &vertices, "workload graph size N")
+      .add_double("avg-degree", &avg_degree, "workload average degree")
+      .add_uint("communities", &communities, "number of communities K")
+      .add_uint("neighbors", &neighbors, "neighbor sample size |V_n|")
+      .add_uint("probe-iterations", &probe_iterations,
+                "iterations per probe")
+      .add_uint("seed", &seed, "root seed (same seed => same output)")
+      .add_double("sat-vertices", &sat_vertices,
+                  "minibatch saturation scale of the objective")
+      .add_string("log", &log_out,
+                  "machine-readable JSON tuning log path (optional)")
+      .add_string("report", &report_out,
+                  "human-readable why-report path (optional)");
+  if (!parser.parse(argc, argv)) return 0;
+
+  tune::TuneWorkload workload;
+  workload.num_vertices = vertices;
+  workload.avg_degree = avg_degree;
+  workload.num_communities = static_cast<std::uint32_t>(communities);
+  workload.num_neighbors = static_cast<std::uint32_t>(neighbors);
+  workload.probe_iterations = probe_iterations;
+  workload.seed = seed;
+  workload.sat_vertices = sat_vertices;
+
+  const tune::SearchSpace space = tune::SearchSpace::default_space(vertices);
+  const tune::TuneResult result = tune::tune(workload, space);
+
+  const std::string report = tune::why_report(result);
+  std::fputs(report.c_str(), stdout);
+  if (!log_out.empty()) {
+    write_text_file(log_out, tune::tuning_log_json(result));
+    std::printf("\ntuning log written to %s (%zu probes)\n",
+                log_out.c_str(), result.probes.size());
+  }
+  if (!report_out.empty()) {
+    write_text_file(report_out, report);
+    std::printf("why-report written to %s\n", report_out.c_str());
+  }
   return 0;
 }
 
@@ -502,7 +576,9 @@ void print_usage() {
       "  eval       score detected communities against ground truth\n"
       "  resume     continue training from a checkpoint\n"
       "  simulate   cost-only distributed run on the virtual cluster\n"
-      "  trace      trace a simulated run; report its critical path\n\n"
+      "  trace      trace a simulated run; report its critical path\n"
+      "  tune       autotune cluster/sampler knobs with attributed"
+      " probes\n\n"
       "run `scd <command> --help` for the command's options.\n",
       stdout);
 }
@@ -526,6 +602,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(sub_argc, sub_argv);
     if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
     if (command == "trace") return cmd_trace(sub_argc, sub_argv);
+    if (command == "tune") return cmd_tune(sub_argc, sub_argv);
     std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
     print_usage();
     return 1;

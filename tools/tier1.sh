@@ -16,6 +16,9 @@ ctest --preset default -j
 # label; run it by label so a mislabeled/undiscovered suite fails loudly
 # instead of silently shrinking the full run above.
 ctest --preset default -L chaos --no-tests=error --output-on-failure
+# Likewise the autotuner acceptance suite (tuned-vs-exhaustive on the
+# comms- and compute-bound workloads) — labeled `tune`.
+ctest --preset default -L tune --no-tests=error --output-on-failure
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "== tier-1: asan preset =="
@@ -23,6 +26,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake --build --preset asan -j
   ctest --preset asan -j
   ctest --preset asan -L chaos --no-tests=error --output-on-failure
+  ctest --preset asan -L tune --no-tests=error --output-on-failure
 fi
 
 # Bench drift guard: diff the deterministic modeled benches against their
