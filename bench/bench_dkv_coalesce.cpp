@@ -78,7 +78,7 @@ void charge_uncoalesced(const dkv::SimRdmaDkv& store,
     if (store.partition().owner(key) == shard) ++local;
   }
   const std::uint64_t remote = keys.size() - local;
-  const std::uint64_t row_bytes = store.row_bytes();
+  const std::uint64_t row_bytes = store.value_bytes();
   const double local_s = node.local_bytes_time(local * row_bytes);
   const std::uint64_t remote_bytes = remote * row_bytes;
   const double batch_s =

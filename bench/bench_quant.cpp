@@ -1,0 +1,204 @@
+// Quantized pi rows: wire/storage savings and end-to-end modeled effect.
+//
+// Three deterministic tables for the drift guard. First, the codec
+// layouts themselves: encoded bytes per [pi | phi_sum] row at K = 256 and
+// K = 1024 and the reduction against fp32 — int8 approaches 4x as K
+// grows because the per-row header amortizes. Second, cost-only runs of
+// the distributed sampler per codec at both K: the same workload issues
+// the same row references under every codec, so the modeled DKV
+// bytes/iteration shrink exactly by the layout ratio while the
+// end-to-end speedup shows how much of the iteration was DKV transfer.
+// Third, real-mode convergence on the standard planted-graph workload:
+// the final held-out perplexity per codec and its relative delta against
+// the fp32 trajectory — exactly 0 for fp32 (the codec path is
+// bit-identical, and the baseline pins it), and within 1% for the lossy
+// codecs. Encode/decode throughput is wall-clock and therefore reported
+// to stdout only, never into the baseline JSON.
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/state.h"
+#include "graph/generator.h"
+#include "graph/heldout.h"
+#include "quant/row_codec.h"
+#include "trace/recorder.h"
+#include "util/error.h"
+
+using namespace scd;
+
+namespace {
+
+constexpr quant::RowCodec kCodecs[] = {quant::RowCodec::kFloat32,
+                                       quant::RowCodec::kFp16,
+                                       quant::RowCodec::kInt8};
+
+constexpr std::uint64_t kPhantomIterations = 12;
+
+struct PhantomArm {
+  double virtual_s = 0.0;
+  double dkv_bytes_per_iter = 0.0;
+  double remote_bytes_per_iter = 0.0;
+};
+
+/// Cost-only run at com-Friendster scale; DKV volume from the trace's
+/// typed row counters times the codec's encoded row size.
+PhantomArm run_phantom(std::uint32_t k, quant::RowCodec codec) {
+  constexpr unsigned kWorkers = 16;
+  sim::SimCluster cluster(bench::das5_cluster(kWorkers));
+  core::Hyper hyper;
+  hyper.num_communities = k;
+  core::DistributedOptions options;
+  options.base.num_neighbors = 32;
+  options.base.eval_interval = 0;
+  options.pi_codec = codec;
+  trace::TraceRecorder recorder(kWorkers + 1);
+  options.trace = &recorder;
+  core::PhantomWorkload workload = bench::friendster_workload(4096);
+  core::DistributedSampler sampler(cluster, workload, hyper, options);
+  const core::DistributedResult result = sampler.run(kPhantomIterations);
+
+  using trace::Metric;
+  const trace::MetricsRegistry& m = recorder.metrics();
+  const double rows =
+      static_cast<double>(m.counter_total(Metric::kDkvRowsRead) +
+                          m.counter_total(Metric::kDkvRowsWritten));
+  const double remote =
+      static_cast<double>(m.counter_total(Metric::kDkvRemoteRows));
+  const double vbytes = static_cast<double>(
+      quant::encoded_bytes(codec, core::pi_row_width(k)));
+  PhantomArm arm;
+  arm.virtual_s = result.virtual_seconds;
+  arm.dkv_bytes_per_iter =
+      rows * vbytes / static_cast<double>(kPhantomIterations);
+  arm.remote_bytes_per_iter =
+      remote * vbytes / static_cast<double>(kPhantomIterations);
+  return arm;
+}
+
+/// Real-mode convergence on the standard planted-graph workload; returns
+/// the final held-out perplexity.
+double run_convergence(quant::RowCodec codec) {
+  constexpr unsigned kWorkers = 4;
+  constexpr std::uint64_t kIterations = 400;
+  rng::Xoshiro256 gen_rng(4242);
+  const graph::PlantedConfig config = graph::planted_config_for_degree(
+      /*num_vertices=*/400, /*num_communities=*/16, 20.0);
+  const graph::GeneratedGraph g = graph::generate_planted(gen_rng, config);
+  rng::Xoshiro256 split_rng(4243);
+  const graph::HeldOutSplit split(split_rng, g.graph,
+                                  g.graph.num_edges() / 20);
+  core::Hyper hyper;
+  hyper.num_communities = 16;
+  hyper.delta = core::suggested_delta(g.graph.density());
+  core::DistributedOptions options;
+  options.base.neighbor_mode = core::NeighborMode::kLinkAware;
+  options.base.num_neighbors = 16;
+  options.base.eval_interval = 100;
+  options.base.step.a = 0.05;
+  options.base.step.b = 512.0;
+  options.base.seed = 4244;
+  options.pi_codec = codec;
+  sim::SimCluster cluster(bench::das5_cluster(kWorkers));
+  core::DistributedSampler sampler(cluster, split.training(), &split,
+                                   hyper, options);
+  const core::DistributedResult result = sampler.run(kIterations);
+  SCD_REQUIRE(!result.history.empty(), "convergence arm produced no evals");
+  return result.history.back().perplexity;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchIo io;
+  if (!io.parse(argc, argv, "bench_quant",
+                "Quantized pi rows: DKV bytes, modeled speedup,"
+                " perplexity parity"))
+    return 0;
+
+  // ---- codec layouts ---------------------------------------------------
+  Table layout({"codec", "k", "row_bytes", "fp32_row_bytes", "reduction"});
+  for (const std::uint32_t k : {256u, 1024u}) {
+    const std::uint32_t width = core::pi_row_width(k);
+    const auto fp32 = static_cast<double>(
+        quant::encoded_bytes(quant::RowCodec::kFloat32, width));
+    for (const quant::RowCodec codec : kCodecs) {
+      const auto bytes =
+          static_cast<double>(quant::encoded_bytes(codec, width));
+      layout.add_row({std::string(quant::codec_name(codec)),
+                      std::int64_t(k), bytes, fp32, fp32 / bytes});
+    }
+  }
+  io.emit(layout, "quant_layout",
+          "Encoded [pi | phi_sum] row bytes per codec");
+
+  // ---- cost-only DKV volume and end-to-end speedup ---------------------
+  for (const std::uint32_t k : {256u, 1024u}) {
+    Table table({"codec", "dkv_MB_per_iter", "remote_MB_per_iter",
+                 "bytes_reduction", "virtual_ms_per_iter", "speedup"});
+    PhantomArm fp32{};
+    for (const quant::RowCodec codec : kCodecs) {
+      const PhantomArm arm = run_phantom(k, codec);
+      if (codec == quant::RowCodec::kFloat32) fp32 = arm;
+      table.add_row({std::string(quant::codec_name(codec)),
+                     arm.dkv_bytes_per_iter / 1e6,
+                     arm.remote_bytes_per_iter / 1e6,
+                     fp32.dkv_bytes_per_iter / arm.dkv_bytes_per_iter,
+                     arm.virtual_s /
+                         static_cast<double>(kPhantomIterations) * 1e3,
+                     fp32.virtual_s / arm.virtual_s});
+    }
+    io.emit(table, "quant_phantom_k" + std::to_string(k),
+            "Cost-only com-Friendster scale, 16 workers, K=" +
+                std::to_string(k));
+  }
+
+  // ---- real-mode perplexity parity ------------------------------------
+  {
+    Table table({"codec", "final_perplexity", "rel_delta_vs_fp32"});
+    double fp32_perp = 0.0;
+    for (const quant::RowCodec codec : kCodecs) {
+      const double perp = run_convergence(codec);
+      if (codec == quant::RowCodec::kFloat32) fp32_perp = perp;
+      table.add_row({std::string(quant::codec_name(codec)), perp,
+                     std::abs(perp - fp32_perp) / fp32_perp});
+    }
+    io.emit(table, "quant_convergence",
+            "Held-out perplexity after 400 iterations, planted graph"
+            " (fp32 delta exactly 0: codec path is bit-identical)");
+  }
+
+  // ---- encode/decode throughput: stdout only (machine-dependent) -------
+  {
+    Table wall({"codec", "k", "encode_ns_per_row", "decode_ns_per_row"});
+    for (const std::uint32_t k : {256u, 1024u}) {
+      const std::uint32_t width = core::pi_row_width(k);
+      std::vector<float> row(width);
+      core::init_pi_row(7, 42, 100.0, row);
+      for (const quant::RowCodec codec : kCodecs) {
+        const std::size_t vbytes = quant::encoded_bytes(codec, width);
+        std::vector<std::byte> enc(vbytes);
+        std::vector<float> dec(width);
+        constexpr int kReps = 20000;
+        auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < kReps; ++r) quant::encode_row(codec, row, enc);
+        const double enc_s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+        start = std::chrono::steady_clock::now();
+        for (int r = 0; r < kReps; ++r) quant::decode_row(codec, enc, dec);
+        const double dec_s = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+        wall.add_row({std::string(quant::codec_name(codec)),
+                      std::int64_t(k), enc_s / kReps * 1e9,
+                      dec_s / kReps * 1e9});
+      }
+    }
+    std::printf("\n== Encode/decode throughput (not baselined) ==\n%s",
+                wall.to_ascii().c_str());
+  }
+  return 0;
+}

@@ -94,7 +94,8 @@ int main(int argc, char** argv) {
           "progress credit)");
 
   Table config({"workload", "workers", "threads", "pipeline",
-                "minibatch_vertices", "dkv_cache_rows", "alias_draw"});
+                "minibatch_vertices", "dkv_cache_rows", "alias_draw",
+                "pi_codec"});
   for (const Row& row : rows) {
     const tune::TuneConfig& c = row.result.best.config;
     config.add_row({row.name, static_cast<std::int64_t>(c.workers),
@@ -102,7 +103,8 @@ int main(int argc, char** argv) {
                     static_cast<std::int64_t>(c.pipeline ? 1 : 0),
                     static_cast<std::int64_t>(c.minibatch_vertices),
                     static_cast<std::int64_t>(c.dkv_cache_rows),
-                    static_cast<std::int64_t>(c.alias_draw ? 1 : 0)});
+                    static_cast<std::int64_t>(c.alias_draw ? 1 : 0),
+                    std::string(quant::codec_name(c.pi_codec))});
   }
   io.emit(config, "tuned_configs", "Configurations the tuner settled on");
   return 0;

@@ -4,14 +4,15 @@
 // — a miniature of the paper's Section IV on your laptop.
 //
 //   ./cluster_sim [--workers 8] [--iterations 6000] [--communities 32]
-//               [--seed 5] [--fault-plan chaos.json]
-//               [--trace-out trace.json]
+//               [--seed 5] [--pi-codec fp32|fp16|int8]
+//               [--fault-plan chaos.json] [--trace-out trace.json]
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "core/distributed_sampler.h"
 #include "fault/fault_plan.h"
+#include "quant/row_codec.h"
 #include "graph/generator.h"
 #include "graph/heldout.h"
 #include "trace/chrome_trace.h"
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
   std::uint64_t communities = 32;
   std::uint64_t vertices = 1000;
   std::uint64_t seed = 5;
+  std::string pi_codec = "fp32";
   std::string fault_plan_path;
   std::string trace_out;
   ArgParser parser("cluster_sim",
@@ -39,6 +41,9 @@ int main(int argc, char** argv) {
       .add_uint("communities", &communities, "inferred K")
       .add_uint("vertices", &vertices, "graph size")
       .add_uint("seed", &seed, "root seed (same seed => same run)")
+      .add_string("pi-codec", &pi_codec,
+                  "pi row codec in the DKV and on the wire:"
+                  " fp32 (exact), fp16, or int8")
       .add_string("fault-plan", &fault_plan_path,
                   "JSON fault schedule to inject (see src/fault)")
       .add_string("trace-out", &trace_out,
@@ -87,6 +92,7 @@ int main(int argc, char** argv) {
     options.base.step.b = 4096;
     options.base.seed = seed;
     options.pipeline = pipeline;
+    options.pi_codec = quant::codec_from_name(pi_codec);
     if (chaos) options.fault_plan = &fault_plan;
     if (pipeline) options.trace = recorder.get();
     core::DistributedSampler sampler(cluster, split.training(), &split,

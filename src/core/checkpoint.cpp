@@ -1,9 +1,11 @@
 #include "core/checkpoint.h"
 
+#include <cstddef>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "util/error.h"
 
@@ -12,7 +14,12 @@ namespace scd::core {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x5343445f434b5031ULL;  // "SCD_CKP1"
+// Version 1: raw float pi rows. Version 2: a uint32 codec tag follows the
+// vertex count and rows are stored quant-encoded. fp32 checkpoints are
+// always written as version 1, so they stay byte-identical to pre-codec
+// builds and old readers keep working on them.
 constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionCodec = 2;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -29,15 +36,17 @@ T read_pod(std::istream& in) {
 
 }  // namespace
 
-void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
+void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint,
+                     quant::RowCodec pi_codec) {
   checkpoint.hyper.validate();
   const std::uint32_t n = checkpoint.pi.num_vertices();
   const std::uint32_t k = checkpoint.pi.num_communities();
   SCD_REQUIRE(k == checkpoint.hyper.num_communities &&
                   k == checkpoint.global.num_communities(),
               "checkpoint state disagrees on K");
+  const bool encoded = pi_codec != quant::RowCodec::kFloat32;
   write_pod(out, kMagic);
-  write_pod(out, kVersion);
+  write_pod(out, encoded ? kVersionCodec : kVersion);
   write_pod(out, checkpoint.iteration);
   write_pod(out, checkpoint.hyper.num_communities);
   write_pod(out, checkpoint.hyper.alpha);
@@ -45,10 +54,22 @@ void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
   write_pod(out, checkpoint.hyper.eta1);
   write_pod(out, checkpoint.hyper.delta);
   write_pod(out, n);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    const auto row = checkpoint.pi.row(v);
-    out.write(reinterpret_cast<const char*>(row.data()),
-              static_cast<std::streamsize>(row.size_bytes()));
+  if (encoded) {
+    write_pod(out, static_cast<std::uint32_t>(pi_codec));
+    const std::size_t vbytes =
+        quant::encoded_bytes(pi_codec, checkpoint.pi.row_width());
+    std::vector<std::byte> buf(vbytes);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      quant::encode_row(pi_codec, checkpoint.pi.row(v), buf);
+      out.write(reinterpret_cast<const char*>(buf.data()),
+                static_cast<std::streamsize>(vbytes));
+    }
+  } else {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const auto row = checkpoint.pi.row(v);
+      out.write(reinterpret_cast<const char*>(row.data()),
+                static_cast<std::streamsize>(row.size_bytes()));
+    }
   }
   const auto theta = checkpoint.global.theta_flat();
   out.write(reinterpret_cast<const char*>(theta.data()),
@@ -61,7 +82,7 @@ Checkpoint load_checkpoint(std::istream& in) {
     throw DataError("not a scd checkpoint (bad magic)");
   }
   const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionCodec) {
     throw DataError("unsupported checkpoint version " +
                     std::to_string(version));
   }
@@ -81,10 +102,28 @@ Checkpoint load_checkpoint(std::istream& in) {
   const std::uint32_t k = checkpoint.hyper.num_communities;
   if (n == 0) throw DataError("checkpoint has zero vertices");
   checkpoint.pi = PiMatrix(n, k);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    auto row = checkpoint.pi.row(v);
-    in.read(reinterpret_cast<char*>(row.data()),
-            static_cast<std::streamsize>(row.size_bytes()));
+  if (version == kVersionCodec) {
+    const auto tag = read_pod<std::uint32_t>(in);
+    if (tag >= quant::kNumCodecs) {
+      throw DataError("checkpoint has unknown pi codec tag " +
+                      std::to_string(tag));
+    }
+    const auto codec = static_cast<quant::RowCodec>(tag);
+    const std::size_t vbytes =
+        quant::encoded_bytes(codec, checkpoint.pi.row_width());
+    std::vector<std::byte> buf(vbytes);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      in.read(reinterpret_cast<char*>(buf.data()),
+              static_cast<std::streamsize>(vbytes));
+      if (!in) throw DataError("checkpoint truncated");
+      quant::decode_row(codec, buf, checkpoint.pi.row(v));
+    }
+  } else {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      auto row = checkpoint.pi.row(v);
+      in.read(reinterpret_cast<char*>(row.data()),
+              static_cast<std::streamsize>(row.size_bytes()));
+    }
   }
   checkpoint.global = GlobalState(k);
   auto theta = checkpoint.global.theta_flat();
@@ -96,10 +135,11 @@ Checkpoint load_checkpoint(std::istream& in) {
 }
 
 void save_checkpoint_file(const std::string& path,
-                          const Checkpoint& checkpoint) {
+                          const Checkpoint& checkpoint,
+                          quant::RowCodec pi_codec) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw Error("cannot open '" + path + "' for writing");
-  save_checkpoint(out, checkpoint);
+  save_checkpoint(out, checkpoint, pi_codec);
 }
 
 Checkpoint load_checkpoint_file(const std::string& path) {
@@ -108,9 +148,10 @@ Checkpoint load_checkpoint_file(const std::string& path) {
   return load_checkpoint(in);
 }
 
-std::string checkpoint_to_bytes(const Checkpoint& checkpoint) {
+std::string checkpoint_to_bytes(const Checkpoint& checkpoint,
+                                quant::RowCodec pi_codec) {
   std::ostringstream out(std::ios::binary);
-  save_checkpoint(out, checkpoint);
+  save_checkpoint(out, checkpoint, pi_codec);
   return std::move(out).str();
 }
 

@@ -14,6 +14,7 @@
 
 #include "core/hyper.h"
 #include "core/state.h"
+#include "quant/row_codec.h"
 
 namespace scd::core {
 
@@ -25,18 +26,28 @@ struct Checkpoint {
 };
 
 /// Serialize to a stream / file. Throws scd::Error on I/O failure.
-void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint);
-void save_checkpoint_file(const std::string& path,
-                          const Checkpoint& checkpoint);
+/// `pi_codec` selects the on-disk pi row encoding: kFloat32 (default)
+/// writes the original version-1 format byte-for-byte; fp16/int8 write a
+/// version-2 checkpoint with a codec tag and quant/row_codec.h-encoded
+/// rows (smaller, lossy within the codec's error bound). Theta is always
+/// stored exact.
+void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint,
+                     quant::RowCodec pi_codec = quant::RowCodec::kFloat32);
+void save_checkpoint_file(
+    const std::string& path, const Checkpoint& checkpoint,
+    quant::RowCodec pi_codec = quant::RowCodec::kFloat32);
 
-/// Deserialize; throws scd::DataError on corrupt or mismatched content.
+/// Deserialize (either version; encoded rows are decoded on load).
+/// Throws scd::DataError on corrupt or mismatched content.
 Checkpoint load_checkpoint(std::istream& in);
 Checkpoint load_checkpoint_file(const std::string& path);
 
 /// In-memory round-trip through the same binary format — the
 /// fault-tolerant sampler's rollback snapshots, and anything else that
 /// wants checkpoint semantics without touching the filesystem.
-std::string checkpoint_to_bytes(const Checkpoint& checkpoint);
+std::string checkpoint_to_bytes(
+    const Checkpoint& checkpoint,
+    quant::RowCodec pi_codec = quant::RowCodec::kFloat32);
 Checkpoint checkpoint_from_bytes(const std::string& bytes);
 
 }  // namespace scd::core

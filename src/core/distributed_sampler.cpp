@@ -101,7 +101,8 @@ DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
 
   store_ = std::make_unique<dkv::SimRdmaDkv>(
       num_vertices_, pi_row_width(hyper_.num_communities), num_workers_,
-      cluster.network(), cluster.compute_model(), /*phantom=*/false);
+      cluster.network(), cluster.compute_model(), /*phantom=*/false,
+      options_.pi_codec);
   // Deterministic expanded-mean initialisation, identical to the
   // in-process samplers (setup is untimed, as in the paper).
   std::vector<float> row(store_->row_width());
@@ -134,7 +135,8 @@ DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
   options_.base.validate();
   store_ = std::make_unique<dkv::SimRdmaDkv>(
       num_vertices_, pi_row_width(hyper_.num_communities), num_workers_,
-      cluster.network(), cluster.compute_model(), /*phantom=*/true);
+      cluster.network(), cluster.compute_model(), /*phantom=*/true,
+      options_.pi_codec);
 }
 
 DistributedResult DistributedSampler::run(std::uint64_t iterations) {
@@ -404,6 +406,8 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
   const unsigned wi = ctx.rank() - 1;  // worker index == DKV shard
   const std::uint32_t n_nbr = options_.base.num_neighbors;
   const bool dedup = options_.dedup_reads;
+  const quant::RowCodec codec = store_->codec();
+  const std::size_t vbytes = store_->value_bytes();
   sim::SimTransport& net = ctx.transport();
 
   WorkerWorkspace ws(k);
@@ -422,25 +426,27 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
         {std::size_t{options_.chunk_vertices} * (1 + set_bound),
          2 * share_pairs, 2 * (eh_hi - eh_lo)});
     ws.reserve_real(share_vertices, share_adjacency, share_pairs, width,
-                    set_bound, stage_refs_bound, n_nbr);
+                    vbytes, set_bound, stage_refs_bound, n_nbr);
   }
 
   // Deduplicated stage read: fetch each distinct row of ws.keys once
   // (pi is read-only between the stage barriers, so one copy serves
   // every reference); row_of maps a reference index back to its row.
+  // Rows stay in the wire codec — the enc kernels dequantize
+  // in-register, so nothing is decoded into a float staging area here.
   auto load_stage_rows = [&]() -> double {
     if (dedup) {
       ws.key_index.build(ws.keys);
       const auto unique = ws.key_index.unique_keys();
-      ws.rows.resize(unique.size() * width);
-      return store_->get_rows(wi, unique, ws.rows);
+      ws.rows_enc.resize(unique.size() * vbytes);
+      return store_->get_rows_encoded(wi, unique, ws.rows_enc);
     }
-    ws.rows.resize(ws.keys.size() * width);
-    return store_->get_rows(wi, ws.keys, ws.rows);
+    ws.rows_enc.resize(ws.keys.size() * vbytes);
+    return store_->get_rows_encoded(wi, ws.keys, ws.rows_enc);
   };
-  auto row_of = [&](std::size_t ref) -> std::span<const float> {
+  auto row_of = [&](std::size_t ref) -> std::span<const std::byte> {
     const std::size_t slot = dedup ? ws.key_index.remap()[ref] : ref;
-    return {ws.rows.data() + slot * width, width};
+    return {ws.rows_enc.data() + slot * vbytes, vbytes};
   };
   // Modeled worker-side row cache (cost-only): remote rows are served at
   // the steady-state LRU hit rate — capacity over the remote row
@@ -474,7 +480,7 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
     // Hits stream the cached rows from local memory; misses pay the
     // remote read plus the cache's insert/evict bookkeeping.
     const double cache_s =
-        ctx.compute().local_bytes_time(hits * store_->row_bytes()) +
+        ctx.compute().local_bytes_time(hits * store_->value_bytes()) +
         static_cast<double>(misses) * ctx.compute().dkv_cache_insert_s;
     return cache_s + store_->read_cost(wi, local, misses);
   };
@@ -584,17 +590,19 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
               static_cast<double>(ws.neighbor_sets[vi].samples.size());
         }
         load_cost = load_stage_rows();
-        // Compute phi* for the chunk from the freshly loaded rows.
+        // Compute phi* for the chunk from the freshly loaded rows. The
+        // vertex's own row decodes once into the staging slot; neighbor
+        // rows are read straight from the encoded buffer.
         std::size_t ref_idx = 0;
         for (std::uint64_t vi = lo; vi < hi; ++vi) {
           const graph::Vertex a = share.vertices[vi];
           const graph::NeighborSet& set = ws.neighbor_sets[vi];
-          std::span<const float> row_a = row_of(ref_idx);
+          std::span<const std::byte> row_a = row_of(ref_idx);
           const std::size_t first_nbr_ref = ref_idx + 1;
           ref_idx += 1 + set.samples.size();
           std::span<float> out(ws.staged.data() + vi * width, width);
-          staged_phi_update(
-              options_.base.seed, t, a, row_a, set,
+          staged_phi_update_enc(
+              codec, options_.base.seed, t, a, row_a, set,
               [&](std::size_t i) { return row_of(first_nbr_ref + i); },
               terms, options_.base.step.eps(t),
               hyper_.normalized_alpha(), out, ws.scratch,
@@ -670,12 +678,10 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
         std::span<double> link(ratios.data(), k);
         std::span<double> nonlink(ratios.data() + k, k);
         for (std::uint64_t i = 0; i < p_local; ++i) {
-          std::span<const float> row_a = row_of(2 * i);
-          std::span<const float> row_b = row_of(2 * i + 1);
-          fast_accumulate_theta_ratio(row_a, row_b, terms,
-                                      share.pair_y[i] != 0,
-                                      share.pair_y[i] != 0 ? link : nonlink,
-                                      ws.scratch.w);
+          fast_accumulate_theta_ratio_enc(
+              codec, row_of(2 * i), row_of(2 * i + 1), k, terms,
+              share.pair_y[i] != 0,
+              share.pair_y[i] != 0 ? link : nonlink, ws.scratch.w);
         }
       } else {
         load_cost = phantom_read_cost(static_cast<double>(2 * p_local));
@@ -709,10 +715,10 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
         const double load_cost = load_stage_rows();
         ctx.charge(sim::Phase::kPerplexity, load_cost);
         for (std::size_t i = 0; i < slice.size(); ++i) {
-          std::span<const float> row_a = row_of(2 * i);
-          std::span<const float> row_b = row_of(2 * i + 1);
           evaluator->add_sample_prob(
-              i, fast_pair_likelihood(row_a, row_b, terms, slice[i].link));
+              i, fast_pair_likelihood_enc(codec, row_of(2 * i),
+                                          row_of(2 * i + 1), k, terms,
+                                          slice[i].link));
         }
         evaluator->finish_sample();
         acc[0] = evaluator->sum_log_avg();
@@ -785,7 +791,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
   // quiescent — blocked on the next deploy — whenever this runs).
   std::string snap_bytes;
   const double snap_wire_s = ctx.network().transfer_time(
-      static_cast<std::uint64_t>(num_vertices_) * store_->row_bytes());
+      static_cast<std::uint64_t>(num_vertices_) * store_->value_bytes());
   auto take_snapshot = [&](std::uint64_t t) {
     const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
     Checkpoint cp;
@@ -793,7 +799,11 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
     cp.hyper = hyper_;
     cp.pi = snapshot_pi();
     cp.global = global_;
-    snap_bytes = checkpoint_to_bytes(cp);
+    // Snapshots store pi in the run's wire codec: the modeled wire charge
+    // (snap_wire_s) already prices value_bytes() per row, and a rollback
+    // restore then re-encodes through the same codec — consistent, and
+    // exact under fp32.
+    snap_bytes = checkpoint_to_bytes(cp, options_.pi_codec);
     ctx.charge(sim::Phase::kBarrierWait, snap_wire_s);
   };
   if (options_.rollback_interval > 0) take_snapshot(0);
@@ -1065,6 +1075,8 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
   const unsigned wi = ctx.rank() - 1;  // DKV shard (static even in FT)
   const std::uint32_t n_nbr = options_.base.num_neighbors;
   const bool dedup = options_.dedup_reads;
+  const quant::RowCodec codec = store_->codec();
+  const std::size_t vbytes = store_->value_bytes();
   sim::SimTransport& net = ctx.transport();
 
   WorkerWorkspace ws(k);
@@ -1082,22 +1094,22 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
         {std::size_t{options_.chunk_vertices} * (1 + set_bound),
          2 * share_pairs, 2 * heldout_size_});
     ws.reserve_real(share_vertices, share_adjacency, share_pairs, width,
-                    set_bound, stage_refs_bound, n_nbr);
+                    vbytes, set_bound, stage_refs_bound, n_nbr);
   }
 
   auto load_stage_rows = [&]() -> double {
     if (dedup) {
       ws.key_index.build(ws.keys);
       const auto unique = ws.key_index.unique_keys();
-      ws.rows.resize(unique.size() * width);
-      return store_->get_rows(wi, unique, ws.rows);
+      ws.rows_enc.resize(unique.size() * vbytes);
+      return store_->get_rows_encoded(wi, unique, ws.rows_enc);
     }
-    ws.rows.resize(ws.keys.size() * width);
-    return store_->get_rows(wi, ws.keys, ws.rows);
+    ws.rows_enc.resize(ws.keys.size() * vbytes);
+    return store_->get_rows_encoded(wi, ws.keys, ws.rows_enc);
   };
-  auto row_of = [&](std::size_t ref) -> std::span<const float> {
+  auto row_of = [&](std::size_t ref) -> std::span<const std::byte> {
     const std::size_t slot = dedup ? ws.key_index.remap()[ref] : ref;
-    return {ws.rows.data() + slot * width, width};
+    return {ws.rows_enc.data() + slot * vbytes, vbytes};
   };
 
   std::vector<float> beta_buf(k, 0.0f);
@@ -1224,12 +1236,12 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
       for (std::uint64_t vi = lo; vi < hi; ++vi) {
         const graph::Vertex a = share.vertices[vi];
         const graph::NeighborSet& set = ws.neighbor_sets[vi];
-        std::span<const float> row_a = row_of(ref_idx);
+        std::span<const std::byte> row_a = row_of(ref_idx);
         const std::size_t first_nbr_ref = ref_idx + 1;
         ref_idx += 1 + set.samples.size();
         std::span<float> out(ws.staged.data() + vi * width, width);
-        staged_phi_update(
-            options_.base.seed, t, a, row_a, set,
+        staged_phi_update_enc(
+            codec, options_.base.seed, t, a, row_a, set,
             [&](std::size_t i) { return row_of(first_nbr_ref + i); },
             terms, options_.base.step.eps(t), hyper_.normalized_alpha(),
             out, ws.scratch, options_.base.noise_factor,
@@ -1294,12 +1306,10 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
       std::span<double> link(ratios.data(), k);
       std::span<double> nonlink(ratios.data() + k, k);
       for (std::uint64_t i = 0; i < p_local; ++i) {
-        std::span<const float> row_a = row_of(2 * i);
-        std::span<const float> row_b = row_of(2 * i + 1);
-        fast_accumulate_theta_ratio(row_a, row_b, terms,
-                                    share.pair_y[i] != 0,
-                                    share.pair_y[i] != 0 ? link : nonlink,
-                                    ws.scratch.w);
+        fast_accumulate_theta_ratio_enc(
+            codec, row_of(2 * i), row_of(2 * i + 1), k, terms,
+            share.pair_y[i] != 0,
+            share.pair_y[i] != 0 ? link : nonlink, ws.scratch.w);
       }
       ctx.charge(sim::Phase::kUpdateBetaTheta, load_cost);
       ctx.charge_kernel(sim::Phase::kUpdateBetaTheta,
@@ -1343,10 +1353,10 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
       }
       ctx.charge(sim::Phase::kPerplexity, load_stage_rows());
       for (std::size_t i = 0; i < slice.size(); ++i) {
-        std::span<const float> row_a = row_of(2 * i);
-        std::span<const float> row_b = row_of(2 * i + 1);
         evaluator->add_sample_prob(
-            i, fast_pair_likelihood(row_a, row_b, terms, slice[i].link));
+            i, fast_pair_likelihood_enc(codec, row_of(2 * i),
+                                        row_of(2 * i + 1), k, terms,
+                                        slice[i].link));
       }
       evaluator->finish_sample();
       acc[0] = evaluator->sum_log_avg();
@@ -1366,9 +1376,7 @@ PiMatrix DistributedSampler::snapshot_pi() const {
   PiMatrix pi(static_cast<std::uint32_t>(num_vertices_),
               hyper_.num_communities);
   for (std::uint64_t v = 0; v < num_vertices_; ++v) {
-    const auto src = store_->row(v);
-    std::copy(src.begin(), src.end(),
-              pi.row(static_cast<std::uint32_t>(v)).begin());
+    store_->read_row(v, pi.row(static_cast<std::uint32_t>(v)));
   }
   return pi;
 }

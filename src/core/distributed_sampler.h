@@ -106,6 +106,15 @@ struct DistributedOptions {
   /// rediscover the paper's Section IV-C observation that caching buys
   /// nothing once N is far beyond any plausible capacity.
   std::uint64_t dkv_cache_rows = 0;
+  /// Row codec for pi rows in the DKV and on the wire (quant/row_codec.h):
+  /// kFloat32 (default, bit-identical to the pre-codec path), kFp16, or
+  /// kInt8 (per-row scale + offset). Rows are stored and shipped encoded
+  /// — get/put costs charge the reduced value_bytes() in both real and
+  /// cost-only mode — and the enc kernels dequantize in-register, so a
+  /// decoded float row never materializes on the per-neighbor hot path.
+  /// Lossy codecs perturb the trajectory; held-out perplexity stays
+  /// within tolerance on the generator workloads (tests/quant).
+  quant::RowCodec pi_codec = quant::RowCodec::kFloat32;
   /// When non-null, run() installs this recorder on the cluster,
   /// transport, and DKV store: every clock-advancing region is wrapped
   /// in a virtual-time span on its rank's lane, message/collective edges

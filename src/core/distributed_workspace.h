@@ -8,6 +8,7 @@
 // algorithm, not the allocator.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -64,7 +65,9 @@ struct WorkerWorkspace {
   graph::NeighborScratch nbr_scratch;
   std::vector<float> staged;        // n_local x row_width
   std::vector<std::uint64_t> keys;  // row references of the current stage
-  std::vector<float> rows;          // fetched rows (deduped or not)
+  /// Fetched rows (deduped or not), kept in the DKV's wire codec —
+  /// value_bytes() per row; the enc kernels dequantize in-register.
+  std::vector<std::byte> rows_enc;
   dkv::KeyIndex key_index;
   PhiScratch scratch;
   std::vector<double> ratios;    // [link | nonlink], 2k
@@ -76,15 +79,16 @@ struct WorkerWorkspace {
   /// Real mode: pre-size for this worker's slice bounds. `set_bound` is
   /// the largest neighbor set a vertex can draw (max_degree + n for
   /// link-aware sets), `stage_refs_bound` the most row references any
-  /// single read stage can issue.
+  /// single read stage can issue, `value_bytes` the store's encoded
+  /// row size.
   void reserve_real(std::size_t share_vertices, std::size_t share_adjacency,
                     std::size_t share_pairs, std::size_t row_width,
-                    std::size_t set_bound, std::size_t stage_refs_bound,
-                    std::size_t num_neighbors) {
+                    std::size_t value_bytes, std::size_t set_bound,
+                    std::size_t stage_refs_bound, std::size_t num_neighbors) {
     share.reserve(share_vertices, share_adjacency, share_pairs);
     staged.reserve(share_vertices * row_width);
     keys.reserve(stage_refs_bound);
-    rows.reserve(stage_refs_bound * row_width);
+    rows_enc.reserve(stage_refs_bound * value_bytes);
     key_index.reserve(stage_refs_bound);
     nbr_scratch.raw.reserve(num_neighbors);
     nbr_scratch.chosen.reset(num_neighbors);

@@ -246,4 +246,336 @@ void fused_update_phi_row(std::uint64_t seed, std::uint64_t iteration,
   r[k] = static_cast<float>(new_sum);
 }
 
+// --- dequant-fused kernels ---------------------------------------------
+// The enc variants are the same lane/block skeletons as above, templated
+// over a per-codec element reader so dequantization happens in-register
+// inside the loop. The fp32 reader is a raw float load, which makes the
+// kFloat32 instantiations replicate the float-span kernels' arithmetic
+// operation for operation — same order, same intermediate types — and
+// therefore bit-identically.
+
+namespace {
+
+/// Raw float load: kFloat32 rows (and decoded caller rows) store plain
+/// little-endian floats.
+struct Fp32Reader {
+  const float* p;
+  explicit Fp32Reader(const std::byte* row)
+      : p(reinterpret_cast<const float*>(row)) {}
+  explicit Fp32Reader(const float* row) : p(row) {}
+  float operator[](std::size_t i) const { return p[i]; }
+};
+
+/// IEEE half load + widen (quant::RowCodec::kFp16 layout).
+struct Fp16Reader {
+  const std::byte* p;
+  explicit Fp16Reader(const std::byte* row) : p(row) {}
+  float operator[](std::size_t i) const {
+    std::uint16_t h;
+    std::memcpy(&h, p + i * sizeof(h), sizeof(h));
+    return quant::half_to_float(h);
+  }
+};
+
+/// Per-row affine dequant (quant::RowCodec::kInt8 layout): one fma per
+/// element against the row's scale/offset header.
+struct Int8Reader {
+  const std::byte* codes;
+  float scale;
+  float offset;
+  explicit Int8Reader(const std::byte* row) {
+    quant::Int8Header header;
+    std::memcpy(&header, row, quant::kInt8HeaderBytes);
+    scale = header.scale;
+    offset = header.offset;
+    codes = row + quant::kInt8HeaderBytes;
+  }
+  float operator[](std::size_t i) const {
+    return offset +
+           scale * static_cast<float>(static_cast<std::uint8_t>(codes[i]));
+  }
+};
+
+template <typename RowA, typename RowB>
+double fused_pair_likelihood_t(RowA pa, RowB pb, std::size_t k,
+                               const LikelihoodTerms& terms, bool y) {
+  const float* SCD_RESTRICT d = terms.btd(y).data();
+  const float dtf = static_cast<float>(terms.dt(y));
+  double z = 0.0;
+  std::size_t i = 0;
+  for (; i + kFusedBlock <= k; i += kFusedBlock) {
+    float lanes[kFusedLanes] = {0.0f};
+    for (std::size_t j = 0; j < kFusedBlock; j += kFusedLanes) {
+      for (std::size_t l = 0; l < kFusedLanes; ++l) {
+        const std::size_t idx = i + j + l;
+        lanes[l] += pa[idx] * (dtf + pb[idx] * d[idx]);
+      }
+    }
+    z += lane_sum(lanes);
+  }
+  for (; i < k; ++i) {
+    z += static_cast<double>(pa[i]) * (dtf + pb[i] * d[i]);
+  }
+  return std::max(z, kMinZ);
+}
+
+template <typename RowA, typename RowB>
+double pair_likelihood_t(RowA ra, RowB rb, std::size_t k,
+                         const LikelihoodTerms& terms, bool y) {
+  const std::span<const float> bt = terms.bt(y);
+  const double dt = terms.dt(y);
+  double z = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double pa = ra[i];
+    const double pb = rb[i];
+    z += pa * (pb * static_cast<double>(bt[i]) + dt * (1.0 - pb));
+  }
+  return std::max(z, kMinZ);
+}
+
+template <typename RowB>
+double fused_accumulate_phi_grad_t(const float* SCD_RESTRICT pa,
+                                   double phi_sum, RowB pb, std::size_t k,
+                                   const LikelihoodTerms& terms, bool y,
+                                   std::span<double> grad,
+                                   std::span<float> w_scratch) {
+  SCD_ASSERT(grad.size() == k, "gradient size mismatch");
+  SCD_ASSERT(w_scratch.size() >= k, "w scratch too small");
+  const float* SCD_RESTRICT d = terms.btd(y).data();
+  float* SCD_RESTRICT w = w_scratch.data();
+  const float dtf = static_cast<float>(terms.dt(y));
+  SCD_ASSERT(phi_sum > 0.0, "phi_sum must be positive");
+
+  double z = 0.0;
+  std::size_t i = 0;
+  for (; i + kFusedBlock <= k; i += kFusedBlock) {
+    float lanes[kFusedLanes] = {0.0f};
+    for (std::size_t j = 0; j < kFusedBlock; j += kFusedLanes) {
+      for (std::size_t l = 0; l < kFusedLanes; ++l) {
+        const std::size_t idx = i + j + l;
+        const float wi = dtf + pb[idx] * d[idx];
+        w[idx] = wi;
+        lanes[l] += pa[idx] * wi;
+      }
+    }
+    z += lane_sum(lanes);
+  }
+  for (; i < k; ++i) {
+    const float wi = dtf + pb[i] * d[i];
+    w[i] = wi;
+    z += static_cast<double>(pa[i]) * wi;
+  }
+  z = std::max(z, kMinZ);
+
+  const double inv_z = 1.0 / z;
+  const double inv_phi_sum = 1.0 / phi_sum;
+  double* SCD_RESTRICT g = grad.data();
+  for (std::size_t j = 0; j < k; ++j) {
+    g[j] += (static_cast<double>(w[j]) * inv_z - 1.0) * inv_phi_sum;
+  }
+  return z;
+}
+
+template <typename RowB>
+double accumulate_phi_grad_t(std::span<const float> row_a, RowB rb,
+                             std::size_t k, const LikelihoodTerms& terms,
+                             bool y, std::span<double> grad) {
+  SCD_ASSERT(grad.size() == k, "gradient size mismatch");
+  const std::span<const float> bt = terms.bt(y);
+  const double dt = terms.dt(y);
+  const double phi_sum = row_a[k];
+  SCD_ASSERT(phi_sum > 0.0, "phi_sum must be positive");
+
+  double z = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double pb = rb[i];
+    const double w = pb * static_cast<double>(bt[i]) + dt * (1.0 - pb);
+    z += static_cast<double>(row_a[i]) * w;
+  }
+  z = std::max(z, kMinZ);
+  const double inv_z = 1.0 / z;
+  const double inv_phi_sum = 1.0 / phi_sum;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double pb = rb[i];
+    const double w = pb * static_cast<double>(bt[i]) + dt * (1.0 - pb);
+    grad[i] += (w * inv_z - 1.0) * inv_phi_sum;
+  }
+  return z;
+}
+
+template <typename RowA, typename RowB>
+double fused_accumulate_theta_ratio_t(RowA pa, RowB pb, std::size_t k,
+                                      const LikelihoodTerms& terms, bool y,
+                                      std::span<double> ratio,
+                                      std::span<float> f_scratch) {
+  SCD_ASSERT(ratio.size() == k, "ratio size mismatch");
+  SCD_ASSERT(f_scratch.size() >= k, "f scratch too small");
+  const float* SCD_RESTRICT bt = terms.bt(y).data();
+  const float* SCD_RESTRICT d = terms.btd(y).data();
+  float* SCD_RESTRICT f = f_scratch.data();
+  const float dtf = static_cast<float>(terms.dt(y));
+
+  double z = 0.0;
+  std::size_t i = 0;
+  for (; i + kFusedBlock <= k; i += kFusedBlock) {
+    float lanes[kFusedLanes] = {0.0f};
+    for (std::size_t j = 0; j < kFusedBlock; j += kFusedLanes) {
+      for (std::size_t l = 0; l < kFusedLanes; ++l) {
+        const std::size_t idx = i + j + l;
+        const float prod = pa[idx] * pb[idx];
+        f[idx] = prod * bt[idx];
+        lanes[l] += dtf * pa[idx] + prod * d[idx];
+      }
+    }
+    z += lane_sum(lanes);
+  }
+  for (; i < k; ++i) {
+    const float prod = pa[i] * pb[i];
+    f[i] = prod * bt[i];
+    z += static_cast<double>(dtf * pa[i]) + static_cast<double>(prod * d[i]);
+  }
+  z = std::max(z, kMinZ);
+
+  const double inv_z = 1.0 / z;
+  double* SCD_RESTRICT r = ratio.data();
+  for (std::size_t j = 0; j < k; ++j) {
+    r[j] += static_cast<double>(f[j]) * inv_z;
+  }
+  return z;
+}
+
+template <typename RowA, typename RowB>
+double accumulate_theta_ratio_t(RowA ra, RowB rb, std::size_t k,
+                                const LikelihoodTerms& terms, bool y,
+                                std::span<double> ratio) {
+  SCD_ASSERT(ratio.size() == k, "ratio size mismatch");
+  const std::span<const float> bt = terms.bt(y);
+  const double z = pair_likelihood_t(ra, rb, k, terms, y);
+  const double inv_z = 1.0 / z;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double f = static_cast<double>(ra[i]) *
+                     static_cast<double>(rb[i]) *
+                     static_cast<double>(bt[i]);
+    ratio[i] += f * inv_z;
+  }
+  return z;
+}
+
+inline void check_encoded(quant::RowCodec codec,
+                          std::span<const std::byte> row, std::uint32_t k) {
+  SCD_ASSERT(row.size() == quant::encoded_bytes(codec, k + 1),
+             "encoded row size mismatch");
+}
+
+/// Invoke `fn(reader_a, reader_b)` with the reader type for `codec`.
+template <typename Fn>
+double with_readers(quant::RowCodec codec, std::span<const std::byte> row_a,
+                    std::span<const std::byte> row_b, Fn&& fn) {
+  switch (codec) {
+    case quant::RowCodec::kFloat32:
+      return fn(Fp32Reader(row_a.data()), Fp32Reader(row_b.data()));
+    case quant::RowCodec::kFp16:
+      return fn(Fp16Reader(row_a.data()), Fp16Reader(row_b.data()));
+    case quant::RowCodec::kInt8:
+      return fn(Int8Reader(row_a.data()), Int8Reader(row_b.data()));
+  }
+  SCD_ASSERT(false, "unknown RowCodec value");
+  return 0.0;
+}
+
+/// Invoke `fn(reader_b)` with the reader type for `codec`.
+template <typename Fn>
+double with_reader(quant::RowCodec codec, std::span<const std::byte> row,
+                   Fn&& fn) {
+  switch (codec) {
+    case quant::RowCodec::kFloat32:
+      return fn(Fp32Reader(row.data()));
+    case quant::RowCodec::kFp16:
+      return fn(Fp16Reader(row.data()));
+    case quant::RowCodec::kInt8:
+      return fn(Int8Reader(row.data()));
+  }
+  SCD_ASSERT(false, "unknown RowCodec value");
+  return 0.0;
+}
+
+}  // namespace
+
+double fused_pair_likelihood_enc(quant::RowCodec codec,
+                                 std::span<const std::byte> row_a,
+                                 std::span<const std::byte> row_b,
+                                 std::uint32_t k,
+                                 const LikelihoodTerms& terms, bool y) {
+  check_encoded(codec, row_a, k);
+  check_encoded(codec, row_b, k);
+  return with_readers(codec, row_a, row_b, [&](auto ra, auto rb) {
+    return fused_pair_likelihood_t(ra, rb, k, terms, y);
+  });
+}
+
+double pair_likelihood_enc(quant::RowCodec codec,
+                           std::span<const std::byte> row_a,
+                           std::span<const std::byte> row_b, std::uint32_t k,
+                           const LikelihoodTerms& terms, bool y) {
+  check_encoded(codec, row_a, k);
+  check_encoded(codec, row_b, k);
+  return with_readers(codec, row_a, row_b, [&](auto ra, auto rb) {
+    return pair_likelihood_t(ra, rb, k, terms, y);
+  });
+}
+
+double fused_accumulate_phi_grad_enc(quant::RowCodec codec,
+                                     std::span<const float> row_a,
+                                     std::span<const std::byte> row_b,
+                                     const LikelihoodTerms& terms, bool y,
+                                     std::span<double> grad,
+                                     std::span<float> w_scratch) {
+  const std::size_t k = k_of(row_a);
+  check_encoded(codec, row_b, static_cast<std::uint32_t>(k));
+  return with_reader(codec, row_b, [&](auto rb) {
+    return fused_accumulate_phi_grad_t(row_a.data(), row_a[k], rb, k, terms,
+                                       y, grad, w_scratch);
+  });
+}
+
+double accumulate_phi_grad_enc(quant::RowCodec codec,
+                               std::span<const float> row_a,
+                               std::span<const std::byte> row_b,
+                               const LikelihoodTerms& terms, bool y,
+                               std::span<double> grad) {
+  const std::size_t k = k_of(row_a);
+  check_encoded(codec, row_b, static_cast<std::uint32_t>(k));
+  return with_reader(codec, row_b, [&](auto rb) {
+    return accumulate_phi_grad_t(row_a, rb, k, terms, y, grad);
+  });
+}
+
+double fused_accumulate_theta_ratio_enc(quant::RowCodec codec,
+                                        std::span<const std::byte> row_a,
+                                        std::span<const std::byte> row_b,
+                                        std::uint32_t k,
+                                        const LikelihoodTerms& terms, bool y,
+                                        std::span<double> ratio,
+                                        std::span<float> f_scratch) {
+  check_encoded(codec, row_a, k);
+  check_encoded(codec, row_b, k);
+  return with_readers(codec, row_a, row_b, [&](auto ra, auto rb) {
+    return fused_accumulate_theta_ratio_t(ra, rb, k, terms, y, ratio,
+                                          f_scratch);
+  });
+}
+
+double accumulate_theta_ratio_enc(quant::RowCodec codec,
+                                  std::span<const std::byte> row_a,
+                                  std::span<const std::byte> row_b,
+                                  std::uint32_t k,
+                                  const LikelihoodTerms& terms, bool y,
+                                  std::span<double> ratio) {
+  check_encoded(codec, row_a, k);
+  check_encoded(codec, row_b, k);
+  return with_readers(codec, row_a, row_b, [&](auto ra, auto rb) {
+    return accumulate_theta_ratio_t(ra, rb, k, terms, y, ratio);
+  });
+}
+
 }  // namespace scd::core

@@ -27,10 +27,12 @@
 // meaningful under either path.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 
 #include "core/grads.h"
+#include "quant/row_codec.h"
 
 namespace scd::core {
 
@@ -97,6 +99,59 @@ void fused_update_phi_row(std::uint64_t seed, std::uint64_t iteration,
                           GradientForm form,
                           std::span<double> noise_scratch);
 
+// --- dequant-fused kernels ---------------------------------------------
+// Variants that read codec-encoded rows (quant/row_codec.h layouts)
+// directly: every pi entry is dequantized in-register inside the lane
+// loop, so a decoded float row never materializes on the
+// O(K * |neighbors|) hot path. Under quant::RowCodec::kFloat32 the
+// reader is a raw float load and the arithmetic is bit-identical to the
+// float-span kernels above. `k` is the community count (decoded width
+// minus the trailing phi_sum slot); encoded spans must be exactly
+// quant::encoded_bytes(codec, k + 1) long. Scalar counterparts replicate
+// the grads.cpp reference semantics on the same readers.
+
+/// Z_ab^(y) from two encoded rows.
+double fused_pair_likelihood_enc(quant::RowCodec codec,
+                                 std::span<const std::byte> row_a,
+                                 std::span<const std::byte> row_b,
+                                 std::uint32_t k,
+                                 const LikelihoodTerms& terms, bool y);
+double pair_likelihood_enc(quant::RowCodec codec,
+                           std::span<const std::byte> row_a,
+                           std::span<const std::byte> row_b, std::uint32_t k,
+                           const LikelihoodTerms& terms, bool y);
+
+/// Phi gradient with an encoded neighbor row. `row_a` is the updating
+/// vertex's *decoded* row ([pi | phi_sum], k+1 floats) — the caller
+/// already holds it in float to stage the SGRLD update, and decoding it
+/// once per vertex is off the per-neighbor hot path.
+double fused_accumulate_phi_grad_enc(quant::RowCodec codec,
+                                     std::span<const float> row_a,
+                                     std::span<const std::byte> row_b,
+                                     const LikelihoodTerms& terms, bool y,
+                                     std::span<double> grad,
+                                     std::span<float> w_scratch);
+double accumulate_phi_grad_enc(quant::RowCodec codec,
+                               std::span<const float> row_a,
+                               std::span<const std::byte> row_b,
+                               const LikelihoodTerms& terms, bool y,
+                               std::span<double> grad);
+
+/// Theta ratio from two encoded rows.
+double fused_accumulate_theta_ratio_enc(quant::RowCodec codec,
+                                        std::span<const std::byte> row_a,
+                                        std::span<const std::byte> row_b,
+                                        std::uint32_t k,
+                                        const LikelihoodTerms& terms, bool y,
+                                        std::span<double> ratio,
+                                        std::span<float> f_scratch);
+double accumulate_theta_ratio_enc(quant::RowCodec codec,
+                                  std::span<const std::byte> row_a,
+                                  std::span<const std::byte> row_b,
+                                  std::uint32_t k,
+                                  const LikelihoodTerms& terms, bool y,
+                                  std::span<double> ratio);
+
 // --- dispatched entry points -------------------------------------------
 // The samplers call these; scratch spans are only touched on the fused
 // path. The kernel_path() load is a relaxed atomic — negligible next to
@@ -130,6 +185,40 @@ inline double fast_accumulate_theta_ratio(std::span<const float> row_a,
              ? fused_accumulate_theta_ratio(row_a, row_b, terms, y, ratio,
                                             f_scratch)
              : accumulate_theta_ratio(row_a, row_b, terms, y, ratio);
+}
+
+inline double fast_pair_likelihood_enc(quant::RowCodec codec,
+                                       std::span<const std::byte> row_a,
+                                       std::span<const std::byte> row_b,
+                                       std::uint32_t k,
+                                       const LikelihoodTerms& terms, bool y) {
+  return kernel_path() == KernelPath::kFused
+             ? fused_pair_likelihood_enc(codec, row_a, row_b, k, terms, y)
+             : pair_likelihood_enc(codec, row_a, row_b, k, terms, y);
+}
+
+inline double fast_accumulate_phi_grad_enc(quant::RowCodec codec,
+                                           std::span<const float> row_a,
+                                           std::span<const std::byte> row_b,
+                                           const LikelihoodTerms& terms,
+                                           bool y, std::span<double> grad,
+                                           std::span<float> w_scratch) {
+  return kernel_path() == KernelPath::kFused
+             ? fused_accumulate_phi_grad_enc(codec, row_a, row_b, terms, y,
+                                             grad, w_scratch)
+             : accumulate_phi_grad_enc(codec, row_a, row_b, terms, y, grad);
+}
+
+inline double fast_accumulate_theta_ratio_enc(
+    quant::RowCodec codec, std::span<const std::byte> row_a,
+    std::span<const std::byte> row_b, std::uint32_t k,
+    const LikelihoodTerms& terms, bool y, std::span<double> ratio,
+    std::span<float> f_scratch) {
+  return kernel_path() == KernelPath::kFused
+             ? fused_accumulate_theta_ratio_enc(codec, row_a, row_b, k,
+                                                terms, y, ratio, f_scratch)
+             : accumulate_theta_ratio_enc(codec, row_a, row_b, k, terms, y,
+                                          ratio);
 }
 
 inline void fast_update_phi_row(std::uint64_t seed, std::uint64_t iteration,

@@ -67,4 +67,39 @@ void staged_phi_update(std::uint64_t seed, std::uint64_t iteration,
                       eps, alpha, noise_factor, form, scratch.noise);
 }
 
+/// Encoded-row variant for the distributed sampler: neighbor rows stay in
+/// the DKV's wire codec and are dequantized in-register by the enc
+/// kernels. The vertex's own row is decoded once (O(K), off the
+/// O(K * |set|) accumulation path) straight into `out`, which doubles as
+/// the float row_a the gradient needs and the staging slot the SGRLD
+/// update writes in place. `row_of(i)` must return the *encoded* row of
+/// set.samples[i].b (quant::encoded_bytes(codec, k + 1) bytes). Under
+/// quant::RowCodec::kFloat32 this is bit-identical to staged_phi_update.
+template <typename EncRowOf>
+void staged_phi_update_enc(quant::RowCodec codec, std::uint64_t seed,
+                           std::uint64_t iteration, graph::Vertex a,
+                           std::span<const std::byte> row_a_enc,
+                           const graph::NeighborSet& set, EncRowOf&& row_of,
+                           const LikelihoodTerms& terms, double eps,
+                           double alpha, std::span<float> out,
+                           PhiScratch& scratch, double noise_factor = 1.0,
+                           GradientForm form = GradientForm::kRawEqn3) {
+  quant::decode_row(codec, row_a_enc, out);
+  std::fill(scratch.exact.begin(), scratch.exact.end(), 0.0);
+  std::fill(scratch.sampled.begin(), scratch.sampled.end(), 0.0);
+  for (std::size_t i = 0; i < set.samples.size(); ++i) {
+    const graph::NeighborSample& nb = set.samples[i];
+    std::span<double> target = i < set.exact_prefix
+                                   ? std::span<double>(scratch.exact)
+                                   : std::span<double>(scratch.sampled);
+    fast_accumulate_phi_grad_enc(codec, out, row_of(i), terms, nb.link,
+                                 target, scratch.w);
+  }
+  for (std::size_t k = 0; k < scratch.exact.size(); ++k) {
+    scratch.exact[k] += set.sampled_scale * scratch.sampled[k];
+  }
+  fast_update_phi_row(seed, iteration, a, out, scratch.exact, /*scale=*/1.0,
+                      eps, alpha, noise_factor, form, scratch.noise);
+}
+
 }  // namespace scd::core

@@ -20,7 +20,7 @@ void CachedDkv::touch(std::list<Entry>::iterator it) {
   lru_.splice(lru_.begin(), lru_, it);
 }
 
-void CachedDkv::insert(std::uint64_t key, std::span<const float> value) {
+void CachedDkv::insert(std::uint64_t key, std::span<const std::byte> value) {
   if (map_.size() >= capacity_) {
     map_.erase(lru_.back().key);
     lru_.pop_back();
@@ -29,13 +29,10 @@ void CachedDkv::insert(std::uint64_t key, std::span<const float> value) {
   map_[key] = lru_.begin();
 }
 
-double CachedDkv::get_rows(unsigned requester_shard,
+template <typename OnHit>
+double CachedDkv::classify(unsigned requester_shard,
                            std::span<const std::uint64_t> keys,
-                           std::span<float> out) {
-  SCD_REQUIRE(out.size() == keys.size() * row_width(),
-              "output buffer size mismatch");
-  const std::uint32_t width = row_width();
-  // First pass: satisfy hits from the cache and collect the misses.
+                           OnHit&& on_hit) {
   miss_keys_.clear();
   miss_slots_.clear();
   std::uint64_t hit_rows = 0;
@@ -45,8 +42,7 @@ double CachedDkv::get_rows(unsigned requester_shard,
       ++hits_;
       ++hit_rows;
       touch(it->second);
-      std::memcpy(out.data() + i * width, it->second->value.data(),
-                  width * sizeof(float));
+      on_hit(i, std::span<const std::byte>(it->second->value));
     } else {
       ++misses_;
       miss_keys_.push_back(keys[i]);
@@ -63,14 +59,49 @@ double CachedDkv::get_rows(unsigned requester_shard,
   }
   // Hits stream the cached copy from local RAM; only misses pay the
   // inner store's (possibly remote) cost.
-  double cost = hit_cost(hit_rows);
+  return hit_cost(hit_rows);
+}
+
+double CachedDkv::get_rows(unsigned requester_shard,
+                           std::span<const std::uint64_t> keys,
+                           std::span<float> out) {
+  SCD_REQUIRE(out.size() == keys.size() * row_width(),
+              "output buffer size mismatch");
+  const std::uint32_t width = row_width();
+  const quant::RowCodec codec = inner_.codec();
+  double cost = classify(
+      requester_shard, keys, [&](std::size_t i, std::span<const std::byte> v) {
+        quant::decode_row(codec, v, out.subspan(i * width, width));
+      });
   if (miss_keys_.empty()) return cost;
-  fetched_.resize(miss_keys_.size() * width);
-  cost += inner_.get_rows(requester_shard, miss_keys_, fetched_);
+  const std::size_t vbytes = inner_.value_bytes();
+  fetched_.resize(miss_keys_.size() * vbytes);
+  cost += inner_.get_rows_encoded(requester_shard, miss_keys_, fetched_);
   for (std::size_t m = 0; m < miss_keys_.size(); ++m) {
-    std::span<const float> value(fetched_.data() + m * width, width);
-    std::memcpy(out.data() + miss_slots_[m] * width, value.data(),
-                width * sizeof(float));
+    std::span<const std::byte> value(fetched_.data() + m * vbytes, vbytes);
+    quant::decode_row(codec, value,
+                      out.subspan(miss_slots_[m] * width, width));
+    insert(miss_keys_[m], value);
+  }
+  return cost;
+}
+
+double CachedDkv::get_rows_encoded(unsigned requester_shard,
+                                   std::span<const std::uint64_t> keys,
+                                   std::span<std::byte> out) {
+  const std::size_t vbytes = inner_.value_bytes();
+  SCD_REQUIRE(out.size() == keys.size() * vbytes,
+              "output buffer size mismatch");
+  double cost = classify(
+      requester_shard, keys, [&](std::size_t i, std::span<const std::byte> v) {
+        std::memcpy(out.data() + i * vbytes, v.data(), vbytes);
+      });
+  if (miss_keys_.empty()) return cost;
+  fetched_.resize(miss_keys_.size() * vbytes);
+  cost += inner_.get_rows_encoded(requester_shard, miss_keys_, fetched_);
+  for (std::size_t m = 0; m < miss_keys_.size(); ++m) {
+    std::span<const std::byte> value(fetched_.data() + m * vbytes, vbytes);
+    std::memcpy(out.data() + miss_slots_[m] * vbytes, value.data(), vbytes);
     insert(miss_keys_[m], value);
   }
   return cost;
@@ -80,17 +111,35 @@ double CachedDkv::put_rows(unsigned requester_shard,
                            std::span<const std::uint64_t> keys,
                            std::span<const float> values) {
   const std::uint32_t width = row_width();
+  const quant::RowCodec codec = inner_.codec();
+  const std::size_t vbytes = inner_.value_bytes();
   // Write-through; refresh any cached copies so reads stay coherent
   // with this requester's own writes.
   for (std::size_t i = 0; i < keys.size(); ++i) {
     auto it = map_.find(keys[i]);
     if (it != map_.end()) {
-      std::span<const float> value(values.data() + i * width, width);
-      it->second->value.assign(value.begin(), value.end());
+      it->second->value.resize(vbytes);
+      quant::encode_row(codec, values.subspan(i * width, width),
+                        it->second->value);
       touch(it->second);
     }
   }
   return inner_.put_rows(requester_shard, keys, values);
+}
+
+double CachedDkv::put_rows_encoded(unsigned requester_shard,
+                                   std::span<const std::uint64_t> keys,
+                                   std::span<const std::byte> values) {
+  const std::size_t vbytes = inner_.value_bytes();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto it = map_.find(keys[i]);
+    if (it != map_.end()) {
+      const auto value = values.subspan(i * vbytes, vbytes);
+      it->second->value.assign(value.begin(), value.end());
+      touch(it->second);
+    }
+  }
+  return inner_.put_rows_encoded(requester_shard, keys, values);
 }
 
 void CachedDkv::invalidate_all() {

@@ -12,6 +12,12 @@
 // RAM, priced by the ComputeModel); only misses pay the inner store's
 // cost. bench_ablation therefore reports time saved, not just hit rate.
 //
+// Cached rows are kept *encoded* in the inner store's codec: the cache
+// mirrors the wire format, so a hit streams value_bytes() per row —
+// quantization shrinks the cache footprint and the hit cost alike — and
+// the float interface decodes at the boundary exactly like the inner
+// store does.
+//
 // Coherence caveat: a cached row goes stale when its owner rewrites it,
 // so users must drop cached copies at the same barrier where the paper's
 // algorithm serializes writes. invalidate()/put_rows handle this: puts
@@ -38,6 +44,8 @@ class CachedDkv final : public DkvStore {
 
   std::uint64_t num_rows() const override { return inner_.num_rows(); }
   std::uint32_t row_width() const override { return inner_.row_width(); }
+  quant::RowCodec codec() const override { return inner_.codec(); }
+  std::size_t value_bytes() const override { return inner_.value_bytes(); }
 
   void init_row(std::uint64_t key, std::span<const float> value) override;
 
@@ -48,6 +56,14 @@ class CachedDkv final : public DkvStore {
   double put_rows(unsigned requester_shard,
                   std::span<const std::uint64_t> keys,
                   std::span<const float> values) override;
+
+  double get_rows_encoded(unsigned requester_shard,
+                          std::span<const std::uint64_t> keys,
+                          std::span<std::byte> out) override;
+
+  double put_rows_encoded(unsigned requester_shard,
+                          std::span<const std::uint64_t> keys,
+                          std::span<const std::byte> values) override;
 
   double read_cost(unsigned requester_shard, std::uint64_t local_rows,
                    std::uint64_t remote_rows) const override {
@@ -66,9 +82,10 @@ class CachedDkv final : public DkvStore {
     return inner_.write_cost_keys(requester_shard, keys);
   }
 
-  /// Modeled seconds a hit costs: the cached row streamed from local RAM.
+  /// Modeled seconds a hit costs: the cached (encoded) row streamed from
+  /// local RAM.
   double hit_cost(std::uint64_t rows) const {
-    return node_.local_bytes_time(rows * row_width() * sizeof(float));
+    return node_.local_bytes_time(rows * inner_.value_bytes());
   }
 
   /// Drop every cached row (stale after another shard's writes).
@@ -97,11 +114,17 @@ class CachedDkv final : public DkvStore {
  private:
   struct Entry {
     std::uint64_t key;
-    std::vector<float> value;
+    std::vector<std::byte> value;  // encoded, value_bytes() long
   };
 
   void touch(std::list<Entry>::iterator it);
-  void insert(std::uint64_t key, std::span<const float> value);
+  void insert(std::uint64_t key, std::span<const std::byte> value);
+  /// Shared hit/miss pass: serve hits through `on_hit(slot, encoded)`,
+  /// collect misses into miss_keys_/miss_slots_, count metrics. Returns
+  /// the hit cost.
+  template <typename OnHit>
+  double classify(unsigned requester_shard,
+                  std::span<const std::uint64_t> keys, OnHit&& on_hit);
 
   DkvStore& inner_;
   std::uint64_t capacity_;
@@ -115,7 +138,7 @@ class CachedDkv final : public DkvStore {
   // Reused per-call scratch for the miss pass.
   std::vector<std::uint64_t> miss_keys_;
   std::vector<std::size_t> miss_slots_;
-  std::vector<float> fetched_;
+  std::vector<std::byte> fetched_;
 };
 
 }  // namespace scd::dkv

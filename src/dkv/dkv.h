@@ -4,20 +4,33 @@
 // RDMA store (Section III-B):
 //   * static layout — rows are created once by init_row, never
 //     inserted/deleted afterwards;
-//   * fixed-size values — every row is exactly `row_width` floats
-//     (pi[0..K-1] followed by sum(phi));
+//   * fixed-size values — every row decodes to exactly `row_width`
+//     floats (pi[0..K-1] followed by sum(phi)), but is *stored and
+//     shipped* encoded with the store's RowCodec: value_bytes() bytes
+//     per row (quant/row_codec.h documents the per-codec layouts; the
+//     default kFloat32 codec is a raw, bit-exact float row);
 //   * stage-separated access — a stage either reads or writes, with
 //     barriers between, and writes within a stage target unique rows, so
 //     the store needs no concurrency control;
-//   * every get/put of a row is one one-sided RDMA read/write.
+//   * every get/put of a row is one one-sided RDMA read/write of
+//     value_bytes() bytes — the modeled network and memory costs charge
+//     the encoded size, which is the whole point of the lossy codecs.
+//
+// get_rows/put_rows speak decoded floats at the interface and transcode
+// at the boundary; get_rows_encoded/put_rows_encoded move the stored
+// bytes verbatim for callers (the distributed sampler) that dequantize
+// inside the consuming kernels instead of materializing float rows.
 //
 // get_rows/put_rows return the *modeled* time of the batch on the modeled
 // fabric; the caller charges its virtual clock. Data movement itself is
 // real (unless the store is a phantom cost-only instance).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
+
+#include "quant/row_codec.h"
 
 namespace scd::dkv {
 
@@ -26,22 +39,44 @@ class DkvStore {
   virtual ~DkvStore() = default;
 
   virtual std::uint64_t num_rows() const = 0;
-  /// Floats per value; K+1 in the sampler (pi row plus phi row-sum).
+  /// Floats per decoded value; K+1 in the sampler (pi row plus phi
+  /// row-sum).
   virtual std::uint32_t row_width() const = 0;
+
+  /// Codec the store keeps rows in (and charges bytes for).
+  virtual quant::RowCodec codec() const = 0;
+  /// Encoded bytes per stored row: quant::encoded_bytes(codec(),
+  /// row_width()). Every byte-proportional cost in the store — network
+  /// transfers, local memory streams, snapshot shipping — is priced on
+  /// this, not on row_width() * sizeof(float).
+  virtual std::size_t value_bytes() const = 0;
 
   /// Populate a row before the first read. Not timed (setup phase).
   virtual void init_row(std::uint64_t key, std::span<const float> value) = 0;
 
-  /// Batched read: row `keys[i]` lands at out[i*row_width .. ). Returns
-  /// modeled seconds for the batch issued by `requester_shard`.
+  /// Batched read: row `keys[i]` lands decoded at out[i*row_width .. ).
+  /// Returns modeled seconds for the batch issued by `requester_shard`.
   virtual double get_rows(unsigned requester_shard,
                           std::span<const std::uint64_t> keys,
                           std::span<float> out) = 0;
 
-  /// Batched write, symmetric to get_rows.
+  /// Batched write, symmetric to get_rows (values are encoded on entry).
   virtual double put_rows(unsigned requester_shard,
                           std::span<const std::uint64_t> keys,
                           std::span<const float> values) = 0;
+
+  /// Batched read of the stored bytes: row `keys[i]` lands verbatim at
+  /// out[i*value_bytes() .. ). Same modeled time as get_rows for the
+  /// same keys — the wire carries encoded rows either way; the float
+  /// interface just transcodes at the boundary.
+  virtual double get_rows_encoded(unsigned requester_shard,
+                                  std::span<const std::uint64_t> keys,
+                                  std::span<std::byte> out) = 0;
+
+  /// Batched write of pre-encoded rows, symmetric to get_rows_encoded.
+  virtual double put_rows_encoded(unsigned requester_shard,
+                                  std::span<const std::uint64_t> keys,
+                                  std::span<const std::byte> values) = 0;
 
   /// Pure cost queries — used by the cost-only execution mode, and by the
   /// real mode internally, so both modes charge identical times for

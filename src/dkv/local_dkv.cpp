@@ -7,17 +7,27 @@
 namespace scd::dkv {
 
 LocalDkv::LocalDkv(std::uint64_t num_rows, std::uint32_t row_width,
-                   const sim::ComputeModel& node)
-    : num_rows_(num_rows), row_width_(row_width), node_(node) {
+                   const sim::ComputeModel& node, quant::RowCodec codec)
+    : num_rows_(num_rows),
+      row_width_(row_width),
+      node_(node),
+      codec_(codec),
+      value_bytes_(quant::encoded_bytes(codec, row_width)) {
   SCD_REQUIRE(num_rows >= 1 && row_width >= 1, "empty store");
-  data_.assign(num_rows * row_width, 0.0f);
+  data_.assign(num_rows * value_bytes_, std::byte{0});
+  if (codec_ != quant::RowCodec::kFloat32) {
+    // Encoded all-zero rows are not all-zero bytes; initialize properly.
+    std::vector<float> zero(row_width_, 0.0f);
+    for (std::uint64_t key = 0; key < num_rows_; ++key) {
+      quant::encode_row(codec_, zero, stored(key));
+    }
+  }
 }
 
 void LocalDkv::init_row(std::uint64_t key, std::span<const float> value) {
   SCD_REQUIRE(key < num_rows_, "row key out of range");
   SCD_REQUIRE(value.size() == row_width_, "row width mismatch");
-  std::memcpy(data_.data() + key * row_width_, value.data(),
-              value.size_bytes());
+  quant::encode_row(codec_, value, stored(key));
 }
 
 double LocalDkv::get_rows(unsigned requester_shard,
@@ -27,8 +37,8 @@ double LocalDkv::get_rows(unsigned requester_shard,
               "output buffer size mismatch");
   for (std::size_t i = 0; i < keys.size(); ++i) {
     SCD_ASSERT(keys[i] < num_rows_, "row key out of range");
-    std::memcpy(out.data() + i * row_width_,
-                data_.data() + keys[i] * row_width_, row_bytes());
+    quant::decode_row(codec_, stored(keys[i]),
+                      out.subspan(i * row_width_, row_width_));
   }
   return read_cost(requester_shard, keys.size(), 0);
 }
@@ -40,8 +50,34 @@ double LocalDkv::put_rows(unsigned requester_shard,
               "input buffer size mismatch");
   for (std::size_t i = 0; i < keys.size(); ++i) {
     SCD_ASSERT(keys[i] < num_rows_, "row key out of range");
-    std::memcpy(data_.data() + keys[i] * row_width_,
-                values.data() + i * row_width_, row_bytes());
+    quant::encode_row(codec_, values.subspan(i * row_width_, row_width_),
+                      stored(keys[i]));
+  }
+  return write_cost(requester_shard, keys.size(), 0);
+}
+
+double LocalDkv::get_rows_encoded(unsigned requester_shard,
+                                  std::span<const std::uint64_t> keys,
+                                  std::span<std::byte> out) {
+  SCD_REQUIRE(out.size() == keys.size() * value_bytes_,
+              "output buffer size mismatch");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    SCD_ASSERT(keys[i] < num_rows_, "row key out of range");
+    std::memcpy(out.data() + i * value_bytes_, stored(keys[i]).data(),
+                value_bytes_);
+  }
+  return read_cost(requester_shard, keys.size(), 0);
+}
+
+double LocalDkv::put_rows_encoded(unsigned requester_shard,
+                                  std::span<const std::uint64_t> keys,
+                                  std::span<const std::byte> values) {
+  SCD_REQUIRE(values.size() == keys.size() * value_bytes_,
+              "input buffer size mismatch");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    SCD_ASSERT(keys[i] < num_rows_, "row key out of range");
+    std::memcpy(stored(keys[i]).data(), values.data() + i * value_bytes_,
+                value_bytes_);
   }
   return write_cost(requester_shard, keys.size(), 0);
 }
@@ -50,13 +86,27 @@ double LocalDkv::read_cost(unsigned /*requester_shard*/,
                            std::uint64_t local_rows,
                            std::uint64_t remote_rows) const {
   SCD_ASSERT(remote_rows == 0, "LocalDkv has no remote rows");
-  return node_.local_bytes_time((local_rows)*row_bytes());
+  return node_.local_bytes_time(local_rows * value_bytes_);
 }
 
 double LocalDkv::write_cost(unsigned requester_shard,
                             std::uint64_t local_rows,
                             std::uint64_t remote_rows) const {
   return read_cost(requester_shard, local_rows, remote_rows);
+}
+
+std::span<const float> LocalDkv::row(std::uint64_t key) const {
+  SCD_REQUIRE(codec_ == quant::RowCodec::kFloat32,
+              "direct row views require the fp32 codec");
+  return {reinterpret_cast<const float*>(data_.data()) + key * row_width_,
+          row_width_};
+}
+
+std::span<float> LocalDkv::mutable_row(std::uint64_t key) {
+  SCD_REQUIRE(codec_ == quant::RowCodec::kFloat32,
+              "direct row views require the fp32 codec");
+  return {reinterpret_cast<float*>(data_.data()) + key * row_width_,
+          row_width_};
 }
 
 }  // namespace scd::dkv

@@ -3,6 +3,8 @@
 // Used by the multithreaded single-node sampler (the paper's "vertical
 // scaling" configuration, Section IV-D), where pi lives in local RAM and
 // a row access costs memory bandwidth instead of a network round trip.
+// Rows are stored encoded with the configured codec; memory-stream costs
+// charge the encoded bytes.
 #pragma once
 
 #include <vector>
@@ -15,10 +17,13 @@ namespace scd::dkv {
 class LocalDkv final : public DkvStore {
  public:
   LocalDkv(std::uint64_t num_rows, std::uint32_t row_width,
-           const sim::ComputeModel& node);
+           const sim::ComputeModel& node,
+           quant::RowCodec codec = quant::RowCodec::kFloat32);
 
   std::uint64_t num_rows() const override { return num_rows_; }
   std::uint32_t row_width() const override { return row_width_; }
+  quant::RowCodec codec() const override { return codec_; }
+  std::size_t value_bytes() const override { return value_bytes_; }
 
   void init_row(std::uint64_t key, std::span<const float> value) override;
 
@@ -30,28 +35,38 @@ class LocalDkv final : public DkvStore {
                   std::span<const std::uint64_t> keys,
                   std::span<const float> values) override;
 
+  double get_rows_encoded(unsigned requester_shard,
+                          std::span<const std::uint64_t> keys,
+                          std::span<std::byte> out) override;
+
+  double put_rows_encoded(unsigned requester_shard,
+                          std::span<const std::uint64_t> keys,
+                          std::span<const std::byte> values) override;
+
   double read_cost(unsigned requester_shard, std::uint64_t local_rows,
                    std::uint64_t remote_rows) const override;
   double write_cost(unsigned requester_shard, std::uint64_t local_rows,
                     std::uint64_t remote_rows) const override;
 
-  /// Direct row view for tests and the in-process samplers.
-  std::span<const float> row(std::uint64_t key) const {
-    return {data_.data() + key * row_width_, row_width_};
-  }
-  std::span<float> mutable_row(std::uint64_t key) {
-    return {data_.data() + key * row_width_, row_width_};
-  }
+  /// Direct row view for tests and the in-process samplers. Only valid
+  /// under the kFloat32 codec, where storage *is* the float row.
+  std::span<const float> row(std::uint64_t key) const;
+  std::span<float> mutable_row(std::uint64_t key);
 
  private:
-  std::uint64_t row_bytes() const {
-    return static_cast<std::uint64_t>(row_width_) * sizeof(float);
+  std::span<std::byte> stored(std::uint64_t key) {
+    return {data_.data() + key * value_bytes_, value_bytes_};
+  }
+  std::span<const std::byte> stored(std::uint64_t key) const {
+    return {data_.data() + key * value_bytes_, value_bytes_};
   }
 
   std::uint64_t num_rows_;
   std::uint32_t row_width_;
   sim::ComputeModel node_;
-  std::vector<float> data_;
+  quant::RowCodec codec_;
+  std::size_t value_bytes_;
+  std::vector<std::byte> data_;
 };
 
 }  // namespace scd::dkv

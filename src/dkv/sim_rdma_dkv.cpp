@@ -9,29 +9,40 @@ namespace scd::dkv {
 
 SimRdmaDkv::SimRdmaDkv(std::uint64_t num_rows, std::uint32_t row_width,
                        unsigned num_shards, const sim::NetworkModel& net,
-                       const sim::ComputeModel& node, bool phantom)
+                       const sim::ComputeModel& node, bool phantom,
+                       quant::RowCodec codec)
     : partition_(num_rows, num_shards),
       row_width_(row_width),
       net_(net),
       node_(node),
-      phantom_(phantom) {
+      phantom_(phantom),
+      codec_(codec),
+      value_bytes_(quant::encoded_bytes(codec, row_width)) {
   SCD_REQUIRE(num_rows >= 1 && row_width >= 1, "empty store");
   net_.validate();
-  if (!phantom_) data_.assign(num_rows * row_width, 0.0f);
+  if (!phantom_) data_.assign(num_rows * value_bytes_, std::byte{0});
 }
 
 void SimRdmaDkv::init_row(std::uint64_t key, std::span<const float> value) {
   SCD_REQUIRE(!phantom_, "phantom store holds no data");
   SCD_REQUIRE(key < num_rows(), "row key out of range");
   SCD_REQUIRE(value.size() == row_width_, "row width mismatch");
-  std::memcpy(data_.data() + key * row_width_, value.data(),
-              value.size_bytes());
+  quant::encode_row(codec_, value, stored(key));
 }
 
 std::span<const float> SimRdmaDkv::row(std::uint64_t key) const {
   SCD_REQUIRE(!phantom_, "phantom store holds no data");
+  SCD_REQUIRE(codec_ == quant::RowCodec::kFloat32,
+              "direct row views require the fp32 codec");
   SCD_ASSERT(key < num_rows(), "row key out of range");
-  return {data_.data() + key * row_width_, row_width_};
+  return {reinterpret_cast<const float*>(data_.data()) + key * row_width_,
+          row_width_};
+}
+
+void SimRdmaDkv::read_row(std::uint64_t key, std::span<float> out) const {
+  SCD_REQUIRE(!phantom_, "phantom store holds no data");
+  SCD_ASSERT(key < num_rows(), "row key out of range");
+  quant::decode_row(codec_, stored(key), out);
 }
 
 SimRdmaDkv::KeyTally SimRdmaDkv::tally_keys(
@@ -130,7 +141,7 @@ void SimRdmaDkv::rehome_shard(unsigned shard, unsigned new_owner) {
 
 double SimRdmaDkv::rehome_cost(unsigned shard) const {
   const auto [lo, hi] = partition_.range(shard);
-  return net_.transfer_time((hi - lo) * row_bytes());
+  return net_.transfer_time((hi - lo) * value_bytes_);
 }
 
 double SimRdmaDkv::coalesced_cost(std::uint64_t local_rows,
@@ -138,9 +149,10 @@ double SimRdmaDkv::coalesced_cost(std::uint64_t local_rows,
                                   std::uint64_t shards_contacted) const {
   // Local rows stream from RAM; remote rows ride one coalesced message
   // per contacted shard. The working set passed to the spread de-rater is
-  // the bytes touched on the remote side.
-  const double local_s = node_.local_bytes_time(local_rows * row_bytes());
-  const std::uint64_t remote_bytes = remote_rows * row_bytes();
+  // the bytes touched on the remote side. Rows move encoded, so both
+  // terms charge value_bytes() per row.
+  const double local_s = node_.local_bytes_time(local_rows * value_bytes_);
+  const std::uint64_t remote_bytes = remote_rows * value_bytes_;
   const double remote_s = net_.dkv_coalesced_time(
       shards_contacted, remote_bytes, remote_bytes, partition_.num_shards());
   return local_s + remote_s;
@@ -154,8 +166,8 @@ double SimRdmaDkv::get_rows(unsigned requester_shard,
               "output buffer size mismatch");
   for (std::size_t i = 0; i < keys.size(); ++i) {
     SCD_ASSERT(keys[i] < num_rows(), "row key out of range");
-    std::memcpy(out.data() + i * row_width_,
-                data_.data() + keys[i] * row_width_, row_bytes());
+    quant::decode_row(codec_, stored(keys[i]),
+                      out.subspan(i * row_width_, row_width_));
   }
   const KeyTally t =
       tally_keys(requester_shard, keys, now_for(requester_shard));
@@ -172,8 +184,44 @@ double SimRdmaDkv::put_rows(unsigned requester_shard,
               "input buffer size mismatch");
   for (std::size_t i = 0; i < keys.size(); ++i) {
     SCD_ASSERT(keys[i] < num_rows(), "row key out of range");
-    std::memcpy(data_.data() + keys[i] * row_width_,
-                values.data() + i * row_width_, row_bytes());
+    quant::encode_row(codec_, values.subspan(i * row_width_, row_width_),
+                      stored(keys[i]));
+  }
+  const KeyTally t =
+      tally_keys(requester_shard, keys, now_for(requester_shard));
+  record_batch(requester_shard, t.local, t.remote, t.shards_contacted,
+               /*write=*/true);
+  return coalesced_cost(t.local, t.remote, t.shards_contacted) + t.stall_s;
+}
+
+double SimRdmaDkv::get_rows_encoded(unsigned requester_shard,
+                                    std::span<const std::uint64_t> keys,
+                                    std::span<std::byte> out) {
+  SCD_REQUIRE(!phantom_, "phantom store: use read_cost");
+  SCD_REQUIRE(out.size() == keys.size() * value_bytes_,
+              "output buffer size mismatch");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    SCD_ASSERT(keys[i] < num_rows(), "row key out of range");
+    std::memcpy(out.data() + i * value_bytes_, stored(keys[i]).data(),
+                value_bytes_);
+  }
+  const KeyTally t =
+      tally_keys(requester_shard, keys, now_for(requester_shard));
+  record_batch(requester_shard, t.local, t.remote, t.shards_contacted,
+               /*write=*/false);
+  return coalesced_cost(t.local, t.remote, t.shards_contacted) + t.stall_s;
+}
+
+double SimRdmaDkv::put_rows_encoded(unsigned requester_shard,
+                                    std::span<const std::uint64_t> keys,
+                                    std::span<const std::byte> values) {
+  SCD_REQUIRE(!phantom_, "phantom store: use write_cost");
+  SCD_REQUIRE(values.size() == keys.size() * value_bytes_,
+              "input buffer size mismatch");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    SCD_ASSERT(keys[i] < num_rows(), "row key out of range");
+    std::memcpy(stored(keys[i]).data(), values.data() + i * value_bytes_,
+                value_bytes_);
   }
   const KeyTally t =
       tally_keys(requester_shard, keys, now_for(requester_shard));

@@ -8,6 +8,13 @@
 // — matching the real system, where the remote NIC serves the read — so
 // the only effects are the data copy and the requester's clock charge.
 //
+// Rows are stored *encoded* with the configured RowCodec
+// (quant/row_codec.h); every byte-proportional cost — the coalesced
+// remote messages, the local memory stream, shard re-homing — charges
+// value_bytes() per row, which is how the lossy codecs buy their modeled
+// speedup. The default kFloat32 codec stores raw float rows and charges
+// exactly the pre-codec byte counts.
+//
 // Safety: the algorithm's barrier-separated stages guarantee no
 // read/write or write/write overlap on a row (Section III-B); the store
 // checks nothing at runtime beyond bounds, exactly like its RDMA
@@ -45,10 +52,13 @@ class SimRdmaDkv final : public DkvStore {
  public:
   SimRdmaDkv(std::uint64_t num_rows, std::uint32_t row_width,
              unsigned num_shards, const sim::NetworkModel& net,
-             const sim::ComputeModel& node, bool phantom = false);
+             const sim::ComputeModel& node, bool phantom = false,
+             quant::RowCodec codec = quant::RowCodec::kFloat32);
 
   std::uint64_t num_rows() const override { return partition_.num_rows(); }
   std::uint32_t row_width() const override { return row_width_; }
+  quant::RowCodec codec() const override { return codec_; }
+  std::size_t value_bytes() const override { return value_bytes_; }
   const RowPartition& partition() const { return partition_; }
   bool phantom() const { return phantom_; }
 
@@ -62,6 +72,14 @@ class SimRdmaDkv final : public DkvStore {
                   std::span<const std::uint64_t> keys,
                   std::span<const float> values) override;
 
+  double get_rows_encoded(unsigned requester_shard,
+                          std::span<const std::uint64_t> keys,
+                          std::span<std::byte> out) override;
+
+  double put_rows_encoded(unsigned requester_shard,
+                          std::span<const std::uint64_t> keys,
+                          std::span<const std::byte> values) override;
+
   double read_cost(unsigned requester_shard, std::uint64_t local_rows,
                    std::uint64_t remote_rows) const override;
   double write_cost(unsigned requester_shard, std::uint64_t local_rows,
@@ -72,18 +90,19 @@ class SimRdmaDkv final : public DkvStore {
   double write_cost_keys(unsigned requester_shard,
                          std::span<const std::uint64_t> keys) const override;
 
-  /// Direct row view (tests, perplexity snapshots).
+  /// Direct row view (tests, perplexity snapshots). Only valid under the
+  /// kFloat32 codec, where storage *is* the float row.
   std::span<const float> row(std::uint64_t key) const;
+
+  /// Decode one stored row into `out` (row_width floats). Untimed; works
+  /// under every codec — the snapshot path for pi.
+  void read_row(std::uint64_t key, std::span<float> out) const;
 
   /// Expected remote fraction for a uniformly random row from shard s:
   /// (C-1)/C — the quantity Section IV-C reasons about.
   double remote_fraction() const {
     const double c = partition_.num_shards();
     return (c - 1.0) / c;
-  }
-
-  std::uint64_t row_bytes() const {
-    return static_cast<std::uint64_t>(row_width_) * sizeof(float);
   }
 
   /// Install (or clear, with nullptr) fault hooks: coalesced messages to
@@ -144,13 +163,21 @@ class SimRdmaDkv final : public DkvStore {
     if (fault_ == nullptr || clocks_ == nullptr) return 0.0;
     return (*clocks_)[requester_shard + rank_offset_].now();
   }
+  std::span<std::byte> stored(std::uint64_t key) {
+    return {data_.data() + key * value_bytes_, value_bytes_};
+  }
+  std::span<const std::byte> stored(std::uint64_t key) const {
+    return {data_.data() + key * value_bytes_, value_bytes_};
+  }
 
   RowPartition partition_;
   std::uint32_t row_width_;
   sim::NetworkModel net_;
   sim::ComputeModel node_;
   bool phantom_;
-  std::vector<float> data_;
+  quant::RowCodec codec_;
+  std::size_t value_bytes_;
+  std::vector<std::byte> data_;
   std::vector<unsigned> remap_;  // shard -> effective shard; empty = identity
   const sim::FaultHooks* fault_ = nullptr;
   const std::vector<sim::SimClock>* clocks_ = nullptr;

@@ -1,0 +1,130 @@
+#include "quant/row_codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace scd::quant {
+
+const char* codec_name(RowCodec codec) {
+  switch (codec) {
+    case RowCodec::kFloat32:
+      return "fp32";
+    case RowCodec::kFp16:
+      return "fp16";
+    case RowCodec::kInt8:
+      return "int8";
+  }
+  SCD_ASSERT(false, "unknown RowCodec value");
+  return "?";
+}
+
+RowCodec codec_from_name(std::string_view name) {
+  if (name == "fp32" || name == "float32") return RowCodec::kFloat32;
+  if (name == "fp16" || name == "half") return RowCodec::kFp16;
+  if (name == "int8") return RowCodec::kInt8;
+  SCD_REQUIRE(false, "unknown pi codec '" + std::string(name) +
+                         "' (expected fp32, fp16, or int8)");
+  return RowCodec::kFloat32;  // unreachable
+}
+
+std::size_t encoded_bytes(RowCodec codec, std::uint32_t width) {
+  SCD_REQUIRE(width >= 1, "row width must be at least 1");
+  const std::size_t w = width;
+  switch (codec) {
+    case RowCodec::kFloat32:
+      return w * sizeof(float);
+    case RowCodec::kFp16:
+      return (w - 1) * sizeof(std::uint16_t) + sizeof(float);
+    case RowCodec::kInt8:
+      return kInt8HeaderBytes + (w - 1) + sizeof(float);
+  }
+  SCD_ASSERT(false, "unknown RowCodec value");
+  return 0;
+}
+
+void encode_row(RowCodec codec, std::span<const float> row,
+                std::span<std::byte> out) {
+  SCD_REQUIRE(!row.empty(), "cannot encode an empty row");
+  SCD_REQUIRE(out.size() == encoded_bytes(codec, row.size()),
+              "encoded buffer size mismatch");
+  const std::size_t k = row.size() - 1;  // pi entries; row[k] is phi_sum
+  switch (codec) {
+    case RowCodec::kFloat32:
+      std::memcpy(out.data(), row.data(), row.size_bytes());
+      return;
+    case RowCodec::kFp16: {
+      auto* halves = out.data();
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::uint16_t h = float_to_half(row[i]);
+        std::memcpy(halves + i * sizeof(h), &h, sizeof(h));
+      }
+      std::memcpy(out.data() + k * sizeof(std::uint16_t), &row[k],
+                  sizeof(float));
+      return;
+    }
+    case RowCodec::kInt8: {
+      float lo = k ? row[0] : 0.0f;
+      float hi = lo;
+      for (std::size_t i = 1; i < k; ++i) {
+        lo = std::min(lo, row[i]);
+        hi = std::max(hi, row[i]);
+      }
+      Int8Header header;
+      header.offset = lo;
+      header.scale = (hi - lo) / 255.0f;
+      const float inv = header.scale > 0.0f ? 1.0f / header.scale : 0.0f;
+      std::memcpy(out.data(), &header, kInt8HeaderBytes);
+      auto* codes = out.data() + kInt8HeaderBytes;
+      for (std::size_t i = 0; i < k; ++i) {
+        const float q = (row[i] - header.offset) * inv + 0.5f;
+        const int code =
+            std::clamp(static_cast<int>(q), 0, 255);  // q >= 0 by design
+        codes[i] = static_cast<std::byte>(static_cast<std::uint8_t>(code));
+      }
+      std::memcpy(out.data() + kInt8HeaderBytes + k, &row[k], sizeof(float));
+      return;
+    }
+  }
+  SCD_ASSERT(false, "unknown RowCodec value");
+}
+
+void decode_row(RowCodec codec, std::span<const std::byte> encoded,
+                std::span<float> row) {
+  SCD_REQUIRE(!row.empty(), "cannot decode into an empty row");
+  SCD_REQUIRE(encoded.size() == encoded_bytes(codec, row.size()),
+              "encoded buffer size mismatch");
+  const std::size_t k = row.size() - 1;
+  switch (codec) {
+    case RowCodec::kFloat32:
+      std::memcpy(row.data(), encoded.data(), row.size_bytes());
+      return;
+    case RowCodec::kFp16: {
+      for (std::size_t i = 0; i < k; ++i) {
+        std::uint16_t h;
+        std::memcpy(&h, encoded.data() + i * sizeof(h), sizeof(h));
+        row[i] = half_to_float(h);
+      }
+      std::memcpy(&row[k], encoded.data() + k * sizeof(std::uint16_t),
+                  sizeof(float));
+      return;
+    }
+    case RowCodec::kInt8: {
+      Int8Header header;
+      std::memcpy(&header, encoded.data(), kInt8HeaderBytes);
+      const auto* codes = encoded.data() + kInt8HeaderBytes;
+      for (std::size_t i = 0; i < k; ++i) {
+        row[i] = header.offset +
+                 header.scale * static_cast<float>(
+                                    static_cast<std::uint8_t>(codes[i]));
+      }
+      std::memcpy(&row[k], encoded.data() + kInt8HeaderBytes + k,
+                  sizeof(float));
+      return;
+    }
+  }
+  SCD_ASSERT(false, "unknown RowCodec value");
+}
+
+}  // namespace scd::quant

@@ -1,0 +1,132 @@
+// Row codecs for pi rows in the DKV and on the wire.
+//
+// pi rows are probability vectors with a known dynamic range, so the
+// dominant DKV traffic (Section III-B of the paper) compresses well:
+// fp16 halves the bytes, int8 with a per-row affine scale quarters them.
+// The codec layer owns the byte layout; the DKV backends store encoded
+// rows and charge the encoded byte counts through the cost models, and
+// the fused kernels (core/kernels_simd.h) dequantize on the fly so a
+// decoded float row never materializes on the hot path.
+//
+// All codecs operate on the [pi_0..pi_{K-1} | phi_sum] row layout of
+// core/state.h. The trailing element (phi_sum) is kept at full fp32
+// precision by the lossy codecs: it has a different scale than the pi
+// entries (it is a gamma-row sum, not a probability) and folding it into
+// a shared per-row range would destroy the pi resolution.
+//
+// Layouts (width = K+1 floats decoded):
+//   kFloat32  width * 4 bytes        raw little-endian floats, bit-exact
+//   kFp16     (width-1) * 2 + 4      IEEE half pi entries + fp32 tail
+//   kInt8     8 + (width-1) + 4      {fp32 scale, fp32 offset} header,
+//                                    one uint8 code per pi entry
+//                                    (value = offset + scale * code),
+//                                    then the fp32 tail
+//
+// encode_row/decode_row write into caller buffers and are allocation-free;
+// encoded rows are plain byte sequences with no alignment requirement
+// (headers are memcpy'd, so rows may be packed at value_bytes() strides).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+namespace scd::quant {
+
+enum class RowCodec : std::uint8_t { kFloat32 = 0, kFp16 = 1, kInt8 = 2 };
+
+/// Number of codecs; codec values are dense in [0, kNumCodecs).
+inline constexpr std::size_t kNumCodecs = 3;
+
+/// Short stable name ("fp32", "fp16", "int8") — used by --pi-codec, the
+/// tuner's config keys, and the checkpoint format.
+const char* codec_name(RowCodec codec);
+
+/// Inverse of codec_name; throws scd::UsageError on an unknown name.
+/// Accepts "fp32"/"float32", "fp16"/"half", "int8".
+RowCodec codec_from_name(std::string_view name);
+
+/// Encoded size in bytes of one row of `width` floats.
+std::size_t encoded_bytes(RowCodec codec, std::uint32_t width);
+
+/// Encode `row` (width floats) into `out` (exactly encoded_bytes() long).
+void encode_row(RowCodec codec, std::span<const float> row,
+                std::span<std::byte> out);
+
+/// Decode an encoded row back into `row` (width floats). Exact for
+/// kFloat32; for the lossy codecs decode(encode(x)) is within the error
+/// bounds documented above (fp16: 2^-11 relative on normals; int8:
+/// scale/2 absolute with scale = (max-min)/255 over the pi entries).
+void decode_row(RowCodec codec, std::span<const std::byte> encoded,
+                std::span<float> row);
+
+// ---------------------------------------------------------------------------
+// Portable IEEE 754 binary16 conversion (round-to-nearest-even), used by
+// the kFp16 codec and by the dequant-fused kernel readers. Bit-twiddling
+// only — no hardware half support required.
+
+inline std::uint16_t float_to_half(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  bits &= 0x7fffffffu;
+  if (bits >= 0x47800000u) {  // |x| >= 65536: overflow, inf, or nan
+    return static_cast<std::uint16_t>(
+        bits > 0x7f800000u ? sign | 0x7e00u : sign | 0x7c00u);
+  }
+  if (bits >= 0x38800000u) {  // normal half
+    const std::uint32_t mant = bits & 0x7fffffu;
+    std::uint32_t h = (((bits >> 23) - 112u) << 10) | (mant >> 13);
+    const std::uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;  // RNE; may
+    return static_cast<std::uint16_t>(sign | h);  // carry into exponent
+  }
+  if (bits < 0x33000000u) {  // |x| <= 2^-25 rounds to signed zero
+    return static_cast<std::uint16_t>(sign);
+  }
+  // subnormal half: value = mant * 2^-24
+  const std::uint32_t mant = (bits & 0x7fffffu) | 0x800000u;
+  const std::uint32_t shift = 126u - (bits >> 23);  // in [14, 24]
+  std::uint32_t h = mant >> shift;
+  const std::uint32_t rem = mant & ((1u << shift) - 1u);
+  const std::uint32_t halfway = 1u << (shift - 1);
+  if (rem > halfway || (rem == halfway && (h & 1u))) ++h;
+  return static_cast<std::uint16_t>(sign | h);
+}
+
+inline float half_to_float(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  std::uint32_t exp = (h >> 10) & 0x1fu;
+  std::uint32_t mant = h & 0x3ffu;
+  std::uint32_t bits;
+  if (exp == 0x1fu) {  // inf / nan
+    bits = sign | 0x7f800000u | (mant << 13);
+  } else if (exp != 0) {  // normal
+    bits = sign | ((exp + 112u) << 23) | (mant << 13);
+  } else if (mant == 0) {  // signed zero
+    bits = sign;
+  } else {  // subnormal half -> normal float
+    exp = 113u;
+    while ((mant & 0x400u) == 0) {
+      mant <<= 1;
+      --exp;
+    }
+    bits = sign | (exp << 23) | ((mant & 0x3ffu) << 13);
+  }
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+/// kInt8 per-row header, memcpy'd to/from the front of the encoded row
+/// (encoded rows are unaligned). The fp32 tail (phi_sum) sits after the
+/// codes, not in the header, so the layout reads header | codes | tail.
+struct Int8Header {
+  float scale;
+  float offset;
+};
+inline constexpr std::size_t kInt8HeaderBytes = 2 * sizeof(float);
+
+}  // namespace scd::quant

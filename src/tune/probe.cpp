@@ -54,6 +54,7 @@ ProbeResult run_probe(const TuneWorkload& workload,
   options.base.minibatch.alias_anchor = config.alias_draw;
   options.pipeline = config.pipeline;
   options.dkv_cache_rows = config.dkv_cache_rows;
+  options.pi_codec = config.pi_codec;
   options.trace = &recorder;
 
   core::DistributedSampler sampler(cluster, phantom, hyper, options);

@@ -24,7 +24,8 @@ void append_config(std::ostringstream& os, const TuneConfig& c) {
      << ", \"pipeline\": " << (c.pipeline ? 1 : 0)
      << ", \"minibatch_vertices\": " << c.minibatch_vertices
      << ", \"dkv_cache_rows\": " << c.dkv_cache_rows
-     << ", \"alias_draw\": " << (c.alias_draw ? 1 : 0) << "}";
+     << ", \"alias_draw\": " << (c.alias_draw ? 1 : 0)
+     << ", \"pi_codec\": " << quoted(quant::codec_name(c.pi_codec)) << "}";
 }
 
 void append_probe(std::ostringstream& os, const ProbeResult& p,

@@ -14,6 +14,7 @@ const char* dim_name(Dim d) {
     case Dim::kMinibatchVertices: return "minibatch_vertices";
     case Dim::kDkvCacheRows: return "dkv_cache_rows";
     case Dim::kAliasDraw: return "alias_draw";
+    case Dim::kPiCodec: return "pi_codec";
     case Dim::kCount: break;
   }
   return "?";
@@ -25,7 +26,8 @@ std::string TuneConfig::key() const {
          " pipe=" + std::to_string(pipeline ? 1 : 0) + " M" +
          std::to_string(minibatch_vertices) +
          " cache=" + std::to_string(dkv_cache_rows) +
-         " alias=" + std::to_string(alias_draw ? 1 : 0);
+         " alias=" + std::to_string(alias_draw ? 1 : 0) +
+         " codec=" + quant::codec_name(pi_codec);
 }
 
 std::uint64_t SearchSpace::grid_size() const {
@@ -47,6 +49,7 @@ TuneConfig SearchSpace::materialize(const ConfigIndex& index) const {
       static_cast<std::uint32_t>(dim(Dim::kMinibatchVertices)[index[3]]);
   c.dkv_cache_rows = dim(Dim::kDkvCacheRows)[index[4]];
   c.alias_draw = dim(Dim::kAliasDraw)[index[5]] != 0;
+  c.pi_codec = static_cast<quant::RowCodec>(dim(Dim::kPiCodec)[index[6]]);
   return c;
 }
 
@@ -69,6 +72,11 @@ void SearchSpace::validate() const {
                               " values must be >= 1");
     }
   }
+  for (const std::uint64_t v : dim(Dim::kPiCodec)) {
+    SCD_REQUIRE(v < quant::kNumCodecs,
+                "search space: pi_codec values must be quant::RowCodec"
+                " enumerators");
+  }
 }
 
 SearchSpace SearchSpace::default_space(std::uint64_t num_vertices) {
@@ -85,6 +93,10 @@ SearchSpace SearchSpace::default_space(std::uint64_t num_vertices) {
   cache.erase(std::unique(cache.begin(), cache.end()), cache.end());
   s.dim(Dim::kDkvCacheRows) = cache;
   s.dim(Dim::kAliasDraw) = {0, 1};
+  s.dim(Dim::kPiCodec) = {
+      static_cast<std::uint64_t>(quant::RowCodec::kFloat32),
+      static_cast<std::uint64_t>(quant::RowCodec::kFp16),
+      static_cast<std::uint64_t>(quant::RowCodec::kInt8)};
   s.validate();
   return s;
 }

@@ -1,6 +1,6 @@
 // The autotuner's configuration grid.
 //
-// Six dimensions, each a small ordered value list; a concrete
+// Seven dimensions, each a small ordered value list; a concrete
 // configuration is one index per dimension (ConfigIndex). The grid is
 // the cartesian product — typically a few hundred points — and the
 // tuner's whole job is to probe a small fraction of it. DKV shards are
@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "quant/row_codec.h"
+
 namespace scd::tune {
 
 /// Grid dimensions, in the order the tuner sweeps them.
@@ -23,6 +25,7 @@ enum class Dim : std::size_t {
   kMinibatchVertices,   // PhantomWorkload::minibatch_vertices (M)
   kDkvCacheRows,        // DistributedOptions::dkv_cache_rows
   kAliasDraw,           // MinibatchSampler::Options::alias_anchor (0/1)
+  kPiCodec,             // DistributedOptions::pi_codec (quant::RowCodec)
   kCount
 };
 
@@ -41,8 +44,10 @@ struct TuneConfig {
   std::uint32_t minibatch_vertices = 4096;
   std::uint64_t dkv_cache_rows = 0;
   bool alias_draw = false;
+  quant::RowCodec pi_codec = quant::RowCodec::kFloat32;
 
-  /// Compact human/JSON label, e.g. "w8 t16 pipe=1 M4096 cache=0 alias=0".
+  /// Compact human/JSON label, e.g.
+  /// "w8 t16 pipe=1 M4096 cache=0 alias=0 codec=fp32".
   std::string key() const;
 };
 
@@ -70,7 +75,8 @@ struct SearchSpace {
 
   /// The stock grid `scd tune` searches: workers {4, 8, 16, 32},
   /// threads {4, 8, 16}, pipeline {off, on}, M {2048..16384}, cache
-  /// {none, N/64, N/4}, alias {off, on} — 576 points.
+  /// {none, N/64, N/4}, alias {off, on}, pi codec {fp32, fp16, int8}
+  /// — 1728 points.
   static SearchSpace default_space(std::uint64_t num_vertices);
 };
 

@@ -1,0 +1,138 @@
+// Codec layouts, round-trip error bounds, and the half-float primitive.
+#include "quant/row_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/xoshiro.h"
+#include "util/error.h"
+
+namespace scd::quant {
+namespace {
+
+std::vector<float> random_pi_row(rng::Xoshiro256& rng, std::uint32_t k,
+                                 float phi_sum) {
+  std::vector<float> row(k + 1);
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    row[i] = static_cast<float>(rng.next_double()) + 1e-6f;
+    sum += row[i];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (std::uint32_t i = 0; i < k; ++i) row[i] *= inv;
+  row[k] = phi_sum;
+  return row;
+}
+
+TEST(RowCodecTest, EncodedBytesMatchDocumentedLayouts) {
+  for (const std::uint32_t width : {2u, 5u, 257u, 1025u}) {
+    EXPECT_EQ(encoded_bytes(RowCodec::kFloat32, width), width * 4u);
+    EXPECT_EQ(encoded_bytes(RowCodec::kFp16, width), (width - 1) * 2u + 4u);
+    EXPECT_EQ(encoded_bytes(RowCodec::kInt8, width),
+              kInt8HeaderBytes + (width - 1) + 4u);
+  }
+}
+
+TEST(RowCodecTest, NamesRoundTripAndAliasesParse) {
+  EXPECT_STREQ(codec_name(RowCodec::kFloat32), "fp32");
+  EXPECT_STREQ(codec_name(RowCodec::kFp16), "fp16");
+  EXPECT_STREQ(codec_name(RowCodec::kInt8), "int8");
+  for (const RowCodec c :
+       {RowCodec::kFloat32, RowCodec::kFp16, RowCodec::kInt8}) {
+    EXPECT_EQ(codec_from_name(codec_name(c)), c);
+  }
+  EXPECT_EQ(codec_from_name("float32"), RowCodec::kFloat32);
+  EXPECT_EQ(codec_from_name("half"), RowCodec::kFp16);
+  EXPECT_THROW(codec_from_name("int4"), scd::UsageError);
+  EXPECT_THROW(codec_from_name(""), scd::UsageError);
+}
+
+TEST(RowCodecTest, Float32RoundTripIsBitExact) {
+  rng::Xoshiro256 rng(31);
+  for (const std::uint32_t k : {1u, 7u, 256u, 1024u}) {
+    const std::vector<float> row = random_pi_row(rng, k, 123.5f);
+    std::vector<std::byte> enc(encoded_bytes(RowCodec::kFloat32, k + 1));
+    std::vector<float> dec(k + 1);
+    encode_row(RowCodec::kFloat32, row, enc);
+    decode_row(RowCodec::kFloat32, enc, dec);
+    EXPECT_EQ(dec, row) << "K=" << k;
+  }
+}
+
+TEST(RowCodecTest, Fp16RoundTripWithinHalfPrecision) {
+  rng::Xoshiro256 rng(33);
+  for (const std::uint32_t k : {3u, 64u, 1024u}) {
+    const std::vector<float> row = random_pi_row(rng, k, 42.25f);
+    std::vector<std::byte> enc(encoded_bytes(RowCodec::kFp16, k + 1));
+    std::vector<float> dec(k + 1);
+    encode_row(RowCodec::kFp16, row, enc);
+    decode_row(RowCodec::kFp16, enc, dec);
+    // Normal halves carry 11 significand bits: 2^-11 relative under RNE.
+    // Entries below 2^-14 land in the subnormal half range, where the
+    // quantization grid has absolute spacing 2^-24 (error <= 2^-25).
+    for (std::uint32_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(dec[i], row[i], std::abs(row[i]) * 0x1p-11f + 0x1p-25f)
+          << "K=" << k << " i=" << i;
+    }
+    // phi_sum tail stays full fp32.
+    EXPECT_EQ(dec[k], row[k]) << "K=" << k;
+  }
+}
+
+TEST(RowCodecTest, Int8RoundTripWithinHalfScale) {
+  rng::Xoshiro256 rng(35);
+  for (const std::uint32_t k : {3u, 64u, 1024u}) {
+    const std::vector<float> row = random_pi_row(rng, k, 7.75f);
+    std::vector<std::byte> enc(encoded_bytes(RowCodec::kInt8, k + 1));
+    std::vector<float> dec(k + 1);
+    encode_row(RowCodec::kInt8, row, enc);
+    decode_row(RowCodec::kInt8, enc, dec);
+    const auto [lo, hi] = std::minmax_element(row.begin(), row.end() - 1);
+    // Quantization step = range/255; RNE puts every entry within half a
+    // step (plus float slack in the affine reconstruction).
+    const float bound = (*hi - *lo) / 255.0f * 0.5f + 1e-6f;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(dec[i], row[i], bound) << "K=" << k << " i=" << i;
+    }
+    EXPECT_EQ(dec[k], row[k]) << "K=" << k;
+  }
+}
+
+TEST(RowCodecTest, Int8ConstantRowIsExact) {
+  // Zero range: scale = 0, every entry reconstructs to the offset.
+  const std::vector<float> row = {0.25f, 0.25f, 0.25f, 0.25f, 9.0f};
+  std::vector<std::byte> enc(encoded_bytes(RowCodec::kInt8, 5));
+  std::vector<float> dec(5);
+  encode_row(RowCodec::kInt8, row, enc);
+  decode_row(RowCodec::kInt8, enc, dec);
+  EXPECT_EQ(dec, row);
+}
+
+TEST(RowCodecTest, HalfConversionKnownValues) {
+  EXPECT_EQ(float_to_half(0.0f), 0x0000u);
+  EXPECT_EQ(float_to_half(1.0f), 0x3c00u);
+  EXPECT_EQ(float_to_half(-2.0f), 0xc000u);
+  EXPECT_EQ(float_to_half(65504.0f), 0x7bffu);  // largest normal half
+  EXPECT_EQ(float_to_half(1e9f), 0x7c00u);      // overflow -> +inf
+  EXPECT_EQ(half_to_float(0x3c00u), 1.0f);
+  EXPECT_EQ(half_to_float(0x7bffu), 65504.0f);
+  EXPECT_TRUE(std::isinf(half_to_float(0x7c00u)));
+  // Smallest subnormal half survives the round trip.
+  EXPECT_EQ(float_to_half(half_to_float(0x0001u)), 0x0001u);
+}
+
+TEST(RowCodecTest, HalfConversionRoundTripsEveryHalf) {
+  // Exhaustive inverse check over all finite half patterns.
+  for (std::uint32_t h = 0; h < 0x10000u; ++h) {
+    const std::uint32_t exp = (h >> 10) & 0x1fu;
+    if (exp == 0x1fu) continue;  // inf/nan
+    EXPECT_EQ(float_to_half(half_to_float(static_cast<std::uint16_t>(h))),
+              h);
+  }
+}
+
+}  // namespace
+}  // namespace scd::quant

@@ -36,8 +36,9 @@ SearchSpace comms_bound_space(const TuneWorkload& w) {
   s.dim(Dim::kMinibatchVertices) = {1024, 8192};
   s.dim(Dim::kDkvCacheRows) = {0, w.num_vertices / 2};
   s.dim(Dim::kAliasDraw) = {0, 1};
+  s.dim(Dim::kPiCodec) = {0};  // fp32 only; keeps the grid at 64 points
   s.validate();
-  return s;  // grid: 4 * 1 * 2 * 2 * 2 * 2 = 64
+  return s;  // grid: 4 * 1 * 2 * 2 * 2 * 2 * 1 = 64
 }
 
 /// Compute-bound: many communities on few, single-threaded workers —
@@ -60,8 +61,9 @@ SearchSpace compute_bound_space(const TuneWorkload& w) {
   s.dim(Dim::kMinibatchVertices) = {1024, 4096};
   s.dim(Dim::kDkvCacheRows) = {0, w.num_vertices};
   s.dim(Dim::kAliasDraw) = {0, 1};
+  s.dim(Dim::kPiCodec) = {0};  // fp32 only; keeps the grid at 192 points
   s.validate();
-  return s;  // grid: 3 * 4 * 2 * 2 * 2 * 2 = 192
+  return s;  // grid: 3 * 4 * 2 * 2 * 2 * 2 * 1 = 192
 }
 
 /// Ground truth by brute force: probe every grid point.
@@ -142,7 +144,7 @@ TEST(TuneTest, ComputeBoundWorkloadMeetsAcceptanceCriteria) {
 
 TEST(TuneTest, SearchSpaceMaterializesAndValidates) {
   const SearchSpace s = SearchSpace::default_space(1u << 20);
-  EXPECT_EQ(s.grid_size(), 4u * 3 * 2 * 4 * 3 * 2);
+  EXPECT_EQ(s.grid_size(), 4u * 3 * 2 * 4 * 3 * 2 * 3);
   ConfigIndex index{};
   const TuneConfig base = s.materialize(index);
   EXPECT_EQ(base.workers, 4u);
@@ -151,7 +153,8 @@ TEST(TuneTest, SearchSpaceMaterializesAndValidates) {
   EXPECT_EQ(base.minibatch_vertices, 2048u);
   EXPECT_EQ(base.dkv_cache_rows, 0u);
   EXPECT_FALSE(base.alias_draw);
-  EXPECT_EQ(base.key(), "w4 t4 pipe=0 M2048 cache=0 alias=0");
+  EXPECT_EQ(base.pi_codec, quant::RowCodec::kFloat32);
+  EXPECT_EQ(base.key(), "w4 t4 pipe=0 M2048 cache=0 alias=0 codec=fp32");
 
   SearchSpace bad = s;
   bad.dim(Dim::kWorkers).clear();
@@ -159,7 +162,10 @@ TEST(TuneTest, SearchSpaceMaterializesAndValidates) {
   SearchSpace bad_bool = s;
   bad_bool.dim(Dim::kPipeline) = {0, 2};
   EXPECT_THROW(bad_bool.validate(), UsageError);
-  EXPECT_THROW(s.materialize(ConfigIndex{9, 0, 0, 0, 0, 0}), UsageError);
+  SearchSpace bad_codec = s;
+  bad_codec.dim(Dim::kPiCodec) = {quant::kNumCodecs};
+  EXPECT_THROW(bad_codec.validate(), UsageError);
+  EXPECT_THROW(s.materialize(ConfigIndex{9, 0, 0, 0, 0, 0, 0}), UsageError);
 }
 
 TEST(TuneTest, ProgressCreditSaturates) {

@@ -25,6 +25,7 @@
 #include "graph/heldout.h"
 #include "graph/metrics.h"
 #include "graph/snap_loader.h"
+#include "quant/row_codec.h"
 #include "sim/cluster.h"
 #include "core/distributed_sampler.h"
 #include "trace/chrome_trace.h"
@@ -292,6 +293,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   std::uint64_t vertices = 1000;
   std::uint64_t seed = 1;
   bool no_pipeline = false;
+  std::string pi_codec = "fp32";
   std::string fault_plan_path;
   std::string trace_out;
   ArgParser parser("scd simulate",
@@ -302,6 +304,9 @@ int cmd_simulate(int argc, const char* const* argv) {
       .add_uint("minibatch", &minibatch, "minibatch vertices M")
       .add_uint("seed", &seed, "root seed (same seed => same run)")
       .add_flag("no-pipeline", &no_pipeline, "disable double buffering")
+      .add_string("pi-codec", &pi_codec,
+                  "pi row codec in the DKV and on the wire:"
+                  " fp32 (exact), fp16, or int8")
       .add_string("fault-plan", &fault_plan_path,
                   "JSON fault schedule; switches to a real-inference"
                   " planted-graph chaos run")
@@ -319,6 +324,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   hyper.num_communities = static_cast<std::uint32_t>(communities);
   core::DistributedOptions options;
   options.pipeline = !no_pipeline;
+  options.pi_codec = quant::codec_from_name(pi_codec);
   std::unique_ptr<trace::TraceRecorder> recorder;
   if (!trace_out.empty()) {
     recorder = std::make_unique<trace::TraceRecorder>(config.num_ranks);
@@ -387,11 +393,12 @@ int cmd_simulate(int argc, const char* const* argv) {
       sampler.run(static_cast<std::uint64_t>(iterations));
 
   std::printf("com-Friendster scale, %llu workers, K=%llu, M=%llu,"
-              " pipeline=%s\n",
+              " pipeline=%s, pi-codec=%s\n",
               static_cast<unsigned long long>(workers),
               static_cast<unsigned long long>(communities),
               static_cast<unsigned long long>(minibatch),
-              no_pipeline ? "off" : "on");
+              no_pipeline ? "off" : "on",
+              quant::codec_name(options.pi_codec));
   std::printf("  virtual time/iteration: %s\n",
               format_duration(result.avg_iteration_seconds).c_str());
   Table table({"stage", "ms_per_iteration"});

@@ -19,6 +19,10 @@ ctest --preset default -L chaos --no-tests=error --output-on-failure
 # Likewise the autotuner acceptance suite (tuned-vs-exhaustive on the
 # comms- and compute-bound workloads) — labeled `tune`.
 ctest --preset default -L tune --no-tests=error --output-on-failure
+# And the pi-row quantization suite — labeled `quant`. Includes the
+# perplexity-tolerance gate: lossy codecs within 1% of fp32 held-out
+# perplexity, fp32 bit-identical to the float path.
+ctest --preset default -L quant --no-tests=error --output-on-failure
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "== tier-1: asan preset =="
@@ -27,6 +31,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   ctest --preset asan -j
   ctest --preset asan -L chaos --no-tests=error --output-on-failure
   ctest --preset asan -L tune --no-tests=error --output-on-failure
+  ctest --preset asan -L quant --no-tests=error --output-on-failure
 fi
 
 # Bench drift guard: diff the deterministic modeled benches against their
