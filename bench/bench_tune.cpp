@@ -16,6 +16,7 @@
 // brute-force optimum lives in tests/tune/tune_test.cpp where the grids
 // are sized for it. This harness runs the product path (default_space)
 // on paper-scale inputs.
+#include <cmath>
 #include <string>
 
 #include "bench/bench_util.h"
@@ -95,7 +96,7 @@ int main(int argc, char** argv) {
 
   Table config({"workload", "workers", "threads", "pipeline",
                 "minibatch_vertices", "dkv_cache_rows", "alias_draw",
-                "pi_codec"});
+                "pi_codec", "sparse_eps_bp"});
   for (const Row& row : rows) {
     const tune::TuneConfig& c = row.result.best.config;
     config.add_row({row.name, static_cast<std::int64_t>(c.workers),
@@ -104,7 +105,9 @@ int main(int argc, char** argv) {
                     static_cast<std::int64_t>(c.minibatch_vertices),
                     static_cast<std::int64_t>(c.dkv_cache_rows),
                     static_cast<std::int64_t>(c.alias_draw ? 1 : 0),
-                    std::string(quant::codec_name(c.pi_codec))});
+                    std::string(quant::codec_name(c.pi_codec)),
+                    static_cast<std::int64_t>(
+                        std::lround(c.sparse_eps * 1e4))});
   }
   io.emit(config, "tuned_configs", "Configurations the tuner settled on");
   return 0;

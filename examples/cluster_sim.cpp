@@ -4,7 +4,8 @@
 // — a miniature of the paper's Section IV on your laptop.
 //
 //   ./cluster_sim [--workers 8] [--iterations 6000] [--communities 32]
-//               [--seed 5] [--pi-codec fp32|fp16|int8]
+//               [--seed 5] [--pi-codec fp32|fp16|int8|sparse-topr|...]
+//               [--sparse-eps 0.01]
 //               [--fault-plan chaos.json] [--trace-out trace.json]
 #include <cstdio>
 #include <memory>
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   std::uint64_t vertices = 1000;
   std::uint64_t seed = 5;
   std::string pi_codec = "fp32";
+  double sparse_eps = quant::kDefaultSparseEps;
   std::string fault_plan_path;
   std::string trace_out;
   ArgParser parser("cluster_sim",
@@ -43,7 +45,10 @@ int main(int argc, char** argv) {
       .add_uint("seed", &seed, "root seed (same seed => same run)")
       .add_string("pi-codec", &pi_codec,
                   "pi row codec in the DKV and on the wire:"
-                  " fp32 (exact), fp16, or int8")
+                  " fp32 (exact), fp16, int8, sparse-topr,"
+                  " sparse-topr-fp16, or sparse-topr-int8")
+      .add_double("sparse-eps", &sparse_eps,
+                  "sparse codecs: top-R mass tolerance per row")
       .add_string("fault-plan", &fault_plan_path,
                   "JSON fault schedule to inject (see src/fault)")
       .add_string("trace-out", &trace_out,
@@ -93,6 +98,7 @@ int main(int argc, char** argv) {
     options.base.seed = seed;
     options.pipeline = pipeline;
     options.pi_codec = quant::codec_from_name(pi_codec);
+    options.sparse_eps = static_cast<float>(sparse_eps);
     if (chaos) options.fault_plan = &fault_plan;
     if (pipeline) options.trace = recorder.get();
     core::DistributedSampler sampler(cluster, split.training(), &split,

@@ -1,5 +1,6 @@
 #include "core/checkpoint.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <fstream>
 #include <istream>
@@ -17,9 +18,13 @@ constexpr std::uint64_t kMagic = 0x5343445f434b5031ULL;  // "SCD_CKP1"
 // Version 1: raw float pi rows. Version 2: a uint32 codec tag follows the
 // vertex count and rows are stored quant-encoded. fp32 checkpoints are
 // always written as version 1, so they stay byte-identical to pre-codec
-// builds and old readers keep working on them.
+// builds and old readers keep working on them. Version 3 (sparse
+// codecs): same tag, but each row is a uint32 length prefix
+// (quant::row_bytes of the row) followed by exactly that many bytes —
+// the truncated sparse encoding, not the fixed capacity slot.
 constexpr std::uint32_t kVersion = 1;
 constexpr std::uint32_t kVersionCodec = 2;
+constexpr std::uint32_t kVersionSparse = 3;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -37,16 +42,18 @@ T read_pod(std::istream& in) {
 }  // namespace
 
 void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint,
-                     quant::RowCodec pi_codec) {
+                     quant::RowCodec pi_codec, float sparse_eps) {
   checkpoint.hyper.validate();
   const std::uint32_t n = checkpoint.pi.num_vertices();
   const std::uint32_t k = checkpoint.pi.num_communities();
   SCD_REQUIRE(k == checkpoint.hyper.num_communities &&
                   k == checkpoint.global.num_communities(),
               "checkpoint state disagrees on K");
+  const bool sparse = quant::is_sparse(pi_codec);
   const bool encoded = pi_codec != quant::RowCodec::kFloat32;
   write_pod(out, kMagic);
-  write_pod(out, encoded ? kVersionCodec : kVersion);
+  write_pod(out, sparse ? kVersionSparse
+                        : (encoded ? kVersionCodec : kVersion));
   write_pod(out, checkpoint.iteration);
   write_pod(out, checkpoint.hyper.num_communities);
   write_pod(out, checkpoint.hyper.alpha);
@@ -54,7 +61,19 @@ void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint,
   write_pod(out, checkpoint.hyper.eta1);
   write_pod(out, checkpoint.hyper.delta);
   write_pod(out, n);
-  if (encoded) {
+  if (sparse) {
+    write_pod(out, static_cast<std::uint32_t>(pi_codec));
+    const std::uint32_t width = checkpoint.pi.row_width();
+    std::vector<std::byte> buf(quant::encoded_bytes(pi_codec, width));
+    for (std::uint32_t v = 0; v < n; ++v) {
+      quant::encode_row(pi_codec, checkpoint.pi.row(v), buf, sparse_eps);
+      const auto rbytes =
+          static_cast<std::uint32_t>(quant::row_bytes(pi_codec, width, buf));
+      write_pod(out, rbytes);
+      out.write(reinterpret_cast<const char*>(buf.data()),
+                static_cast<std::streamsize>(rbytes));
+    }
+  } else if (encoded) {
     write_pod(out, static_cast<std::uint32_t>(pi_codec));
     const std::size_t vbytes =
         quant::encoded_bytes(pi_codec, checkpoint.pi.row_width());
@@ -82,7 +101,8 @@ Checkpoint load_checkpoint(std::istream& in) {
     throw DataError("not a scd checkpoint (bad magic)");
   }
   const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion && version != kVersionCodec) {
+  if (version != kVersion && version != kVersionCodec &&
+      version != kVersionSparse) {
     throw DataError("unsupported checkpoint version " +
                     std::to_string(version));
   }
@@ -102,13 +122,47 @@ Checkpoint load_checkpoint(std::istream& in) {
   const std::uint32_t k = checkpoint.hyper.num_communities;
   if (n == 0) throw DataError("checkpoint has zero vertices");
   checkpoint.pi = PiMatrix(n, k);
-  if (version == kVersionCodec) {
+  if (version == kVersionSparse) {
     const auto tag = read_pod<std::uint32_t>(in);
     if (tag >= quant::kNumCodecs) {
       throw DataError("checkpoint has unknown pi codec tag " +
                       std::to_string(tag));
     }
     const auto codec = static_cast<quant::RowCodec>(tag);
+    if (!quant::is_sparse(codec)) {
+      throw DataError("version-3 checkpoint carries a dense pi codec tag");
+    }
+    checkpoint.pi_codec = codec;
+    const std::uint32_t width = checkpoint.pi.row_width();
+    const std::size_t capacity = quant::encoded_bytes(codec, width);
+    // Rows land in a zero-padded capacity slot: decode_row (and the
+    // sparse kernels) address the fixed layout, so the suffix beyond the
+    // stored bytes must be deterministic.
+    std::vector<std::byte> buf(capacity);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const auto rbytes = read_pod<std::uint32_t>(in);
+      if (rbytes == 0 || rbytes > capacity) {
+        throw DataError("checkpoint sparse row length " +
+                        std::to_string(rbytes) + " outside (0, " +
+                        std::to_string(capacity) + "]");
+      }
+      std::fill(buf.begin(), buf.end(), std::byte{0});
+      in.read(reinterpret_cast<char*>(buf.data()),
+              static_cast<std::streamsize>(rbytes));
+      if (!in) throw DataError("checkpoint truncated");
+      quant::decode_row(codec, buf, checkpoint.pi.row(v));
+    }
+  } else if (version == kVersionCodec) {
+    const auto tag = read_pod<std::uint32_t>(in);
+    if (tag >= quant::kNumCodecs) {
+      throw DataError("checkpoint has unknown pi codec tag " +
+                      std::to_string(tag));
+    }
+    const auto codec = static_cast<quant::RowCodec>(tag);
+    if (quant::is_sparse(codec)) {
+      throw DataError("version-2 checkpoint carries a sparse pi codec tag");
+    }
+    checkpoint.pi_codec = codec;
     const std::size_t vbytes =
         quant::encoded_bytes(codec, checkpoint.pi.row_width());
     std::vector<std::byte> buf(vbytes);
@@ -136,10 +190,10 @@ Checkpoint load_checkpoint(std::istream& in) {
 
 void save_checkpoint_file(const std::string& path,
                           const Checkpoint& checkpoint,
-                          quant::RowCodec pi_codec) {
+                          quant::RowCodec pi_codec, float sparse_eps) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw Error("cannot open '" + path + "' for writing");
-  save_checkpoint(out, checkpoint, pi_codec);
+  save_checkpoint(out, checkpoint, pi_codec, sparse_eps);
 }
 
 Checkpoint load_checkpoint_file(const std::string& path) {
@@ -149,9 +203,9 @@ Checkpoint load_checkpoint_file(const std::string& path) {
 }
 
 std::string checkpoint_to_bytes(const Checkpoint& checkpoint,
-                                quant::RowCodec pi_codec) {
+                                quant::RowCodec pi_codec, float sparse_eps) {
   std::ostringstream out(std::ios::binary);
-  save_checkpoint(out, checkpoint, pi_codec);
+  save_checkpoint(out, checkpoint, pi_codec, sparse_eps);
   return std::move(out).str();
 }
 

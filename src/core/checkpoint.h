@@ -23,19 +23,32 @@ struct Checkpoint {
   Hyper hyper;
   PiMatrix pi{1, 1};
   GlobalState global{1};
+  /// Codec the checkpoint's pi rows were stored in: kFloat32 for
+  /// version-1 files, the on-disk codec tag for version-2/3 files. Rows
+  /// are always decoded to floats on load; this records provenance so a
+  /// resuming sampler can reject a codec mismatch instead of silently
+  /// reinterpreting lossy state (DistributedOptions::resume_from).
+  quant::RowCodec pi_codec = quant::RowCodec::kFloat32;
 };
 
 /// Serialize to a stream / file. Throws scd::Error on I/O failure.
 /// `pi_codec` selects the on-disk pi row encoding: kFloat32 (default)
 /// writes the original version-1 format byte-for-byte; fp16/int8 write a
 /// version-2 checkpoint with a codec tag and quant/row_codec.h-encoded
-/// rows (smaller, lossy within the codec's error bound). Theta is always
-/// stored exact.
+/// rows (smaller, lossy within the codec's error bound); the sparse
+/// top-R codecs write a version-3 checkpoint whose rows are
+/// length-prefixed (uint32 quant::row_bytes, then exactly that many
+/// bytes), so on-disk size follows the rows' true sparsity instead of
+/// the dense-fallback capacity. `sparse_eps` is the top-R mass tolerance
+/// used when (re-)encoding rows for a sparse pi_codec; ignored
+/// otherwise. Theta is always stored exact.
 void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint,
-                     quant::RowCodec pi_codec = quant::RowCodec::kFloat32);
+                     quant::RowCodec pi_codec = quant::RowCodec::kFloat32,
+                     float sparse_eps = quant::kDefaultSparseEps);
 void save_checkpoint_file(
     const std::string& path, const Checkpoint& checkpoint,
-    quant::RowCodec pi_codec = quant::RowCodec::kFloat32);
+    quant::RowCodec pi_codec = quant::RowCodec::kFloat32,
+    float sparse_eps = quant::kDefaultSparseEps);
 
 /// Deserialize (either version; encoded rows are decoded on load).
 /// Throws scd::DataError on corrupt or mismatched content.
@@ -47,7 +60,8 @@ Checkpoint load_checkpoint_file(const std::string& path);
 /// wants checkpoint semantics without touching the filesystem.
 std::string checkpoint_to_bytes(
     const Checkpoint& checkpoint,
-    quant::RowCodec pi_codec = quant::RowCodec::kFloat32);
+    quant::RowCodec pi_codec = quant::RowCodec::kFloat32,
+    float sparse_eps = quant::kDefaultSparseEps);
 Checkpoint checkpoint_from_bytes(const std::string& bytes);
 
 }  // namespace scd::core

@@ -102,15 +102,35 @@ DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
   store_ = std::make_unique<dkv::SimRdmaDkv>(
       num_vertices_, pi_row_width(hyper_.num_communities), num_workers_,
       cluster.network(), cluster.compute_model(), /*phantom=*/false,
-      options_.pi_codec);
-  // Deterministic expanded-mean initialisation, identical to the
-  // in-process samplers (setup is untimed, as in the paper).
-  std::vector<float> row(store_->row_width());
-  for (std::uint64_t v = 0; v < num_vertices_; ++v) {
-    init_pi_row(options_.base.seed, v, options_.base.init_shape, row);
-    store_->init_row(v, row);
+      options_.pi_codec, options_.sparse_eps);
+  if (options_.resume_from != nullptr) {
+    // Resuming lossy state under a different codec would silently change
+    // what the DKV round-trips — refuse, naming both codecs.
+    const Checkpoint& cp = *options_.resume_from;
+    SCD_REQUIRE(
+        cp.pi_codec == options_.pi_codec,
+        std::string("checkpoint pi codec '") + quant::codec_name(cp.pi_codec) +
+            "' does not match the run's pi codec '" +
+            quant::codec_name(options_.pi_codec) +
+            "'; re-encode the checkpoint or match DistributedOptions::"
+            "pi_codec to resume");
+    SCD_REQUIRE(cp.pi.num_vertices() == num_vertices_ &&
+                    cp.hyper.num_communities == hyper_.num_communities,
+                "checkpoint shape does not match the run");
+    for (std::uint64_t v = 0; v < num_vertices_; ++v) {
+      store_->init_row(v, cp.pi.row(static_cast<std::uint32_t>(v)));
+    }
+    global_ = cp.global;
+  } else {
+    // Deterministic expanded-mean initialisation, identical to the
+    // in-process samplers (setup is untimed, as in the paper).
+    std::vector<float> row(store_->row_width());
+    for (std::uint64_t v = 0; v < num_vertices_; ++v) {
+      init_pi_row(options_.base.seed, v, options_.base.init_shape, row);
+      store_->init_row(v, row);
+    }
+    global_.init_random(options_.base.seed, hyper_);
   }
-  global_.init_random(options_.base.seed, hyper_);
   minibatch_.emplace(training, heldout, options_.base.minibatch);
 }
 
@@ -136,7 +156,7 @@ DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
   store_ = std::make_unique<dkv::SimRdmaDkv>(
       num_vertices_, pi_row_width(hyper_.num_communities), num_workers_,
       cluster.network(), cluster.compute_model(), /*phantom=*/true,
-      options_.pi_codec);
+      options_.pi_codec, options_.sparse_eps, options_.sparse_modeled_nnz);
 }
 
 DistributedResult DistributedSampler::run(std::uint64_t iterations) {
@@ -407,6 +427,7 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
   const std::uint32_t n_nbr = options_.base.num_neighbors;
   const bool dedup = options_.dedup_reads;
   const quant::RowCodec codec = store_->codec();
+  const bool sparse = quant::is_sparse(codec);
   const std::size_t vbytes = store_->value_bytes();
   sim::SimTransport& net = ctx.transport();
 
@@ -478,9 +499,12 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
       rec->metrics().count(trace::Metric::kDkvMisses, ctx.rank(), misses);
     }
     // Hits stream the cached rows from local memory; misses pay the
-    // remote read plus the cache's insert/evict bookkeeping.
+    // remote read plus the cache's insert/evict bookkeeping. Rows are
+    // cached encoded, so hits stream the modeled wire bytes per row.
     const double cache_s =
-        ctx.compute().local_bytes_time(hits * store_->value_bytes()) +
+        ctx.compute().local_bytes_time(static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(hits) *
+                         store_->avg_row_wire_bytes()))) +
         static_cast<double>(misses) * ctx.compute().dkv_cache_insert_s;
     return cache_s + store_->read_cost(wi, local, misses);
   };
@@ -616,8 +640,14 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
         load_cost = phantom_read_cost(
             static_cast<double>(hi - lo) + chunk_samples);
       }
+      // Sparse rows: each neighbor costs its O(nnz) support loop, and the
+      // per-vertex stage + epilogue + re-sparsify cost O(K) once.
+      const double phi_units =
+          sparse ? chunk_samples * store_->avg_row_nnz() +
+                       static_cast<double>(hi - lo) * k
+                 : chunk_samples * k;
       const double compute_cost = ctx.compute().kernel_time(
-          chunk_samples * k, ctx.compute().phi_unit_cycles);
+          phi_units, ctx.compute().phi_unit_cycles);
       pipe.add_chunk(load_cost, compute_cost);
     }
     // Stats record the sub-stage views of Table III; the clock advances
@@ -677,18 +707,39 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
         load_cost = load_stage_rows();
         std::span<double> link(ratios.data(), k);
         std::span<double> nonlink(ratios.data() + k, k);
-        for (std::uint64_t i = 0; i < p_local; ++i) {
-          fast_accumulate_theta_ratio_enc(
-              codec, row_of(2 * i), row_of(2 * i + 1), k, terms,
-              share.pair_y[i] != 0,
-              share.pair_y[i] != 0 ? link : nonlink, ws.scratch.w);
+        if (sparse) {
+          // Support-driven scatters per pair; the dense
+          // eps_a*eps_b*bt_j/Z term folds once per stratum.
+          double eps_link = 0.0;
+          double eps_nonlink = 0.0;
+          for (std::uint64_t i = 0; i < p_local; ++i) {
+            const bool y = share.pair_y[i] != 0;
+            sparse_accumulate_theta_ratio_enc(
+                codec, row_of(2 * i), row_of(2 * i + 1), k, terms, y,
+                y ? link : nonlink, y ? eps_link : eps_nonlink);
+          }
+          sparse_theta_epilogue(eps_link, eps_nonlink, terms, link,
+                                nonlink);
+        } else {
+          for (std::uint64_t i = 0; i < p_local; ++i) {
+            fast_accumulate_theta_ratio_enc(
+                codec, row_of(2 * i), row_of(2 * i + 1), k, terms,
+                share.pair_y[i] != 0,
+                share.pair_y[i] != 0 ? link : nonlink, ws.scratch.w);
+          }
         }
       } else {
         load_cost = phantom_read_cost(static_cast<double>(2 * p_local));
       }
       ctx.charge(sim::Phase::kUpdateBetaTheta, load_cost);
-      ctx.charge_kernel(sim::Phase::kUpdateBetaTheta,
-                        static_cast<double>(p_local) * k,
+      // Sparse pairs cost their two supports (capped at K: a fallback
+      // side degrades to the dense pass) plus the 2K epilogue fold.
+      const double beta_units =
+          sparse ? static_cast<double>(p_local) *
+                           std::min<double>(k, 2.0 * store_->avg_row_nnz()) +
+                       2.0 * k
+                 : static_cast<double>(p_local) * k;
+      ctx.charge_kernel(sim::Phase::kUpdateBetaTheta, beta_units,
                         ctx.compute().beta_unit_cycles);
 
       const double before = ctx.clock().now();
@@ -728,11 +779,14 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
             sim::Phase::kPerplexity,
             phantom_read_cost(static_cast<double>(2 * phantom_slice)));
       }
+      const double perp_pair_units =
+          sparse ? std::min<double>(k, 2.0 * store_->avg_row_nnz())
+                 : static_cast<double>(k);
       ctx.charge_kernel(
           sim::Phase::kPerplexity,
           static_cast<double>(real() && evaluator ? evaluator->size()
                                                   : phantom_slice) *
-              k,
+              perp_pair_units,
           ctx.compute().perplexity_unit_cycles);
       net.reduce_sum(ctx.rank(), 0, acc, kChannelGlobal);
     }
@@ -789,9 +843,14 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
   // Rollback snapshots: a full checkpoint serialized to memory. Taking
   // one costs the master a wire-read of every pi row (workers are
   // quiescent — blocked on the next deploy — whenever this runs).
+  // Evaluated per snapshot: sparse rows' average wire bytes drift as
+  // the model concentrates.
   std::string snap_bytes;
-  const double snap_wire_s = ctx.network().transfer_time(
-      static_cast<std::uint64_t>(num_vertices_) * store_->value_bytes());
+  auto snap_wire_s = [&]() {
+    return ctx.network().transfer_time(static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(num_vertices_) *
+                     store_->avg_row_wire_bytes())));
+  };
   auto take_snapshot = [&](std::uint64_t t) {
     const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
     Checkpoint cp;
@@ -800,11 +859,12 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
     cp.pi = snapshot_pi();
     cp.global = global_;
     // Snapshots store pi in the run's wire codec: the modeled wire charge
-    // (snap_wire_s) already prices value_bytes() per row, and a rollback
-    // restore then re-encodes through the same codec — consistent, and
-    // exact under fp32.
-    snap_bytes = checkpoint_to_bytes(cp, options_.pi_codec);
-    ctx.charge(sim::Phase::kBarrierWait, snap_wire_s);
+    // (snap_wire_s) already prices the per-row actual bytes, and a
+    // rollback restore then re-encodes through the same codec —
+    // consistent, and exact under fp32.
+    snap_bytes = checkpoint_to_bytes(cp, options_.pi_codec,
+                                     options_.sparse_eps);
+    ctx.charge(sim::Phase::kBarrierWait, snap_wire_s());
   };
   if (options_.rollback_interval > 0) take_snapshot(0);
 
@@ -863,7 +923,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
       global_ = cp.global;
       std::copy(global_.beta_all().begin(), global_.beta_all().end(),
                 beta_buf.begin());
-      ctx.charge(sim::Phase::kBarrierWait, snap_wire_s);
+      ctx.charge(sim::Phase::kBarrierWait, snap_wire_s());
       beta_follows = true;
       next = cp.iteration;
     }
@@ -1076,6 +1136,7 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
   const std::uint32_t n_nbr = options_.base.num_neighbors;
   const bool dedup = options_.dedup_reads;
   const quant::RowCodec codec = store_->codec();
+  const bool sparse = quant::is_sparse(codec);
   const std::size_t vbytes = store_->value_bytes();
   sim::SimTransport& net = ctx.transport();
 
@@ -1247,8 +1308,14 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
             out, ws.scratch, options_.base.noise_factor,
             options_.base.gradient_form);
       }
+      // Sparse rows: each neighbor costs its O(nnz) support loop, and the
+      // per-vertex stage + epilogue + re-sparsify cost O(K) once.
+      const double phi_units =
+          sparse ? chunk_samples * store_->avg_row_nnz() +
+                       static_cast<double>(hi - lo) * k
+                 : chunk_samples * k;
       const double compute_cost = ctx.compute().kernel_time(
-          chunk_samples * k, ctx.compute().phi_unit_cycles);
+          phi_units, ctx.compute().phi_unit_cycles);
       pipe.add_chunk(load_cost, compute_cost);
     }
     // The pipeline total bypasses charge(), so the straggler slowdown is
@@ -1305,15 +1372,33 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
       const double load_cost = load_stage_rows();
       std::span<double> link(ratios.data(), k);
       std::span<double> nonlink(ratios.data() + k, k);
-      for (std::uint64_t i = 0; i < p_local; ++i) {
-        fast_accumulate_theta_ratio_enc(
-            codec, row_of(2 * i), row_of(2 * i + 1), k, terms,
-            share.pair_y[i] != 0,
-            share.pair_y[i] != 0 ? link : nonlink, ws.scratch.w);
+      if (sparse) {
+        double eps_link = 0.0;
+        double eps_nonlink = 0.0;
+        for (std::uint64_t i = 0; i < p_local; ++i) {
+          const bool y = share.pair_y[i] != 0;
+          sparse_accumulate_theta_ratio_enc(
+              codec, row_of(2 * i), row_of(2 * i + 1), k, terms, y,
+              y ? link : nonlink, y ? eps_link : eps_nonlink);
+        }
+        sparse_theta_epilogue(eps_link, eps_nonlink, terms, link, nonlink);
+      } else {
+        for (std::uint64_t i = 0; i < p_local; ++i) {
+          fast_accumulate_theta_ratio_enc(
+              codec, row_of(2 * i), row_of(2 * i + 1), k, terms,
+              share.pair_y[i] != 0,
+              share.pair_y[i] != 0 ? link : nonlink, ws.scratch.w);
+        }
       }
       ctx.charge(sim::Phase::kUpdateBetaTheta, load_cost);
-      ctx.charge_kernel(sim::Phase::kUpdateBetaTheta,
-                        static_cast<double>(p_local) * k,
+      // Sparse pairs cost their two supports (capped at K: a fallback
+      // side degrades to the dense pass) plus the 2K epilogue fold.
+      const double beta_units =
+          sparse ? static_cast<double>(p_local) *
+                           std::min<double>(k, 2.0 * store_->avg_row_nnz()) +
+                       2.0 * k
+                 : static_cast<double>(p_local) * k;
+      ctx.charge_kernel(sim::Phase::kUpdateBetaTheta, beta_units,
                         ctx.compute().beta_unit_cycles);
     }
     if (fail_stop()) return;
@@ -1361,8 +1446,12 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
       evaluator->finish_sample();
       acc[0] = evaluator->sum_log_avg();
       acc[1] = static_cast<double>(slice.size());
+      const double perp_pair_units =
+          sparse ? std::min<double>(k, 2.0 * store_->avg_row_nnz())
+                 : static_cast<double>(k);
       ctx.charge_kernel(sim::Phase::kPerplexity,
-                        static_cast<double>(evaluator->size()) * k,
+                        static_cast<double>(evaluator->size()) *
+                            perp_pair_units,
                         ctx.compute().perplexity_unit_cycles);
       if (fail_stop()) return;
       net.send<double>(ctx.rank(), 0, kTagEval,

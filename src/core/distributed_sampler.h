@@ -52,6 +52,8 @@ class FaultInjector;
 
 namespace scd::core {
 
+struct Checkpoint;
+
 /// Loop trip counts for cost-only runs at paper scale.
 struct PhantomWorkload {
   std::uint64_t num_vertices = 0;
@@ -115,6 +117,23 @@ struct DistributedOptions {
   /// Lossy codecs perturb the trajectory; held-out perplexity stays
   /// within tolerance on the generator workloads (tests/quant).
   quant::RowCodec pi_codec = quant::RowCodec::kFloat32;
+  /// Sparse pi codecs only: the top-R mass tolerance — each row keeps
+  /// its largest entries until the dropped tail holds at most this
+  /// fraction of row mass (quant/row_codec.h). Smaller = denser rows,
+  /// closer trajectories; larger = fewer bytes and O(nnz) kernel work.
+  /// Ignored by dense codecs.
+  float sparse_eps = quant::kDefaultSparseEps;
+  /// Cost-only mode with a sparse pi codec: assumed nnz per row for the
+  /// modeled wire bytes and kernel trip counts (0 = auto: K/16, clamped
+  /// to [8, K]). Real mode ignores this — it tracks actual row sparsity.
+  std::uint32_t sparse_modeled_nnz = 0;
+  /// Real mode: initialize pi and theta/beta from this checkpoint
+  /// instead of the seeded expanded-mean draw. The checkpoint's pi_codec
+  /// provenance must equal `pi_codec` — resuming lossy state under a
+  /// different codec silently changes what the DKV round-trips, so a
+  /// mismatch is a hard error naming both codecs. Vertex count and K
+  /// must match the run. Must outlive the constructor.
+  const Checkpoint* resume_from = nullptr;
   /// When non-null, run() installs this recorder on the cluster,
   /// transport, and DKV store: every clock-advancing region is wrapped
   /// in a virtual-time span on its rank's lane, message/collective edges

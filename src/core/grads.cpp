@@ -18,11 +18,15 @@ void LikelihoodTerms::refresh(std::span<const float> beta, double delta) {
   dt_nonlink = 1.0 - delta;
   const float dl = static_cast<float>(dt_link);
   const float dn = static_cast<float>(dt_nonlink);
+  btd_sum_link = 0.0;
+  btd_sum_nonlink = 0.0;
   for (std::size_t i = 0; i < k; ++i) {
     bt_link[i] = beta[i];
     bt_nonlink[i] = 1.0f - beta[i];
     btd_link[i] = bt_link[i] - dl;
     btd_nonlink[i] = bt_nonlink[i] - dn;
+    btd_sum_link += btd_link[i];
+    btd_sum_nonlink += btd_nonlink[i];
   }
 }
 

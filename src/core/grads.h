@@ -30,7 +30,10 @@ namespace scd::core {
 /// refresh() additionally stages btd[y][k] = bt[y][k] - dt[y] once per
 /// iteration, which lets the fused kernels (core/kernels_simd.h) form
 /// w_k = dt + pi_bk * btd_k with a single fma per community instead of
-/// recomputing pi_bk * bt_k + dt * (1 - pi_bk) from scratch.
+/// recomputing pi_bk * bt_k + dt * (1 - pi_bk) from scratch, and the
+/// scalar btd_sum[y] = sum_k btd[y][k], which the sparse kernels use to
+/// fold the uniform epsilon term of a top-R row into Z analytically
+/// (eps_a * eps_b * btd_sum instead of a K-loop over dropped entries).
 struct LikelihoodTerms {
   std::vector<float> bt_link;      // beta_k
   std::vector<float> bt_nonlink;   // 1 - beta_k
@@ -38,6 +41,8 @@ struct LikelihoodTerms {
   std::vector<float> btd_nonlink;  // (1 - beta_k) - (1 - delta)
   double dt_link = 0.0;            // delta
   double dt_nonlink = 0.0;         // 1 - delta
+  double btd_sum_link = 0.0;       // sum_k (beta_k - delta)
+  double btd_sum_nonlink = 0.0;    // sum_k ((1-beta_k) - (1-delta))
 
   void refresh(std::span<const float> beta, double delta);
   std::span<const float> bt(bool y) const {
@@ -49,6 +54,9 @@ struct LikelihoodTerms {
              : std::span<const float>(btd_nonlink);
   }
   double dt(bool y) const { return y ? dt_link : dt_nonlink; }
+  double btd_sum(bool y) const {
+    return y ? btd_sum_link : btd_sum_nonlink;
+  }
 };
 
 /// Smallest probability Z may fall to; guards the divisions and logs in

@@ -256,14 +256,20 @@ void fused_update_phi_row(std::uint64_t seed, std::uint64_t iteration,
 
 namespace {
 
-/// Raw float load: kFloat32 rows (and decoded caller rows) store plain
-/// little-endian floats.
+/// Plain little-endian float load: kFloat32 rows and decoded caller
+/// rows. Goes through memcpy because a sparse row's value block sits
+/// right after the u16 index section, which leaves it only 2-byte
+/// aligned when nnz is odd.
 struct Fp32Reader {
-  const float* p;
-  explicit Fp32Reader(const std::byte* row)
-      : p(reinterpret_cast<const float*>(row)) {}
-  explicit Fp32Reader(const float* row) : p(row) {}
-  float operator[](std::size_t i) const { return p[i]; }
+  const std::byte* p;
+  explicit Fp32Reader(const std::byte* row) : p(row) {}
+  explicit Fp32Reader(const float* row)
+      : p(reinterpret_cast<const std::byte*>(row)) {}
+  float operator[](std::size_t i) const {
+    float v;
+    std::memcpy(&v, p + i * sizeof(v), sizeof(v));
+    return v;
+  }
 };
 
 /// IEEE half load + widen (quant::RowCodec::kFp16 layout).
@@ -468,6 +474,8 @@ inline void check_encoded(quant::RowCodec codec,
 }
 
 /// Invoke `fn(reader_a, reader_b)` with the reader type for `codec`.
+/// Dense codecs only — the sparse codecs are parsed by the sparse kernel
+/// section below, never read through a flat dense reader.
 template <typename Fn>
 double with_readers(quant::RowCodec codec, std::span<const std::byte> row_a,
                     std::span<const std::byte> row_b, Fn&& fn) {
@@ -478,12 +486,16 @@ double with_readers(quant::RowCodec codec, std::span<const std::byte> row_a,
       return fn(Fp16Reader(row_a.data()), Fp16Reader(row_b.data()));
     case quant::RowCodec::kInt8:
       return fn(Int8Reader(row_a.data()), Int8Reader(row_b.data()));
+    case quant::RowCodec::kSparseTopR:
+    case quant::RowCodec::kSparseTopRFp16:
+    case quant::RowCodec::kSparseTopRInt8:
+      break;
   }
-  SCD_ASSERT(false, "unknown RowCodec value");
+  SCD_ASSERT(false, "dense reader requested for a sparse codec");
   return 0.0;
 }
 
-/// Invoke `fn(reader_b)` with the reader type for `codec`.
+/// Invoke `fn(reader_b)` with the reader type for `codec` (dense only).
 template <typename Fn>
 double with_reader(quant::RowCodec codec, std::span<const std::byte> row,
                    Fn&& fn) {
@@ -494,9 +506,484 @@ double with_reader(quant::RowCodec codec, std::span<const std::byte> row,
       return fn(Fp16Reader(row.data()));
     case quant::RowCodec::kInt8:
       return fn(Int8Reader(row.data()));
+    case quant::RowCodec::kSparseTopR:
+    case quant::RowCodec::kSparseTopRFp16:
+    case quant::RowCodec::kSparseTopRInt8:
+      break;
   }
-  SCD_ASSERT(false, "unknown RowCodec value");
+  SCD_ASSERT(false, "dense reader requested for a sparse codec");
   return 0.0;
+}
+
+// --- sparse row parsing and kernels ------------------------------------
+
+/// Parsed header/offsets of one encoded sparse top-R row. In sparse form
+/// `payload` is the value block (read through the value codec's reader);
+/// for a dense-fallback row it is the value codec's complete dense row.
+struct SparseView {
+  std::uint32_t k = 0;
+  std::uint32_t nnz = 0;
+  bool fallback = false;
+  bool idx16 = true;
+  float eps = 0.0f;
+  const std::byte* indices = nullptr;
+  const std::byte* payload = nullptr;
+
+  std::uint32_t index(std::uint32_t i) const {
+    if (idx16) {
+      std::uint16_t v;
+      std::memcpy(&v, indices + std::size_t{i} * sizeof(v), sizeof(v));
+      return v;
+    }
+    std::uint32_t v;
+    std::memcpy(&v, indices + std::size_t{i} * sizeof(v), sizeof(v));
+    return v;
+  }
+};
+
+SparseView parse_sparse(quant::RowCodec codec,
+                        std::span<const std::byte> row, std::uint32_t k) {
+  SparseView v;
+  v.k = k;
+  v.idx16 = quant::sparse_index_bytes(k) == sizeof(std::uint16_t);
+  quant::SparseHeader header;
+  std::memcpy(&header, row.data(), quant::kSparseHeaderBytes);
+  if (header.nnz >= k) {
+    v.fallback = true;
+    v.nnz = k;
+    v.payload = row.data() + quant::kSparseHeaderBytes;
+  } else {
+    v.nnz = header.nnz;
+    v.eps = v.nnz < k
+                ? header.residual_mass / static_cast<float>(k - v.nnz)
+                : 0.0f;
+    v.indices = row.data() + quant::kSparseHeaderBytes;
+    v.payload =
+        v.indices + std::size_t{v.nnz} * quant::sparse_index_bytes(k);
+  }
+  (void)codec;
+  return v;
+}
+
+/// Invoke `fn(values)` with the value-codec reader over a value block or
+/// fallback payload.
+template <typename Fn>
+double with_value_reader(quant::RowCodec value, const std::byte* p,
+                         Fn&& fn) {
+  switch (value) {
+    case quant::RowCodec::kFloat32:
+      return fn(Fp32Reader(p));
+    case quant::RowCodec::kFp16:
+      return fn(Fp16Reader(p));
+    case quant::RowCodec::kInt8:
+      return fn(Int8Reader(p));
+    default:
+      break;
+  }
+  SCD_ASSERT(false, "sparse value codec must be dense");
+  return 0.0;
+}
+
+template <typename Fn>
+double with_two_value_readers(quant::RowCodec value, const std::byte* a,
+                              const std::byte* b, Fn&& fn) {
+  switch (value) {
+    case quant::RowCodec::kFloat32:
+      return fn(Fp32Reader(a), Fp32Reader(b));
+    case quant::RowCodec::kFp16:
+      return fn(Fp16Reader(a), Fp16Reader(b));
+    case quant::RowCodec::kInt8:
+      return fn(Int8Reader(a), Int8Reader(b));
+    default:
+      break;
+  }
+  SCD_ASSERT(false, "sparse value codec must be dense");
+  return 0.0;
+}
+
+/// Decoded mass (eps*(k-nnz) + sum of kept values) and btd-weighted
+/// support sum t = sum_{i in S} (v_i - eps) * d[idx_i] of a sparse-form
+/// row. O(nnz).
+template <typename VR>
+void sparse_mass_t(const SparseView& v, VR values, const float* d,
+                   double& mass, double& t) {
+  mass = static_cast<double>(v.eps) * (v.k - v.nnz);
+  t = 0.0;
+  for (std::uint32_t i = 0; i < v.nnz; ++i) {
+    const double val = values[i];
+    mass += val;
+    t += (val - static_cast<double>(v.eps)) *
+         static_cast<double>(d[v.index(i)]);
+  }
+}
+
+/// Z for two sparse-form rows: Z = dt*Ma + eps_a*eps_b*btd_sum +
+/// eps_a*Tb + eps_b*Ta + merge-intersect. O(nnz_a + nnz_b).
+template <typename VA, typename VB>
+double sparse_pair_z(const SparseView& a, VA va, const SparseView& b,
+                     VB vb, const LikelihoodTerms& terms, bool y) {
+  const float* SCD_RESTRICT d = terms.btd(y).data();
+  const double dt = terms.dt(y);
+  double ma = 0.0, ta = 0.0, mb = 0.0, tb = 0.0;
+  sparse_mass_t(a, va, d, ma, ta);
+  sparse_mass_t(b, vb, d, mb, tb);
+  double inter = 0.0;
+  std::uint32_t i = 0, j = 0;
+  while (i < a.nnz && j < b.nnz) {
+    const std::uint32_t ia = a.index(i);
+    const std::uint32_t ib = b.index(j);
+    if (ia < ib) {
+      ++i;
+    } else if (ib < ia) {
+      ++j;
+    } else {
+      inter += (static_cast<double>(va[i]) - a.eps) *
+               (static_cast<double>(vb[j]) - b.eps) *
+               static_cast<double>(d[ia]);
+      ++i;
+      ++j;
+    }
+  }
+  const double z = dt * ma +
+                   static_cast<double>(a.eps) *
+                       static_cast<double>(b.eps) * terms.btd_sum(y) +
+                   static_cast<double>(a.eps) * tb +
+                   static_cast<double>(b.eps) * ta + inter;
+  return std::max(z, kMinZ);
+}
+
+/// Z with a sparse-form `a` and a dense reader `pb` (fallback side).
+/// O(K) over the dense side, O(nnz_a) over the support.
+template <typename VA, typename RB>
+double sparse_dense_pair_z(const SparseView& a, VA va, RB pb,
+                           std::uint32_t k, const LikelihoodTerms& terms,
+                           bool y) {
+  const float* SCD_RESTRICT d = terms.btd(y).data();
+  const double dt = terms.dt(y);
+  double spb = 0.0;
+  for (std::uint32_t j = 0; j < k; ++j) {
+    spb += static_cast<double>(pb[j]) * static_cast<double>(d[j]);
+  }
+  double ma = static_cast<double>(a.eps) * (a.k - a.nnz);
+  double s = 0.0;
+  for (std::uint32_t i = 0; i < a.nnz; ++i) {
+    const std::uint32_t idx = a.index(i);
+    const double sa = static_cast<double>(va[i]) - a.eps;
+    ma += va[i];
+    s += sa * static_cast<double>(pb[idx]) * static_cast<double>(d[idx]);
+  }
+  return std::max(dt * ma + static_cast<double>(a.eps) * spb + s, kMinZ);
+}
+
+/// Z with a dense reader `pa` (fallback side) and a sparse-form `b`.
+template <typename RA, typename VB>
+double dense_sparse_pair_z(RA pa, const SparseView& b, VB vb,
+                           std::uint32_t k, const LikelihoodTerms& terms,
+                           bool y) {
+  const float* SCD_RESTRICT d = terms.btd(y).data();
+  const double dt = terms.dt(y);
+  double ma = 0.0, sad = 0.0;
+  for (std::uint32_t j = 0; j < k; ++j) {
+    const double p = pa[j];
+    ma += p;
+    sad += p * static_cast<double>(d[j]);
+  }
+  double s = 0.0;
+  for (std::uint32_t i = 0; i < b.nnz; ++i) {
+    const std::uint32_t idx = b.index(i);
+    s += static_cast<double>(pa[idx]) *
+         (static_cast<double>(vb[i]) - b.eps) * static_cast<double>(d[idx]);
+  }
+  return std::max(dt * ma + static_cast<double>(b.eps) * sad + s, kMinZ);
+}
+
+/// Shared sparse pair likelihood; `fused_dense` picks the dense template
+/// for fallback x fallback pairs.
+double sparse_pair_likelihood_impl(quant::RowCodec codec,
+                                   std::span<const std::byte> row_a,
+                                   std::span<const std::byte> row_b,
+                                   std::uint32_t k,
+                                   const LikelihoodTerms& terms, bool y,
+                                   bool fused_dense) {
+  const quant::RowCodec value = quant::value_codec(codec);
+  const SparseView a = parse_sparse(codec, row_a, k);
+  const SparseView b = parse_sparse(codec, row_b, k);
+  if (a.fallback && b.fallback) {
+    return with_two_value_readers(
+        value, a.payload, b.payload, [&](auto ra, auto rb) {
+          return fused_dense ? fused_pair_likelihood_t(ra, rb, k, terms, y)
+                             : pair_likelihood_t(ra, rb, k, terms, y);
+        });
+  }
+  if (a.fallback) {
+    return with_two_value_readers(
+        value, a.payload, b.payload, [&](auto ra, auto vb) {
+          return dense_sparse_pair_z(ra, b, vb, k, terms, y);
+        });
+  }
+  if (b.fallback) {
+    return with_two_value_readers(
+        value, a.payload, b.payload, [&](auto va, auto rb) {
+          return sparse_dense_pair_z(a, va, rb, k, terms, y);
+        });
+  }
+  return with_two_value_readers(
+      value, a.payload, b.payload, [&](auto va, auto vb) {
+        return sparse_pair_z(a, va, b, vb, terms, y);
+      });
+}
+
+/// Mixed theta ratio: one dense reader side, one sparse-form side.
+/// O(K) over the dense side plus O(nnz) over the support; the per-pair
+/// epsilon contribution cannot fold into eps_coef because the dense row
+/// varies per community, so it is charged directly.
+template <typename RD, typename VS>
+double mixed_theta_ratio(RD rd, const SparseView& s, VS vs,
+                         std::uint32_t k, const LikelihoodTerms& terms,
+                         bool y, bool dense_is_a, std::span<double> ratio) {
+  const double z = dense_is_a
+                       ? dense_sparse_pair_z(rd, s, vs, k, terms, y)
+                       : sparse_dense_pair_z(s, vs, rd, k, terms, y);
+  const double inv_z = 1.0 / z;
+  const float* SCD_RESTRICT bt = terms.bt(y).data();
+  const double eps_coef = static_cast<double>(s.eps) * inv_z;
+  double* SCD_RESTRICT r = ratio.data();
+  for (std::uint32_t j = 0; j < k; ++j) {
+    r[j] += static_cast<double>(rd[j]) * static_cast<double>(bt[j]) *
+            eps_coef;
+  }
+  for (std::uint32_t i = 0; i < s.nnz; ++i) {
+    const std::uint32_t idx = s.index(i);
+    r[idx] += static_cast<double>(rd[idx]) *
+              (static_cast<double>(vs[i]) - s.eps) *
+              static_cast<double>(bt[idx]) * inv_z;
+  }
+  return z;
+}
+
+/// Both-sparse theta ratio: support scatters plus the uniform
+/// eps_a*eps_b term folded into eps_coef for the epilogue. O(nnz_a+nnz_b).
+template <typename VA, typename VB>
+double sparse_sparse_theta_ratio(const SparseView& a, VA va,
+                                 const SparseView& b, VB vb,
+                                 const LikelihoodTerms& terms, bool y,
+                                 std::span<double> ratio,
+                                 double& eps_coef) {
+  const double z = sparse_pair_z(a, va, b, vb, terms, y);
+  const double inv_z = 1.0 / z;
+  const float* SCD_RESTRICT bt = terms.bt(y).data();
+  double* SCD_RESTRICT r = ratio.data();
+  const double ea = a.eps;
+  const double eb = b.eps;
+  for (std::uint32_t i = 0; i < a.nnz; ++i) {
+    const std::uint32_t idx = a.index(i);
+    r[idx] += eb * (static_cast<double>(va[i]) - ea) *
+              static_cast<double>(bt[idx]) * inv_z;
+  }
+  for (std::uint32_t i = 0; i < b.nnz; ++i) {
+    const std::uint32_t idx = b.index(i);
+    r[idx] += ea * (static_cast<double>(vb[i]) - eb) *
+              static_cast<double>(bt[idx]) * inv_z;
+  }
+  std::uint32_t i = 0, j = 0;
+  while (i < a.nnz && j < b.nnz) {
+    const std::uint32_t ia = a.index(i);
+    const std::uint32_t ib = b.index(j);
+    if (ia < ib) {
+      ++i;
+    } else if (ib < ia) {
+      ++j;
+    } else {
+      r[ia] += (static_cast<double>(va[i]) - ea) *
+               (static_cast<double>(vb[j]) - eb) *
+               static_cast<double>(bt[ia]) * inv_z;
+      ++i;
+      ++j;
+    }
+  }
+  eps_coef += ea * eb * inv_z;
+  return z;
+}
+
+}  // namespace
+
+// --- sparse kernels ----------------------------------------------------
+
+SparsePhiStage sparse_phi_stage(std::span<const float> row_a,
+                                const LikelihoodTerms& terms) {
+  const std::size_t k = k_of(row_a);
+  const float* SCD_RESTRICT pa = row_a.data();
+  const float* SCD_RESTRICT d0 = terms.btd(false).data();
+  const float* SCD_RESTRICT d1 = terms.btd(true).data();
+  SparsePhiStage stage;
+  for (std::size_t j = 0; j < k; ++j) {
+    const double p = pa[j];
+    stage.mass += p;
+    stage.sa[0] += p * static_cast<double>(d0[j]);
+    stage.sa[1] += p * static_cast<double>(d1[j]);
+  }
+  return stage;
+}
+
+double sparse_accumulate_phi_grad_enc(quant::RowCodec codec,
+                                      std::span<const float> row_a,
+                                      const SparsePhiStage& stage,
+                                      std::span<const std::byte> row_b,
+                                      const LikelihoodTerms& terms, bool y,
+                                      std::span<double> grad,
+                                      SparsePhiAccum& acc) {
+  const std::size_t k = k_of(row_a);
+  SCD_ASSERT(grad.size() == k, "gradient size mismatch");
+  check_encoded(codec, row_b, static_cast<std::uint32_t>(k));
+  const quant::RowCodec value = quant::value_codec(codec);
+  const SparseView b =
+      parse_sparse(codec, row_b, static_cast<std::uint32_t>(k));
+  if (b.fallback) {
+    // Dense-fallback neighbor: the full O(K) dense kernel writes the
+    // complete gradient directly; nothing lands in the accumulator, so
+    // the epilogue stays correct.
+    return with_value_reader(value, b.payload, [&](auto rb) {
+      return accumulate_phi_grad_t(row_a, rb, k, terms, y, grad);
+    });
+  }
+  const double phi_sum = row_a[k];
+  SCD_ASSERT(phi_sum > 0.0, "phi_sum must be positive");
+  const float* SCD_RESTRICT pa = row_a.data();
+  const float* SCD_RESTRICT d = terms.btd(y).data();
+  const double dt = terms.dt(y);
+  const double eps_b = b.eps;
+  return with_value_reader(value, b.payload, [&](auto vb) {
+    double s = 0.0;
+    for (std::uint32_t i = 0; i < b.nnz; ++i) {
+      const std::uint32_t idx = b.index(i);
+      s += static_cast<double>(pa[idx]) *
+           (static_cast<double>(vb[i]) - eps_b) * static_cast<double>(d[idx]);
+    }
+    const double z =
+        std::max(dt * stage.mass + eps_b * stage.sa[y ? 1 : 0] + s, kMinZ);
+    const double inv_z = 1.0 / z;
+    const double coef = inv_z / phi_sum;
+    double* SCD_RESTRICT g = grad.data();
+    for (std::uint32_t i = 0; i < b.nnz; ++i) {
+      const std::uint32_t idx = b.index(i);
+      g[idx] += (static_cast<double>(vb[i]) - eps_b) *
+                static_cast<double>(d[idx]) * coef;
+    }
+    acc.c0 += (dt * inv_z - 1.0) / phi_sum;
+    acc.ceps[y ? 1 : 0] += eps_b * coef;
+    return z;
+  });
+}
+
+void sparse_phi_epilogue(const SparsePhiAccum& acc,
+                         const LikelihoodTerms& terms,
+                         std::span<double> grad) {
+  const std::size_t k = grad.size();
+  const float* SCD_RESTRICT d0 = terms.btd(false).data();
+  const float* SCD_RESTRICT d1 = terms.btd(true).data();
+  double* SCD_RESTRICT g = grad.data();
+  for (std::size_t j = 0; j < k; ++j) {
+    g[j] += acc.c0 + acc.ceps[0] * static_cast<double>(d0[j]) +
+            acc.ceps[1] * static_cast<double>(d1[j]);
+  }
+}
+
+double sparse_accumulate_theta_ratio_enc(quant::RowCodec codec,
+                                         std::span<const std::byte> row_a,
+                                         std::span<const std::byte> row_b,
+                                         std::uint32_t k,
+                                         const LikelihoodTerms& terms,
+                                         bool y, std::span<double> ratio,
+                                         double& eps_coef) {
+  SCD_ASSERT(ratio.size() == k, "ratio size mismatch");
+  check_encoded(codec, row_a, k);
+  check_encoded(codec, row_b, k);
+  const quant::RowCodec value = quant::value_codec(codec);
+  const SparseView a = parse_sparse(codec, row_a, k);
+  const SparseView b = parse_sparse(codec, row_b, k);
+  if (a.fallback && b.fallback) {
+    return with_two_value_readers(
+        value, a.payload, b.payload, [&](auto ra, auto rb) {
+          return accumulate_theta_ratio_t(ra, rb, k, terms, y, ratio);
+        });
+  }
+  if (a.fallback) {
+    return with_two_value_readers(
+        value, a.payload, b.payload, [&](auto ra, auto vb) {
+          return mixed_theta_ratio(ra, b, vb, k, terms, y,
+                                   /*dense_is_a=*/true, ratio);
+        });
+  }
+  if (b.fallback) {
+    return with_two_value_readers(
+        value, a.payload, b.payload, [&](auto va, auto rb) {
+          return mixed_theta_ratio(rb, a, va, k, terms, y,
+                                   /*dense_is_a=*/false, ratio);
+        });
+  }
+  return with_two_value_readers(
+      value, a.payload, b.payload, [&](auto va, auto vb) {
+        return sparse_sparse_theta_ratio(a, va, b, vb, terms, y, ratio,
+                                         eps_coef);
+      });
+}
+
+void sparse_theta_epilogue(double eps_coef_link, double eps_coef_nonlink,
+                           const LikelihoodTerms& terms,
+                           std::span<double> ratio_link,
+                           std::span<double> ratio_nonlink) {
+  const std::size_t k = ratio_link.size();
+  SCD_ASSERT(ratio_nonlink.size() == k, "ratio size mismatch");
+  const float* SCD_RESTRICT btl = terms.bt(true).data();
+  const float* SCD_RESTRICT btn = terms.bt(false).data();
+  double* SCD_RESTRICT rl = ratio_link.data();
+  double* SCD_RESTRICT rn = ratio_nonlink.data();
+  for (std::size_t j = 0; j < k; ++j) {
+    rl[j] += eps_coef_link * static_cast<double>(btl[j]);
+    rn[j] += eps_coef_nonlink * static_cast<double>(btn[j]);
+  }
+}
+
+namespace {
+
+/// Single-pair theta entry for sparse codecs: accumulate and immediately
+/// fold the epsilon term into this y stratum's ratio (the batched path
+/// defers the fold to sparse_theta_epilogue instead).
+double sparse_theta_single(quant::RowCodec codec,
+                           std::span<const std::byte> row_a,
+                           std::span<const std::byte> row_b,
+                           std::uint32_t k, const LikelihoodTerms& terms,
+                           bool y, std::span<double> ratio) {
+  double eps_coef = 0.0;
+  const double z = sparse_accumulate_theta_ratio_enc(codec, row_a, row_b, k,
+                                                     terms, y, ratio,
+                                                     eps_coef);
+  if (eps_coef != 0.0) {
+    const float* SCD_RESTRICT bt = terms.bt(y).data();
+    double* SCD_RESTRICT r = ratio.data();
+    for (std::uint32_t j = 0; j < k; ++j) {
+      r[j] += eps_coef * static_cast<double>(bt[j]);
+    }
+  }
+  return z;
+}
+
+/// Single-pair phi entry for sparse codecs: stage + accumulate + an
+/// immediate epilogue. Correct O(K) per pair; the batched path in
+/// core/phi_kernel.h amortizes stage and epilogue across a vertex's
+/// whole neighbor set instead.
+double sparse_phi_grad_single(quant::RowCodec codec,
+                              std::span<const float> row_a,
+                              std::span<const std::byte> row_b,
+                              const LikelihoodTerms& terms, bool y,
+                              std::span<double> grad) {
+  const SparsePhiStage stage = sparse_phi_stage(row_a, terms);
+  SparsePhiAccum acc;
+  const double z = sparse_accumulate_phi_grad_enc(codec, row_a, stage,
+                                                  row_b, terms, y, grad,
+                                                  acc);
+  sparse_phi_epilogue(acc, terms, grad);
+  return z;
 }
 
 }  // namespace
@@ -508,6 +995,10 @@ double fused_pair_likelihood_enc(quant::RowCodec codec,
                                  const LikelihoodTerms& terms, bool y) {
   check_encoded(codec, row_a, k);
   check_encoded(codec, row_b, k);
+  if (quant::is_sparse(codec)) {
+    return sparse_pair_likelihood_impl(codec, row_a, row_b, k, terms, y,
+                                       /*fused_dense=*/true);
+  }
   return with_readers(codec, row_a, row_b, [&](auto ra, auto rb) {
     return fused_pair_likelihood_t(ra, rb, k, terms, y);
   });
@@ -519,6 +1010,10 @@ double pair_likelihood_enc(quant::RowCodec codec,
                            const LikelihoodTerms& terms, bool y) {
   check_encoded(codec, row_a, k);
   check_encoded(codec, row_b, k);
+  if (quant::is_sparse(codec)) {
+    return sparse_pair_likelihood_impl(codec, row_a, row_b, k, terms, y,
+                                       /*fused_dense=*/false);
+  }
   return with_readers(codec, row_a, row_b, [&](auto ra, auto rb) {
     return pair_likelihood_t(ra, rb, k, terms, y);
   });
@@ -532,6 +1027,9 @@ double fused_accumulate_phi_grad_enc(quant::RowCodec codec,
                                      std::span<float> w_scratch) {
   const std::size_t k = k_of(row_a);
   check_encoded(codec, row_b, static_cast<std::uint32_t>(k));
+  if (quant::is_sparse(codec)) {
+    return sparse_phi_grad_single(codec, row_a, row_b, terms, y, grad);
+  }
   return with_reader(codec, row_b, [&](auto rb) {
     return fused_accumulate_phi_grad_t(row_a.data(), row_a[k], rb, k, terms,
                                        y, grad, w_scratch);
@@ -545,6 +1043,9 @@ double accumulate_phi_grad_enc(quant::RowCodec codec,
                                std::span<double> grad) {
   const std::size_t k = k_of(row_a);
   check_encoded(codec, row_b, static_cast<std::uint32_t>(k));
+  if (quant::is_sparse(codec)) {
+    return sparse_phi_grad_single(codec, row_a, row_b, terms, y, grad);
+  }
   return with_reader(codec, row_b, [&](auto rb) {
     return accumulate_phi_grad_t(row_a, rb, k, terms, y, grad);
   });
@@ -559,6 +1060,9 @@ double fused_accumulate_theta_ratio_enc(quant::RowCodec codec,
                                         std::span<float> f_scratch) {
   check_encoded(codec, row_a, k);
   check_encoded(codec, row_b, k);
+  if (quant::is_sparse(codec)) {
+    return sparse_theta_single(codec, row_a, row_b, k, terms, y, ratio);
+  }
   return with_readers(codec, row_a, row_b, [&](auto ra, auto rb) {
     return fused_accumulate_theta_ratio_t(ra, rb, k, terms, y, ratio,
                                           f_scratch);
@@ -573,6 +1077,9 @@ double accumulate_theta_ratio_enc(quant::RowCodec codec,
                                   std::span<double> ratio) {
   check_encoded(codec, row_a, k);
   check_encoded(codec, row_b, k);
+  if (quant::is_sparse(codec)) {
+    return sparse_theta_single(codec, row_a, row_b, k, terms, y, ratio);
+  }
   return with_readers(codec, row_a, row_b, [&](auto ra, auto rb) {
     return accumulate_theta_ratio_t(ra, rb, k, terms, y, ratio);
   });

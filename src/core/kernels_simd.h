@@ -109,6 +109,15 @@ void fused_update_phi_row(std::uint64_t seed, std::uint64_t iteration,
 // minus the trailing phi_sum slot); encoded spans must be exactly
 // quant::encoded_bytes(codec, k + 1) long. Scalar counterparts replicate
 // the grads.cpp reference semantics on the same readers.
+//
+// The sparse top-R codecs are accepted by every enc entry point below:
+// pair likelihood becomes a sorted-index merge-intersect over the two
+// supports with the dropped mass folded analytically through
+// LikelihoodTerms::btd_sum, and the gradient/ratio kernels fall back to
+// a correct O(K)-per-call form (the O(nnz) amortized forms live in the
+// sparse kernel section below and need per-vertex/per-stratum batching
+// the single-pair signatures cannot express). Dense-fallback rows route
+// to the dense reader templates.
 
 /// Z_ab^(y) from two encoded rows.
 double fused_pair_likelihood_enc(quant::RowCodec codec,
@@ -151,6 +160,77 @@ double accumulate_theta_ratio_enc(quant::RowCodec codec,
                                   std::uint32_t k,
                                   const LikelihoodTerms& terms, bool y,
                                   std::span<double> ratio);
+
+// --- sparse kernels -----------------------------------------------------
+// O(nnz) kernels for the quant::RowCodec sparse top-R codecs. A sparse
+// row decodes to eps on every dropped community (eps = residual_mass /
+// (K - nnz)), so each kernel splits into a support-driven part (O(nnz),
+// scattered immediately) and a j-independent part that only depends on
+// per-pair scalars — the latter is accumulated across a batch and folded
+// with one O(K) epilogue, which is what makes the amortized per-neighbor
+// cost O(nnz) instead of O(K). One implementation serves both
+// KernelPath variants: the merges are serial and accumulate in double,
+// so there is no lane parallelism to exploit; only dense-fallback rows
+// route through the fused/scalar dense reader templates.
+
+/// Per-vertex staging for the batched sparse phi path: mass = sum_j pi_aj
+/// and sa[y] = sum_j pi_aj * btd[y][j], computed once per updating vertex
+/// (O(K)) so each neighbor's Z costs only O(nnz_b).
+struct SparsePhiStage {
+  double mass = 0.0;
+  double sa[2] = {0.0, 0.0};
+};
+SparsePhiStage sparse_phi_stage(std::span<const float> row_a,
+                                const LikelihoodTerms& terms);
+
+/// Scalar accumulators of the j-independent phi-gradient terms
+/// ((dt/Z - 1)/phi_sum, and eps_b/(Z phi_sum) per stratum) summed over a
+/// vertex's neighbor set; folded into the gradient once per vertex by
+/// sparse_phi_epilogue (O(K)).
+struct SparsePhiAccum {
+  double c0 = 0.0;
+  double ceps[2] = {0.0, 0.0};
+  void reset() { c0 = ceps[0] = ceps[1] = 0.0; }
+};
+
+/// One neighbor's phi-gradient contribution against an encoded sparse
+/// row: scatters the support-driven O(nnz) terms into `grad` and the
+/// j-independent terms into `acc`. `row_a` is the updating vertex's
+/// decoded row and `stage` its sparse_phi_stage. Dense-fallback
+/// neighbors take a correct O(K) path. Returns Z.
+double sparse_accumulate_phi_grad_enc(quant::RowCodec codec,
+                                      std::span<const float> row_a,
+                                      const SparsePhiStage& stage,
+                                      std::span<const std::byte> row_b,
+                                      const LikelihoodTerms& terms, bool y,
+                                      std::span<double> grad,
+                                      SparsePhiAccum& acc);
+
+/// grad_j += c0 + ceps[0]*btd(0)_j + ceps[1]*btd(1)_j.
+void sparse_phi_epilogue(const SparsePhiAccum& acc,
+                         const LikelihoodTerms& terms,
+                         std::span<double> grad);
+
+/// One pair's theta-ratio contribution from two encoded sparse rows:
+/// support-driven terms go into `ratio` (O(nnz_a + nnz_b)); the dense
+/// eps_a*eps_b*bt_j/Z term is accumulated via `eps_coef` (+= eps_a*eps_b/Z)
+/// and folded once per stratum by sparse_theta_epilogue. Pairs with a
+/// dense-fallback side take a correct O(K) path (everything into
+/// `ratio`, eps_coef untouched). Returns Z.
+double sparse_accumulate_theta_ratio_enc(quant::RowCodec codec,
+                                         std::span<const std::byte> row_a,
+                                         std::span<const std::byte> row_b,
+                                         std::uint32_t k,
+                                         const LikelihoodTerms& terms,
+                                         bool y, std::span<double> ratio,
+                                         double& eps_coef);
+
+/// ratio[y]_j += eps_coef[y] * bt(y)_j for both strata — the once-per-
+/// stratum fold of the accumulated eps_a*eps_b/Z coefficients.
+void sparse_theta_epilogue(double eps_coef_link, double eps_coef_nonlink,
+                           const LikelihoodTerms& terms,
+                           std::span<double> ratio_link,
+                           std::span<double> ratio_nonlink);
 
 // --- dispatched entry points -------------------------------------------
 // The samplers call these; scratch spans are only touched on the fused

@@ -33,6 +33,10 @@ struct PhiScratch {
   std::vector<float> w;
   /// Staged Langevin noise for the fused SGRLD row update.
   std::vector<double> noise;
+  /// Per-neighbor-set scalar accumulators for the sparse batched phi
+  /// path (core/kernels_simd.h); ignored for dense codecs.
+  SparsePhiAccum exact_acc;
+  SparsePhiAccum sampled_acc;
 
   explicit PhiScratch(std::uint32_t k)
       : exact(k), sampled(k), w(k), noise(k) {}
@@ -87,6 +91,39 @@ void staged_phi_update_enc(quant::RowCodec codec, std::uint64_t seed,
   quant::decode_row(codec, row_a_enc, out);
   std::fill(scratch.exact.begin(), scratch.exact.end(), 0.0);
   std::fill(scratch.sampled.begin(), scratch.sampled.end(), 0.0);
+  if (quant::is_sparse(codec)) {
+    // Batched sparse path: stage the vertex row's mass/btd sums once
+    // (O(K)), accumulate each neighbor in O(nnz_b) with the uniform
+    // epsilon terms carried as scalars, then fold them into the gradient
+    // with a single O(K) epilogue. Dense-fallback neighbors write their
+    // full gradient directly inside the accumulate call.
+    const SparsePhiStage stage = sparse_phi_stage(out, terms);
+    scratch.exact_acc.reset();
+    scratch.sampled_acc.reset();
+    for (std::size_t i = 0; i < set.samples.size(); ++i) {
+      const graph::NeighborSample& nb = set.samples[i];
+      const bool exact = i < set.exact_prefix;
+      std::span<double> target = exact ? std::span<double>(scratch.exact)
+                                       : std::span<double>(scratch.sampled);
+      SparsePhiAccum& acc =
+          exact ? scratch.exact_acc : scratch.sampled_acc;
+      sparse_accumulate_phi_grad_enc(codec, out, stage, row_of(i), terms,
+                                     nb.link, target, acc);
+    }
+    for (std::size_t k = 0; k < scratch.exact.size(); ++k) {
+      scratch.exact[k] += set.sampled_scale * scratch.sampled[k];
+    }
+    scratch.exact_acc.c0 += set.sampled_scale * scratch.sampled_acc.c0;
+    scratch.exact_acc.ceps[0] +=
+        set.sampled_scale * scratch.sampled_acc.ceps[0];
+    scratch.exact_acc.ceps[1] +=
+        set.sampled_scale * scratch.sampled_acc.ceps[1];
+    sparse_phi_epilogue(scratch.exact_acc, terms, scratch.exact);
+    fast_update_phi_row(seed, iteration, a, out, scratch.exact,
+                        /*scale=*/1.0, eps, alpha, noise_factor, form,
+                        scratch.noise);
+    return;
+  }
   for (std::size_t i = 0; i < set.samples.size(); ++i) {
     const graph::NeighborSample& nb = set.samples[i];
     std::span<double> target = i < set.exact_prefix

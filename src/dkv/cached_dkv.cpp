@@ -20,10 +20,18 @@ void CachedDkv::touch(std::list<Entry>::iterator it) {
   lru_.splice(lru_.begin(), lru_, it);
 }
 
-void CachedDkv::insert(std::uint64_t key, std::span<const std::byte> value) {
+void CachedDkv::insert(unsigned requester_shard, std::uint64_t key,
+                       std::span<const std::byte> value) {
   if (map_.size() >= capacity_) {
     map_.erase(lru_.back().key);
     lru_.pop_back();
+    ++evictions_;
+    if (trace_ != nullptr) {
+      const unsigned lane = requester_shard + trace_rank_offset_;
+      if (lane < trace_->num_lanes()) {
+        trace_->metrics().count(trace::Metric::kDkvEvictions, lane);
+      }
+    }
   }
   lru_.push_front(Entry{key, {value.begin(), value.end()}});
   map_[key] = lru_.begin();
@@ -35,14 +43,21 @@ double CachedDkv::classify(unsigned requester_shard,
                            OnHit&& on_hit) {
   miss_keys_.clear();
   miss_slots_.clear();
+  const quant::RowCodec codec = inner_.codec();
+  const bool sparse = quant::is_sparse(codec);
+  const std::uint32_t width = row_width();
   std::uint64_t hit_rows = 0;
+  std::uint64_t hit_bytes = 0;
   for (std::size_t i = 0; i < keys.size(); ++i) {
     auto it = map_.find(keys[i]);
     if (it != map_.end()) {
       ++hits_;
       ++hit_rows;
       touch(it->second);
-      on_hit(i, std::span<const std::byte>(it->second->value));
+      const std::span<const std::byte> value(it->second->value);
+      hit_bytes +=
+          sparse ? quant::row_bytes(codec, width, value) : value.size();
+      on_hit(i, value);
     } else {
       ++misses_;
       miss_keys_.push_back(keys[i]);
@@ -58,8 +73,9 @@ double CachedDkv::classify(unsigned requester_shard,
     }
   }
   // Hits stream the cached copy from local RAM; only misses pay the
-  // inner store's (possibly remote) cost.
-  return hit_cost(hit_rows);
+  // inner store's (possibly remote) cost. Sparse rows charge the bytes
+  // they actually occupy inside their capacity slot.
+  return node_.local_bytes_time(hit_bytes);
 }
 
 double CachedDkv::get_rows(unsigned requester_shard,
@@ -81,7 +97,7 @@ double CachedDkv::get_rows(unsigned requester_shard,
     std::span<const std::byte> value(fetched_.data() + m * vbytes, vbytes);
     quant::decode_row(codec, value,
                       out.subspan(miss_slots_[m] * width, width));
-    insert(miss_keys_[m], value);
+    insert(requester_shard, miss_keys_[m], value);
   }
   return cost;
 }
@@ -102,7 +118,7 @@ double CachedDkv::get_rows_encoded(unsigned requester_shard,
   for (std::size_t m = 0; m < miss_keys_.size(); ++m) {
     std::span<const std::byte> value(fetched_.data() + m * vbytes, vbytes);
     std::memcpy(out.data() + miss_slots_[m] * vbytes, value.data(), vbytes);
-    insert(miss_keys_[m], value);
+    insert(requester_shard, miss_keys_[m], value);
   }
   return cost;
 }
@@ -120,7 +136,7 @@ double CachedDkv::put_rows(unsigned requester_shard,
     if (it != map_.end()) {
       it->second->value.resize(vbytes);
       quant::encode_row(codec, values.subspan(i * width, width),
-                        it->second->value);
+                        it->second->value, inner_.sparse_eps());
       touch(it->second);
     }
   }

@@ -81,11 +81,20 @@ class CachedDkv final : public DkvStore {
                          std::span<const std::uint64_t> keys) const override {
     return inner_.write_cost_keys(requester_shard, keys);
   }
+  double avg_row_wire_bytes() const override {
+    return inner_.avg_row_wire_bytes();
+  }
+  double avg_row_nnz() const override { return inner_.avg_row_nnz(); }
+  float sparse_eps() const override { return inner_.sparse_eps(); }
 
-  /// Modeled seconds a hit costs: the cached (encoded) row streamed from
-  /// local RAM.
+  /// Modeled seconds `rows` average hits cost: the cached (encoded) rows
+  /// streamed from local RAM. Under the dense codecs every row charges
+  /// value_bytes(); under the sparse ones the real hit path charges each
+  /// cached row's actual bytes, for which this is the store-average
+  /// estimate.
   double hit_cost(std::uint64_t rows) const {
-    return node_.local_bytes_time(rows * inner_.value_bytes());
+    return node_.local_bytes_time(static_cast<std::uint64_t>(
+        rows * inner_.avg_row_wire_bytes()));
   }
 
   /// Drop every cached row (stale after another shard's writes).
@@ -103,6 +112,11 @@ class CachedDkv final : public DkvStore {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Rows displaced by capacity pressure (LRU pop), also counted on the
+  /// requester's lane as trace::Metric::kDkvEvictions. invalidate_all()
+  /// drops are deliberate coherence flushes, not evictions, and are not
+  /// counted here.
+  std::uint64_t evictions() const { return evictions_; }
   double hit_rate() const {
     const std::uint64_t total = hits_ + misses_;
     return total > 0 ? static_cast<double>(hits_) /
@@ -118,7 +132,8 @@ class CachedDkv final : public DkvStore {
   };
 
   void touch(std::list<Entry>::iterator it);
-  void insert(std::uint64_t key, std::span<const std::byte> value);
+  void insert(unsigned requester_shard, std::uint64_t key,
+              std::span<const std::byte> value);
   /// Shared hit/miss pass: serve hits through `on_hit(slot, encoded)`,
   /// collect misses into miss_keys_/miss_slots_, count metrics. Returns
   /// the hit cost.
@@ -133,6 +148,7 @@ class CachedDkv final : public DkvStore {
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
   trace::TraceRecorder* trace_ = nullptr;
   unsigned trace_rank_offset_ = 1;
   // Reused per-call scratch for the miss pass.

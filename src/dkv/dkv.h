@@ -45,11 +45,33 @@ class DkvStore {
 
   /// Codec the store keeps rows in (and charges bytes for).
   virtual quant::RowCodec codec() const = 0;
-  /// Encoded bytes per stored row: quant::encoded_bytes(codec(),
-  /// row_width()). Every byte-proportional cost in the store — network
-  /// transfers, local memory streams, snapshot shipping — is priced on
-  /// this, not on row_width() * sizeof(float).
+  /// Encoded bytes per stored row slot: quant::encoded_bytes(codec(),
+  /// row_width()). For the dense codecs every byte-proportional cost in
+  /// the store — network transfers, local memory streams, snapshot
+  /// shipping — is priced on this, not on row_width() * sizeof(float).
+  /// For the sparse top-R codecs this is the fixed *capacity* of a slot
+  /// (dense-fallback worst case, which keeps flat addressing); the costs
+  /// charge each row's actual quant::row_bytes() instead, summarized by
+  /// avg_row_wire_bytes().
   virtual std::size_t value_bytes() const = 0;
+
+  /// Average bytes one row currently charges on the wire/stream.
+  /// Defaults to value_bytes(); sparse-aware backends override with the
+  /// tracked (or, for phantom stores, modeled) per-row mean.
+  virtual double avg_row_wire_bytes() const {
+    return static_cast<double>(value_bytes());
+  }
+
+  /// Average kept pi entries per row — K (= row_width() - 1) for dense
+  /// codecs; sparse-aware backends report the tracked/modeled nnz. The
+  /// sampler's O(nnz) compute charges use this.
+  virtual double avg_row_nnz() const {
+    return row_width() > 0 ? static_cast<double>(row_width() - 1) : 0.0;
+  }
+
+  /// Mass tolerance the store's sparse codecs encode with (ignored by
+  /// the dense codecs).
+  virtual float sparse_eps() const { return quant::kDefaultSparseEps; }
 
   /// Populate a row before the first read. Not timed (setup phase).
   virtual void init_row(std::uint64_t key, std::span<const float> value) = 0;

@@ -11,9 +11,21 @@
 // Rows are stored *encoded* with the configured RowCodec
 // (quant/row_codec.h); every byte-proportional cost — the coalesced
 // remote messages, the local memory stream, shard re-homing — charges
-// value_bytes() per row, which is how the lossy codecs buy their modeled
-// speedup. The default kFloat32 codec stores raw float rows and charges
-// exactly the pre-codec byte counts.
+// the bytes a row actually occupies, which is how the lossy codecs buy
+// their modeled speedup. For the dense codecs that is value_bytes() per
+// row exactly as before; for the sparse top-R codecs each row charges
+// its own quant::row_bytes() (header + indices + kept values + tail),
+// tracked per row as writes re-encode, so the wire cost follows the
+// rows' true sparsity even though storage keeps fixed capacity slots.
+// The default kFloat32 codec stores raw float rows and charges exactly
+// the pre-codec byte counts.
+//
+// A *phantom* sparse store holds no rows to measure, so it charges a
+// modeled per-row size instead: `sparse_modeled_nnz` kept entries
+// (0 = auto, clamp(K/16, 8, K)), priced through the same layout
+// formula. Real and phantom stores answer the keyed cost queries with
+// the same formula over per-row bytes, so cost-only runs stay in
+// lockstep with real ones up to the tracked-vs-modeled nnz input.
 //
 // Safety: the algorithm's barrier-separated stages guarantee no
 // read/write or write/write overlap on a row (Section III-B); the store
@@ -36,6 +48,7 @@
 // system).
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "dkv/dkv.h"
@@ -53,7 +66,9 @@ class SimRdmaDkv final : public DkvStore {
   SimRdmaDkv(std::uint64_t num_rows, std::uint32_t row_width,
              unsigned num_shards, const sim::NetworkModel& net,
              const sim::ComputeModel& node, bool phantom = false,
-             quant::RowCodec codec = quant::RowCodec::kFloat32);
+             quant::RowCodec codec = quant::RowCodec::kFloat32,
+             float sparse_eps = quant::kDefaultSparseEps,
+             std::uint32_t sparse_modeled_nnz = 0);
 
   std::uint64_t num_rows() const override { return partition_.num_rows(); }
   std::uint32_t row_width() const override { return row_width_; }
@@ -105,6 +120,25 @@ class SimRdmaDkv final : public DkvStore {
     return (c - 1.0) / c;
   }
 
+  /// Average bytes one row currently costs on the wire: value_bytes()
+  /// for the dense codecs; the tracked mean of quant::row_bytes() over
+  /// all stored rows for a real sparse store; modeled_row_bytes() for a
+  /// phantom sparse store. The FT snapshot wire model and the count-based
+  /// cost queries price rows through this.
+  double avg_row_wire_bytes() const override;
+
+  /// Average kept pi entries per row (K for dense codecs; tracked mean
+  /// for real sparse stores, the modeled nnz for phantom ones). The
+  /// sampler's O(nnz) compute charges use this.
+  double avg_row_nnz() const override;
+
+  /// Modeled per-row wire bytes of a phantom sparse store (equals
+  /// value_bytes() for dense codecs).
+  std::size_t modeled_row_bytes() const { return modeled_row_bytes_; }
+
+  /// Mass tolerance handed to quant::encode_row for the sparse codecs.
+  float sparse_eps() const override { return sparse_eps_; }
+
   /// Install (or clear, with nullptr) fault hooks: coalesced messages to
   /// a stalled shard pay the plan's extra service delay. `clocks` supplies
   /// the requester's virtual time; shard s is served by the rank at index
@@ -140,20 +174,28 @@ class SimRdmaDkv final : public DkvStore {
 
  private:
 
-  /// Locality census of a key batch: local/remote row counts plus the
-  /// number of distinct remote shards the batch touches (the message count
-  /// under request coalescing).
+  /// Locality census of a key batch: local/remote row counts and bytes,
+  /// plus the number of distinct remote shards the batch touches (the
+  /// message count under request coalescing).
   struct KeyTally {
     std::uint64_t local = 0;
     std::uint64_t remote = 0;
+    std::uint64_t local_bytes = 0;
+    std::uint64_t remote_bytes = 0;
     std::uint64_t shards_contacted = 0;
     /// Injected extra service delay summed over stalled contacted shards.
     double stall_s = 0.0;
   };
   KeyTally tally_keys(unsigned shard, std::span<const std::uint64_t> keys,
                       double now) const;
-  double coalesced_cost(std::uint64_t local_rows, std::uint64_t remote_rows,
+  double coalesced_cost(std::uint64_t local_bytes, std::uint64_t remote_bytes,
                         std::uint64_t shards_contacted) const;
+  /// Wire bytes key currently charges (actual for real sparse stores,
+  /// modeled for phantom ones, value_bytes() for dense codecs).
+  std::size_t key_bytes(std::uint64_t key) const;
+  /// Maintain the tracked byte/nnz totals around a row (re-)encode.
+  void untrack_row(std::uint64_t key);
+  void track_row(std::uint64_t key);
   /// Count one batch operation on the requester's metrics lane.
   void record_batch(unsigned requester_shard, std::uint64_t local_rows,
                     std::uint64_t remote_rows, std::uint64_t messages,
@@ -177,6 +219,16 @@ class SimRdmaDkv final : public DkvStore {
   bool phantom_;
   quant::RowCodec codec_;
   std::size_t value_bytes_;
+  float sparse_eps_;
+  /// True iff this store tracks per-row actual bytes (real + sparse).
+  bool track_sparse_ = false;
+  std::uint32_t modeled_nnz_ = 0;
+  std::size_t modeled_row_bytes_ = 0;
+  /// Running totals of quant::row_bytes / row_nnz over all stored rows;
+  /// relaxed atomics because simulated rank threads share the store (the
+  /// stage discipline keeps row writes disjoint, but the totals aren't).
+  std::atomic<std::uint64_t> total_row_bytes_{0};
+  std::atomic<std::uint64_t> total_row_nnz_{0};
   std::vector<std::byte> data_;
   std::vector<unsigned> remap_;  // shard -> effective shard; empty = identity
   const sim::FaultHooks* fault_ = nullptr;

@@ -23,6 +23,7 @@ const char* metric_name(Metric m) {
     case Metric::kDkvMisses: return "dkv_misses";
     case Metric::kRedoneIterations: return "redone_iterations";
     case Metric::kRecoveries: return "recoveries";
+    case Metric::kDkvEvictions: return "dkv_evictions";
     case Metric::kCount: break;
   }
   return "?";

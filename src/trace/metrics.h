@@ -36,6 +36,7 @@ enum class Metric : std::size_t {
   kDkvMisses,         // CachedDkv rows forwarded to the backing store
   kRedoneIterations,  // iterations re-run after fault recovery
   kRecoveries,        // rank-death recovery events handled
+  kDkvEvictions,      // cached rows displaced by LRU capacity pressure
   kCount
 };
 

@@ -55,6 +55,11 @@ ProbeResult run_probe(const TuneWorkload& workload,
   options.pipeline = config.pipeline;
   options.dkv_cache_rows = config.dkv_cache_rows;
   options.pi_codec = config.pi_codec;
+  if (config.sparse_eps > 0.0) {
+    // Sparsity > 0 lifts the dense value codec to its sparse variant.
+    options.pi_codec = quant::sparse_codec_for(config.pi_codec);
+    options.sparse_eps = static_cast<float>(config.sparse_eps);
+  }
   options.trace = &recorder;
 
   core::DistributedSampler sampler(cluster, phantom, hyper, options);

@@ -25,7 +25,8 @@ void append_config(std::ostringstream& os, const TuneConfig& c) {
      << ", \"minibatch_vertices\": " << c.minibatch_vertices
      << ", \"dkv_cache_rows\": " << c.dkv_cache_rows
      << ", \"alias_draw\": " << (c.alias_draw ? 1 : 0)
-     << ", \"pi_codec\": " << quoted(quant::codec_name(c.pi_codec)) << "}";
+     << ", \"pi_codec\": " << quoted(quant::codec_name(c.pi_codec))
+     << ", \"sparse_eps\": " << num(c.sparse_eps) << "}";
 }
 
 void append_probe(std::ostringstream& os, const ProbeResult& p,

@@ -1,6 +1,7 @@
 #include "tune/search_space.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "util/error.h"
 
@@ -15,6 +16,7 @@ const char* dim_name(Dim d) {
     case Dim::kDkvCacheRows: return "dkv_cache_rows";
     case Dim::kAliasDraw: return "alias_draw";
     case Dim::kPiCodec: return "pi_codec";
+    case Dim::kSparsity: return "sparsity";
     case Dim::kCount: break;
   }
   return "?";
@@ -27,7 +29,11 @@ std::string TuneConfig::key() const {
          std::to_string(minibatch_vertices) +
          " cache=" + std::to_string(dkv_cache_rows) +
          " alias=" + std::to_string(alias_draw ? 1 : 0) +
-         " codec=" + quant::codec_name(pi_codec);
+         " codec=" + quant::codec_name(pi_codec) + " seps=" + [this] {
+           char buf[32];
+           std::snprintf(buf, sizeof buf, "%g", sparse_eps);
+           return std::string(buf);
+         }();
 }
 
 std::uint64_t SearchSpace::grid_size() const {
@@ -50,6 +56,8 @@ TuneConfig SearchSpace::materialize(const ConfigIndex& index) const {
   c.dkv_cache_rows = dim(Dim::kDkvCacheRows)[index[4]];
   c.alias_draw = dim(Dim::kAliasDraw)[index[5]] != 0;
   c.pi_codec = static_cast<quant::RowCodec>(dim(Dim::kPiCodec)[index[6]]);
+  c.sparse_eps =
+      static_cast<double>(dim(Dim::kSparsity)[index[7]]) / 10000.0;
   return c;
 }
 
@@ -76,6 +84,14 @@ void SearchSpace::validate() const {
     SCD_REQUIRE(v < quant::kNumCodecs,
                 "search space: pi_codec values must be quant::RowCodec"
                 " enumerators");
+    SCD_REQUIRE(!quant::is_sparse(static_cast<quant::RowCodec>(v)),
+                "search space: pi_codec lists dense value codecs; "
+                "sparsity > 0 lifts them to the sparse variant");
+  }
+  for (const std::uint64_t v : dim(Dim::kSparsity)) {
+    SCD_REQUIRE(v < 10000,
+                "search space: sparsity values are eps basis points in "
+                "[0, 10000)");
   }
 }
 
@@ -97,6 +113,8 @@ SearchSpace SearchSpace::default_space(std::uint64_t num_vertices) {
       static_cast<std::uint64_t>(quant::RowCodec::kFloat32),
       static_cast<std::uint64_t>(quant::RowCodec::kFp16),
       static_cast<std::uint64_t>(quant::RowCodec::kInt8)};
+  // Sparse top-R eps in basis points: dense, tight (0.01), loose (0.05).
+  s.dim(Dim::kSparsity) = {0, 100, 500};
   s.validate();
   return s;
 }

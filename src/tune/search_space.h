@@ -1,6 +1,6 @@
 // The autotuner's configuration grid.
 //
-// Seven dimensions, each a small ordered value list; a concrete
+// Eight dimensions, each a small ordered value list; a concrete
 // configuration is one index per dimension (ConfigIndex). The grid is
 // the cartesian product — typically a few hundred points — and the
 // tuner's whole job is to probe a small fraction of it. DKV shards are
@@ -26,6 +26,7 @@ enum class Dim : std::size_t {
   kDkvCacheRows,        // DistributedOptions::dkv_cache_rows
   kAliasDraw,           // MinibatchSampler::Options::alias_anchor (0/1)
   kPiCodec,             // DistributedOptions::pi_codec (quant::RowCodec)
+  kSparsity,            // sparse top-R eps in basis points (0 = dense)
   kCount
 };
 
@@ -45,9 +46,13 @@ struct TuneConfig {
   std::uint64_t dkv_cache_rows = 0;
   bool alias_draw = false;
   quant::RowCodec pi_codec = quant::RowCodec::kFloat32;
+  /// Sparse top-R mass tolerance; 0 keeps `pi_codec` dense, > 0 lifts it
+  /// to the matching sparse codec (quant::sparse_codec_for) with this
+  /// eps. Stored in the grid as basis points (kSparsity / 10000).
+  double sparse_eps = 0.0;
 
   /// Compact human/JSON label, e.g.
-  /// "w8 t16 pipe=1 M4096 cache=0 alias=0 codec=fp32".
+  /// "w8 t16 pipe=1 M4096 cache=0 alias=0 codec=fp32 seps=0".
   std::string key() const;
 };
 
@@ -75,8 +80,8 @@ struct SearchSpace {
 
   /// The stock grid `scd tune` searches: workers {4, 8, 16, 32},
   /// threads {4, 8, 16}, pipeline {off, on}, M {2048..16384}, cache
-  /// {none, N/64, N/4}, alias {off, on}, pi codec {fp32, fp16, int8}
-  /// — 1728 points.
+  /// {none, N/64, N/4}, alias {off, on}, pi codec {fp32, fp16, int8},
+  /// sparsity {dense, eps 0.01, eps 0.05} — 5184 points.
   static SearchSpace default_space(std::uint64_t num_vertices);
 };
 

@@ -154,6 +154,60 @@ TEST(QuantCheckpointTest, UnknownCodecTagRejected) {
   EXPECT_THROW(checkpoint_from_bytes(bytes), scd::DataError);
 }
 
+// Resuming a run from a checkpoint whose codec disagrees with the run's
+// configured pi codec must fail loudly, naming both codecs — silently
+// re-encoding lossy state would corrupt the trajectory's provenance.
+// Every (checkpoint codec, run codec) pair is exercised: the diagonal
+// must construct cleanly, everything off it must throw.
+TEST(QuantDistributedTest, ResumeRejectsMismatchedCheckpointCodec) {
+  auto f = small_planted_fixture(907, 150, 4, 80);
+  sim::SimCluster::Config cc;
+  cc.num_ranks = 3;
+
+  Checkpoint cp;
+  cp.iteration = 10;
+  cp.hyper = f.hyper;
+  cp.pi = PiMatrix(150, 4);
+  cp.pi.init_random(31);
+  cp.global = GlobalState(4);
+  cp.global.init_random(31, f.hyper);
+
+  const RowCodec all[] = {RowCodec::kFloat32,        RowCodec::kFp16,
+                          RowCodec::kInt8,           RowCodec::kSparseTopR,
+                          RowCodec::kSparseTopRFp16, RowCodec::kSparseTopRInt8};
+  for (const RowCodec cp_codec : all) {
+    cp.pi_codec = cp_codec;
+    for (const RowCodec run_codec : all) {
+      sim::SimCluster cluster(cc);
+      DistributedOptions options;
+      options.base = f.options;
+      options.pi_codec = run_codec;
+      options.resume_from = &cp;
+      if (cp_codec == run_codec) {
+        EXPECT_NO_THROW(DistributedSampler(cluster, f.split->training(),
+                                           f.split.get(), f.hyper, options))
+            << quant::codec_name(cp_codec);
+      } else {
+        try {
+          DistributedSampler dist(cluster, f.split->training(),
+                                  f.split.get(), f.hyper, options);
+          FAIL() << "mismatch accepted: checkpoint "
+                 << quant::codec_name(cp_codec) << " vs run "
+                 << quant::codec_name(run_codec);
+        } catch (const scd::UsageError& e) {
+          const std::string what = e.what();
+          EXPECT_NE(what.find(quant::codec_name(cp_codec)),
+                    std::string::npos)
+              << what;
+          EXPECT_NE(what.find(quant::codec_name(run_codec)),
+                    std::string::npos)
+              << what;
+        }
+      }
+    }
+  }
+}
+
 // On a comms-bound workload where pi transfer dominates the iteration,
 // the tuner must discover that quantizing the DKV rows is a win: the
 // best configuration uses a lossy codec (int8 strictly dominates on the
@@ -173,6 +227,7 @@ TEST(QuantTuneTest, TunerPicksLossyCodecWhenCommsBound) {
   s.dim(tune::Dim::kDkvCacheRows) = {0};
   s.dim(tune::Dim::kAliasDraw) = {0};
   s.dim(tune::Dim::kPiCodec) = {0, 1, 2};
+  s.dim(tune::Dim::kSparsity) = {0};
   s.validate();
 
   const tune::TuneResult result = tune::tune(w, s);

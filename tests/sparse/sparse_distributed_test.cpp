@@ -1,0 +1,233 @@
+// End-to-end sparse codec behavior: deterministic distributed runs,
+// bounded perplexity drift against fp32, and the version-3 checkpoint
+// format with its length-prefixed sparse rows and codec provenance.
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/distributed_sampler.h"
+#include "quant/row_codec.h"
+#include "tests/core/test_fixtures.h"
+#include "util/error.h"
+
+namespace scd::core {
+namespace {
+
+using quant::RowCodec;
+using testing::small_planted_fixture;
+
+constexpr RowCodec kSparseCodecs[] = {RowCodec::kSparseTopR,
+                                      RowCodec::kSparseTopRFp16,
+                                      RowCodec::kSparseTopRInt8};
+
+DistributedResult run_with_codec(RowCodec codec,
+                                 std::uint64_t iterations = 60) {
+  auto f = small_planted_fixture(907, 150, 4, 80);
+  f.options.eval_interval = 20;
+  sim::SimCluster::Config cc;
+  cc.num_ranks = 5;
+  sim::SimCluster cluster(cc);
+  DistributedOptions options;
+  options.base = f.options;
+  options.chunk_vertices = 8;
+  options.pi_codec = codec;
+  DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                          f.hyper, options);
+  return dist.run(iterations);
+}
+
+TEST(SparseDistributedTest, RunsAreBitDeterministicPerCodec) {
+  for (const RowCodec codec : kSparseCodecs) {
+    const DistributedResult a = run_with_codec(codec);
+    const DistributedResult b = run_with_codec(codec);
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (std::size_t i = 0; i < a.history.size(); ++i) {
+      EXPECT_EQ(a.history[i].perplexity, b.history[i].perplexity)
+          << quant::codec_name(codec) << " eval point " << i;
+    }
+  }
+}
+
+// The acceptance gate: the adaptive top-R truncation (and per-vertex
+// re-sparsify on write-back) stays within 1% of the fp32 held-out
+// perplexity once the fixture converges.
+TEST(SparseDistributedTest, SparsePerplexityWithinOnePercentOfFloat) {
+  const double fp32 =
+      run_with_codec(RowCodec::kFloat32, 300).history.back().perplexity;
+  for (const RowCodec codec : kSparseCodecs) {
+    const double perp =
+        run_with_codec(codec, 300).history.back().perplexity;
+    EXPECT_NEAR(perp, fp32, 0.01 * fp32) << quant::codec_name(codec);
+  }
+}
+
+/// Checkpoint whose pi rows concentrate their mass (the converged shape
+/// sparse encodings exist for); `support` heavy communities per vertex.
+Checkpoint make_concentrated_checkpoint(std::uint32_t n = 40,
+                                        std::uint32_t k = 64,
+                                        std::uint32_t support = 4) {
+  Checkpoint c;
+  c.iteration = 1234;
+  c.hyper.num_communities = k;
+  c.hyper.alpha = 0.05;
+  c.hyper.delta = 1e-4;
+  c.pi = PiMatrix(n, k);
+  c.pi.init_random(23);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::span<float> row = c.pi.row(v);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      row[i] = 0.002f / static_cast<float>(k);
+    }
+    for (std::uint32_t s = 0; s < support; ++s) {
+      row[(v + s * (k / support)) % k] =
+          0.998f / static_cast<float>(support);
+    }
+    row[k] = 20.0f + static_cast<float>(v);
+  }
+  c.global = GlobalState(k);
+  c.global.init_random(23, c.hyper);
+  return c;
+}
+
+TEST(SparseCheckpointTest, Version3RoundTripsAndRecordsProvenance) {
+  const Checkpoint c = make_concentrated_checkpoint();
+  const std::string fp32_bytes = checkpoint_to_bytes(c);
+  for (const RowCodec codec : kSparseCodecs) {
+    const std::string bytes = checkpoint_to_bytes(c, codec, 0.01f);
+    std::uint32_t version;
+    std::memcpy(&version, bytes.data() + 8, sizeof(version));
+    EXPECT_EQ(version, 3u) << quant::codec_name(codec);
+    // Length-prefixed rows: concentrated pi shrinks the file far below
+    // the fp32 format (and below the dense-fallback capacity).
+    EXPECT_LT(bytes.size(), fp32_bytes.size() / 2)
+        << quant::codec_name(codec);
+
+    const Checkpoint loaded = checkpoint_from_bytes(bytes);
+    EXPECT_EQ(loaded.iteration, c.iteration);
+    EXPECT_EQ(loaded.pi_codec, codec) << "provenance";
+    // Rows decode exactly like the codec's own round trip.
+    std::vector<std::byte> enc(
+        quant::encoded_bytes(codec, c.pi.row_width()));
+    std::vector<float> ref(c.pi.row_width());
+    for (std::uint32_t v = 0; v < c.pi.num_vertices(); ++v) {
+      quant::encode_row(codec, c.pi.row(v), enc, 0.01f);
+      quant::decode_row(codec, enc, ref);
+      for (std::uint32_t i = 0; i < c.pi.row_width(); ++i) {
+        ASSERT_EQ(loaded.pi.row(v)[i], ref[i])
+            << quant::codec_name(codec) << " v=" << v << " i=" << i;
+      }
+    }
+    // Theta stays exact regardless of the pi codec.
+    for (std::uint32_t j = 0; j < 64; ++j) {
+      EXPECT_EQ(loaded.global.theta(j, 0), c.global.theta(j, 0));
+      EXPECT_EQ(loaded.global.theta(j, 1), c.global.theta(j, 1));
+    }
+  }
+}
+
+TEST(SparseCheckpointTest, DenseFallbackRowsSurviveTheV3Format) {
+  // Near-uniform rows store dense-fallback payloads; the length-prefixed
+  // reader must handle capacity-sized rows too.
+  Checkpoint c = make_concentrated_checkpoint(8, 32, 4);
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    std::span<float> row = c.pi.row(v);
+    for (std::uint32_t i = 0; i < 32; ++i) row[i] = 1.0f / 32.0f;
+  }
+  const std::string bytes =
+      checkpoint_to_bytes(c, RowCodec::kSparseTopR, 0.01f);
+  const Checkpoint loaded = checkpoint_from_bytes(bytes);
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    for (std::uint32_t i = 0; i < c.pi.row_width(); ++i) {
+      ASSERT_EQ(loaded.pi.row(v)[i], c.pi.row(v)[i]) << "v=" << v;
+    }
+  }
+}
+
+// The codec tag is the uint32 after magic(8) + version(4) +
+// iteration(8) + K(4) + four hyper doubles(32) + vertex count(4).
+constexpr std::size_t kTagOffset = 60;
+
+TEST(SparseCheckpointTest, Version3RejectsDenseCodecTag) {
+  std::string bytes = checkpoint_to_bytes(make_concentrated_checkpoint(),
+                                          RowCodec::kSparseTopR, 0.01f);
+  const std::uint32_t dense_tag =
+      static_cast<std::uint32_t>(RowCodec::kInt8);
+  std::memcpy(bytes.data() + kTagOffset, &dense_tag, sizeof(dense_tag));
+  EXPECT_THROW(checkpoint_from_bytes(bytes), scd::DataError);
+}
+
+TEST(SparseCheckpointTest, Version2RejectsSparseCodecTag) {
+  std::string bytes = checkpoint_to_bytes(make_concentrated_checkpoint(),
+                                          RowCodec::kInt8);
+  const std::uint32_t sparse_tag =
+      static_cast<std::uint32_t>(RowCodec::kSparseTopR);
+  std::memcpy(bytes.data() + kTagOffset, &sparse_tag, sizeof(sparse_tag));
+  EXPECT_THROW(checkpoint_from_bytes(bytes), scd::DataError);
+}
+
+TEST(SparseCheckpointTest, Version3RejectsCorruptRowLengths) {
+  const std::string good = checkpoint_to_bytes(
+      make_concentrated_checkpoint(), RowCodec::kSparseTopR, 0.01f);
+  // The first row's uint32 length prefix sits right after the tag.
+  constexpr std::size_t kFirstRowLength = kTagOffset + 4;
+  {
+    std::string bytes = good;
+    const std::uint32_t zero = 0;
+    std::memcpy(bytes.data() + kFirstRowLength, &zero, sizeof(zero));
+    EXPECT_THROW(checkpoint_from_bytes(bytes), scd::DataError);
+  }
+  {
+    std::string bytes = good;
+    const std::uint32_t huge = 1u << 30;
+    std::memcpy(bytes.data() + kFirstRowLength, &huge, sizeof(huge));
+    EXPECT_THROW(checkpoint_from_bytes(bytes), scd::DataError);
+  }
+  // Truncated file: drop the trailing bytes of the last row.
+  {
+    const std::string bytes = good.substr(0, good.size() - 5);
+    EXPECT_THROW(checkpoint_from_bytes(bytes), scd::DataError);
+  }
+}
+
+TEST(SparseDistributedTest, ResumedRunContinuesDeterministically) {
+  auto f = small_planted_fixture(907, 150, 4, 80);
+  f.options.eval_interval = 20;
+  Checkpoint cp;
+  cp.iteration = 0;
+  cp.hyper = f.hyper;
+  cp.pi = PiMatrix(150, 4);
+  cp.pi.init_random(37);
+  cp.global = GlobalState(4);
+  cp.global.init_random(37, f.hyper);
+  cp.pi_codec = RowCodec::kSparseTopR;
+
+  auto run_resumed = [&] {
+    sim::SimCluster::Config cc;
+    cc.num_ranks = 5;
+    sim::SimCluster cluster(cc);
+    DistributedOptions options;
+    options.base = f.options;
+    options.chunk_vertices = 8;
+    options.pi_codec = RowCodec::kSparseTopR;
+    options.resume_from = &cp;
+    DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                            f.hyper, options);
+    return dist.run(40);
+  };
+  const DistributedResult a = run_resumed();
+  const DistributedResult b = run_resumed();
+  ASSERT_EQ(a.history.size(), b.history.size());
+  ASSERT_FALSE(a.history.empty());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].perplexity, b.history[i].perplexity)
+        << "eval point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace scd::core

@@ -37,8 +37,9 @@ SearchSpace comms_bound_space(const TuneWorkload& w) {
   s.dim(Dim::kDkvCacheRows) = {0, w.num_vertices / 2};
   s.dim(Dim::kAliasDraw) = {0, 1};
   s.dim(Dim::kPiCodec) = {0};  // fp32 only; keeps the grid at 64 points
+  s.dim(Dim::kSparsity) = {0};
   s.validate();
-  return s;  // grid: 4 * 1 * 2 * 2 * 2 * 2 * 1 = 64
+  return s;  // grid: 4 * 1 * 2 * 2 * 2 * 2 * 1 * 1 = 64
 }
 
 /// Compute-bound: many communities on few, single-threaded workers —
@@ -62,8 +63,9 @@ SearchSpace compute_bound_space(const TuneWorkload& w) {
   s.dim(Dim::kDkvCacheRows) = {0, w.num_vertices};
   s.dim(Dim::kAliasDraw) = {0, 1};
   s.dim(Dim::kPiCodec) = {0};  // fp32 only; keeps the grid at 192 points
+  s.dim(Dim::kSparsity) = {0};
   s.validate();
-  return s;  // grid: 3 * 4 * 2 * 2 * 2 * 2 * 1 = 192
+  return s;  // grid: 3 * 4 * 2 * 2 * 2 * 2 * 1 * 1 = 192
 }
 
 /// Ground truth by brute force: probe every grid point.
@@ -144,7 +146,7 @@ TEST(TuneTest, ComputeBoundWorkloadMeetsAcceptanceCriteria) {
 
 TEST(TuneTest, SearchSpaceMaterializesAndValidates) {
   const SearchSpace s = SearchSpace::default_space(1u << 20);
-  EXPECT_EQ(s.grid_size(), 4u * 3 * 2 * 4 * 3 * 2 * 3);
+  EXPECT_EQ(s.grid_size(), 4u * 3 * 2 * 4 * 3 * 2 * 3 * 3);
   ConfigIndex index{};
   const TuneConfig base = s.materialize(index);
   EXPECT_EQ(base.workers, 4u);
@@ -154,7 +156,9 @@ TEST(TuneTest, SearchSpaceMaterializesAndValidates) {
   EXPECT_EQ(base.dkv_cache_rows, 0u);
   EXPECT_FALSE(base.alias_draw);
   EXPECT_EQ(base.pi_codec, quant::RowCodec::kFloat32);
-  EXPECT_EQ(base.key(), "w4 t4 pipe=0 M2048 cache=0 alias=0 codec=fp32");
+  EXPECT_EQ(base.sparse_eps, 0.0);
+  EXPECT_EQ(base.key(),
+            "w4 t4 pipe=0 M2048 cache=0 alias=0 codec=fp32 seps=0");
 
   SearchSpace bad = s;
   bad.dim(Dim::kWorkers).clear();

@@ -3,12 +3,19 @@
 
 Usage:
     check_bench.py --bench <binary> --baseline <committed.json> \
-        [--tolerance 0.20]
+        [--tolerance 0.20] [--tolerance-override metric=pct ...]
 
 Runs `<binary> --json <tmpfile>`, then recursively compares every numeric
 field against the committed baseline. Exits 1 if any value drifts by more
 than `tolerance` relative to the baseline (or if the document structure
-changed). Non-numeric fields must match exactly.
+changed). Non-numeric fields must match exactly. Each failure names the
+metric that drifted and by how much.
+
+`--tolerance-override metric=pct` (repeatable) widens or tightens the
+bound for individual metrics: `metric` matches a field's leaf key or a
+substring of its dotted path, `pct` is the relative drift fraction (e.g.
+`--tolerance-override perplexity=0.02` holds perplexity to 2% while the
+timing fields keep the global tolerance).
 
 The modeled benches are deterministic (fixed seeds, virtual time), so any
 drift means a code change altered the cost model or the replayed traffic
@@ -23,7 +30,16 @@ import tempfile
 from pathlib import Path
 
 
-def compare(baseline, fresh, tolerance, path, failures):
+def tolerance_for(path, key, default, overrides):
+    """Pick the tolerance for one field: an override whose name equals the
+    leaf key or appears in the dotted path wins; otherwise the default."""
+    for name, tol in overrides.items():
+        if name == key or name in path:
+            return tol
+    return default
+
+
+def compare(baseline, fresh, tolerance, path, failures, overrides, key=""):
     """Recursively compare `fresh` against `baseline`, appending human-
     readable drift descriptions to `failures`."""
     if isinstance(baseline, dict):
@@ -34,7 +50,8 @@ def compare(baseline, fresh, tolerance, path, failures):
             if key not in fresh:
                 failures.append(f"{path}.{key}: missing from fresh run")
             else:
-                compare(baseline[key], fresh[key], tolerance, f"{path}.{key}", failures)
+                compare(baseline[key], fresh[key], tolerance, f"{path}.{key}",
+                        failures, overrides, key)
         for key in fresh:
             if key not in baseline:
                 failures.append(f"{path}.{key}: not in baseline (regenerate it?)")
@@ -47,7 +64,7 @@ def compare(baseline, fresh, tolerance, path, failures):
                 f"{path}: length {len(fresh)} != baseline {len(baseline)}")
             return
         for i, (b, f) in enumerate(zip(baseline, fresh)):
-            compare(b, f, tolerance, f"{path}[{i}]", failures)
+            compare(b, f, tolerance, f"{path}[{i}]", failures, overrides, key)
     elif isinstance(baseline, bool) or not isinstance(baseline, (int, float)):
         if baseline != fresh:
             failures.append(f"{path}: '{fresh}' != baseline '{baseline}'")
@@ -55,6 +72,7 @@ def compare(baseline, fresh, tolerance, path, failures):
         if not isinstance(fresh, (int, float)) or isinstance(fresh, bool):
             failures.append(f"{path}: expected number, got {fresh!r}")
             return
+        tolerance = tolerance_for(path, key, tolerance, overrides)
         if baseline == 0:
             # Exact-zero fields (e.g. parity_max_rel_err) have no scale to
             # be relative against; any nonzero value is a failure.
@@ -76,7 +94,25 @@ def main():
                         help="committed JSON baseline to diff against")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="max allowed relative drift (default 0.20)")
+    parser.add_argument("--tolerance-override", action="append", default=[],
+                        metavar="METRIC=PCT",
+                        help="per-metric drift bound, e.g. perplexity=0.02; "
+                             "METRIC matches a leaf key or path substring "
+                             "(repeatable)")
     args = parser.parse_args()
+
+    overrides = {}
+    for spec in args.tolerance_override:
+        name, sep, pct = spec.partition("=")
+        try:
+            if not sep or not name:
+                raise ValueError
+            overrides[name] = float(pct)
+        except ValueError:
+            print(f"check_bench: bad --tolerance-override '{spec}' "
+                  f"(expected METRIC=PCT, e.g. perplexity=0.02)",
+                  file=sys.stderr)
+            return 2
 
     baseline_path = Path(args.baseline)
     if not baseline_path.is_file():
@@ -115,7 +151,7 @@ def main():
         fresh_path.unlink(missing_ok=True)
 
     failures = []
-    compare(baseline, fresh, args.tolerance, "$", failures)
+    compare(baseline, fresh, args.tolerance, "$", failures, overrides)
     name = Path(args.bench).name
     if failures:
         print(f"check_bench: {name} drifted from {baseline_path.name}:")

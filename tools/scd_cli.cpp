@@ -294,6 +294,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   std::uint64_t seed = 1;
   bool no_pipeline = false;
   std::string pi_codec = "fp32";
+  double sparse_eps = quant::kDefaultSparseEps;
   std::string fault_plan_path;
   std::string trace_out;
   ArgParser parser("scd simulate",
@@ -306,7 +307,11 @@ int cmd_simulate(int argc, const char* const* argv) {
       .add_flag("no-pipeline", &no_pipeline, "disable double buffering")
       .add_string("pi-codec", &pi_codec,
                   "pi row codec in the DKV and on the wire:"
-                  " fp32 (exact), fp16, or int8")
+                  " fp32 (exact), fp16, int8, sparse-topr,"
+                  " sparse-topr-fp16, or sparse-topr-int8")
+      .add_double("sparse-eps", &sparse_eps,
+                  "sparse codecs: top-R mass tolerance per row"
+                  " (smaller = denser rows)")
       .add_string("fault-plan", &fault_plan_path,
                   "JSON fault schedule; switches to a real-inference"
                   " planted-graph chaos run")
@@ -325,6 +330,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   core::DistributedOptions options;
   options.pipeline = !no_pipeline;
   options.pi_codec = quant::codec_from_name(pi_codec);
+  options.sparse_eps = static_cast<float>(sparse_eps);
   std::unique_ptr<trace::TraceRecorder> recorder;
   if (!trace_out.empty()) {
     recorder = std::make_unique<trace::TraceRecorder>(config.num_ranks);

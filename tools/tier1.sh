@@ -8,30 +8,44 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Each step's wall time is recorded here and printed as a summary at the
+# end, so slow suites are visible without scrolling through ctest logs.
+SUMMARY=()
+timed() {  # timed <name> <command...>
+  local name=$1; shift
+  local t0=$SECONDS
+  "$@"
+  SUMMARY+=("$(printf '%-28s %4ds' "$name" $((SECONDS - t0)))")
+}
+
+# The labeled suites (chaos, tune, quant, sparse) are run by label so a
+# mislabeled/undiscovered suite fails loudly instead of silently
+# shrinking the full run:
+#   chaos  — fault injection + recovery
+#   tune   — autotuner acceptance (tuned-vs-exhaustive)
+#   quant  — pi-row quantization incl. the perplexity-tolerance gate
+#   sparse — sparse top-R codec, kernels, DKV accounting, checkpoints
+run_preset() {  # run_preset <preset>
+  local preset=$1
+  timed "$preset: full suite" ctest --preset "$preset" -j
+  local label
+  for label in chaos tune quant sparse; do
+    timed "$preset: -L $label" \
+      ctest --preset "$preset" -L "$label" --no-tests=error \
+        --output-on-failure
+  done
+}
+
 echo "== tier-1: default preset =="
-cmake --preset default
-cmake --build --preset default -j
-ctest --preset default -j
-# The chaos suite (fault injection + recovery) carries its own ctest
-# label; run it by label so a mislabeled/undiscovered suite fails loudly
-# instead of silently shrinking the full run above.
-ctest --preset default -L chaos --no-tests=error --output-on-failure
-# Likewise the autotuner acceptance suite (tuned-vs-exhaustive on the
-# comms- and compute-bound workloads) — labeled `tune`.
-ctest --preset default -L tune --no-tests=error --output-on-failure
-# And the pi-row quantization suite — labeled `quant`. Includes the
-# perplexity-tolerance gate: lossy codecs within 1% of fp32 held-out
-# perplexity, fp32 bit-identical to the float path.
-ctest --preset default -L quant --no-tests=error --output-on-failure
+timed "default: configure+build" bash -c \
+  'cmake --preset default && cmake --build --preset default -j'
+run_preset default
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "== tier-1: asan preset =="
-  cmake --preset asan
-  cmake --build --preset asan -j
-  ctest --preset asan -j
-  ctest --preset asan -L chaos --no-tests=error --output-on-failure
-  ctest --preset asan -L tune --no-tests=error --output-on-failure
-  ctest --preset asan -L quant --no-tests=error --output-on-failure
+  timed "asan: configure+build" bash -c \
+    'cmake --preset asan && cmake --build --preset asan -j'
+  run_preset asan
 fi
 
 # Bench drift guard: diff the deterministic modeled benches against their
@@ -39,6 +53,10 @@ fi
 # preset builds with SCD_BUILD_BENCH=OFF (and drift is build-type
 # independent anyway: the benches measure virtual time, not wall time).
 echo "== tier-1: bench baselines =="
-cmake --build --preset default -j --target check_bench
+timed "default: check_bench" \
+  cmake --build --preset default -j --target check_bench
+
+echo "== tier-1: wall-time summary =="
+for line in "${SUMMARY[@]}"; do echo "  $line"; done
 
 echo "tier-1: all green"
