@@ -39,6 +39,38 @@ T read_pod(std::istream& in) {
   return value;
 }
 
+/// Sanity cap on K: a header beyond this is certainly garbage, and
+/// rejecting it here keeps a corrupt uint32 from driving a ~2^37-byte
+/// PiMatrix allocation (and keeps K + 1 row-width arithmetic safe).
+constexpr std::uint32_t kMaxCommunities = 1u << 24;
+
+/// Bytes left in the stream, or -1 when the stream is not seekable.
+std::int64_t stream_remaining(std::istream& in) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return -1;
+  return static_cast<std::int64_t>(end - pos);
+}
+
+/// Reject a header whose promised body cannot fit in the remaining
+/// stream BEFORE sizing any allocation from it: a corrupt n or k must
+/// produce a clear DataError, not a multi-gigabyte resize or a
+/// half-filled matrix. `body_bytes` is a lower bound (exact for v1/v2,
+/// conservative for v3's variably sized rows); a checkpoint embedded in
+/// a longer stream stays loadable.
+void require_body_fits(std::istream& in, std::uint64_t body_bytes) {
+  const std::int64_t remaining = stream_remaining(in);
+  if (remaining < 0) return;  // non-seekable: per-row checks still apply
+  if (static_cast<std::uint64_t>(remaining) < body_bytes) {
+    throw DataError("checkpoint truncated or corrupt: header promises " +
+                    std::to_string(body_bytes) + " body bytes but only " +
+                    std::to_string(remaining) + " remain");
+  }
+}
+
 }  // namespace
 
 void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint,
@@ -121,19 +153,47 @@ Checkpoint load_checkpoint(std::istream& in) {
   const auto n = read_pod<std::uint32_t>(in);
   const std::uint32_t k = checkpoint.hyper.num_communities;
   if (n == 0) throw DataError("checkpoint has zero vertices");
-  checkpoint.pi = PiMatrix(n, k);
-  if (version == kVersionSparse) {
+  if (k > kMaxCommunities) {
+    throw DataError("checkpoint K " + std::to_string(k) +
+                    " exceeds the sanity cap " +
+                    std::to_string(kMaxCommunities));
+  }
+  const std::uint32_t width = k + 1;  // [pi | phi_sum]
+  const std::uint64_t theta_bytes = std::uint64_t{k} * 2 * sizeof(double);
+
+  // Resolve the codec tag (v2/v3) and size-check the promised body
+  // against the stream BEFORE allocating n*width floats from header
+  // fields that may be garbage.
+  quant::RowCodec codec = quant::RowCodec::kFloat32;
+  if (version == kVersionCodec || version == kVersionSparse) {
     const auto tag = read_pod<std::uint32_t>(in);
     if (tag >= quant::kNumCodecs) {
       throw DataError("checkpoint has unknown pi codec tag " +
                       std::to_string(tag));
     }
-    const auto codec = static_cast<quant::RowCodec>(tag);
-    if (!quant::is_sparse(codec)) {
+    codec = static_cast<quant::RowCodec>(tag);
+    if (version == kVersionSparse && !quant::is_sparse(codec)) {
       throw DataError("version-3 checkpoint carries a dense pi codec tag");
     }
-    checkpoint.pi_codec = codec;
-    const std::uint32_t width = checkpoint.pi.row_width();
+    if (version == kVersionCodec && quant::is_sparse(codec)) {
+      throw DataError("version-2 checkpoint carries a sparse pi codec tag");
+    }
+  }
+  if (version == kVersionSparse) {
+    // Lower bound: every row carries at least its uint32 length prefix.
+    require_body_fits(in,
+                      std::uint64_t{n} * sizeof(std::uint32_t) + theta_bytes);
+  } else {
+    const std::uint64_t row_bytes =
+        version == kVersionCodec
+            ? quant::encoded_bytes(codec, width)
+            : std::uint64_t{width} * sizeof(float);
+    require_body_fits(in, std::uint64_t{n} * row_bytes + theta_bytes);
+  }
+
+  checkpoint.pi = PiMatrix(n, k);
+  checkpoint.pi_codec = codec;
+  if (version == kVersionSparse) {
     const std::size_t capacity = quant::encoded_bytes(codec, width);
     // Rows land in a zero-padded capacity slot: decode_row (and the
     // sparse kernels) address the fixed layout, so the suffix beyond the
@@ -153,18 +213,7 @@ Checkpoint load_checkpoint(std::istream& in) {
       quant::decode_row(codec, buf, checkpoint.pi.row(v));
     }
   } else if (version == kVersionCodec) {
-    const auto tag = read_pod<std::uint32_t>(in);
-    if (tag >= quant::kNumCodecs) {
-      throw DataError("checkpoint has unknown pi codec tag " +
-                      std::to_string(tag));
-    }
-    const auto codec = static_cast<quant::RowCodec>(tag);
-    if (quant::is_sparse(codec)) {
-      throw DataError("version-2 checkpoint carries a sparse pi codec tag");
-    }
-    checkpoint.pi_codec = codec;
-    const std::size_t vbytes =
-        quant::encoded_bytes(codec, checkpoint.pi.row_width());
+    const std::size_t vbytes = quant::encoded_bytes(codec, width);
     std::vector<std::byte> buf(vbytes);
     for (std::uint32_t v = 0; v < n; ++v) {
       in.read(reinterpret_cast<char*>(buf.data()),
@@ -177,6 +226,7 @@ Checkpoint load_checkpoint(std::istream& in) {
       auto row = checkpoint.pi.row(v);
       in.read(reinterpret_cast<char*>(row.data()),
               static_cast<std::streamsize>(row.size_bytes()));
+      if (!in) throw DataError("checkpoint truncated");
     }
   }
   checkpoint.global = GlobalState(k);

@@ -1,0 +1,94 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+
+#include "core/kernels_simd.h"
+#include "util/error.h"
+
+namespace scd::serve {
+
+namespace {
+
+inline bool ranks_before(float weight_a, std::uint32_t id_a, float weight_b,
+                         std::uint32_t id_b) {
+  if (weight_a != weight_b) return weight_a > weight_b;
+  return id_a < id_b;
+}
+
+}  // namespace
+
+ServingSnapshots::Ref QueryEngine::current() const {
+  ServingSnapshots::Ref ref = snapshots_.acquire();
+  if (!ref) throw Error("no serving snapshot published yet");
+  return ref;
+}
+
+std::uint32_t QueryEngine::top_communities(std::uint32_t u,
+                                           std::span<TopEntry> out) const {
+  const ServingSnapshots::Ref index = current();
+  SCD_REQUIRE(u < index->num_vertices(), "vertex out of range");
+  const auto k = static_cast<std::uint32_t>(
+      std::min<std::size_t>(out.size(), index->num_communities()));
+  if (k <= index->top_r()) {
+    const std::span<const TopEntry> list = index->top_list(u);
+    std::copy_n(list.begin(), k, out.begin());
+    return k;
+  }
+  // Exact fallback: rank the full dense row. The scratch is thread-local
+  // so deep queries stay allocation-free after warm-up (the index path
+  // above allocates nothing at all).
+  static thread_local std::vector<std::uint32_t> order;
+  const std::span<const float> row = index->pi_row(u);
+  const std::uint32_t num_k = index->num_communities();
+  order.resize(num_k);
+  for (std::uint32_t c = 0; c < num_k; ++c) order[c] = c;
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      return ranks_before(row[a], a, row[b], b);
+                    });
+  for (std::uint32_t r = 0; r < k; ++r) {
+    out[r] = TopEntry{order[r], row[order[r]]};
+  }
+  return k;
+}
+
+std::vector<TopEntry> QueryEngine::top_communities(std::uint32_t u,
+                                                   std::uint32_t k) const {
+  std::vector<TopEntry> result(k);
+  result.resize(top_communities(u, result));
+  return result;
+}
+
+double QueryEngine::pair_likelihood(std::uint32_t u, std::uint32_t v,
+                                    bool link) const {
+  const ServingSnapshots::Ref index = current();
+  SCD_REQUIRE(u < index->num_vertices() && v < index->num_vertices(),
+              "vertex out of range");
+  return core::fast_pair_likelihood(index->pi_row(u), index->pi_row(v),
+                                    index->terms(), link);
+}
+
+double QueryEngine::link_probability(std::uint32_t u, std::uint32_t v) const {
+  return pair_likelihood(u, v, /*link=*/true);
+}
+
+std::uint32_t QueryEngine::community_members(std::uint32_t c,
+                                             std::span<MemberEntry> out)
+    const {
+  const ServingSnapshots::Ref index = current();
+  SCD_REQUIRE(c < index->num_communities(), "community out of range");
+  const std::span<const MemberEntry> list = index->members(c);
+  const auto k = static_cast<std::uint32_t>(
+      std::min(out.size(), list.size()));
+  std::copy_n(list.begin(), k, out.begin());
+  return k;
+}
+
+std::vector<MemberEntry> QueryEngine::community_members(
+    std::uint32_t c, std::uint32_t k) const {
+  std::vector<MemberEntry> result(k);
+  result.resize(community_members(c, result));
+  return result;
+}
+
+}  // namespace scd::serve

@@ -1,0 +1,135 @@
+#include "serve/serving_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/report.h"
+#include "util/error.h"
+
+namespace scd::serve {
+
+namespace {
+
+/// Weight-descending, index-ascending — the one ordering every list in
+/// the index uses, so results are unique and thread-count independent.
+inline bool ranks_before(float weight_a, std::uint32_t id_a, float weight_b,
+                         std::uint32_t id_b) {
+  if (weight_a != weight_b) return weight_a > weight_b;
+  return id_a < id_b;
+}
+
+}  // namespace
+
+ServingIndex::ServingIndex(core::Checkpoint checkpoint,
+                           const ServingIndexOptions& options,
+                           threading::ThreadPool& pool)
+    : checkpoint_(std::move(checkpoint)),
+      n_(checkpoint_.pi.num_vertices()),
+      k_(checkpoint_.pi.num_communities()) {
+  SCD_REQUIRE(options.top_r >= 1, "serving index needs top_r >= 1");
+  top_r_ = std::min(options.top_r, k_);
+  threshold_ = options.membership_threshold >= 0.0
+                   ? options.membership_threshold
+                   : core::default_membership_threshold(k_);
+  terms_.refresh(checkpoint_.global.beta_all(), checkpoint_.hyper.delta);
+  build(pool);
+}
+
+void ServingIndex::build(threading::ThreadPool& pool) {
+  top_.resize(std::size_t{n_} * top_r_);
+
+  // Stage 1 — per-node top-R selection, embarrassingly parallel over
+  // vertices. Each thread ranks candidate communities in a private
+  // scratch; output slots are disjoint, so the result is identical at
+  // any thread count.
+  pool.parallel_for(0, n_, [&](unsigned, std::uint64_t lo,
+                               std::uint64_t hi) {
+    std::vector<std::uint32_t> order(k_);
+    for (std::uint64_t v = lo; v < hi; ++v) {
+      const std::span<const float> row = checkpoint_.pi.row(
+          static_cast<std::uint32_t>(v));
+      for (std::uint32_t c = 0; c < k_; ++c) order[c] = c;
+      std::partial_sort(order.begin(), order.begin() + top_r_, order.end(),
+                        [&](std::uint32_t a, std::uint32_t b) {
+                          return ranks_before(row[a], a, row[b], b);
+                        });
+      TopEntry* slot = top_.data() + v * top_r_;
+      for (std::uint32_t r = 0; r < top_r_; ++r) {
+        slot[r] = TopEntry{order[r], row[order[r]]};
+      }
+    }
+  });
+
+  // Stage 2 — size the inverted lists: count, per community, the
+  // vertices whose top window clears the membership threshold. Threads
+  // count into private arrays which are reduced in thread order.
+  const unsigned threads = pool.num_threads();
+  std::vector<std::vector<std::size_t>> counts(
+      threads, std::vector<std::size_t>(k_, 0));
+  const float threshold = static_cast<float>(threshold_);
+  pool.parallel_for(0, n_, [&](unsigned t, std::uint64_t lo,
+                               std::uint64_t hi) {
+    std::vector<std::size_t>& mine = counts[t];
+    for (std::uint64_t v = lo; v < hi; ++v) {
+      const TopEntry* slot = top_.data() + v * top_r_;
+      for (std::uint32_t r = 0; r < top_r_ && slot[r].weight >= threshold;
+           ++r) {
+        ++mine[slot[r].community];
+      }
+    }
+  });
+  member_offsets_.assign(std::size_t{k_} + 1, 0);
+  for (std::uint32_t c = 0; c < k_; ++c) {
+    std::size_t total = 0;
+    for (unsigned t = 0; t < threads; ++t) total += counts[t][c];
+    member_offsets_[c + 1] = member_offsets_[c] + total;
+  }
+  members_.resize(member_offsets_[k_]);
+
+  // Stage 3 — scatter in vertex order (sequential: the per-community
+  // cursors make parallel scatter order-dependent; this pass is a cheap
+  // O(N * R) sweep next to stage 1's O(N * K log R)).
+  std::vector<std::size_t> cursor(member_offsets_.begin(),
+                                  member_offsets_.end() - 1);
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    const TopEntry* slot = top_.data() + std::size_t{v} * top_r_;
+    for (std::uint32_t r = 0; r < top_r_ && slot[r].weight >= threshold;
+         ++r) {
+      members_[cursor[slot[r].community]++] =
+          MemberEntry{v, slot[r].weight};
+    }
+  }
+
+  // Stage 4 — rank each community's members, parallel over communities.
+  // Sorting a deterministic input with a strict total order keeps the
+  // output thread-count independent.
+  pool.parallel_for(0, k_, [&](unsigned, std::uint64_t lo,
+                               std::uint64_t hi) {
+    for (std::uint64_t c = lo; c < hi; ++c) {
+      auto begin = members_.begin() +
+                   static_cast<std::ptrdiff_t>(member_offsets_[c]);
+      auto end = members_.begin() +
+                 static_cast<std::ptrdiff_t>(member_offsets_[c + 1]);
+      std::sort(begin, end, [](const MemberEntry& a, const MemberEntry& b) {
+        return ranks_before(a.weight, a.vertex, b.weight, b.vertex);
+      });
+    }
+  });
+}
+
+std::size_t ServingIndex::index_bytes() const {
+  return top_.size() * sizeof(TopEntry) +
+         members_.size() * sizeof(MemberEntry) +
+         member_offsets_.size() * sizeof(std::size_t) +
+         std::size_t{n_} * (k_ + 1) * sizeof(float) +  // dense rows
+         std::size_t{k_} * (2 * sizeof(double) + sizeof(float));  // theta+beta
+}
+
+std::unique_ptr<const ServingIndex> build_serving_index(
+    core::Checkpoint checkpoint, const ServingIndexOptions& options,
+    threading::ThreadPool& pool) {
+  return std::make_unique<const ServingIndex>(std::move(checkpoint),
+                                              options, pool);
+}
+
+}  // namespace scd::serve

@@ -1,0 +1,132 @@
+// Read-optimized serving index over a fitted pi/beta snapshot.
+//
+// Training produces a checkpoint; serving answers membership queries
+// against it under heavy traffic. The query mix the ROADMAP names ("top
+// communities for user u", "link probability u-v", "members of community
+// k") wants two access paths the training layout does not provide:
+//   * per-node top-R community lists — top_communities(u, k) in O(k)
+//     instead of an O(K) scan plus an O(K log K) sort per query;
+//   * per-community inverted member lists — community_members(c, k) in
+//     O(k) instead of an O(N * K) sweep.
+// The index is post-processed from any checkpoint (v1-v3; lossy/sparse
+// rows were already decoded to dense floats by the loader through
+// quant::decode_row) and also keeps the dense pi rows themselves: exact
+// queries (link probability, top lists deeper than R) fall back to the
+// full row, and the pair kernel runs on the same [pi | phi_sum] layout
+// training used, so served probabilities are bit-identical to the
+// training-side perplexity terms.
+//
+// A ServingIndex is immutable after construction — that is what makes the
+// lock-free snapshot swap (threading/snapshot.h) sound. Model refreshes
+// build a new index from checkpoint bytes and publish it; in-flight
+// queries keep reading the old one until they drop their guard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/grads.h"
+#include "threading/thread_pool.h"
+
+namespace scd::serve {
+
+struct ServingIndexOptions {
+  /// Per-node top list capacity R (clamped to K). Queries for k <= R are
+  /// served from the index; deeper ones fall back to the dense row.
+  std::uint32_t top_r = 32;
+  /// Minimum pi for a vertex to appear in a community's inverted member
+  /// list. Negative = auto: core::default_membership_threshold(K), the
+  /// same heuristic the offline community report uses.
+  double membership_threshold = -1.0;
+};
+
+/// One entry of a per-node top list: community id + its pi weight.
+struct TopEntry {
+  std::uint32_t community = 0;
+  float weight = 0.0f;
+};
+
+/// One entry of a per-community inverted list: vertex id + its pi weight.
+struct MemberEntry {
+  std::uint32_t vertex = 0;
+  float weight = 0.0f;
+};
+
+class ServingIndex {
+ public:
+  /// Post-process `checkpoint` (taken by value; the pi matrix moves into
+  /// the index as the exact-query fallback) into the two serving access
+  /// paths. The build parallelizes over `pool` and is deterministic: the
+  /// same checkpoint yields byte-identical lists at any thread count.
+  ServingIndex(core::Checkpoint checkpoint,
+               const ServingIndexOptions& options,
+               threading::ThreadPool& pool);
+
+  // --- shape & provenance ------------------------------------------------
+  std::uint32_t num_vertices() const { return n_; }
+  std::uint32_t num_communities() const { return k_; }
+  std::uint32_t top_r() const { return top_r_; }
+  double membership_threshold() const { return threshold_; }
+  /// Iteration the source checkpoint was taken at.
+  std::uint64_t iteration() const { return checkpoint_.iteration; }
+  /// Total entries across all inverted member lists.
+  std::uint64_t inverted_entries() const { return members_.size(); }
+  /// Approximate resident bytes of the index structures (top lists,
+  /// inverted lists, dense rows).
+  std::size_t index_bytes() const;
+
+  // --- query access paths -----------------------------------------------
+  /// Top-R communities of `u`, weight-descending (community-ascending
+  /// tie-break).
+  std::span<const TopEntry> top_list(std::uint32_t u) const {
+    return {top_.data() + std::size_t{u} * top_r_, top_r_};
+  }
+
+  /// Members of community `c` with pi >= membership_threshold, weight-
+  /// descending (vertex-ascending tie-break).
+  std::span<const MemberEntry> members(std::uint32_t c) const {
+    return {members_.data() + member_offsets_[c],
+            member_offsets_[c + 1] - member_offsets_[c]};
+  }
+
+  /// Dense [pi | phi_sum] row of `u` — the exact fallback path and the
+  /// input to the pair-likelihood kernel.
+  std::span<const float> pi_row(std::uint32_t u) const {
+    return checkpoint_.pi.row(u);
+  }
+
+  /// Likelihood terms refreshed from the checkpoint's beta and delta —
+  /// exactly what the training-side evaluator uses against this state.
+  const core::LikelihoodTerms& terms() const { return terms_; }
+
+  /// The source checkpoint (pi/theta/hyper); a refresh round-trips it
+  /// through core::checkpoint_to_bytes / checkpoint_from_bytes.
+  const core::Checkpoint& checkpoint() const { return checkpoint_; }
+
+ private:
+  void build(threading::ThreadPool& pool);
+
+  core::Checkpoint checkpoint_;
+  std::uint32_t n_ = 0;
+  std::uint32_t k_ = 0;
+  std::uint32_t top_r_ = 0;
+  double threshold_ = 0.0;
+  core::LikelihoodTerms terms_;
+
+  std::vector<TopEntry> top_;  // n_ * top_r_, flat
+  // Inverted lists in CSR form: members_[member_offsets_[c] ..
+  // member_offsets_[c+1]) are community c's members.
+  std::vector<MemberEntry> members_;
+  std::vector<std::size_t> member_offsets_;  // k_ + 1
+};
+
+/// Convenience: build an index snapshot ready for SnapshotManager.
+std::unique_ptr<const ServingIndex> build_serving_index(
+    core::Checkpoint checkpoint, const ServingIndexOptions& options,
+    threading::ThreadPool& pool);
+
+}  // namespace scd::serve

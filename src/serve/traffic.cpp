@@ -1,0 +1,257 @@
+#include "serve/traffic.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/checkpoint.h"
+#include "core/state.h"
+#include "util/error.h"
+
+namespace scd::serve {
+
+namespace {
+
+/// Stream label for core::derive_rng — disjoint from the training labels
+/// in core::rng_label, so a serving load never replays training noise.
+constexpr std::uint64_t kTrafficLabel = 101;
+
+/// Ops between flushes of a worker's progress into the shared counter
+/// the refresher watches; keeps the hot loop free of shared-cacheline
+/// traffic without delaying refresh triggers meaningfully.
+constexpr std::uint64_t kProgressBatch = 256;
+
+double percentile(std::vector<std::uint64_t>& ns, double q) {
+  if (ns.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(ns.size() - 1));
+  std::nth_element(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(rank),
+                   ns.end());
+  return static_cast<double>(ns[rank]) * 1e-3;  // ns -> us
+}
+
+}  // namespace
+
+std::vector<ScriptedQuery> parse_query_script(std::istream& in) {
+  std::vector<ScriptedQuery> queries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    std::string op;
+    long long a = -1;
+    long long b = -1;
+    fields >> op >> a >> b;
+    ScriptedQuery q;
+    if (op == "top") {
+      q.kind = QueryKind::kTop;
+    } else if (op == "link") {
+      q.kind = QueryKind::kLink;
+    } else if (op == "members") {
+      q.kind = QueryKind::kMembers;
+    } else {
+      throw DataError("query script line " + std::to_string(line_no) +
+                      ": unknown op '" + op +
+                      "' (expected top, link or members)");
+    }
+    if (fields.fail() || a < 0 || b < 0) {
+      throw DataError("query script line " + std::to_string(line_no) +
+                      ": expected two non-negative integers after '" + op +
+                      "'");
+    }
+    q.a = static_cast<std::uint32_t>(a);
+    q.b = static_cast<std::uint32_t>(b);
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::vector<ScriptedQuery> load_query_script(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DataError("cannot open query script '" + path + "'");
+  return parse_query_script(in);
+}
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) {
+  SCD_REQUIRE(n >= 1, "Zipf sampler needs a non-empty domain");
+  SCD_REQUIRE(s >= 0.0, "Zipf exponent must be >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r) + 1.0, -s);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::uint32_t ZipfSampler::operator()(rng::Xoshiro256& rng) const {
+  const double x = rng.next_double();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), x);
+  return static_cast<std::uint32_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+TrafficReport run_traffic(ServingSnapshots& snapshots,
+                          const TrafficOptions& options) {
+  SCD_REQUIRE(options.ops >= 1, "traffic needs at least one op");
+  SCD_REQUIRE(options.threads >= 1, "traffic needs at least one worker");
+  const double mix_total =
+      options.mix_top + options.mix_link + options.mix_members;
+  SCD_REQUIRE(options.mix_top >= 0.0 && options.mix_link >= 0.0 &&
+                  options.mix_members >= 0.0 && mix_total > 0.0,
+              "query mix must be non-negative and not all zero");
+
+  QueryEngine engine(snapshots);
+  std::uint32_t num_vertices = 0;
+  std::uint32_t num_communities = 0;
+  {
+    const ServingSnapshots::Ref index = snapshots.acquire();
+    SCD_REQUIRE(static_cast<bool>(index),
+                "run_traffic needs a published snapshot");
+    num_vertices = index->num_vertices();
+    num_communities = index->num_communities();
+  }
+
+  const ZipfSampler zipf(num_vertices, options.zipf_s);
+  const double t_top = options.mix_top / mix_total;
+  const double t_link = t_top + options.mix_link / mix_total;
+
+  TrafficReport report;
+  report.start_epoch = snapshots.epoch();
+  const std::uint64_t retries_before = snapshots.acquire_retries();
+  const std::uint64_t stalls_before = snapshots.stalled_acquires();
+
+  const unsigned threads = options.threads;
+  std::vector<std::vector<std::uint64_t>> latencies(threads);
+  std::vector<double> digests(threads, 0.0);
+  std::vector<std::array<std::uint64_t, 3>> kind_counts(
+      threads, std::array<std::uint64_t, 3>{0, 0, 0});
+  std::atomic<std::uint64_t> progress{0};
+
+  // Mid-load refresher: at each op-progress milestone, round-trip the
+  // live checkpoint through the snapshot byte transport, rebuild the
+  // index on a private pool, and publish. Readers are never blocked; the
+  // old index is retired once the last in-flight query drops its guard.
+  std::atomic<std::uint64_t> refreshes_done{0};
+  std::thread refresher;
+  if (options.refreshes > 0) {
+    refresher = std::thread([&] {
+      threading::ThreadPool build_pool(options.refresh_build_threads);
+      for (unsigned i = 1; i <= options.refreshes; ++i) {
+        const std::uint64_t target =
+            options.ops * i / (options.refreshes + 1);
+        while (progress.load(std::memory_order_relaxed) < target) {
+          std::this_thread::yield();
+        }
+        std::string bytes;
+        ServingIndexOptions rebuild;
+        {
+          const ServingSnapshots::Ref index = snapshots.acquire();
+          bytes = core::checkpoint_to_bytes(index->checkpoint(),
+                                            options.refresh_codec,
+                                            options.sparse_eps);
+          rebuild.top_r = index->top_r();
+          rebuild.membership_threshold = index->membership_threshold();
+        }
+        snapshots.publish(build_serving_index(
+            core::checkpoint_from_bytes(bytes), rebuild, build_pool));
+        refreshes_done.fetch_add(1);
+      }
+    });
+  }
+
+  threading::ThreadPool pool(threads);
+  const auto wall_begin = std::chrono::steady_clock::now();
+  pool.parallel_for(0, options.ops, [&](unsigned t, std::uint64_t lo,
+                                        std::uint64_t hi) {
+    rng::Xoshiro256 rng = core::derive_rng(options.seed, kTrafficLabel, t);
+    std::vector<std::uint64_t>& lat = latencies[t];
+    lat.reserve(hi - lo);
+    std::vector<TopEntry> top_out(options.top_k);
+    std::vector<MemberEntry> member_out(options.members_k);
+    double digest = 0.0;
+    std::uint64_t unflushed = 0;
+    for (std::uint64_t op = lo; op < hi; ++op) {
+      const double pick = rng.next_double();
+      const auto begin = std::chrono::steady_clock::now();
+      if (pick < t_top) {
+        const std::uint32_t u = zipf(rng);
+        const std::uint32_t got = engine.top_communities(u, top_out);
+        for (std::uint32_t r = 0; r < got; ++r) {
+          digest += (top_out[r].community + 1.0) *
+                    static_cast<double>(top_out[r].weight);
+        }
+        ++kind_counts[t][0];
+      } else if (pick < t_link) {
+        const std::uint32_t u = zipf(rng);
+        const std::uint32_t v = zipf(rng);
+        digest += engine.link_probability(u, v);
+        ++kind_counts[t][1];
+      } else {
+        const std::uint32_t c =
+            static_cast<std::uint32_t>(rng.next_below(num_communities));
+        const std::uint32_t got = engine.community_members(c, member_out);
+        for (std::uint32_t r = 0; r < got; ++r) {
+          digest += (member_out[r].vertex + 1.0) *
+                    static_cast<double>(member_out[r].weight);
+        }
+        ++kind_counts[t][2];
+      }
+      const auto end = std::chrono::steady_clock::now();
+      lat.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+              .count()));
+      if (++unflushed == kProgressBatch) {
+        progress.fetch_add(unflushed, std::memory_order_relaxed);
+        unflushed = 0;
+      }
+    }
+    progress.fetch_add(unflushed, std::memory_order_relaxed);
+    digests[t] = digest;
+  });
+  const auto wall_end = std::chrono::steady_clock::now();
+  if (refresher.joinable()) refresher.join();
+
+  report.ops = options.ops;
+  for (unsigned t = 0; t < threads; ++t) {
+    report.ops_top += kind_counts[t][0];
+    report.ops_link += kind_counts[t][1];
+    report.ops_members += kind_counts[t][2];
+    report.checksum += digests[t];
+  }
+  report.wall_s =
+      std::chrono::duration<double>(wall_end - wall_begin).count();
+  report.qps = report.wall_s > 0.0
+                   ? static_cast<double>(report.ops) / report.wall_s
+                   : 0.0;
+
+  std::vector<std::uint64_t> all;
+  all.reserve(options.ops);
+  for (auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  report.p50_us = percentile(all, 0.50);
+  report.p95_us = percentile(all, 0.95);
+  report.p99_us = percentile(all, 0.99);
+  report.max_us = all.empty()
+                      ? 0.0
+                      : static_cast<double>(
+                            *std::max_element(all.begin(), all.end())) * 1e-3;
+  report.refreshes = refreshes_done.load();
+  report.acquire_retries = snapshots.acquire_retries() - retries_before;
+  report.reader_stalls = snapshots.stalled_acquires() - stalls_before;
+  report.end_epoch = snapshots.epoch();
+  return report;
+}
+
+}  // namespace scd::serve

@@ -1,0 +1,180 @@
+#include "serve/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/checkpoint.h"
+#include "random/xoshiro.h"
+#include "threading/thread_pool.h"
+
+namespace scd::serve {
+namespace {
+
+core::Checkpoint random_checkpoint(std::uint32_t n, std::uint32_t k,
+                                   std::uint64_t seed) {
+  core::Checkpoint c;
+  c.hyper.num_communities = k;
+  c.hyper.delta = 1e-3;
+  c.pi = core::PiMatrix(n, k);
+  c.pi.init_random(seed);
+  c.global = core::GlobalState(k);
+  c.global.init_random(seed, c.hyper);
+  return c;
+}
+
+std::unique_ptr<ServingSnapshots> make_store(std::uint32_t n,
+                                             std::uint32_t k,
+                                             std::uint64_t seed) {
+  threading::ThreadPool pool(2);
+  ServingIndexOptions options;
+  options.top_r = 8;
+  return std::make_unique<ServingSnapshots>(
+      build_serving_index(random_checkpoint(n, k, seed), options, pool));
+}
+
+TEST(QueryScriptTest, ParsesOpsCommentsAndBlanks) {
+  std::istringstream in(
+      "# a comment\n"
+      "top 3 5\n"
+      "\n"
+      "  link 1 2\n"
+      "members 0 10\n");
+  const auto queries = parse_query_script(in);
+  ASSERT_EQ(queries.size(), 3u);
+  EXPECT_EQ(queries[0].kind, QueryKind::kTop);
+  EXPECT_EQ(queries[0].a, 3u);
+  EXPECT_EQ(queries[0].b, 5u);
+  EXPECT_EQ(queries[1].kind, QueryKind::kLink);
+  EXPECT_EQ(queries[2].kind, QueryKind::kMembers);
+}
+
+TEST(QueryScriptTest, RejectsUnknownOpNamingLine) {
+  std::istringstream in("top 1 2\nfrobnicate 3 4\n");
+  try {
+    parse_query_script(in);
+    FAIL() << "expected DataError";
+  } catch (const scd::DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(QueryScriptTest, RejectsMissingOrNegativeOperands) {
+  std::istringstream missing("top 1\n");
+  EXPECT_THROW(parse_query_script(missing), scd::DataError);
+  std::istringstream negative("link -1 2\n");
+  EXPECT_THROW(parse_query_script(negative), scd::DataError);
+  std::istringstream junk("members 1 x\n");
+  EXPECT_THROW(parse_query_script(junk), scd::DataError);
+}
+
+TEST(QueryScriptTest, MissingFileRejected) {
+  EXPECT_THROW(load_query_script("/no/such/queries.txt"), scd::DataError);
+}
+
+TEST(ZipfSamplerTest, SkewsTowardLowRanks) {
+  ZipfSampler zipf(1000, 1.2);
+  rng::Xoshiro256 rng(42);
+  std::uint32_t head = 0;
+  const int draws = 20'000;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf(rng) < 10) ++head;
+  }
+  // Under Zipf(1.2) the top-10 ranks carry far more than their uniform
+  // 1% share; require a conservative 30%.
+  EXPECT_GT(head, draws * 30 / 100);
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsUniformish) {
+  ZipfSampler zipf(100, 0.0);
+  rng::Xoshiro256 rng(7);
+  std::uint32_t head = 0;
+  const int draws = 20'000;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf(rng) < 10) ++head;
+  }
+  // ~10% expected; allow wide slack.
+  EXPECT_GT(head, draws * 5 / 100);
+  EXPECT_LT(head, draws * 15 / 100);
+}
+
+TEST(RunTrafficTest, RequiresPublishedSnapshot) {
+  ServingSnapshots empty;
+  TrafficOptions options;
+  options.ops = 10;
+  EXPECT_THROW(run_traffic(empty, options), scd::UsageError);
+}
+
+TEST(RunTrafficTest, DeterministicChecksumAndCounts) {
+  auto store = make_store(200, 8, 3);
+  TrafficOptions options;
+  options.ops = 4000;
+  options.threads = 2;
+  options.seed = 9;
+  const TrafficReport a = run_traffic(*store, options);
+  const TrafficReport b = run_traffic(*store, options);
+  EXPECT_EQ(a.ops, 4000u);
+  EXPECT_EQ(a.ops_top + a.ops_link + a.ops_members, a.ops);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.ops_top, b.ops_top);
+  EXPECT_EQ(a.ops_link, b.ops_link);
+  EXPECT_EQ(a.ops_members, b.ops_members);
+  EXPECT_GT(a.qps, 0.0);
+  EXPECT_GE(a.p95_us, a.p50_us);
+  EXPECT_GE(a.p99_us, a.p95_us);
+}
+
+TEST(RunTrafficTest, SeedChangesTheStream) {
+  auto store = make_store(200, 8, 3);
+  TrafficOptions options;
+  options.ops = 2000;
+  options.threads = 2;
+  options.seed = 1;
+  const TrafficReport a = run_traffic(*store, options);
+  options.seed = 2;
+  const TrafficReport b = run_traffic(*store, options);
+  EXPECT_NE(a.checksum, b.checksum);
+}
+
+// The refresh arm's contract: every requested refresh completes (the
+// count is deterministic, not timing-dependent), no reader ever stalls,
+// and with the exact fp32 codec the rebuilt index answers identically —
+// so the checksum matches a read-only run of the same seed.
+TEST(RunTrafficTest, RefreshesCompleteAndPreserveChecksum) {
+  auto store = make_store(200, 8, 3);
+  TrafficOptions options;
+  options.ops = 6000;
+  options.threads = 2;
+  options.seed = 5;
+  const TrafficReport steady = run_traffic(*store, options);
+
+  options.refreshes = 3;
+  options.refresh_codec = quant::RowCodec::kFloat32;
+  const std::uint64_t epoch_before = store->epoch();
+  const TrafficReport refreshed = run_traffic(*store, options);
+  EXPECT_EQ(refreshed.refreshes, 3u);
+  EXPECT_EQ(refreshed.end_epoch, epoch_before + 3);
+  EXPECT_EQ(refreshed.reader_stalls, 0u);
+  EXPECT_EQ(refreshed.checksum, steady.checksum);
+}
+
+// A lossy refresh codec still completes and keeps serving coherent
+// answers — only the checksum may drift (quantized rows).
+TEST(RunTrafficTest, LossyRefreshCodecServes) {
+  auto store = make_store(150, 8, 4);
+  TrafficOptions options;
+  options.ops = 3000;
+  options.threads = 2;
+  options.refreshes = 2;
+  options.refresh_codec = quant::RowCodec::kInt8;
+  const TrafficReport report = run_traffic(*store, options);
+  EXPECT_EQ(report.refreshes, 2u);
+  EXPECT_EQ(report.reader_stalls, 0u);
+  EXPECT_EQ(report.ops, 3000u);
+}
+
+}  // namespace
+}  // namespace scd::serve

@@ -62,6 +62,31 @@ TEST(DoubleBufferTest, PipelinedLoadNeverOvertakesByMoreThanOne) {
       });
 }
 
+// Stress the two-slot handshake with real data: the loader writes a
+// per-chunk payload into buffer[c % 2] while the previous chunk's
+// compute reads the other slot — exactly the access pattern update_phi
+// prefetching relies on. Any missing ordering between load(c+1) and
+// compute(c+1), or a slot reused before its compute finished, shows up
+// as a wrong payload here (and as a data race under the tsan preset,
+// which runs this suite via the threading label).
+TEST(DoubleBufferTest, PipelinedSlotReuseDeliversEveryPayload) {
+  ThreadPool pool(2);
+  DoubleBufferPipeline pipe(pool);
+  constexpr std::uint64_t kChunks = 512;
+  std::uint64_t slots[2] = {0, 0};  // plain memory on purpose: TSan bait
+  std::uint64_t sum = 0;
+  std::uint64_t expected = 0;
+  for (std::uint64_t c = 0; c < kChunks; ++c) expected += c * 31 + 7;
+  pipe.run(
+      kChunks, /*pipelined=*/true,
+      [&](std::uint64_t c) { slots[c % 2] = c * 31 + 7; },
+      [&](std::uint64_t c) {
+        ASSERT_EQ(slots[c % 2], c * 31 + 7);
+        sum += slots[c % 2];
+      });
+  EXPECT_EQ(sum, expected);
+}
+
 TEST(DoubleBufferTest, ZeroChunksIsNoop) {
   ThreadPool pool(2);
   DoubleBufferPipeline pipe(pool);

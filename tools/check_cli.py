@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Exit-code/stream contract check for the scd CLI.
+
+The contract, uniform across every subcommand:
+  * requested help (`--help` / `-h`, top level or per command) prints to
+    stdout and exits 0;
+  * any usage problem (no command, unknown command, unknown flag,
+    missing required option) diagnoses on stderr and exits 1, pointing
+    the user at --help;
+  * runtime/data errors (e.g. a missing input file) exit 2.
+
+Run: check_cli.py /path/to/scd
+"""
+
+import subprocess
+import sys
+
+COMMANDS = [
+    "generate", "info", "fit", "eval", "resume", "serve", "simulate",
+    "trace", "tune",
+]
+
+failures = []
+
+
+def run(args):
+    return subprocess.run(args, capture_output=True, text=True)
+
+
+def check(label, cond, detail=""):
+    if not cond:
+        failures.append(f"{label}: {detail}")
+        print(f"FAIL {label} {detail}")
+    else:
+        print(f"ok   {label}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    scd = sys.argv[1]
+
+    r = run([scd])
+    check("no-command exits 1", r.returncode == 1, f"exit={r.returncode}")
+    check("no-command diagnoses on stderr",
+          "error" in r.stderr and "usage" in r.stderr,
+          repr(r.stderr[:120]))
+
+    for flag in ("--help", "-h"):
+        r = run([scd, flag])
+        check(f"top-level {flag} exits 0", r.returncode == 0,
+              f"exit={r.returncode}")
+        check(f"top-level {flag} prints commands to stdout",
+              "commands:" in r.stdout and not r.stderr,
+              repr((r.stdout[:80], r.stderr[:80])))
+
+    r = run([scd, "frobnicate"])
+    check("unknown command exits 1", r.returncode == 1,
+          f"exit={r.returncode}")
+    check("unknown command names itself on stderr",
+          "frobnicate" in r.stderr and "usage" in r.stderr,
+          repr(r.stderr[:120]))
+    check("unknown command keeps stdout clean", r.stdout == "",
+          repr(r.stdout[:80]))
+
+    for cmd in COMMANDS:
+        r = run([scd, cmd, "--help"])
+        check(f"{cmd} --help exits 0", r.returncode == 0,
+              f"exit={r.returncode}")
+        check(f"{cmd} --help prints options to stdout",
+              "--" in r.stdout and not r.stderr,
+              repr((r.stdout[:80], r.stderr[:80])))
+
+        r = run([scd, cmd, "--definitely-not-a-flag"])
+        check(f"{cmd} unknown flag exits 1", r.returncode == 1,
+              f"exit={r.returncode}")
+        check(f"{cmd} unknown flag points at --help on stderr",
+              "--definitely-not-a-flag" in r.stderr and
+              f"scd {cmd} --help" in r.stderr,
+              repr(r.stderr[:160]))
+
+    # Commands with required options must flag their absence as a usage
+    # error (1), not a crash or a runtime error.
+    for cmd in ("generate", "info", "fit", "eval", "resume", "serve"):
+        r = run([scd, cmd])
+        check(f"{cmd} missing required option exits 1",
+              r.returncode == 1, f"exit={r.returncode}")
+        check(f"{cmd} missing required option diagnoses on stderr",
+              "required" in r.stderr, repr(r.stderr[:160]))
+
+    # Runtime/data errors are distinct from usage errors.
+    r = run([scd, "serve", "--checkpoint", "/no/such/checkpoint.bin"])
+    check("data error exits 2", r.returncode == 2, f"exit={r.returncode}")
+    check("data error diagnoses on stderr", "error" in r.stderr,
+          repr(r.stderr[:120]))
+
+    if failures:
+        print(f"\n{len(failures)} failure(s)")
+        return 1
+    print("\nall CLI contract checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

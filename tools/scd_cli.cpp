@@ -8,9 +8,12 @@
 //   scd simulate  [--workers C --communities K --iterations N ...]
 //   scd trace     [--workers C --iterations N --out trace.json ...]
 //   scd tune      [--vertices N --communities K --log tune.json ...]
+//   scd serve     --checkpoint f [--queries q.txt | --ops N ...]
 //
 // Every subcommand prints --help. Exit codes: 0 success, 1 usage error,
-// 2 runtime/data error.
+// 2 runtime/data error. Usage errors (unknown command, unknown flag,
+// missing required option) print to stderr and point at --help.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -26,7 +29,11 @@
 #include "graph/metrics.h"
 #include "graph/snap_loader.h"
 #include "quant/row_codec.h"
+#include "serve/query_engine.h"
+#include "serve/serving_index.h"
+#include "serve/traffic.h"
 #include "sim/cluster.h"
+#include "threading/thread_pool.h"
 #include "core/distributed_sampler.h"
 #include "trace/chrome_trace.h"
 #include "trace/critical_path.h"
@@ -553,6 +560,177 @@ int cmd_tune(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Serving front end: build a ServingIndex from a checkpoint, then either
+/// answer a scripted query file or drive the seeded synthetic load
+/// generator and report throughput/latency.
+int cmd_serve(int argc, const char* const* argv) {
+  std::string checkpoint_path;
+  std::string queries_path;
+  std::uint64_t ops = 100'000;
+  std::uint64_t threads = 4;
+  std::uint64_t top_k = 8;
+  std::uint64_t members_k = 16;
+  std::uint64_t top_r = 32;
+  std::uint64_t refreshes = 0;
+  std::uint64_t seed = 1;
+  double zipf = 0.99;
+  double mix_top = 0.70;
+  double mix_link = 0.25;
+  double mix_members = 0.05;
+  std::string refresh_codec = "fp32";
+  bool json = false;
+  ArgParser parser("scd serve",
+                   "serve membership queries from a checkpoint: run a"
+                   " query script, or a Zipf-skewed synthetic load with"
+                   " optional mid-load snapshot refreshes");
+  parser.add_string("checkpoint", &checkpoint_path,
+                    "checkpoint to serve (required)")
+      .add_string("queries", &queries_path,
+                  "query script (`top u k` / `link u v` / `members c k`"
+                  " lines); replaces the synthetic load")
+      .add_uint("ops", &ops, "synthetic load: total queries")
+      .add_uint("threads", &threads, "query worker threads")
+      .add_double("zipf", &zipf, "node popularity Zipf exponent"
+                  " (0 = uniform)")
+      .add_double("mix-top", &mix_top, "share of top-community queries")
+      .add_double("mix-link", &mix_link, "share of link-probability queries")
+      .add_double("mix-members", &mix_members, "share of member queries")
+      .add_uint("top-k", &top_k, "k of synthetic top queries")
+      .add_uint("members-k", &members_k, "k of synthetic member queries")
+      .add_uint("top-r", &top_r, "per-node top list capacity R")
+      .add_uint("refreshes", &refreshes,
+                "snapshot refreshes to publish mid-load")
+      .add_string("refresh-codec", &refresh_codec,
+                  "checkpoint codec of the refresh round-trip: fp32,"
+                  " fp16, int8, sparse-topr, sparse-topr-fp16,"
+                  " sparse-topr-int8")
+      .add_uint("seed", &seed, "load generator seed")
+      .add_flag("json", &json, "print the load report as JSON");
+  if (!parser.parse(argc, argv)) return 0;
+  SCD_REQUIRE(!checkpoint_path.empty(), "--checkpoint is required");
+
+  core::Checkpoint checkpoint = core::load_checkpoint_file(checkpoint_path);
+  serve::ServingIndexOptions index_options;
+  index_options.top_r = static_cast<std::uint32_t>(top_r);
+  threading::ThreadPool build_pool(static_cast<unsigned>(threads));
+  serve::ServingSnapshots snapshots;
+  const auto build_begin = std::chrono::steady_clock::now();
+  snapshots.publish(serve::build_serving_index(std::move(checkpoint),
+                                               index_options, build_pool));
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - build_begin)
+          .count();
+
+  std::uint32_t n = 0;
+  std::uint32_t k = 0;
+  std::uint64_t inverted = 0;
+  std::size_t bytes = 0;
+  {
+    const serve::ServingSnapshots::Ref index = snapshots.acquire();
+    n = index->num_vertices();
+    k = index->num_communities();
+    inverted = index->inverted_entries();
+    bytes = index->index_bytes();
+  }
+  if (!json) {
+    std::printf("serving %s: %s vertices, %u communities, top-%llu index"
+                " (%s inverted entries, %s, built in %s)\n",
+                checkpoint_path.c_str(), format_count(n).c_str(), k,
+                static_cast<unsigned long long>(
+                    std::min<std::uint64_t>(top_r, k)),
+                format_count(inverted).c_str(),
+                format_bytes(bytes).c_str(),
+                format_duration(build_ms / 1e3).c_str());
+  }
+
+  if (!queries_path.empty()) {
+    const std::vector<serve::ScriptedQuery> queries =
+        serve::load_query_script(queries_path);
+    serve::QueryEngine engine(snapshots);
+    for (const serve::ScriptedQuery& q : queries) {
+      switch (q.kind) {
+        case serve::QueryKind::kTop: {
+          std::printf("top %u:", q.a);
+          for (const serve::TopEntry& e :
+               engine.top_communities(q.a, q.b)) {
+            std::printf(" %u:%.4f", e.community, double(e.weight));
+          }
+          std::printf("\n");
+          break;
+        }
+        case serve::QueryKind::kLink:
+          std::printf("link %u %u: %.6f\n", q.a, q.b,
+                      engine.link_probability(q.a, q.b));
+          break;
+        case serve::QueryKind::kMembers: {
+          std::printf("members %u:", q.a);
+          for (const serve::MemberEntry& e :
+               engine.community_members(q.a, q.b)) {
+            std::printf(" %u:%.4f", e.vertex, double(e.weight));
+          }
+          std::printf("\n");
+          break;
+        }
+      }
+    }
+    return 0;
+  }
+
+  serve::TrafficOptions traffic;
+  traffic.ops = ops;
+  traffic.threads = static_cast<unsigned>(threads);
+  traffic.zipf_s = zipf;
+  traffic.mix_top = mix_top;
+  traffic.mix_link = mix_link;
+  traffic.mix_members = mix_members;
+  traffic.top_k = static_cast<std::uint32_t>(top_k);
+  traffic.members_k = static_cast<std::uint32_t>(members_k);
+  traffic.seed = seed;
+  traffic.refreshes = static_cast<unsigned>(refreshes);
+  traffic.refresh_codec = quant::codec_from_name(refresh_codec);
+  const serve::TrafficReport report = serve::run_traffic(snapshots, traffic);
+
+  if (json) {
+    std::printf(
+        "{\"checkpoint\": \"%s\", \"vertices\": %u, \"communities\": %u,"
+        " \"top_r\": %llu, \"build_ms\": %.3f, \"ops\": %llu,"
+        " \"threads\": %llu, \"qps\": %.1f, \"p50_us\": %.2f,"
+        " \"p95_us\": %.2f, \"p99_us\": %.2f, \"max_us\": %.2f,"
+        " \"refreshes\": %llu, \"acquire_retries\": %llu,"
+        " \"reader_stalls\": %llu, \"checksum\": %.17g}\n",
+        checkpoint_path.c_str(), n, k,
+        static_cast<unsigned long long>(std::min<std::uint64_t>(top_r, k)),
+        build_ms, static_cast<unsigned long long>(report.ops),
+        static_cast<unsigned long long>(threads), report.qps,
+        report.p50_us, report.p95_us, report.p99_us, report.max_us,
+        static_cast<unsigned long long>(report.refreshes),
+        static_cast<unsigned long long>(report.acquire_retries),
+        static_cast<unsigned long long>(report.reader_stalls),
+        report.checksum);
+  } else {
+    std::printf("%llu queries (%llu top / %llu link / %llu members),"
+                " %llu thread(s), %llu refresh(es)\n",
+                static_cast<unsigned long long>(report.ops),
+                static_cast<unsigned long long>(report.ops_top),
+                static_cast<unsigned long long>(report.ops_link),
+                static_cast<unsigned long long>(report.ops_members),
+                static_cast<unsigned long long>(threads),
+                static_cast<unsigned long long>(report.refreshes));
+    std::printf("  throughput: %.0f queries/s over %s\n", report.qps,
+                format_duration(report.wall_s).c_str());
+    std::printf("  latency:    p50 %.1fus  p95 %.1fus  p99 %.1fus"
+                "  max %.1fus\n",
+                report.p50_us, report.p95_us, report.p99_us,
+                report.max_us);
+    std::printf("  snapshots:  %llu acquire retries, %llu reader"
+                " stalls\n",
+                static_cast<unsigned long long>(report.acquire_retries),
+                static_cast<unsigned long long>(report.reader_stalls));
+  }
+  return 0;
+}
+
 int cmd_eval(int argc, const char* const* argv) {
   std::string detected_path;
   std::string truth_path;
@@ -578,7 +756,7 @@ int cmd_eval(int argc, const char* const* argv) {
   return 0;
 }
 
-void print_usage() {
+void print_usage(std::FILE* out) {
   std::fputs(
       "scd — scalable overlapping community detection\n"
       "usage: scd <command> [options]\n\n"
@@ -588,21 +766,31 @@ void print_usage() {
       "  fit        train a-MMSB on an edge-list graph\n"
       "  eval       score detected communities against ground truth\n"
       "  resume     continue training from a checkpoint\n"
+      "  serve      serve membership queries from a checkpoint\n"
       "  simulate   cost-only distributed run on the virtual cluster\n"
       "  trace      trace a simulated run; report its critical path\n"
       "  tune       autotune cluster/sampler knobs with attributed"
       " probes\n\n"
       "run `scd <command> --help` for the command's options.\n",
-      stdout);
+      out);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+  // Exit-code/stream contract, uniform across subcommands: requested
+  // help goes to stdout and exits 0; any usage problem (no command,
+  // unknown command, unknown or malformed flag, missing required
+  // option) diagnoses on stderr and exits 1; runtime/data errors exit 2.
+  if (argc < 2) {
+    std::fprintf(stderr, "error: no command given\n\n");
+    print_usage(stderr);
+    return 1;
+  }
+  if (std::strcmp(argv[1], "--help") == 0 ||
       std::strcmp(argv[1], "-h") == 0) {
-    print_usage();
-    return argc < 2 ? 1 : 0;
+    print_usage(stdout);
+    return 0;
   }
   const std::string command = argv[1];
   const int sub_argc = argc - 1;
@@ -613,14 +801,17 @@ int main(int argc, char** argv) {
     if (command == "fit") return cmd_fit(sub_argc, sub_argv);
     if (command == "resume") return cmd_resume(sub_argc, sub_argv);
     if (command == "eval") return cmd_eval(sub_argc, sub_argv);
+    if (command == "serve") return cmd_serve(sub_argc, sub_argv);
     if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
     if (command == "trace") return cmd_trace(sub_argc, sub_argv);
     if (command == "tune") return cmd_tune(sub_argc, sub_argv);
-    std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
-    print_usage();
+    std::fprintf(stderr, "error: unknown command '%s'\n\n",
+                 command.c_str());
+    print_usage(stderr);
     return 1;
   } catch (const UsageError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "error: %s\nrun `scd %s --help` for usage.\n",
+                 e.what(), command.c_str());
     return 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

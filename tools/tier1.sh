@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the default build + full test suite, then the same
-# suite under AddressSanitizer + UBSan (the `asan` CMake preset). Run from
-# anywhere; both build trees live next to the sources (build/, build-asan/).
+# suite under AddressSanitizer + UBSan (the `asan` CMake preset), then the
+# concurrency suites (serve + threading) under ThreadSanitizer (the `tsan`
+# preset). Run from anywhere; the build trees live next to the sources
+# (build/, build-asan/, build-tsan/).
 #
-#   tools/tier1.sh           # default + asan
-#   SKIP_ASAN=1 tools/tier1.sh   # default only (fast local loop)
+#   tools/tier1.sh               # default + asan + tsan
+#   SKIP_ASAN=1 tools/tier1.sh   # skip the asan pass (fast local loop)
+#   SKIP_TSAN=1 tools/tier1.sh   # skip the tsan pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,18 +21,19 @@ timed() {  # timed <name> <command...>
   SUMMARY+=("$(printf '%-28s %4ds' "$name" $((SECONDS - t0)))")
 }
 
-# The labeled suites (chaos, tune, quant, sparse) are run by label so a
-# mislabeled/undiscovered suite fails loudly instead of silently
-# shrinking the full run:
+# The labeled suites (chaos, tune, quant, sparse, serve) are run by
+# label so a mislabeled/undiscovered suite fails loudly instead of
+# silently shrinking the full run:
 #   chaos  — fault injection + recovery
 #   tune   — autotuner acceptance (tuned-vs-exhaustive)
 #   quant  — pi-row quantization incl. the perplexity-tolerance gate
 #   sparse — sparse top-R codec, kernels, DKV accounting, checkpoints
+#   serve  — serving index/query engine/traffic incl. snapshot swap
 run_preset() {  # run_preset <preset>
   local preset=$1
   timed "$preset: full suite" ctest --preset "$preset" -j
   local label
-  for label in chaos tune quant sparse; do
+  for label in chaos tune quant sparse serve; do
     timed "$preset: -L $label" \
       ctest --preset "$preset" -L "$label" --no-tests=error \
         --output-on-failure
@@ -46,6 +50,20 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   timed "asan: configure+build" bash -c \
     'cmake --preset asan && cmake --build --preset asan -j'
   run_preset asan
+fi
+
+# TSan pass: the lock-free snapshot swap and the thread pool are exactly
+# the code where a missed fence shows up as a rare torn read, so the
+# concurrency-heavy labels run under ThreadSanitizer. Scoped to
+# serve+threading (TSan slows everything ~10x; the rest of the suite is
+# covered by the asan pass).
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== tier-1: tsan preset (serve + threading) =="
+  timed "tsan: configure+build" bash -c \
+    'cmake --preset tsan && cmake --build --preset tsan -j'
+  timed "tsan: -L serve|threading" \
+    ctest --preset tsan -L 'serve|threading' --no-tests=error \
+      --output-on-failure
 fi
 
 # Bench drift guard: diff the deterministic modeled benches against their
