@@ -18,6 +18,7 @@
 #include "fault/fault_plan.h"
 #include "graph/generator.h"
 #include "graph/heldout.h"
+#include "sim/cluster.h"
 #include "util/error.h"
 
 using namespace scd;

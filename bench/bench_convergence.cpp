@@ -20,6 +20,7 @@
 #include "core/sequential_sampler.h"
 #include "graph/datasets.h"
 #include "graph/heldout.h"
+#include "sim/cluster.h"
 
 using namespace scd;
 

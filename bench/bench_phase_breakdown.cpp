@@ -15,6 +15,7 @@
 // they overlap, so they exceed the stage's critical path — exactly as in
 // the paper's table.
 #include "bench/bench_util.h"
+#include "sim/cluster.h"
 
 using namespace scd;
 using sim::Phase;

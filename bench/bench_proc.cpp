@@ -1,0 +1,177 @@
+// Proc backend study: the simulated cluster vs real forked processes.
+//
+// Two questions. First, parity: the multi-process backend must run the
+// SAME sampler loops to the SAME numbers — the bench re-runs one planted
+// workload on both backends at fp32 and hard-fails (SCD_REQUIRE) unless
+// the perplexity history, every pi entry, and beta agree bit-for-bit.
+// The parity table commits those diffs as exact zeros, so any future
+// divergence fails the drift check even at the loosest tolerance.
+// Second, attribution: the simulator books modeled DAS5 costs on a
+// virtual clock while the proc backend measures wall time on loopback
+// sockets, so the per-phase *shares* tell different stories (the model
+// is network-dominated, the real single-host run is compute-dominated).
+// The phase table puts both breakdowns side by side; the wall-clock
+// columns get a wide drift allowance (they measure a shared box), the
+// virtual columns stay tight (they are deterministic).
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "comm/phase_stats.h"
+#include "graph/generator.h"
+#include "graph/heldout.h"
+#include "proc/proc_cluster.h"
+#include "sim/cluster.h"
+#include "util/error.h"
+
+using namespace scd;
+
+namespace {
+
+constexpr unsigned kWorkers = 2;
+constexpr std::uint64_t kIterations = 40;
+
+struct Workload {
+  graph::GeneratedGraph generated;
+  std::unique_ptr<graph::HeldOutSplit> split;
+  core::Hyper hyper;
+  core::DistributedOptions options;
+};
+
+Workload make_workload() {
+  Workload w;
+  rng::Xoshiro256 gen_rng(9242);
+  graph::PlantedConfig config;
+  config.num_vertices = 200;
+  config.num_communities = 4;
+  config.p_two_memberships = 0.2;
+  config.beta_lo = 0.25;
+  config.beta_hi = 0.4;
+  config.delta = 2e-3;
+  w.generated = graph::generate_planted(gen_rng, config);
+  rng::Xoshiro256 split_rng(9243);
+  w.split = std::make_unique<graph::HeldOutSplit>(split_rng,
+                                                  w.generated.graph, 100);
+  w.hyper.num_communities = 4;
+  w.hyper.delta = core::suggested_delta(w.generated.graph.density());
+  w.options.base.num_neighbors = 24;
+  w.options.base.eval_interval = 10;
+  w.options.base.seed = 9244;
+  w.options.pipeline = false;  // the wall backend never pipelines
+  w.options.chunk_vertices = 8;
+  return w;
+}
+
+struct Arm {
+  core::DistributedResult result;
+  core::PiMatrix pi{1, 1};
+  std::vector<float> beta;
+  comm::PhaseStats stats;
+};
+
+/// One full sampler run on `cluster`; the workload is rebuilt from the
+/// same seeds per call so both backends see identical inputs.
+Arm run_arm(comm::Cluster& cluster) {
+  Workload w = make_workload();
+  core::DistributedSampler sampler(cluster, w.split->training(),
+                                   w.split.get(), w.hyper, w.options);
+  Arm arm;
+  arm.result = sampler.run(kIterations);
+  SCD_REQUIRE(!arm.result.history.empty(), "proc arm produced no evals");
+  arm.pi = sampler.snapshot_pi();
+  arm.beta.assign(sampler.global().beta_all().begin(),
+                  sampler.global().beta_all().end());
+  arm.stats = cluster.max_stats();
+  return arm;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchIo io;
+  if (!io.parse(argc, argv, "bench_proc",
+                "Proc backend study: sim-vs-proc parity and virtual-vs-wall "
+                "phase attribution"))
+    return 0;
+
+  sim::SimCluster sim_cluster(bench::das5_cluster(kWorkers));
+  const Arm sim = run_arm(sim_cluster);
+
+  proc::ProcCluster::Config proc_config;
+  proc_config.num_ranks = kWorkers + 1;
+  proc_config.recv_timeout_s = 60.0;
+  proc::ProcCluster proc_cluster(proc_config);
+  const Arm proc = run_arm(proc_cluster);
+
+  // ---- parity: the backends must agree bit-for-bit at fp32 ------------
+  SCD_REQUIRE(sim.result.history.size() == proc.result.history.size(),
+              "backends produced different eval histories");
+  double perplexity_diff = 0.0;
+  for (std::size_t i = 0; i < sim.result.history.size(); ++i) {
+    perplexity_diff = std::max(
+        perplexity_diff, std::abs(sim.result.history[i].perplexity -
+                                  proc.result.history[i].perplexity));
+  }
+  SCD_REQUIRE(sim.pi.num_vertices() == proc.pi.num_vertices() &&
+                  sim.pi.num_communities() == proc.pi.num_communities(),
+              "backends produced different pi shapes");
+  double pi_max_abs_diff = 0.0;
+  for (std::uint32_t v = 0; v < sim.pi.num_vertices(); ++v) {
+    for (std::uint32_t k = 0; k < sim.pi.num_communities(); ++k) {
+      pi_max_abs_diff = std::max(
+          pi_max_abs_diff,
+          std::abs(static_cast<double>(sim.pi.pi(v, k)) - proc.pi.pi(v, k)));
+    }
+  }
+  SCD_REQUIRE(sim.beta.size() == proc.beta.size(),
+              "backends produced different beta sizes");
+  double beta_max_abs_diff = 0.0;
+  for (std::size_t k = 0; k < sim.beta.size(); ++k) {
+    beta_max_abs_diff = std::max(
+        beta_max_abs_diff,
+        std::abs(static_cast<double>(sim.beta[k]) - proc.beta[k]));
+  }
+  SCD_REQUIRE(perplexity_diff == 0.0 && pi_max_abs_diff == 0.0 &&
+                  beta_max_abs_diff == 0.0,
+              "proc backend diverged from the simulator trajectory");
+
+  Table parity({"metric", "value"});
+  parity.add_row({std::string("final_perplexity"),
+                  sim.result.history.back().perplexity});
+  parity.add_row({std::string("eval_points"),
+                  static_cast<std::int64_t>(sim.result.history.size())});
+  parity.add_row({std::string("perplexity_max_abs_diff"), perplexity_diff});
+  parity.add_row({std::string("pi_max_abs_diff"), pi_max_abs_diff});
+  parity.add_row({std::string("beta_max_abs_diff"), beta_max_abs_diff});
+  io.emit(parity, "parity", "Sim vs proc trajectory parity (fp32)");
+
+  // ---- totals: virtual seconds vs wall seconds ------------------------
+  const double sim_total_s = sim.result.virtual_seconds;
+  const double proc_total_s = proc.result.virtual_seconds;  // wall on proc
+  Table totals({"metric", "sim_value", "proc_value"});
+  totals.add_row({std::string("total_seconds"), sim_total_s, proc_total_s});
+  totals.add_row({std::string("iterations_per_s"),
+                  static_cast<double>(kIterations) / sim_total_s,
+                  static_cast<double>(kIterations) / proc_total_s});
+  io.emit(totals, "totals", "Modeled virtual time vs measured wall time");
+
+  // ---- per-phase attribution: modeled shares vs measured shares -------
+  double sim_booked = 0.0;
+  double proc_booked = 0.0;
+  for (std::size_t i = 0; i < comm::kNumPhases; ++i) {
+    sim_booked += sim.stats.get(static_cast<comm::Phase>(i));
+    proc_booked += proc.stats.get(static_cast<comm::Phase>(i));
+  }
+  Table phases({"phase", "sim_virtual_ms", "sim_share_pct", "proc_wall_ms",
+                "proc_share_pct"});
+  for (std::size_t i = 0; i < comm::kNumPhases; ++i) {
+    const auto phase = static_cast<comm::Phase>(i);
+    const double sim_s = sim.stats.get(phase);
+    const double proc_s = proc.stats.get(phase);
+    phases.add_row({std::string(comm::phase_name(phase)), sim_s * 1e3,
+                    100.0 * sim_s / sim_booked, proc_s * 1e3,
+                    100.0 * proc_s / proc_booked});
+  }
+  io.emit(phases, "phase_shares",
+          "Per-phase share: modeled (virtual) vs measured (wall)");
+  return 0;
+}

@@ -44,6 +44,7 @@
 #include "graph/generator.h"
 #include "graph/heldout.h"
 #include "quant/row_codec.h"
+#include "sim/cluster.h"
 #include "trace/recorder.h"
 #include "util/error.h"
 

@@ -8,6 +8,7 @@
 // iteration is deterministic, so 64 iterations are measured and scaled to
 // the paper's 2048.
 #include "bench/bench_util.h"
+#include "sim/cluster.h"
 
 using namespace scd;
 using sim::Phase;

@@ -16,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "graph/generator.h"
 #include "graph/heldout.h"
+#include "sim/cluster.h"
 #include "trace/critical_path.h"
 #include "trace/recorder.h"
 #include "util/error.h"

@@ -16,6 +16,7 @@
 #include "quant/row_codec.h"
 #include "graph/generator.h"
 #include "graph/heldout.h"
+#include "sim/cluster.h"
 #include "trace/chrome_trace.h"
 #include "trace/critical_path.h"
 #include "trace/recorder.h"

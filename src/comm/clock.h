@@ -1,0 +1,33 @@
+// Per-rank virtual clock: the time coordinate of the simulated backend.
+//
+// Lives in comm (not sim) because the backend seam is written against it:
+// trace spans are templated over a clock type, and the simulated backend
+// hands these clocks to the transport and the DKV cost hooks. Wall-clock
+// backends simply do not instantiate any.
+#pragma once
+
+#include "util/error.h"
+
+namespace scd::comm {
+
+class VirtualClock {
+ public:
+  double now() const { return now_s_; }
+
+  void advance(double seconds) {
+    SCD_ASSERT(seconds >= 0.0, "time cannot move backwards");
+    now_s_ += seconds;
+  }
+
+  /// Jump forward to `t` if it is in the future (e.g. message arrival).
+  void advance_to(double t) {
+    if (t > now_s_) now_s_ = t;
+  }
+
+  void reset() { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace scd::comm

@@ -1,0 +1,88 @@
+// Backend-neutral per-rank execution context.
+//
+// The sampler loops see one rank's world through this interface: its
+// transport, its clock, and its phase accounting. The seam is designed
+// so the *same* loop body yields two different accounting regimes:
+//
+//  * simulated backend (sim::RankContext): now() reads the rank's
+//    virtual clock; charge(p, modeled) advances the clock by the modeled
+//    duration (times any straggler factor) and books it to phase p;
+//    book(p, s) books an explicitly computed duration (e.g. collective
+//    wait = clock-after minus clock-before).
+//
+//  * wall-clock backend (proc::ProcContext): now() is real elapsed
+//    seconds; charge(p, modeled) IGNORES the modeled value and books the
+//    wall time since the previous booking point — the loop's modeled
+//    charges double as attribution markers; book(p, s) books the given
+//    measured duration; advance()/advance_to() are no-ops because wall
+//    time advances itself.
+//
+// Either way stats() ends up with a per-phase breakdown in the backend's
+// native time coordinate, which is exactly what bench_proc compares.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/compute_model.h"
+#include "comm/network_model.h"
+#include "comm/phase_stats.h"
+#include "comm/trace_span.h"
+#include "comm/transport.h"
+
+namespace scd::comm {
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual unsigned rank() const = 0;
+  virtual unsigned num_ranks() const = 0;
+  bool is_master() const { return rank() == 0; }
+
+  /// True on virtual-time backends (costs are modeled, not measured).
+  virtual bool simulated() const = 0;
+
+  virtual Transport& transport() = 0;
+  virtual const NetworkModel& network() const = 0;
+  virtual const ComputeModel& compute() const = 0;
+  virtual PhaseStats& stats() = 0;
+
+  /// The rank's time coordinate: virtual seconds (sim) or wall seconds
+  /// since the run started (proc). Monotone within a rank.
+  virtual double now() const = 0;
+  /// Advance time explicitly (no-op on wall-clock backends).
+  virtual void advance(double seconds) = 0;
+  virtual void advance_to(double t) = 0;
+
+  /// Book `seconds` of already-elapsed (or modeled-elapsed) time to
+  /// phase `p` without advancing the clock.
+  virtual void book(Phase p, double seconds) = 0;
+  /// Book the time elapsed since `since` (a now() sample) to phase `p`.
+  void measured(Phase p, double since) { book(p, now() - since); }
+
+  /// Account one compute/IO section: sim advances the clock by
+  /// `modeled_seconds` (x straggler factor) and books it; proc books the
+  /// wall time since the previous booking point instead.
+  virtual void charge(Phase p, double modeled_seconds) = 0;
+  void charge_kernel(Phase p, double units, double cycles_per_unit) {
+    charge(p, compute().kernel_time(units, cycles_per_unit));
+  }
+  void charge_serial(Phase p, double units, double cycles_per_unit) {
+    charge(p, compute().serial_time(units, cycles_per_unit));
+  }
+
+  /// Barrier on `channel`, booking the wait to Phase::kBarrierWait.
+  virtual void timed_barrier(unsigned channel = 0,
+                             unsigned participants = 0) = 0;
+
+  /// Trace recorder, or nullptr when tracing is off (always nullptr on
+  /// wall-clock backends — spans degrade to no-ops).
+  virtual trace::TraceRecorder* trace() const = 0;
+  virtual TraceSpan trace_span(trace::Stage stage,
+                               std::uint64_t iteration = 0) = 0;
+  TraceSpan trace_span(Phase p, std::uint64_t iteration = 0) {
+    return trace_span(to_stage(p), iteration);
+  }
+};
+
+}  // namespace scd::comm

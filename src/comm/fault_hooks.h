@@ -1,0 +1,48 @@
+// Fault-injection seam of the virtual-time cluster.
+//
+// The transport, the cluster runner, and the DKV store each consult an
+// optional FaultHooks implementation at well-defined points: every
+// point-to-point send, every compute charge, and every DKV batch. When
+// no hooks are installed (the default) the only cost is one null-pointer
+// check per operation and the simulation is bit-identical to a build
+// without the seam. The concrete implementation lives in fault/ — this
+// header exists so sim/ and dkv/ need not depend on that library.
+#pragma once
+
+namespace scd::comm {
+
+/// What the injector decided for one point-to-point send.
+struct SendFaults {
+  /// Transmissions lost before the one that gets through. Each costs the
+  /// sender a full NIC occupancy plus an exponential-backoff timeout.
+  unsigned dropped_attempts = 0;
+  /// Extra transmissions of the same payload (delivered once — the
+  /// receiver's sequence numbers discard copies, but the wire is paid).
+  unsigned duplicates = 0;
+  /// Additional in-flight delay on the surviving transmission.
+  double extra_delay_s = 0.0;
+};
+
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /// Consulted by SimTransport for every p2p send; may mutate injector
+  /// state (per-link sequence counters) — the transport calls it under
+  /// its lock, in the sender's program order, so decisions replay
+  /// deterministically.
+  virtual SendFaults on_send(unsigned from, unsigned to, double now) = 0;
+
+  /// Straggler multiplier (>= 1) applied to compute charges on `rank`.
+  virtual double compute_factor(unsigned rank, double now) const = 0;
+
+  /// Extra service delay of one coalesced DKV message to `shard` at
+  /// virtual time `now` (a stalled shard server).
+  virtual double shard_stall_s(unsigned shard, double now) const = 0;
+
+  /// Base timeout before the first retry of a dropped transmission;
+  /// attempt i waits base * 2^i.
+  virtual double retry_backoff_s() const = 0;
+};
+
+}  // namespace scd::comm

@@ -1,6 +1,6 @@
-#include "sim/phase_stats.h"
+#include "comm/phase_stats.h"
 
-namespace scd::sim {
+namespace scd::comm {
 
 const char* phase_name(Phase p) {
   switch (p) {
@@ -28,4 +28,4 @@ const char* phase_name(Phase p) {
   return "unknown";
 }
 
-}  // namespace scd::sim
+}  // namespace scd::comm

@@ -1,0 +1,73 @@
+// Per-rank accounting of virtual time by algorithm stage.
+//
+// The stage taxonomy mirrors Table III of the paper so the benchmark
+// harness can print the same breakdown: draw/deploy mini-batch, the
+// update_phi sub-stages (neighbor sampling, load pi, compute phi),
+// update_pi, update beta/theta, perplexity, and time spent waiting at
+// barriers/collectives.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "util/error.h"
+
+namespace scd::comm {
+
+enum class Phase : std::size_t {
+  kDrawMinibatch = 0,   // master: sampling E_n and gathering adjacency
+  kDeployMinibatch,     // scatter transfer + worker wait for its share
+  kSampleNeighbors,     // worker: drawing V_n per minibatch vertex
+  kLoadPi,              // worker: DKV reads of pi rows
+  kUpdatePhi,           // worker: Eqns 5-6 compute
+  kUpdatePi,            // worker: normalisation + DKV writeback
+  kUpdateBetaTheta,     // grads, reduce, master update, bcast
+  kPerplexity,          // held-out evaluation
+  kBarrierWait,         // idle time at barriers beyond own arrival
+  kCount
+};
+
+constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
+
+const char* phase_name(Phase p);
+
+class PhaseStats {
+ public:
+  void add(Phase p, double seconds) {
+    SCD_ASSERT(seconds >= -1e-12, "negative phase duration");
+    totals_[static_cast<std::size_t>(p)] += seconds;
+  }
+
+  double get(Phase p) const { return totals_[static_cast<std::size_t>(p)]; }
+
+  double total() const {
+    double t = 0.0;
+    for (double x : totals_) t += x;
+    return t;
+  }
+
+  void clear() { totals_.fill(0.0); }
+
+  PhaseStats& operator+=(const PhaseStats& other) {
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      totals_[i] += other.totals_[i];
+    }
+    return *this;
+  }
+
+  /// Element-wise maximum — the cluster-wide critical-path view.
+  void max_with(const PhaseStats& other) {
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      if (other.totals_[i] > totals_[i]) totals_[i] = other.totals_[i];
+    }
+  }
+
+  void scale(double factor) {
+    for (double& x : totals_) x *= factor;
+  }
+
+ private:
+  std::array<double, kNumPhases> totals_{};
+};
+
+}  // namespace scd::comm

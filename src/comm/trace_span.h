@@ -1,0 +1,36 @@
+// Bridge between the simulator's Phase taxonomy and the trace
+// subsystem: Phase maps index-for-index onto the leading trace::Stage
+// entries, and TraceSpan is the RAII span scope instantiated over the
+// virtual clock.
+#pragma once
+
+#include "comm/clock.h"
+#include "comm/phase_stats.h"
+#include "trace/recorder.h"
+
+namespace scd::comm {
+
+using TraceSpan = trace::ScopedSpan<VirtualClock>;
+
+constexpr trace::Stage to_stage(Phase p) {
+  return static_cast<trace::Stage>(static_cast<std::size_t>(p));
+}
+
+#define SCD_PHASE_MATCHES(name)                              \
+  static_assert(static_cast<std::size_t>(Phase::name) ==     \
+                    static_cast<std::size_t>(trace::Stage::name), \
+                "Phase/Stage enums diverged: " #name)
+SCD_PHASE_MATCHES(kDrawMinibatch);
+SCD_PHASE_MATCHES(kDeployMinibatch);
+SCD_PHASE_MATCHES(kSampleNeighbors);
+SCD_PHASE_MATCHES(kLoadPi);
+SCD_PHASE_MATCHES(kUpdatePhi);
+SCD_PHASE_MATCHES(kUpdatePi);
+SCD_PHASE_MATCHES(kUpdateBetaTheta);
+SCD_PHASE_MATCHES(kPerplexity);
+SCD_PHASE_MATCHES(kBarrierWait);
+#undef SCD_PHASE_MATCHES
+static_assert(kNumPhases <= trace::kNumStages,
+              "every Phase needs a Stage mirror");
+
+}  // namespace scd::comm

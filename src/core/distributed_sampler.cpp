@@ -70,7 +70,7 @@ std::uint64_t expected_distinct_rows(double refs, double rows) {
 /// Per-vertex cost of the master's minibatch draw: the alias-anchor path
 /// (graph/minibatch.h) trades the Lemire rejection loop for a table
 /// lookup, which the compute model prices separately.
-double draw_cost_per_vertex(const sim::RankContext& ctx,
+double draw_cost_per_vertex(const comm::Context& ctx,
                             const DistributedOptions& options) {
   return options.base.minibatch.alias_anchor
              ? ctx.compute().draw_cost_per_vertex_alias_s
@@ -79,7 +79,7 @@ double draw_cost_per_vertex(const sim::RankContext& ctx,
 
 }  // namespace
 
-DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
+DistributedSampler::DistributedSampler(comm::Cluster& cluster,
                                        const graph::Graph& training,
                                        const graph::HeldOutSplit* heldout,
                                        const Hyper& hyper,
@@ -99,10 +99,13 @@ DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
   options_.base.validate();
   SCD_REQUIRE(options_.chunk_vertices >= 1, "chunk_vertices must be >= 1");
 
-  store_ = std::make_unique<dkv::SimRdmaDkv>(
-      num_vertices_, pi_row_width(hyper_.num_communities), num_workers_,
-      cluster.network(), cluster.compute_model(), /*phantom=*/false,
-      options_.pi_codec, options_.sparse_eps);
+  store_ = cluster.make_store(
+      {.num_rows = num_vertices_,
+       .row_width = pi_row_width(hyper_.num_communities),
+       .phantom = false,
+       .codec = options_.pi_codec,
+       .sparse_eps = options_.sparse_eps,
+       .sparse_modeled_nnz = 0});
   if (options_.resume_from != nullptr) {
     // Resuming lossy state under a different codec would silently change
     // what the DKV round-trips — refuse, naming both codecs.
@@ -134,7 +137,7 @@ DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
   minibatch_.emplace(training, heldout, options_.base.minibatch);
 }
 
-DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
+DistributedSampler::DistributedSampler(comm::Cluster& cluster,
                                        const PhantomWorkload& workload,
                                        const Hyper& hyper,
                                        const DistributedOptions& options)
@@ -153,15 +156,42 @@ DistributedSampler::DistributedSampler(sim::SimCluster& cluster,
               "phantom workload underspecified");
   hyper_.validate();
   options_.base.validate();
-  store_ = std::make_unique<dkv::SimRdmaDkv>(
-      num_vertices_, pi_row_width(hyper_.num_communities), num_workers_,
-      cluster.network(), cluster.compute_model(), /*phantom=*/true,
-      options_.pi_codec, options_.sparse_eps, options_.sparse_modeled_nnz);
+  SCD_REQUIRE(cluster.simulated(),
+              "cost-only mode needs the simulated backend");
+  store_ = cluster.make_store(
+      {.num_rows = num_vertices_,
+       .row_width = pi_row_width(hyper_.num_communities),
+       .phantom = true,
+       .codec = options_.pi_codec,
+       .sparse_eps = options_.sparse_eps,
+       .sparse_modeled_nnz = options_.sparse_modeled_nnz});
 }
 
 DistributedResult DistributedSampler::run(std::uint64_t iterations) {
   SCD_REQUIRE(!ran_, "a DistributedSampler instance runs exactly once");
   ran_ = true;
+  if (!cluster_.simulated()) {
+    // The wall-clock backend replays only what needs no virtual clock:
+    // tracing samples virtual time, and every fault except an
+    // (iteration, point)-anchored crash is priced in it.
+    SCD_REQUIRE(options_.trace == nullptr,
+                "tracing needs the simulated backend");
+    if (options_.fault_plan != nullptr) {
+      const fault::FaultPlan& plan = *options_.fault_plan;
+      SCD_REQUIRE(plan.links.empty() && plan.stragglers.empty() &&
+                      plan.dkv_stalls.empty(),
+                  "the process backend replays crash-only fault plans");
+      for (const fault::CrashEvent& c : plan.crashes) {
+        SCD_REQUIRE(c.iteration_triggered(),
+                    "process-backend crashes must be iteration-triggered "
+                    "(at_iteration/at_point), not virtual-time");
+      }
+      SCD_REQUIRE(plan.crashes.empty() || options_.rollback_interval > 0,
+                  "process-backend crash runs need rollback_interval > 0 "
+                  "(redo-in-place would keep the dead worker's partial pi "
+                  "writes, which the restart does not replay)");
+    }
+  }
   history_.clear();
   if (options_.base.eval_interval > 0) {
     history_.reserve(iterations / options_.base.eval_interval + 1);
@@ -196,7 +226,7 @@ DistributedResult DistributedSampler::run(std::uint64_t iterations) {
     injector_ = std::make_unique<fault::FaultInjector>(*options_.fault_plan,
                                                        cluster_.num_ranks());
     cluster_.install_fault_hooks(injector_.get());
-    store_->install_fault(injector_.get(), &cluster_.clocks());
+    store_->install_fault(injector_.get(), cluster_.rank_clocks());
   }
 
   if (options_.trace != nullptr) {
@@ -214,7 +244,7 @@ DistributedResult DistributedSampler::run(std::uint64_t iterations) {
     rec.reserve(iterations * 12 + 16, iterations * 8 + 16);
   }
 
-  cluster_.run([this, iterations](sim::RankContext& ctx) {
+  cluster_.run([this, iterations](comm::Context& ctx) {
     if (injector_ != nullptr) {
       if (ctx.is_master()) {
         ft_master_loop(ctx, iterations);
@@ -258,11 +288,11 @@ DistributedSampler::~DistributedSampler() = default;
 // Master
 // ---------------------------------------------------------------------
 
-void DistributedSampler::master_loop(sim::RankContext& ctx,
+void DistributedSampler::master_loop(comm::Context& ctx,
                                      std::uint64_t iterations) {
   const std::uint32_t k = hyper_.num_communities;
   const unsigned w = num_workers_;
-  sim::SimTransport& net = ctx.transport();
+  comm::Transport& net = ctx.transport();
 
   MasterWorkspace ws(k, w);
   if (real()) ws.reserve_real(*graph_, *minibatch_);
@@ -279,16 +309,16 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
   auto deploy = [&](std::uint64_t t) -> double {
     if (real()) {
       {
-        const auto sp = ctx.trace_span(sim::Phase::kDrawMinibatch, t);
+        const auto sp = ctx.trace_span(comm::Phase::kDrawMinibatch, t);
         rng::Xoshiro256 mb_rng =
             derive_rng(options_.base.seed, rng_label::kMinibatch, t);
         minibatch_->draw_into(mb_rng, ws.mb, ws.mb_scratch);
-        ctx.charge(sim::Phase::kDrawMinibatch,
+        ctx.charge(comm::Phase::kDrawMinibatch,
                    draw_cost_per_vertex(ctx, options_) *
                        static_cast<double>(ws.mb.vertices.size()));
       }
       const graph::Minibatch& mb = ws.mb;
-      const auto sp = ctx.trace_span(sim::Phase::kDeployMinibatch, t);
+      const auto sp = ctx.trace_span(comm::Phase::kDeployMinibatch, t);
       for (unsigned wi = 0; wi < w; ++wi) {
         DeployShare& share = ws.shares[wi];
         share.clear();
@@ -322,12 +352,12 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
     // Cost-only: charge the draw and ship phantom shares of the right
     // size.
     {
-      const auto sp = ctx.trace_span(sim::Phase::kDrawMinibatch, t);
-      ctx.charge(sim::Phase::kDrawMinibatch,
+      const auto sp = ctx.trace_span(comm::Phase::kDrawMinibatch, t);
+      ctx.charge(comm::Phase::kDrawMinibatch,
                  draw_cost_per_vertex(ctx, options_) *
                      static_cast<double>(phantom_.minibatch_vertices));
     }
-    const auto sp = ctx.trace_span(sim::Phase::kDeployMinibatch, t);
+    const auto sp = ctx.trace_span(comm::Phase::kDeployMinibatch, t);
     for (unsigned wi = 0; wi < w; ++wi) {
       const auto [vlo, vhi] =
           ThreadPool::chunk_bounds(0, phantom_.minibatch_vertices, wi, w);
@@ -357,11 +387,11 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
     std::vector<double>& ratios = ws.ratios;
     ratios.assign(std::size_t{k} * 2, 0.0);
     {
-      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
-      const double before = ctx.clock().now();
+      const auto sp = ctx.trace_span(comm::Phase::kBarrierWait, t);
+      const double before = ctx.now();
       net.reduce_sum(0, 0, ratios, kChannelGlobal);
-      ctx.stats().add(sim::Phase::kBarrierWait,
-                      ctx.clock().now() - before);
+      ctx.book(comm::Phase::kBarrierWait,
+                      ctx.now() - before);
     }
     if (real()) {
       std::vector<double>& grad = ws.grad;
@@ -380,14 +410,14 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
       beta_buf.assign(k, 0.5f);
     }
     {
-      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
-      ctx.charge_serial(sim::Phase::kUpdateBetaTheta,
+      const auto sp = ctx.trace_span(comm::Phase::kUpdateBetaTheta, t);
+      ctx.charge_serial(comm::Phase::kUpdateBetaTheta,
                         static_cast<double>(k) * 2.0,
                         ctx.compute().theta_unit_cycles);
-      const double before = ctx.clock().now();
+      const double before = ctx.now();
       net.broadcast(0, 0, std::span<float>(beta_buf), kChannelGlobal);
-      ctx.stats().add(sim::Phase::kUpdateBetaTheta,
-                      ctx.clock().now() - before);
+      ctx.book(comm::Phase::kUpdateBetaTheta,
+                      ctx.now() - before);
     }
 
     // Non-pipelined: the next draw serializes after this iteration.
@@ -398,15 +428,15 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
     if (eval_due(t)) {
       std::vector<double>& acc = ws.eval_acc;
       acc.assign(2, 0.0);  // [sum log avg, pair count]
-      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
-      const double before = ctx.clock().now();
+      const auto sp = ctx.trace_span(comm::Phase::kBarrierWait, t);
+      const double before = ctx.now();
       net.reduce_sum(0, 0, acc, kChannelGlobal);
-      ctx.stats().add(sim::Phase::kBarrierWait,
-                      ctx.clock().now() - before);
+      ctx.book(comm::Phase::kBarrierWait,
+                      ctx.now() - before);
       if (real()) {
         const double perp = PerplexityEvaluator::perplexity(
             acc[0], static_cast<std::uint64_t>(acc[1]));
-        history_.push_back({t + 1, ctx.clock().now(), perp});
+        history_.push_back({t + 1, ctx.now(), perp});
       }
     }
 
@@ -418,7 +448,7 @@ void DistributedSampler::master_loop(sim::RankContext& ctx,
 // Worker
 // ---------------------------------------------------------------------
 
-void DistributedSampler::worker_loop(sim::RankContext& ctx,
+void DistributedSampler::worker_loop(comm::Context& ctx,
                                      std::uint64_t iterations) {
   const std::uint32_t k = hyper_.num_communities;
   const std::uint32_t width = pi_row_width(k);
@@ -429,7 +459,7 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
   const quant::RowCodec codec = store_->codec();
   const bool sparse = quant::is_sparse(codec);
   const std::size_t vbytes = store_->value_bytes();
-  sim::SimTransport& net = ctx.transport();
+  comm::Transport& net = ctx.transport();
 
   WorkerWorkspace ws(k);
   // Largest neighbor set a vertex can draw (link-aware adds its links).
@@ -538,8 +568,8 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
     std::uint64_t n_local;
     std::uint64_t p_local;
     {
-      const auto sp = ctx.trace_span(sim::Phase::kDeployMinibatch, t);
-      const double before = ctx.clock().now();
+      const auto sp = ctx.trace_span(comm::Phase::kDeployMinibatch, t);
+      const double before = ctx.now();
       if (real()) {
         std::vector<std::byte> payload =
             net.recv_bytes(ctx.rank(), 0, kTagDeploy);
@@ -557,8 +587,8 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
         n_local = vhi - vlo;
         p_local = phi - plo;
       }
-      ctx.stats().add(sim::Phase::kDeployMinibatch,
-                      ctx.clock().now() - before);
+      ctx.book(comm::Phase::kDeployMinibatch,
+                      ctx.now() - before);
     }
 
     // ---- sample neighbor sets V_n -------------------------------------
@@ -588,8 +618,8 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
       }
     }
     {
-      const auto sp = ctx.trace_span(sim::Phase::kSampleNeighbors, t);
-      ctx.charge_kernel(sim::Phase::kSampleNeighbors, total_samples,
+      const auto sp = ctx.trace_span(comm::Phase::kSampleNeighbors, t);
+      ctx.charge_kernel(comm::Phase::kSampleNeighbors, total_samples,
                         ctx.compute().neighbor_unit_cycles);
     }
 
@@ -601,6 +631,8 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
       const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, n_local);
       double load_cost;
       double chunk_samples;
+      double load_begin = 0.0;
+      double load_end = 0.0;
       if (real()) {
         ws.keys.clear();
         chunk_samples = 0.0;
@@ -613,7 +645,9 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
           chunk_samples +=
               static_cast<double>(ws.neighbor_sets[vi].samples.size());
         }
+        load_begin = ctx.now();
         load_cost = load_stage_rows();
+        load_end = ctx.now();
         // Compute phi* for the chunk from the freshly loaded rows. The
         // vertex's own row decodes once into the staging slot; neighbor
         // rows are read straight from the encoded buffer.
@@ -646,8 +680,14 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
           sparse ? chunk_samples * store_->avg_row_nnz() +
                        static_cast<double>(hi - lo) * k
                  : chunk_samples * k;
-      const double compute_cost = ctx.compute().kernel_time(
+      double compute_cost = ctx.compute().kernel_time(
           phi_units, ctx.compute().phi_unit_cycles);
+      if (!ctx.simulated()) {
+        // Wall backend: replace the modeled split with the measured one —
+        // DKV wait vs. phi kernel time of this chunk.
+        load_cost = load_end - load_begin;
+        compute_cost = ctx.now() - load_end;
+      }
       pipe.add_chunk(load_cost, compute_cost);
     }
     // Stats record the sub-stage views of Table III; the clock advances
@@ -656,22 +696,22 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
     // sub-stage view lives only in PhaseStats, since the two interleave
     // within the same virtual interval.
     {
-      const auto sp = ctx.trace_span(sim::Phase::kUpdatePhi, t);
-      ctx.stats().add(sim::Phase::kLoadPi, pipe.load_total());
-      ctx.stats().add(sim::Phase::kUpdatePhi, pipe.compute_total());
-      ctx.clock().advance(pipe.total(options_.pipeline));
+      const auto sp = ctx.trace_span(comm::Phase::kUpdatePhi, t);
+      ctx.book(comm::Phase::kLoadPi, pipe.load_total());
+      ctx.book(comm::Phase::kUpdatePhi, pipe.compute_total());
+      ctx.advance(pipe.total(options_.pipeline));
     }
 
     // phi must be fully read cluster-wide before anyone writes pi.
     {
-      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+      const auto sp = ctx.trace_span(comm::Phase::kBarrierWait, t);
       ctx.timed_barrier(kChannelWorkers, w);
     }
 
     // ---- update_pi: normalize (folded in phi*) + DKV write-back --------
     {
-      const auto sp = ctx.trace_span(sim::Phase::kUpdatePi, t);
-      ctx.charge_kernel(sim::Phase::kUpdatePi,
+      const auto sp = ctx.trace_span(comm::Phase::kUpdatePi, t);
+      ctx.charge_kernel(comm::Phase::kUpdatePi,
                         static_cast<double>(n_local) * k,
                         ctx.compute().pi_unit_cycles);
       double write_cost;
@@ -683,18 +723,18 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
         const std::uint64_t local = n_local / w;
         write_cost = store_->write_cost(wi, local, n_local - local);
       }
-      ctx.charge(sim::Phase::kUpdatePi, write_cost);
+      ctx.charge(comm::Phase::kUpdatePi, write_cost);
     }
 
     // pi must be visible cluster-wide before update_beta reads it.
     {
-      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+      const auto sp = ctx.trace_span(comm::Phase::kBarrierWait, t);
       ctx.timed_barrier(kChannelWorkers, w);
     }
 
     // ---- update_beta: ratio partials over this worker's pair slice -----
     {
-      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
+      const auto sp = ctx.trace_span(comm::Phase::kUpdateBetaTheta, t);
       std::vector<double>& ratios = ws.ratios;
       ratios.assign(std::size_t{k} * 2, 0.0);
       double load_cost;
@@ -731,7 +771,7 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
       } else {
         load_cost = phantom_read_cost(static_cast<double>(2 * p_local));
       }
-      ctx.charge(sim::Phase::kUpdateBetaTheta, load_cost);
+      ctx.charge(comm::Phase::kUpdateBetaTheta, load_cost);
       // Sparse pairs cost their two supports (capped at K: a fallback
       // side degrades to the dense pass) plus the 2K epilogue fold.
       const double beta_units =
@@ -739,21 +779,21 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
                            std::min<double>(k, 2.0 * store_->avg_row_nnz()) +
                        2.0 * k
                  : static_cast<double>(p_local) * k;
-      ctx.charge_kernel(sim::Phase::kUpdateBetaTheta, beta_units,
+      ctx.charge_kernel(comm::Phase::kUpdateBetaTheta, beta_units,
                         ctx.compute().beta_unit_cycles);
 
-      const double before = ctx.clock().now();
+      const double before = ctx.now();
       net.reduce_sum(ctx.rank(), 0, ratios, kChannelGlobal);
       net.broadcast(ctx.rank(), 0, std::span<float>(beta_buf),
                     kChannelGlobal);
-      ctx.stats().add(sim::Phase::kUpdateBetaTheta,
-                      ctx.clock().now() - before);
+      ctx.book(comm::Phase::kUpdateBetaTheta,
+                      ctx.now() - before);
       if (real()) terms.refresh(beta_buf, hyper_.delta);
     }
 
     // ---- perplexity ----------------------------------------------------
     if (eval_due(t)) {
-      const auto sp = ctx.trace_span(sim::Phase::kPerplexity, t);
+      const auto sp = ctx.trace_span(comm::Phase::kPerplexity, t);
       std::vector<double>& acc = ws.eval_acc;
       acc.assign(2, 0.0);
       if (real() && evaluator) {
@@ -764,7 +804,7 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
           ws.keys.push_back(p.b);
         }
         const double load_cost = load_stage_rows();
-        ctx.charge(sim::Phase::kPerplexity, load_cost);
+        ctx.charge(comm::Phase::kPerplexity, load_cost);
         for (std::size_t i = 0; i < slice.size(); ++i) {
           evaluator->add_sample_prob(
               i, fast_pair_likelihood_enc(codec, row_of(2 * i),
@@ -776,14 +816,14 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
         acc[1] = static_cast<double>(slice.size());
       } else if (!real()) {
         ctx.charge(
-            sim::Phase::kPerplexity,
+            comm::Phase::kPerplexity,
             phantom_read_cost(static_cast<double>(2 * phantom_slice)));
       }
       const double perp_pair_units =
           sparse ? std::min<double>(k, 2.0 * store_->avg_row_nnz())
                  : static_cast<double>(k);
       ctx.charge_kernel(
-          sim::Phase::kPerplexity,
+          comm::Phase::kPerplexity,
           static_cast<double>(real() && evaluator ? evaluator->size()
                                                   : phantom_slice) *
               perp_pair_units,
@@ -814,11 +854,11 @@ void DistributedSampler::worker_loop(sim::RankContext& ctx,
 // the whole faulted trajectory, deterministic.
 // ---------------------------------------------------------------------
 
-void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
+void DistributedSampler::ft_master_loop(comm::Context& ctx,
                                         std::uint64_t iterations) {
   const std::uint32_t k = hyper_.num_communities;
   const unsigned w = num_workers_;
-  sim::SimTransport& net = ctx.transport();
+  comm::Transport& net = ctx.transport();
   const double skew = ctx.network().collective_skew_s;
 
   MasterWorkspace ws(k, w);
@@ -852,7 +892,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
                      store_->avg_row_wire_bytes())));
   };
   auto take_snapshot = [&](std::uint64_t t) {
-    const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+    const auto sp = ctx.trace_span(comm::Phase::kBarrierWait, t);
     Checkpoint cp;
     cp.iteration = t;
     cp.hyper = hyper_;
@@ -864,7 +904,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
     // consistent, and exact under fp32.
     snap_bytes = checkpoint_to_bytes(cp, options_.pi_codec,
                                      options_.sparse_eps);
-    ctx.charge(sim::Phase::kBarrierWait, snap_wire_s());
+    ctx.charge(comm::Phase::kBarrierWait, snap_wire_s());
   };
   if (options_.rollback_interval > 0) take_snapshot(0);
 
@@ -874,7 +914,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
   std::vector<unsigned> dead_now;
   auto gather = [&](int tag, auto&& consume) {
     dead_now.clear();
-    const double before = ctx.clock().now();
+    const double before = ctx.now();
     for (unsigned rank : live) {
       auto payload = net.recv_bytes_or_dead(0, rank, tag);
       if (!payload.has_value()) {
@@ -884,7 +924,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
       consume(rank, *payload);
       net.recycle_buffer(std::move(*payload));
     }
-    ctx.stats().add(sim::Phase::kBarrierWait, ctx.clock().now() - before);
+    ctx.book(comm::Phase::kBarrierWait, ctx.now() - before);
     return !dead_now.empty();
   };
 
@@ -897,13 +937,18 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
   // iteration to run.
   auto handle_death = [&](bool lost, std::uint64_t t) -> std::uint64_t {
     const auto sp = ctx.trace_span(trace::Stage::kRecovery, t);
-    double detect = ctx.clock().now();
+    const double start = ctx.now();  // wall clocks advance between reads
+    double detect = start;
     for (unsigned rank : dead_now) {
-      detect = std::max(detect, injector_->crash_time(rank) +
-                                    injector_->heartbeat_timeout_s());
+      // Iteration-triggered crashes have no crash *time* (+inf): the
+      // detection instant is then just the gather's own now().
+      const double ct = injector_->crash_time(rank);
+      if (std::isfinite(ct)) {
+        detect = std::max(detect, ct + injector_->heartbeat_timeout_s());
+      }
     }
-    ctx.stats().add(sim::Phase::kBarrierWait, detect - ctx.clock().now());
-    ctx.clock().advance_to(detect);
+    ctx.book(comm::Phase::kBarrierWait, detect - start);
+    ctx.advance_to(detect);
     for (unsigned rank : dead_now) {
       crashed_ranks_.push_back(rank);
       live.erase(std::find(live.begin(), live.end(), rank));
@@ -911,7 +956,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
     SCD_REQUIRE(!live.empty(), "all workers failed; run cannot continue");
     for (unsigned rank : dead_now) {
       const unsigned heir = live.front() - 1;
-      ctx.charge(sim::Phase::kBarrierWait, store_->rehome_cost(rank - 1));
+      ctx.charge(comm::Phase::kBarrierWait, store_->rehome_cost(rank - 1));
       store_->rehome_shard(rank - 1, heir);
     }
     std::uint64_t next = lost ? t : t + 1;
@@ -923,7 +968,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
       global_ = cp.global;
       std::copy(global_.beta_all().begin(), global_.beta_all().end(),
                 beta_buf.begin());
-      ctx.charge(sim::Phase::kBarrierWait, snap_wire_s());
+      ctx.charge(comm::Phase::kBarrierWait, snap_wire_s());
       beta_follows = true;
       next = cp.iteration;
     }
@@ -960,18 +1005,18 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
 
     // ---- deploy: ctrl (+ beta after rollback) + minibatch share --------
     {
-      const auto sp = ctx.trace_span(sim::Phase::kDrawMinibatch, t);
+      const auto sp = ctx.trace_span(comm::Phase::kDrawMinibatch, t);
       rng::Xoshiro256 mb_rng =
           derive_rng(options_.base.seed, rng_label::kMinibatch, t);
       minibatch_->draw_into(mb_rng, ws.mb, ws.mb_scratch);
-      ctx.charge(sim::Phase::kDrawMinibatch,
+      ctx.charge(comm::Phase::kDrawMinibatch,
                  draw_cost_per_vertex(ctx, options_) *
                      static_cast<double>(ws.mb.vertices.size()));
     }
     const graph::Minibatch& mb = ws.mb;
     const double scale = mb.scale;
     {
-      const auto sp = ctx.trace_span(sim::Phase::kDeployMinibatch, t);
+      const auto sp = ctx.trace_span(comm::Phase::kDeployMinibatch, t);
       for (unsigned li = 0; li < lw; ++li) {
         send_ctrl(live[li], {t, kFtDeploy, lw, li, ev ? 1u : 0u,
                              beta_follows ? 1u : 0u});
@@ -1007,10 +1052,10 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
     // ---- phi done? -----------------------------------------------------
     bool death;
     {
-      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+      const auto sp = ctx.trace_span(comm::Phase::kBarrierWait, t);
       death = gather(kTagHeartbeat, beat_check(t));
       if (!death) {
-        ctx.charge(sim::Phase::kBarrierWait, skew);
+        ctx.charge(comm::Phase::kBarrierWait, skew);
         for (unsigned rank : live) {
           send_ctrl(rank, {t, kFtPiGo, lw, 0, 0, 0});
         }
@@ -1023,10 +1068,10 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
 
     // ---- pi done? ------------------------------------------------------
     {
-      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+      const auto sp = ctx.trace_span(comm::Phase::kBarrierWait, t);
       death = gather(kTagHeartbeat, beat_check(t));
       if (!death) {
-        ctx.charge(sim::Phase::kBarrierWait, skew);
+        ctx.charge(comm::Phase::kBarrierWait, skew);
         for (unsigned rank : live) {
           send_ctrl(rank, {t, kFtBetaGo, lw, 0, 0, 0});
         }
@@ -1042,7 +1087,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
     ratios.assign(std::size_t{k} * 2, 0.0);
     bool ratio_death;
     {
-      const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+      const auto sp = ctx.trace_span(comm::Phase::kBarrierWait, t);
       ratio_death =
           gather(kTagRatios, [&](unsigned, const std::vector<std::byte>& p) {
             SCD_ASSERT(p.size() == ratios.size() * sizeof(double),
@@ -1054,14 +1099,14 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
               ratios[i] += part;
             }
           });
-      if (!ratio_death) ctx.charge(sim::Phase::kBarrierWait, skew);
+      if (!ratio_death) ctx.charge(comm::Phase::kBarrierWait, skew);
     }
     if (ratio_death) {
       t = handle_death(/*lost=*/true, t);
       continue;
     }
     {
-      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
+      const auto sp = ctx.trace_span(comm::Phase::kUpdateBetaTheta, t);
       std::vector<double>& grad = ws.grad;
       grad.assign(std::size_t{k} * 2, 0.0);
       theta_grad_from_ratios(std::span<const double>(ratios.data(), k),
@@ -1073,14 +1118,14 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
                    options_.base.noise_factor, options_.base.gradient_form);
       std::copy(global_.beta_all().begin(), global_.beta_all().end(),
                 beta_buf.begin());
-      ctx.charge_serial(sim::Phase::kUpdateBetaTheta,
+      ctx.charge_serial(comm::Phase::kUpdateBetaTheta,
                         static_cast<double>(k) * 2.0,
                         ctx.compute().theta_unit_cycles);
       for (unsigned rank : live) {
         send_ctrl(rank, {t, kFtBeta, lw, 0, 0, 0});
         send_beta(rank);
       }
-      ctx.charge(sim::Phase::kUpdateBetaTheta, skew);
+      ctx.charge(comm::Phase::kUpdateBetaTheta, skew);
     }
 
     // ---- perplexity over the live ranks' held-out slices ---------------
@@ -1089,7 +1134,7 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
       acc.assign(2, 0.0);
       bool eval_death;
       {
-        const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+        const auto sp = ctx.trace_span(comm::Phase::kBarrierWait, t);
         eval_death =
             gather(kTagEval, [&](unsigned, const std::vector<std::byte>& p) {
               SCD_ASSERT(p.size() == 2 * sizeof(double),
@@ -1099,12 +1144,12 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
               acc[0] += part[0];
               acc[1] += part[1];
             });
-        ctx.charge(sim::Phase::kBarrierWait, skew);
+        ctx.charge(comm::Phase::kBarrierWait, skew);
       }
       if (acc[1] > 0.0) {
         const double perp = PerplexityEvaluator::perplexity(
             acc[0], static_cast<std::uint64_t>(acc[1]));
-        history_.push_back({t + 1, ctx.clock().now(), perp});
+        history_.push_back({t + 1, ctx.now(), perp});
       }
       if (eval_death) {
         // Theta/beta/pi for t are fully applied — nothing to redo.
@@ -1121,14 +1166,14 @@ void DistributedSampler::ft_master_loop(sim::RankContext& ctx,
   }
 
   {
-    const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, iterations);
+    const auto sp = ctx.trace_span(comm::Phase::kBarrierWait, iterations);
     for (unsigned rank : live) {
       send_ctrl(rank, {iterations, kFtStop, 0, 0, 0, 0});
     }
   }
 }
 
-void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
+void DistributedSampler::ft_worker_loop(comm::Context& ctx) {
   const std::uint32_t k = hyper_.num_communities;
   const std::uint32_t width = pi_row_width(k);
   const unsigned w = num_workers_;
@@ -1138,7 +1183,7 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
   const quant::RowCodec codec = store_->codec();
   const bool sparse = quant::is_sparse(codec);
   const std::size_t vbytes = store_->value_bytes();
-  sim::SimTransport& net = ctx.transport();
+  comm::Transport& net = ctx.transport();
 
   WorkerWorkspace ws(k);
   const std::size_t set_bound = n_nbr + graph_->max_degree();
@@ -1186,25 +1231,26 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
     recv_beta();
   }
 
-  auto recv_ctrl = [&](sim::Phase p) -> FtCtrl {
+  auto recv_ctrl = [&](comm::Phase p) -> FtCtrl {
     const auto sp = ctx.trace_span(p);
-    const double before = ctx.clock().now();
+    const double before = ctx.now();
     const std::vector<FtCtrl> msg =
         net.recv<FtCtrl>(ctx.rank(), 0, kTagCtrl);
     SCD_ASSERT(msg.size() == 1, "malformed ctrl record");
-    ctx.stats().add(p, ctx.clock().now() - before);
+    ctx.book(p, ctx.now() - before);
     return msg[0];
   };
-  // Fail-stop point: past the plan's crash time this rank dies here —
-  // after completing every earlier send, before the upcoming one — which
+  // Fail-stop point: past the plan's crash time — or exactly at a
+  // plan-scheduled (iteration, point) trigger — this rank dies here,
+  // after completing every earlier send, before the upcoming one, which
   // is what makes the master's detection order deterministic.
-  auto fail_stop = [&]() -> bool {
-    if (!injector_->crashed(ctx.rank(), ctx.clock().now())) return false;
+  auto fail_stop = [&](std::uint64_t t, fault::CrashPoint point) -> bool {
+    if (!injector_->crashed(ctx.rank(), ctx.now(), t, point)) return false;
     net.mark_rank_dead(ctx.rank());
     return true;
   };
   auto send_beat = [&](std::uint64_t t) {
-    const auto sp = ctx.trace_span(sim::Phase::kBarrierWait, t);
+    const auto sp = ctx.trace_span(comm::Phase::kBarrierWait, t);
     const std::uint64_t beat = t;
     net.send<std::uint64_t>(ctx.rank(), 0, kTagHeartbeat,
                             std::span<const std::uint64_t>(&beat, 1));
@@ -1219,7 +1265,7 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
   unsigned eval_member = 0;
 
   for (;;) {
-    const FtCtrl c = recv_ctrl(sim::Phase::kDeployMinibatch);
+    const FtCtrl c = recv_ctrl(comm::Phase::kDeployMinibatch);
     if (c.op == kFtStop) return;
     if (c.op == kFtRestart) continue;  // stale membership; await deploy
     SCD_ASSERT(c.op == kFtDeploy, "unexpected ctrl op at deploy point");
@@ -1237,8 +1283,8 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
     std::uint64_t n_local;
     std::uint64_t p_local;
     {
-      const auto sp = ctx.trace_span(sim::Phase::kDeployMinibatch, t);
-      const double before = ctx.clock().now();
+      const auto sp = ctx.trace_span(comm::Phase::kDeployMinibatch, t);
+      const double before = ctx.now();
       std::vector<std::byte> payload =
           net.recv_bytes(ctx.rank(), 0, kTagDeploy);
       deserialize_share_into(payload, share);
@@ -1246,8 +1292,8 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
       SCD_ASSERT(share.iteration == t, "deploy out of order");
       n_local = share.vertices.size();
       p_local = share.pair_a.size();
-      ctx.stats().add(sim::Phase::kDeployMinibatch,
-                      ctx.clock().now() - before);
+      ctx.book(comm::Phase::kDeployMinibatch,
+                      ctx.now() - before);
     }
 
     // ---- sample neighbor sets V_n -------------------------------------
@@ -1270,8 +1316,8 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
       }
     }
     {
-      const auto sp = ctx.trace_span(sim::Phase::kSampleNeighbors, t);
-      ctx.charge_kernel(sim::Phase::kSampleNeighbors, total_samples,
+      const auto sp = ctx.trace_span(comm::Phase::kSampleNeighbors, t);
+      ctx.charge_kernel(comm::Phase::kSampleNeighbors, total_samples,
                         ctx.compute().neighbor_unit_cycles);
     }
 
@@ -1292,7 +1338,9 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
         chunk_samples +=
             static_cast<double>(ws.neighbor_sets[vi].samples.size());
       }
-      const double load_cost = load_stage_rows();
+      const double load_begin = ctx.now();
+      double load_cost = load_stage_rows();
+      const double load_end = ctx.now();
       std::size_t ref_idx = 0;
       for (std::uint64_t vi = lo; vi < hi; ++vi) {
         const graph::Vertex a = share.vertices[vi];
@@ -1314,26 +1362,32 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
           sparse ? chunk_samples * store_->avg_row_nnz() +
                        static_cast<double>(hi - lo) * k
                  : chunk_samples * k;
-      const double compute_cost = ctx.compute().kernel_time(
+      double compute_cost = ctx.compute().kernel_time(
           phi_units, ctx.compute().phi_unit_cycles);
+      if (!ctx.simulated()) {
+        // Wall backend: replace the modeled split with the measured one —
+        // DKV wait vs. phi kernel time of this chunk.
+        load_cost = load_end - load_begin;
+        compute_cost = ctx.now() - load_end;
+      }
       pipe.add_chunk(load_cost, compute_cost);
     }
     // The pipeline total bypasses charge(), so the straggler slowdown is
     // applied here explicitly.
     {
-      const auto sp = ctx.trace_span(sim::Phase::kUpdatePhi, t);
+      const auto sp = ctx.trace_span(comm::Phase::kUpdatePhi, t);
       const double factor =
-          injector_->compute_factor(ctx.rank(), ctx.clock().now());
-      ctx.stats().add(sim::Phase::kLoadPi, pipe.load_total() * factor);
-      ctx.stats().add(sim::Phase::kUpdatePhi,
+          injector_->compute_factor(ctx.rank(), ctx.now());
+      ctx.book(comm::Phase::kLoadPi, pipe.load_total() * factor);
+      ctx.book(comm::Phase::kUpdatePhi,
                       pipe.compute_total() * factor);
-      ctx.clock().advance(pipe.total(options_.pipeline) * factor);
+      ctx.advance(pipe.total(options_.pipeline) * factor);
     }
 
-    if (fail_stop()) return;
+    if (fail_stop(t, fault::CrashPoint::kAfterPhi)) return;
     send_beat(t);
     {
-      const FtCtrl go = recv_ctrl(sim::Phase::kBarrierWait);
+      const FtCtrl go = recv_ctrl(comm::Phase::kBarrierWait);
       if (go.op == kFtRestart) continue;
       SCD_ASSERT(go.op == kFtPiGo && go.iteration == t,
                  "unexpected ctrl op at pi point");
@@ -1341,19 +1395,19 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
 
     // ---- update_pi -----------------------------------------------------
     {
-      const auto sp = ctx.trace_span(sim::Phase::kUpdatePi, t);
-      ctx.charge_kernel(sim::Phase::kUpdatePi,
+      const auto sp = ctx.trace_span(comm::Phase::kUpdatePi, t);
+      ctx.charge_kernel(comm::Phase::kUpdatePi,
                         static_cast<double>(n_local) * k,
                         ctx.compute().pi_unit_cycles);
       ws.keys.assign(share.vertices.begin(), share.vertices.end());
-      ctx.charge(sim::Phase::kUpdatePi,
+      ctx.charge(comm::Phase::kUpdatePi,
                  store_->put_rows(wi, ws.keys, ws.staged));
     }
 
-    if (fail_stop()) return;
+    if (fail_stop(t, fault::CrashPoint::kAfterPi)) return;
     send_beat(t);
     {
-      const FtCtrl go = recv_ctrl(sim::Phase::kBarrierWait);
+      const FtCtrl go = recv_ctrl(comm::Phase::kBarrierWait);
       if (go.op == kFtRestart) continue;
       SCD_ASSERT(go.op == kFtBetaGo && go.iteration == t,
                  "unexpected ctrl op at beta point");
@@ -1363,7 +1417,7 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
     std::vector<double>& ratios = ws.ratios;
     ratios.assign(std::size_t{k} * 2, 0.0);
     {
-      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
+      const auto sp = ctx.trace_span(comm::Phase::kUpdateBetaTheta, t);
       ws.keys.clear();
       for (std::uint64_t i = 0; i < p_local; ++i) {
         ws.keys.push_back(share.pair_a[i]);
@@ -1390,7 +1444,7 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
               share.pair_y[i] != 0 ? link : nonlink, ws.scratch.w);
         }
       }
-      ctx.charge(sim::Phase::kUpdateBetaTheta, load_cost);
+      ctx.charge(comm::Phase::kUpdateBetaTheta, load_cost);
       // Sparse pairs cost their two supports (capped at K: a fallback
       // side degrades to the dense pass) plus the 2K epilogue fold.
       const double beta_units =
@@ -1398,27 +1452,27 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
                            std::min<double>(k, 2.0 * store_->avg_row_nnz()) +
                        2.0 * k
                  : static_cast<double>(p_local) * k;
-      ctx.charge_kernel(sim::Phase::kUpdateBetaTheta, beta_units,
+      ctx.charge_kernel(comm::Phase::kUpdateBetaTheta, beta_units,
                         ctx.compute().beta_unit_cycles);
     }
-    if (fail_stop()) return;
+    if (fail_stop(t, fault::CrashPoint::kBeforeRatios)) return;
     {
-      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
+      const auto sp = ctx.trace_span(comm::Phase::kUpdateBetaTheta, t);
       net.send<double>(ctx.rank(), 0, kTagRatios,
                        std::span<const double>(ratios));
     }
     {
-      const FtCtrl go = recv_ctrl(sim::Phase::kUpdateBetaTheta);
+      const FtCtrl go = recv_ctrl(comm::Phase::kUpdateBetaTheta);
       if (go.op == kFtRestart) continue;
       SCD_ASSERT(go.op == kFtBeta && go.iteration == t,
                  "unexpected ctrl op at beta receive point");
-      const auto sp = ctx.trace_span(sim::Phase::kUpdateBetaTheta, t);
+      const auto sp = ctx.trace_span(comm::Phase::kUpdateBetaTheta, t);
       recv_beta();
     }
 
     // ---- perplexity ----------------------------------------------------
     if (c.eval != 0 && heldout_ != nullptr && heldout_size_ > 0) {
-      const auto sp = ctx.trace_span(sim::Phase::kPerplexity, t);
+      const auto sp = ctx.trace_span(comm::Phase::kPerplexity, t);
       if (evaluator == nullptr || eval_live != lw || eval_member != li) {
         const auto [lo, hi] =
             ThreadPool::chunk_bounds(0, heldout_size_, li, lw);
@@ -1436,7 +1490,7 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
         ws.keys.push_back(p.a);
         ws.keys.push_back(p.b);
       }
-      ctx.charge(sim::Phase::kPerplexity, load_stage_rows());
+      ctx.charge(comm::Phase::kPerplexity, load_stage_rows());
       for (std::size_t i = 0; i < slice.size(); ++i) {
         evaluator->add_sample_prob(
             i, fast_pair_likelihood_enc(codec, row_of(2 * i),
@@ -1449,11 +1503,11 @@ void DistributedSampler::ft_worker_loop(sim::RankContext& ctx) {
       const double perp_pair_units =
           sparse ? std::min<double>(k, 2.0 * store_->avg_row_nnz())
                  : static_cast<double>(k);
-      ctx.charge_kernel(sim::Phase::kPerplexity,
+      ctx.charge_kernel(comm::Phase::kPerplexity,
                         static_cast<double>(evaluator->size()) *
                             perp_pair_units,
                         ctx.compute().perplexity_unit_cycles);
-      if (fail_stop()) return;
+      if (fail_stop(t, fault::CrashPoint::kBeforeEval)) return;
       net.send<double>(ctx.rank(), 0, kTagEval,
                        std::span<const double>(acc));
     }

@@ -1,5 +1,6 @@
 // The paper's contribution: the parallel + distributed SG-MCMC sampler,
-// executed on the virtual-time cluster (Section III).
+// executed on a comm::Cluster backend: the virtual-time simulator
+// (sim::SimCluster) or real forked processes (proc::ProcCluster).
 //
 // Topology: rank 0 is the master (owns E, draws and deploys minibatches,
 // updates theta/beta); ranks 1..W are workers (own a static shard of the
@@ -39,11 +40,12 @@
 #include "core/options.h"
 #include "core/perplexity.h"
 #include "core/state.h"
-#include "dkv/sim_rdma_dkv.h"
+#include "comm/cluster.h"
+#include "comm/context.h"
+#include "dkv/sharded_dkv.h"
 #include "graph/graph.h"
 #include "graph/heldout.h"
 #include "graph/minibatch.h"
-#include "sim/cluster.h"
 
 namespace scd::fault {
 struct FaultPlan;
@@ -150,8 +152,9 @@ struct DistributedResult {
   /// max over ranks of final virtual clock.
   double virtual_seconds = 0.0;
   double avg_iteration_seconds = 0.0;
-  /// Per-phase virtual time, max over ranks, for the whole run.
-  sim::PhaseStats critical_path;
+  /// Per-phase time, max over ranks, for the whole run (virtual seconds
+  /// on the simulated backend, wall seconds on the process backend).
+  comm::PhaseStats critical_path;
   /// Perplexity trace (real mode; seconds are virtual cluster time).
   std::vector<HistoryPoint> history;
   /// FT mode: worker ranks that fail-stopped during the run, in
@@ -165,12 +168,13 @@ class DistributedSampler {
  public:
   /// Real mode. `cluster` must have num_ranks = workers + 1 (>= 2).
   /// The graph/heldout referents must outlive the sampler.
-  DistributedSampler(sim::SimCluster& cluster, const graph::Graph& training,
+  DistributedSampler(comm::Cluster& cluster, const graph::Graph& training,
                      const graph::HeldOutSplit* heldout, const Hyper& hyper,
                      const DistributedOptions& options);
 
-  /// Cost-only mode at the scale described by `workload`.
-  DistributedSampler(sim::SimCluster& cluster,
+  /// Cost-only mode at the scale described by `workload` (simulated
+  /// backend only — there is nothing real to execute).
+  DistributedSampler(comm::Cluster& cluster,
                      const PhantomWorkload& workload, const Hyper& hyper,
                      const DistributedOptions& options);
 
@@ -183,25 +187,25 @@ class DistributedSampler {
   /// Real mode, after run(): copy all pi rows out of the DKV store.
   PiMatrix snapshot_pi() const;
   const GlobalState& global() const { return global_; }
-  const dkv::SimRdmaDkv& store() const { return *store_; }
+  const dkv::ShardedDkv& store() const { return *store_; }
   unsigned num_workers() const { return num_workers_; }
 
  private:
-  void master_loop(sim::RankContext& ctx, std::uint64_t iterations);
-  void worker_loop(sim::RankContext& ctx, std::uint64_t iterations);
+  void master_loop(comm::Context& ctx, std::uint64_t iterations);
+  void worker_loop(comm::Context& ctx, std::uint64_t iterations);
   /// Fault-tolerant twins, active when options_.fault_plan is set:
   /// collectives are replaced by master-coordinated heartbeat rounds so
   /// membership can shrink mid-run. See "Fault model & recovery" in
   /// DESIGN.md.
-  void ft_master_loop(sim::RankContext& ctx, std::uint64_t iterations);
-  void ft_worker_loop(sim::RankContext& ctx);
+  void ft_master_loop(comm::Context& ctx, std::uint64_t iterations);
+  void ft_worker_loop(comm::Context& ctx);
   bool real() const { return graph_ != nullptr; }
   bool eval_due(std::uint64_t t) const {
     const std::uint64_t every = options_.base.eval_interval;
     return every > 0 && (t + 1) % every == 0 && heldout_size_ > 0;
   }
 
-  sim::SimCluster& cluster_;
+  comm::Cluster& cluster_;
   const graph::Graph* graph_ = nullptr;        // null in cost-only mode
   const graph::HeldOutSplit* heldout_ = nullptr;
   PhantomWorkload phantom_{};
@@ -211,7 +215,7 @@ class DistributedSampler {
   std::uint64_t num_vertices_;
   std::uint64_t heldout_size_;
 
-  std::unique_ptr<dkv::SimRdmaDkv> store_;
+  std::unique_ptr<dkv::ShardedDkv> store_;
   GlobalState global_;
   std::optional<graph::MinibatchSampler> minibatch_;
 

@@ -53,6 +53,7 @@
 
 #include "dkv/dkv.h"
 #include "dkv/partition.h"
+#include "dkv/sharded_dkv.h"
 #include "sim/clock.h"
 #include "sim/compute_model.h"
 #include "sim/fault_hooks.h"
@@ -61,7 +62,7 @@
 
 namespace scd::dkv {
 
-class SimRdmaDkv final : public DkvStore {
+class SimRdmaDkv final : public ShardedDkv {
  public:
   SimRdmaDkv(std::uint64_t num_rows, std::uint32_t row_width,
              unsigned num_shards, const sim::NetworkModel& net,
@@ -74,7 +75,7 @@ class SimRdmaDkv final : public DkvStore {
   std::uint32_t row_width() const override { return row_width_; }
   quant::RowCodec codec() const override { return codec_; }
   std::size_t value_bytes() const override { return value_bytes_; }
-  const RowPartition& partition() const { return partition_; }
+  const RowPartition& partition() const override { return partition_; }
   bool phantom() const { return phantom_; }
 
   void init_row(std::uint64_t key, std::span<const float> value) override;
@@ -107,18 +108,11 @@ class SimRdmaDkv final : public DkvStore {
 
   /// Direct row view (tests, perplexity snapshots). Only valid under the
   /// kFloat32 codec, where storage *is* the float row.
-  std::span<const float> row(std::uint64_t key) const;
+  std::span<const float> row(std::uint64_t key) const override;
 
   /// Decode one stored row into `out` (row_width floats). Untimed; works
   /// under every codec — the snapshot path for pi.
-  void read_row(std::uint64_t key, std::span<float> out) const;
-
-  /// Expected remote fraction for a uniformly random row from shard s:
-  /// (C-1)/C — the quantity Section IV-C reasons about.
-  double remote_fraction() const {
-    const double c = partition_.num_shards();
-    return (c - 1.0) / c;
-  }
+  void read_row(std::uint64_t key, std::span<float> out) const override;
 
   /// Average bytes one row currently costs on the wire: value_bytes()
   /// for the dense codecs; the tracked mean of quant::row_bytes() over
@@ -143,9 +137,9 @@ class SimRdmaDkv final : public DkvStore {
   /// a stalled shard pay the plan's extra service delay. `clocks` supplies
   /// the requester's virtual time; shard s is served by the rank at index
   /// s + rank_offset (the sampler's worker-rank convention).
-  void install_fault(const sim::FaultHooks* hooks,
-                     const std::vector<sim::SimClock>* clocks,
-                     unsigned rank_offset = 1);
+  void install_fault(const comm::FaultHooks* hooks,
+                     const std::vector<comm::VirtualClock>* clocks,
+                     unsigned rank_offset = 1) override;
 
   /// Install (or clear, with nullptr) a trace recorder: get_rows /
   /// put_rows and the phantom read_cost/write_cost operations count
@@ -154,20 +148,20 @@ class SimRdmaDkv final : public DkvStore {
   /// the sampler's worker-rank convention). The passive keyed cost
   /// queries record nothing.
   void install_trace(trace::TraceRecorder* recorder,
-                     unsigned rank_offset = 1);
+                     unsigned rank_offset = 1) override;
 
   /// Re-home `shard`'s rows onto `new_owner` (a surviving shard) after
   /// its worker fail-stops: subsequent accesses treat those rows as owned
   /// by `new_owner` — local to its worker, one coalesced message from
   /// everyone else. The storage itself never moves (all simulated ranks
   /// share the address space); the orchestrator charges rehome_cost().
-  void rehome_shard(unsigned shard, unsigned new_owner);
+  void rehome_shard(unsigned shard, unsigned new_owner) override;
 
   /// Modeled bulk-transfer time of shipping `shard`'s rows to its heir.
-  double rehome_cost(unsigned shard) const;
+  double rehome_cost(unsigned shard) const override;
 
   /// Effective owner of `key` after any re-homing.
-  unsigned effective_owner(std::uint64_t key) const {
+  unsigned effective_owner(std::uint64_t key) const override {
     const unsigned owner = partition_.owner(key);
     return remap_.empty() ? owner : remap_[owner];
   }

@@ -35,6 +35,7 @@ FaultInjector::FaultInjector(const FaultPlan& plan, unsigned num_ranks)
   plan_.validate(num_ranks);
   crash_time_.assign(num_ranks, std::numeric_limits<double>::infinity());
   for (const CrashEvent& c : plan_.crashes) {
+    if (c.iteration_triggered()) continue;  // fires at a protocol point
     crash_time_[c.rank] = std::min(crash_time_[c.rank], c.time_s);
   }
   link_seq_.assign(std::size_t{num_ranks} * num_ranks, 0);

@@ -28,10 +28,28 @@ class FaultInjector final : public sim::FaultHooks {
   double retry_backoff_s() const override { return plan_.retry_backoff_s; }
 
   /// Virtual time at which `rank` fail-stops; +inf when the plan never
-  /// kills it.
+  /// kills it at a time trigger (iteration-triggered crashes keep +inf —
+  /// they fire through the 4-argument crashed() below).
   double crash_time(unsigned rank) const { return crash_time_[rank]; }
   bool crashed(unsigned rank, double now) const {
     return now >= crash_time_[rank];
+  }
+
+  /// Full crash query for the FT worker's protocol points: a time
+  /// trigger that has come due, or an iteration trigger matching this
+  /// exact (iteration, point). `now` is in the backend's own time
+  /// coordinate; iteration triggers never consult it, which is what
+  /// makes crash plans replay identically across backends.
+  bool crashed(unsigned rank, double now, std::uint64_t iteration,
+               CrashPoint point) const {
+    if (crashed(rank, now)) return true;
+    for (const CrashEvent& c : plan_.crashes) {
+      if (c.rank == rank && c.iteration_triggered() &&
+          c.at_iteration == iteration && c.at_point == point) {
+        return true;
+      }
+    }
+    return false;
   }
   double heartbeat_timeout_s() const { return plan_.heartbeat_timeout_s; }
   const FaultPlan& plan() const { return plan_; }

@@ -155,7 +155,14 @@ void FaultPlan::validate(unsigned num_ranks) const {
   for (const CrashEvent& c : crashes) {
     SCD_REQUIRE(c.rank >= 1, "the master (rank 0) cannot crash");
     SCD_REQUIRE(c.rank < num_ranks, "crash rank out of range");
-    SCD_REQUIRE(c.time_s > 0.0, "crash time must be positive");
+    if (c.iteration_triggered()) {
+      SCD_REQUIRE(c.time_s == 0.0,
+                  "a crash is triggered by time_s OR at_iteration, not both");
+      SCD_REQUIRE(static_cast<unsigned>(c.at_point) < kNumCrashPoints,
+                  "crash at_point out of range");
+    } else {
+      SCD_REQUIRE(c.time_s > 0.0, "crash time must be positive");
+    }
   }
   for (const LinkFault& l : links) {
     SCD_REQUIRE(l.from < num_ranks && l.to < num_ranks,
@@ -200,6 +207,10 @@ FaultPlan FaultPlan::from_json(std::string_view text) {
           parse_flat_object(c, "crash", [&](const std::string& f, double v) {
             if (f == "rank") e.rank = as_index(c, "rank", v);
             else if (f == "time_s") e.time_s = v;
+            else if (f == "at_iteration")
+              e.at_iteration = as_index(c, "at_iteration", v);
+            else if (f == "at_point")
+              e.at_point = static_cast<CrashPoint>(as_index(c, "at_point", v));
             else return false;
             return true;
           });

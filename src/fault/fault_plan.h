@@ -24,11 +24,32 @@
 
 namespace scd::fault {
 
-/// `rank` fail-stops the first time its virtual clock reaches `time_s`.
+/// Protocol points at which an iteration-triggered crash can fire (the
+/// FT worker loop polls its fate exactly at these four seams). Crashes
+/// anchored to a (iteration, point) pair instead of a virtual time are
+/// what makes fault runs reproducible across execution backends — the
+/// process backend has no virtual clock to reach.
+enum class CrashPoint : unsigned {
+  kAfterPhi = 0,     // phi pipeline done, before the heartbeat
+  kAfterPi = 1,      // pi written back, before the heartbeat
+  kBeforeRatios = 2, // theta grads computed, before sending ratios
+  kBeforeEval = 3,   // perplexity partials computed, before sending them
+};
+inline constexpr unsigned kNumCrashPoints = 4;
+
+/// `rank` fail-stops either the first time its virtual clock reaches
+/// `time_s` (sim backend only), or — when `at_iteration` is set — at
+/// protocol point `at_point` of iteration `at_iteration` on any backend.
 /// Rank 0 (the master) is not allowed to crash.
 struct CrashEvent {
+  static constexpr std::uint64_t kNoIteration = ~std::uint64_t{0};
+
   unsigned rank = 0;
   double time_s = 0.0;
+  std::uint64_t at_iteration = kNoIteration;
+  CrashPoint at_point = CrashPoint::kAfterPhi;
+
+  bool iteration_triggered() const { return at_iteration != kNoIteration; }
 };
 
 /// Transient lossy window on the directed link `from` -> `to`.
@@ -97,7 +118,8 @@ struct FaultPlan {
   ///
   ///   {
   ///     "seed": 7, "heartbeat_timeout_s": 0.25, "retry_backoff_s": 5e-5,
-  ///     "crashes":    [{"rank": 2, "time_s": 0.5}],
+  ///     "crashes":    [{"rank": 2, "time_s": 0.5},
+  ///                    {"rank": 1, "at_iteration": 3, "at_point": 0}],
   ///     "links":      [{"from": 1, "to": 0, "start_s": 0.0, "end_s": 1.0,
   ///                     "drop_prob": 0.1, "dup_prob": 0.05,
   ///                     "delay_s": 1e-3}],

@@ -1,0 +1,94 @@
+#include "proc/framing.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+#include <sys/socket.h>
+
+#include "comm/transport.h"
+#include "util/error.h"
+
+namespace scd::proc {
+
+bool write_full(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    // Sockets take send(MSG_NOSIGNAL); pipes (the status channels) need
+    // plain write — SIGPIPE is ignored for the duration of the run.
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw comm::TransportError(std::string("socket send failed: ") +
+                                 std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+IoStatus read_full(int fd, void* data, std::size_t len, double timeout_s) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int timeout_ms =
+        timeout_s <= 0.0 ? 0 : static_cast<int>(timeout_s * 1e3) + 1;
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw comm::TransportError(std::string("poll failed: ") +
+                                 std::strerror(errno));
+    }
+    if (pr == 0) {
+      if (got > 0) {
+        throw comm::TransportError("socket read timed out mid-frame");
+      }
+      return IoStatus::kTimeout;
+    }
+    ssize_t n = ::recv(fd, p + got, len - got, 0);
+    if (n < 0 && errno == ENOTSOCK) n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        n = 0;  // a reset peer reads as EOF on a clean frame boundary
+      } else {
+        throw comm::TransportError(std::string("socket recv failed: ") +
+                                   std::strerror(errno));
+      }
+    }
+    if (n == 0) {
+      if (got > 0) {
+        throw comm::TransportError("peer closed mid-frame");
+      }
+      return IoStatus::kEof;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+void write_full_or_throw(int fd, const void* data, std::size_t len,
+                         const std::string& what) {
+  if (!write_full(fd, data, len)) {
+    throw comm::TransportError(what + ": peer is gone");
+  }
+}
+
+void read_full_or_throw(int fd, void* data, std::size_t len, double timeout_s,
+                        const std::string& what) {
+  switch (read_full(fd, data, len, timeout_s)) {
+    case IoStatus::kOk:
+      return;
+    case IoStatus::kEof:
+      throw comm::TransportError(what + ": peer closed the connection");
+    case IoStatus::kTimeout:
+      throw comm::TransportError(what + ": timed out");
+  }
+}
+
+}  // namespace scd::proc

@@ -1,4 +1,4 @@
-// Per-rank virtual clock.
+// Per-rank virtual clock (backend-neutral type lives in comm/clock.h).
 //
 // The cluster simulator executes the distributed algorithm's computation
 // for real but accounts *time* through these clocks: compute sections
@@ -7,28 +7,10 @@
 // completion). All simulated durations are in seconds.
 #pragma once
 
-#include "util/error.h"
+#include "comm/clock.h"
 
 namespace scd::sim {
 
-class SimClock {
- public:
-  double now() const { return now_s_; }
-
-  void advance(double seconds) {
-    SCD_ASSERT(seconds >= 0.0, "time cannot move backwards");
-    now_s_ += seconds;
-  }
-
-  /// Jump forward to `t` if it is in the future (e.g. message arrival).
-  void advance_to(double t) {
-    if (t > now_s_) now_s_ = t;
-  }
-
-  void reset() { now_s_ = 0.0; }
-
- private:
-  double now_s_ = 0.0;
-};
+using SimClock = comm::VirtualClock;
 
 }  // namespace scd::sim

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "dkv/sim_rdma_dkv.h"
 #include "util/error.h"
 
 namespace scd::sim {
@@ -23,6 +24,12 @@ const ComputeModel& RankContext::compute() const {
 }
 PhaseStats& RankContext::stats() { return cluster_.stats(rank_); }
 
+double RankContext::now() const { return cluster_.clock(rank_).now(); }
+void RankContext::advance(double seconds) { clock().advance(seconds); }
+void RankContext::advance_to(double t) { clock().advance_to(t); }
+
+void RankContext::book(Phase p, double seconds) { stats().add(p, seconds); }
+
 void RankContext::charge(Phase p, double seconds) {
   // Straggler windows from an installed fault plan dilate this rank's
   // compute; the factor is 1 (and the branch never taken) otherwise.
@@ -31,16 +38,6 @@ void RankContext::charge(Phase p, double seconds) {
   }
   clock().advance(seconds);
   stats().add(p, seconds);
-}
-
-void RankContext::charge_kernel(Phase p, double units,
-                                double cycles_per_unit) {
-  charge(p, compute().kernel_time(units, cycles_per_unit));
-}
-
-void RankContext::charge_serial(Phase p, double units,
-                                double cycles_per_unit) {
-  charge(p, compute().serial_time(units, cycles_per_unit));
 }
 
 void RankContext::timed_barrier(unsigned channel, unsigned participants) {
@@ -86,6 +83,21 @@ void SimCluster::run(const std::function<void(RankContext&)>& fn) {
   }
   for (std::thread& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void SimCluster::run(const std::function<void(comm::Context&)>& fn) {
+  run(std::function<void(RankContext&)>(
+      [&fn](RankContext& ctx) { fn(ctx); }));
+}
+
+std::unique_ptr<dkv::ShardedDkv> SimCluster::make_store(
+    const comm::StoreConfig& config) {
+  SCD_REQUIRE(config_.num_ranks >= 2,
+              "a sharded store needs at least one worker rank");
+  return std::make_unique<dkv::SimRdmaDkv>(
+      config.num_rows, config.row_width, config_.num_ranks - 1,
+      config_.network, config_.compute, config.phantom, config.codec,
+      config.sparse_eps, config.sparse_modeled_nnz);
 }
 
 double SimCluster::max_clock() const {

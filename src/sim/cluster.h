@@ -1,4 +1,5 @@
-// SPMD runner for the virtual-time cluster.
+// SPMD runner for the virtual-time cluster — the simulated
+// implementation of the backend-neutral comm::Cluster/Context seam.
 //
 // SimCluster owns the clocks, transport, and per-rank phase statistics,
 // and executes a rank function on one real thread per simulated node.
@@ -10,6 +11,8 @@
 #include <functional>
 #include <vector>
 
+#include "comm/cluster.h"
+#include "comm/context.h"
 #include "sim/clock.h"
 #include "sim/compute_model.h"
 #include "sim/fault_hooks.h"
@@ -23,46 +26,48 @@ namespace scd::sim {
 class SimCluster;
 
 /// Handed to each rank's function; the sole interface rank code needs.
-class RankContext {
+class RankContext final : public comm::Context {
  public:
   RankContext(unsigned rank, SimCluster& cluster);
 
-  unsigned rank() const { return rank_; }
-  unsigned num_ranks() const;
-  bool is_master() const { return rank_ == 0; }
+  unsigned rank() const override { return rank_; }
+  unsigned num_ranks() const override;
+  bool simulated() const override { return true; }
 
-  SimTransport& transport();
+  SimTransport& transport() override;
   SimClock& clock();
-  const NetworkModel& network() const;
-  const ComputeModel& compute() const;
-  PhaseStats& stats();
+  const NetworkModel& network() const override;
+  const ComputeModel& compute() const override;
+  PhaseStats& stats() override;
+
+  double now() const override;
+  void advance(double seconds) override;
+  void advance_to(double t) override;
+
+  /// Book already-elapsed virtual time without advancing the clock (the
+  /// clock moved through the transport or an explicit advance).
+  void book(Phase p, double seconds) override;
 
   /// Advance this rank's clock by `seconds` and book it to phase `p`.
-  void charge(Phase p, double seconds);
-
-  /// Charge a threaded kernel of `units` iterations at `cycles_per_unit`.
-  void charge_kernel(Phase p, double units, double cycles_per_unit);
-
-  /// Charge a serial (single-thread) section.
-  void charge_serial(Phase p, double units, double cycles_per_unit);
+  void charge(Phase p, double seconds) override;
 
   /// Enter a barrier, separately booking productive arrival vs idle wait.
-  void timed_barrier(unsigned channel = 0, unsigned participants = 0);
+  void timed_barrier(unsigned channel = 0, unsigned participants = 0) override;
 
   /// The cluster's trace recorder, or nullptr when tracing is off.
-  trace::TraceRecorder* trace() const;
+  trace::TraceRecorder* trace() const override;
 
   /// Open an RAII span on this rank's lane; a no-op scope when tracing
   /// is off. Defined after SimCluster below.
-  TraceSpan trace_span(Phase p, std::uint64_t iteration = 0);
-  TraceSpan trace_span(trace::Stage s, std::uint64_t iteration = 0);
+  TraceSpan trace_span(trace::Stage s, std::uint64_t iteration = 0) override;
+  using comm::Context::trace_span;  // the Phase overload
 
  private:
   unsigned rank_;
   SimCluster& cluster_;
 };
 
-class SimCluster {
+class SimCluster final : public comm::Cluster {
  public:
   struct Config {
     unsigned num_ranks = 1;
@@ -72,41 +77,54 @@ class SimCluster {
 
   explicit SimCluster(const Config& config);
 
-  unsigned num_ranks() const { return config_.num_ranks; }
+  unsigned num_ranks() const override { return config_.num_ranks; }
+  bool simulated() const override { return true; }
   const Config& config() const { return config_; }
 
   /// Run `fn` as rank 0..num_ranks-1, each on its own thread. Blocks until
   /// all complete; rethrows the first exception after aborting the rest.
   void run(const std::function<void(RankContext&)>& fn);
+  void run(const std::function<void(comm::Context&)>& fn) override;
 
   /// Largest clock across ranks — the wall-clock of the simulated run.
-  double max_clock() const;
+  double max_clock() const override;
 
-  const PhaseStats& stats(unsigned rank) const { return stats_[rank]; }
+  const PhaseStats& stats(unsigned rank) const override {
+    return stats_[rank];
+  }
   PhaseStats& stats(unsigned rank) { return stats_[rank]; }
 
   /// Critical-path view: per-phase max over ranks.
-  PhaseStats max_stats() const;
+  PhaseStats max_stats() const override;
 
   /// Reset clocks and stats for a fresh measurement on the same cluster.
   void reset();
 
-  SimTransport& transport() { return *transport_; }
+  SimTransport& transport() override { return *transport_; }
   SimClock& clock(unsigned rank) { return clocks_[rank]; }
   const std::vector<SimClock>& clocks() const { return clocks_; }
-  const NetworkModel& network() const { return config_.network; }
-  const ComputeModel& compute_model() const { return config_.compute; }
+  const std::vector<SimClock>* rank_clocks() const override {
+    return &clocks_;
+  }
+  const NetworkModel& network() const override { return config_.network; }
+  const ComputeModel& compute_model() const override {
+    return config_.compute;
+  }
+
+  /// Build a SimRdmaDkv priced by this cluster's models.
+  std::unique_ptr<dkv::ShardedDkv> make_store(
+      const comm::StoreConfig& config) override;
 
   /// Install (or clear, with nullptr) fault-injection hooks on the
   /// cluster and its transport. Survives reset(). The hooks must outlive
   /// the installation; pass nullptr before destroying them.
-  void install_fault_hooks(FaultHooks* hooks);
+  void install_fault_hooks(FaultHooks* hooks) override;
   FaultHooks* fault_hooks() const { return fault_; }
 
   /// Install (or clear, with nullptr) a trace recorder on the cluster
   /// and its transport. Survives reset(). The recorder must outlive the
   /// installation and have at least num_ranks() lanes.
-  void install_trace(trace::TraceRecorder* recorder);
+  void install_trace(trace::TraceRecorder* recorder) override;
   trace::TraceRecorder* trace_recorder() const { return trace_; }
 
  private:
@@ -120,10 +138,6 @@ class SimCluster {
 
 inline trace::TraceRecorder* RankContext::trace() const {
   return cluster_.trace_recorder();
-}
-
-inline TraceSpan RankContext::trace_span(Phase p, std::uint64_t iteration) {
-  return trace_span(to_stage(p), iteration);
 }
 
 inline TraceSpan RankContext::trace_span(trace::Stage s,

@@ -1,36 +1,12 @@
-// Bridge between the simulator's Phase taxonomy and the trace
-// subsystem: Phase maps index-for-index onto the leading trace::Stage
-// entries, and TraceSpan is the RAII span scope instantiated over the
-// virtual clock.
+// Phase/Stage bridge and the RAII trace span (backend-neutral types live
+// in comm/trace_span.h).
 #pragma once
 
-#include "sim/clock.h"
-#include "sim/phase_stats.h"
-#include "trace/recorder.h"
+#include "comm/trace_span.h"
 
 namespace scd::sim {
 
-using TraceSpan = trace::ScopedSpan<SimClock>;
-
-constexpr trace::Stage to_stage(Phase p) {
-  return static_cast<trace::Stage>(static_cast<std::size_t>(p));
-}
-
-#define SCD_PHASE_MATCHES(name)                              \
-  static_assert(static_cast<std::size_t>(Phase::name) ==     \
-                    static_cast<std::size_t>(trace::Stage::name), \
-                "Phase/Stage enums diverged: " #name)
-SCD_PHASE_MATCHES(kDrawMinibatch);
-SCD_PHASE_MATCHES(kDeployMinibatch);
-SCD_PHASE_MATCHES(kSampleNeighbors);
-SCD_PHASE_MATCHES(kLoadPi);
-SCD_PHASE_MATCHES(kUpdatePhi);
-SCD_PHASE_MATCHES(kUpdatePi);
-SCD_PHASE_MATCHES(kUpdateBetaTheta);
-SCD_PHASE_MATCHES(kPerplexity);
-SCD_PHASE_MATCHES(kBarrierWait);
-#undef SCD_PHASE_MATCHES
-static_assert(kNumPhases <= trace::kNumStages,
-              "every Phase needs a Stage mirror");
+using comm::to_stage;
+using comm::TraceSpan;
 
 }  // namespace scd::sim

@@ -1,4 +1,5 @@
-// MPI-style transport for the virtual-time cluster.
+// MPI-style transport for the virtual-time cluster — the simulated
+// implementation of the backend-neutral comm::Transport seam.
 //
 // Rank code runs on real threads; this class provides point-to-point
 // messages and the collectives the algorithm needs (barrier, reduce-sum,
@@ -41,6 +42,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/transport.h"
 #include "sim/clock.h"
 #include "sim/fault_hooks.h"
 #include "sim/network_model.h"
@@ -49,90 +51,41 @@
 
 namespace scd::sim {
 
-/// Typed failure of a transport operation under fault injection — e.g.
-/// a blocking receive whose peer fail-stopped. Distinct from the generic
-/// abort Error so recovery code can catch exactly communication faults.
-class TransportError : public Error {
- public:
-  explicit TransportError(const std::string& what) : Error(what) {}
-};
+/// Sim-era spelling; the type lives with the seam in comm/transport.h.
+using TransportError = comm::TransportError;
 
-class SimTransport {
+class SimTransport final : public comm::Transport {
  public:
   /// `clocks` must outlive the transport and have one entry per rank.
   SimTransport(unsigned num_ranks, const NetworkModel& net,
                std::vector<SimClock>& clocks);
 
-  unsigned num_ranks() const { return num_ranks_; }
+  unsigned num_ranks() const override { return num_ranks_; }
   const NetworkModel& network() const { return net_; }
 
-  /// Typed point-to-point send. T must be trivially copyable.
-  template <typename T>
-  void send(unsigned from, unsigned to, int tag, std::span<const T> data) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> bytes = acquire_buffer();
-    bytes.resize(data.size_bytes());
-    if (!data.empty()) {
-      std::memcpy(bytes.data(), data.data(), data.size_bytes());
-    }
-    send_raw(from, to, tag, std::move(bytes), data.size_bytes());
-  }
-
-  /// Zero-copy send of an already-serialized payload, typically one
-  /// obtained from acquire_buffer(). The receiver gets the exact bytes
-  /// via recv_bytes and should recycle_buffer() them when done.
-  void send_bytes(unsigned from, unsigned to, int tag,
-                  std::vector<std::byte>&& payload) {
-    const std::uint64_t bytes = payload.size();
-    send_raw(from, to, tag, std::move(payload), bytes);
-  }
-
-  /// Cost-only send: moves no data, charges time for `logical_bytes`.
-  void send_phantom(unsigned from, unsigned to, int tag,
-                    std::uint64_t logical_bytes) {
-    send_raw(from, to, tag, {}, logical_bytes);
-  }
-
-  /// Typed receive; blocks until the matching send arrives.
-  template <typename T>
-  std::vector<T> recv(unsigned self, unsigned from, int tag) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<std::byte> bytes = recv_raw(self, from, tag);
-    SCD_ASSERT(bytes.size() % sizeof(T) == 0, "payload size mismatch");
-    std::vector<T> out(bytes.size() / sizeof(T));
-    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
-    recycle_buffer(std::move(bytes));
-    return out;
-  }
-
-  /// Raw receive: blocks until the matching send arrives, returns its
-  /// payload. Pass the buffer back via recycle_buffer() after consuming
-  /// it to keep the pool warm.
-  std::vector<std::byte> recv_bytes(unsigned self, unsigned from, int tag) {
-    return recv_raw(self, from, tag);
-  }
+  /// Point-to-point primitives (typed/zero-copy/phantom conveniences are
+  /// inherited from comm::Transport and layer on these).
+  void send_raw(unsigned from, unsigned to, int tag,
+                std::vector<std::byte> payload,
+                std::uint64_t logical_bytes) override;
+  std::vector<std::byte> recv_raw(unsigned self, unsigned from,
+                                  int tag) override;
 
   /// Failure-aware receive: like recv_bytes, but when `from` has been
   /// marked dead and no matching message remains it returns std::nullopt
   /// instead of blocking forever — the master's heartbeat-timeout
   /// primitive. Deterministic because ranks die only at virtual-time
   /// points fixed by the fault plan, after finishing all earlier sends.
-  std::optional<std::vector<std::byte>> recv_bytes_or_dead(unsigned self,
-                                                           unsigned from,
-                                                           int tag);
-
-  /// Receive a phantom (or typed) message, discarding any payload.
-  void recv_discard(unsigned self, unsigned from, int tag) {
-    recycle_buffer(recv_raw(self, from, tag));
-  }
+  std::optional<std::vector<std::byte>> recv_bytes_or_dead(
+      unsigned self, unsigned from, int tag) override;
 
   /// Take an empty buffer from the pool (capacity from earlier traffic).
-  std::vector<std::byte> acquire_buffer();
+  std::vector<std::byte> acquire_buffer() override;
   /// Return a consumed payload's storage to the pool.
-  void recycle_buffer(std::vector<std::byte>&& buffer);
+  void recycle_buffer(std::vector<std::byte>&& buffer) override;
   /// Pre-warm the pool with `count` buffers of `capacity_bytes` each so
   /// even the first iterations allocate nothing on the messaging path.
-  void reserve_buffers(std::size_t count, std::size_t capacity_bytes);
+  void reserve_buffers(std::size_t count, std::size_t capacity_bytes) override;
 
   /// Pre-warm the collective slot pool: `slots` recycled slots whose
   /// rank-indexed contribution buffers can hold `reduce_len` doubles and
@@ -140,12 +93,12 @@ class SimTransport {
   /// pool grows lazily to its high-water mark, and thread scheduling can
   /// first reach that mark arbitrarily late in a run.
   void reserve_collectives(std::size_t slots, std::size_t reduce_len,
-                           std::size_t bcast_bytes);
+                           std::size_t bcast_bytes) override;
 
   /// Pre-warm one point-to-point mailbox ring to `depth` queued messages
   /// (the map node plus the ring's backing storage).
   void reserve_mailbox(unsigned from, unsigned to, int tag,
-                       std::size_t depth);
+                       std::size_t depth) override;
 
   /// Collectives run on a *channel*: a group of `participants` ranks that
   /// all call the same operation in the same order. participants == 0
@@ -156,34 +109,25 @@ class SimTransport {
   ///
   /// barrier: rendezvous; clocks advance to max entry + barrier cost.
   void barrier(unsigned self, unsigned channel = 0,
-               unsigned participants = 0);
+               unsigned participants = 0) override;
 
   /// Element-wise sum across the channel's ranks; on return `inout` holds
   /// the total at the root and is unchanged elsewhere. Contributions are
   /// combined in rank order (deterministic regardless of arrival order).
   void reduce_sum(unsigned self, unsigned root, std::span<double> inout,
-                  unsigned channel = 0, unsigned participants = 0);
+                  unsigned channel = 0, unsigned participants = 0) override;
 
   /// Root's bytes are copied to every participating rank.
   void broadcast(unsigned self, unsigned root, std::span<std::byte> data,
-                 unsigned channel = 0, unsigned participants = 0);
-
-  template <typename T>
-  void broadcast(unsigned self, unsigned root, std::span<T> data,
-                 unsigned channel = 0, unsigned participants = 0) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    broadcast(self, root,
-              std::span<std::byte>(reinterpret_cast<std::byte*>(data.data()),
-                                   data.size_bytes()),
-              channel, participants);
-  }
+                 unsigned channel = 0, unsigned participants = 0) override;
+  using comm::Transport::broadcast;  // the typed span<T> overload
 
   double clock_now(unsigned rank) const { return clocks_[rank].now(); }
   SimClock& clock(unsigned rank) { return clocks_[rank]; }
 
   /// Wake every blocked rank with an error — called when any rank's code
   /// throws, so a failure surfaces instead of deadlocking the cluster.
-  void abort_all();
+  void abort_all() override;
 
   /// Install (or clear, with nullptr) the fault-injection hooks. With no
   /// hooks the messaging path is the unmodified happy path behind a
@@ -204,8 +148,8 @@ class SimTransport {
   /// it sent before dying stay deliverable; once drained, blocking
   /// receives from it throw TransportError and recv_bytes_or_dead
   /// returns std::nullopt.
-  void mark_rank_dead(unsigned rank);
-  bool rank_dead(unsigned rank) const;
+  void mark_rank_dead(unsigned rank) override;
+  bool rank_dead(unsigned rank) const override;
 
  private:
   struct Message {
@@ -274,14 +218,16 @@ class SimTransport {
   };
 
   static std::uint64_t mailbox_key(unsigned from, unsigned to, int tag) {
+    // Field widths: from gets bits [40, 64), to gets [16, 40), tag gets
+    // [0, 16). Overflow would silently alias two mailboxes and corrupt
+    // matching, so fail loudly instead.
+    SCD_ASSERT(from < (1u << 24) && to < (1u << 24),
+               "mailbox rank exceeds 24-bit field");
+    SCD_ASSERT(tag >= 0 && tag < (1 << 16), "mailbox tag exceeds 16 bits");
     return (static_cast<std::uint64_t>(from) << 40) |
            (static_cast<std::uint64_t>(to) << 16) |
            static_cast<std::uint64_t>(static_cast<std::uint16_t>(tag));
   }
-
-  void send_raw(unsigned from, unsigned to, int tag,
-                std::vector<std::byte> payload, std::uint64_t logical_bytes);
-  std::vector<std::byte> recv_raw(unsigned self, unsigned from, int tag);
 
   /// Shared collective rendezvous. Reduce ranks contribute and (at the
   /// root) collect through `reduce_inout`; broadcast ranks publish (root)

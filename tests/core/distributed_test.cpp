@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/sequential_sampler.h"
+#include "sim/cluster.h"
 #include "tests/core/test_fixtures.h"
 
 namespace scd::core {

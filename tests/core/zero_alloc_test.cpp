@@ -28,6 +28,7 @@
 #include "core/distributed_sampler.h"
 #include "core/parallel_sampler.h"
 #include "core/sequential_sampler.h"
+#include "sim/cluster.h"
 #include "tests/core/test_fixtures.h"
 #include "trace/recorder.h"
 

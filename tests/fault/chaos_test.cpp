@@ -11,6 +11,7 @@
 
 #include "core/distributed_sampler.h"
 #include "fault/fault_plan.h"
+#include "sim/cluster.h"
 #include "tests/core/test_fixtures.h"
 
 namespace scd::core {

@@ -1,0 +1,185 @@
+// The tentpole acceptance property: the SAME DistributedSampler loops,
+// run on forked processes over real sockets, reproduce the simulator's
+// model trajectory bit-for-bit at fp32 — perplexity history, beta, and
+// every pi entry compared with EXPECT_EQ, clean run and crash-plan FT
+// run alike. Virtual and wall clocks differ by construction; numbers
+// must not.
+#include "core/distributed_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "proc/proc_cluster.h"
+#include "sim/cluster.h"
+#include "tests/core/test_fixtures.h"
+
+namespace scd::core {
+namespace {
+
+using testing::small_planted_fixture;
+
+struct Trajectory {
+  DistributedResult result;
+  PiMatrix pi{1, 1};
+  std::vector<float> beta;
+};
+
+/// One sampler run on `cluster`; the fixture is rebuilt from the same
+/// seed per call so both backends see identical inputs.
+Trajectory run_on(comm::Cluster& cluster, std::uint64_t iterations,
+                  const fault::FaultPlan* plan,
+                  std::uint64_t rollback_interval) {
+  auto f = small_planted_fixture(1618, 120, 4, 60);
+  f.options.eval_interval = 10;
+  DistributedOptions options;
+  options.base = f.options;
+  options.pipeline = false;  // FT never pipelines; compare flat vs flat
+  options.chunk_vertices = 8;
+  options.fault_plan = plan;
+  options.rollback_interval = rollback_interval;
+  DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                          f.hyper, options);
+  Trajectory out;
+  out.result = dist.run(iterations);
+  out.pi = dist.snapshot_pi();
+  out.beta.assign(dist.global().beta_all().begin(),
+                  dist.global().beta_all().end());
+  return out;
+}
+
+void expect_bit_identical(const Trajectory& sim, const Trajectory& proc) {
+  ASSERT_EQ(sim.result.history.size(), proc.result.history.size());
+  for (std::size_t i = 0; i < sim.result.history.size(); ++i) {
+    EXPECT_EQ(sim.result.history[i].iteration,
+              proc.result.history[i].iteration);
+    EXPECT_EQ(sim.result.history[i].perplexity,
+              proc.result.history[i].perplexity)
+        << "eval point " << i;
+  }
+  ASSERT_EQ(sim.beta.size(), proc.beta.size());
+  for (std::size_t k = 0; k < sim.beta.size(); ++k) {
+    EXPECT_EQ(sim.beta[k], proc.beta[k]) << "beta " << k;
+  }
+  ASSERT_EQ(sim.pi.num_vertices(), proc.pi.num_vertices());
+  ASSERT_EQ(sim.pi.num_communities(), proc.pi.num_communities());
+  for (std::uint32_t v = 0; v < sim.pi.num_vertices(); ++v) {
+    for (std::uint32_t k = 0; k < sim.pi.num_communities(); ++k) {
+      ASSERT_EQ(sim.pi.pi(v, k), proc.pi.pi(v, k))
+          << "v=" << v << " k=" << k;
+    }
+  }
+}
+
+TEST(ProcDistributedTest, MatchesSimulatorTrajectoryBitExact) {
+  constexpr unsigned kWorkers = 2;
+  constexpr std::uint64_t kIterations = 30;
+
+  sim::SimCluster::Config sim_config;
+  sim_config.num_ranks = kWorkers + 1;
+  sim::SimCluster sim_cluster(sim_config);
+  const Trajectory sim = run_on(sim_cluster, kIterations, nullptr, 0);
+
+  proc::ProcCluster::Config proc_config;
+  proc_config.num_ranks = kWorkers + 1;
+  proc_config.recv_timeout_s = 60.0;
+  proc::ProcCluster proc_cluster(proc_config);
+  const Trajectory proc = run_on(proc_cluster, kIterations, nullptr, 0);
+
+  expect_bit_identical(sim, proc);
+  EXPECT_GT(proc.result.virtual_seconds, 0.0);  // wall time on proc
+  // The measured breakdown covers the phases the modeled one covers.
+  EXPECT_GT(proc_cluster.max_stats().get(comm::Phase::kUpdatePhi), 0.0);
+  EXPECT_GT(proc_cluster.max_stats().get(comm::Phase::kLoadPi), 0.0);
+}
+
+TEST(ProcDistributedTest, CrashPlanMatchesSimulatorRecoveryBitExact) {
+  // One worker fail-stops at a protocol point of a fixed iteration (the
+  // cross-backend crash anchor); both backends must detect it at the
+  // same seam, re-home the same shard, roll back to the same snapshot,
+  // and land on identical numbers.
+  constexpr unsigned kWorkers = 3;
+  constexpr std::uint64_t kIterations = 15;
+
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.crashes.push_back({.rank = 2,
+                          .at_iteration = 6,
+                          .at_point = fault::CrashPoint::kAfterPhi});
+
+  sim::SimCluster::Config sim_config;
+  sim_config.num_ranks = kWorkers + 1;
+  sim::SimCluster sim_cluster(sim_config);
+  const Trajectory sim =
+      run_on(sim_cluster, kIterations, &plan, /*rollback_interval=*/3);
+
+  proc::ProcCluster::Config proc_config;
+  proc_config.num_ranks = kWorkers + 1;
+  proc_config.recv_timeout_s = 60.0;
+  proc::ProcCluster proc_cluster(proc_config);
+  const Trajectory proc =
+      run_on(proc_cluster, kIterations, &plan, /*rollback_interval=*/3);
+
+  EXPECT_EQ(sim.result.crashed_ranks, std::vector<unsigned>{2});
+  EXPECT_EQ(proc.result.crashed_ranks, sim.result.crashed_ranks);
+  EXPECT_EQ(proc.result.redone_iterations, sim.result.redone_iterations);
+  EXPECT_GE(sim.result.redone_iterations, 1u);
+  EXPECT_EQ(proc.result.iterations, sim.result.iterations);
+  expect_bit_identical(sim, proc);
+}
+
+TEST(ProcDistributedTest, WallBackendRejectsSimOnlyFeatures) {
+  auto f = small_planted_fixture(3, 80, 3, 40);
+
+  // Virtual-time-priced faults cannot replay on a wall clock.
+  {
+    proc::ProcCluster::Config config;
+    config.num_ranks = 3;
+    proc::ProcCluster cluster(config);
+    fault::FaultPlan plan;
+    plan.stragglers.push_back({1, 0.0, 1e9, 2.0});
+    DistributedOptions options;
+    options.base = f.options;
+    options.fault_plan = &plan;
+    DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                            f.hyper, options);
+    EXPECT_THROW(dist.run(2), scd::UsageError);
+  }
+  // Crash plans without rollback would keep the dead worker's partial
+  // pi writes: the restart does not replay them, so it is refused.
+  {
+    proc::ProcCluster::Config config;
+    config.num_ranks = 3;
+    proc::ProcCluster cluster(config);
+    fault::FaultPlan plan;
+    plan.crashes.push_back(
+        {.rank = 1, .at_iteration = 1, .at_point = fault::CrashPoint::kAfterPi});
+    DistributedOptions options;
+    options.base = f.options;
+    options.fault_plan = &plan;
+    options.rollback_interval = 0;
+    DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                            f.hyper, options);
+    EXPECT_THROW(dist.run(2), scd::UsageError);
+  }
+  // Virtual-time-anchored crashes have no wall-clock meaning either.
+  {
+    proc::ProcCluster::Config config;
+    config.num_ranks = 3;
+    proc::ProcCluster cluster(config);
+    fault::FaultPlan plan;
+    plan.crashes.push_back({.rank = 1, .time_s = 0.5});
+    DistributedOptions options;
+    options.base = f.options;
+    options.fault_plan = &plan;
+    options.rollback_interval = 2;
+    DistributedSampler dist(cluster, f.split->training(), f.split.get(),
+                            f.hyper, options);
+    EXPECT_THROW(dist.run(2), scd::UsageError);
+  }
+}
+
+}  // namespace
+}  // namespace scd::core

@@ -1,0 +1,104 @@
+// Process-lifecycle discipline of ProcCluster: every exit path — clean,
+// SIGKILLed worker, failing master, failing worker — reaps every child.
+// The audits call waitpid(-1) in the parent after run() returns or
+// throws: ECHILD means no zombies and no orphans left behind.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <csignal>
+#include <stdexcept>
+
+#include <sys/wait.h>
+
+#include "proc/proc_cluster.h"
+
+namespace scd::proc {
+namespace {
+
+ProcCluster::Config cluster_config(unsigned ranks) {
+  ProcCluster::Config config;
+  config.num_ranks = ranks;
+  config.recv_timeout_s = 30.0;
+  return config;
+}
+
+void expect_no_children() {
+  errno = 0;
+  const pid_t r = ::waitpid(-1, nullptr, WNOHANG);
+  EXPECT_EQ(r, -1) << "an unreaped child process survived the run";
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(ProcLifecycleTest, CleanRunReapsEveryWorker) {
+  ProcCluster cluster(cluster_config(4));
+  cluster.run([](comm::Context& ctx) {
+    ctx.transport().barrier(ctx.rank());
+  });
+  expect_no_children();
+}
+
+TEST(ProcLifecycleTest, SigkilledWorkerIsDetectedAndReaped) {
+  // Harder than fail-stop: the worker is killed by the kernel with no
+  // chance to report. The master must still detect the death through
+  // the transport (EOF after drain), run() must surface it as a data
+  // error, and no zombie may remain.
+  ProcCluster cluster(cluster_config(2));
+  EXPECT_THROW(
+      cluster.run([&cluster](comm::Context& ctx) {
+        comm::Transport& net = ctx.transport();
+        if (ctx.rank() == 1) {
+          const double alive[] = {1.0};
+          net.send<double>(1, 0, 3, alive);
+          // Block on a frame the master never sends; SIGKILL lands here.
+          net.recv_raw(1, 0, 4);
+          throw std::runtime_error("worker survived its own SIGKILL");
+        }
+        auto heartbeat = net.recv_bytes_or_dead(0, 1, 3);
+        EXPECT_TRUE(heartbeat.has_value());  // worker is up and blocked
+        ::kill(cluster.worker_pid(1), SIGKILL);
+        auto after = net.recv_bytes_or_dead(0, 1, 3);
+        EXPECT_FALSE(after.has_value()) << "death went undetected";
+        EXPECT_TRUE(net.rank_dead(1));
+      }),
+      scd::DataError);
+  expect_no_children();
+}
+
+TEST(ProcLifecycleTest, FailingMasterAbortsWorkersAndReaps) {
+  ProcCluster cluster(cluster_config(3));
+  EXPECT_THROW(cluster.run([](comm::Context& ctx) {
+                 if (ctx.rank() == 0) {
+                   throw std::runtime_error("scripted master failure");
+                 }
+                 // Workers sit in a blocking receive; the master's
+                 // death must unblock them via EOF, not a timeout.
+                 try {
+                   ctx.transport().recv_raw(ctx.rank(), 0, 9);
+                 } catch (const comm::TransportError&) {
+                 }
+               }),
+               scd::Error);
+  expect_no_children();
+}
+
+TEST(ProcLifecycleTest, FailingWorkerIsReportedAndReaped) {
+  ProcCluster cluster(cluster_config(3));
+  try {
+    cluster.run([](comm::Context& ctx) {
+      ctx.transport().barrier(ctx.rank());
+      if (ctx.rank() == 2) {
+        throw std::runtime_error("scripted worker failure");
+      }
+    });
+    FAIL() << "a failing worker must surface from run()";
+  } catch (const scd::DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 2"), std::string::npos)
+        << "error does not name the failing rank: " << e.what();
+    EXPECT_NE(std::string(e.what()).find("scripted worker failure"),
+              std::string::npos);
+  }
+  expect_no_children();
+}
+
+}  // namespace
+}  // namespace scd::proc

@@ -13,6 +13,7 @@
 #include "core/distributed_sampler.h"
 #include "core/sequential_sampler.h"
 #include "quant/row_codec.h"
+#include "sim/cluster.h"
 #include "tests/core/test_fixtures.h"
 #include "tune/tuner.h"
 #include "util/error.h"

@@ -12,6 +12,7 @@
 #include "core/checkpoint.h"
 #include "core/distributed_sampler.h"
 #include "quant/row_codec.h"
+#include "sim/cluster.h"
 #include "tests/core/test_fixtures.h"
 #include "util/error.h"
 

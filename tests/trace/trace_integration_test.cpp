@@ -14,6 +14,7 @@
 
 #include "core/distributed_sampler.h"
 #include "fault/fault_plan.h"
+#include "sim/cluster.h"
 #include "tests/core/test_fixtures.h"
 #include "trace/chrome_trace.h"
 #include "trace/critical_path.h"

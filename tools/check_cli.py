@@ -17,7 +17,7 @@ import sys
 
 COMMANDS = [
     "generate", "info", "fit", "eval", "resume", "serve", "simulate",
-    "trace", "tune",
+    "run", "trace", "tune",
 ]
 
 failures = []
@@ -94,6 +94,21 @@ def main():
     check("data error exits 2", r.returncode == 2, f"exit={r.returncode}")
     check("data error diagnoses on stderr", "error" in r.stderr,
           repr(r.stderr[:120]))
+
+    # `scd run` backend selection: an unknown backend is a usage error
+    # (1), an unreadable fault plan a data error (2) — the same split
+    # every other subcommand follows.
+    r = run([scd, "run", "--backend", "bogus"])
+    check("run unknown backend exits 1", r.returncode == 1,
+          f"exit={r.returncode}")
+    check("run unknown backend diagnoses on stderr", "bogus" in r.stderr,
+          repr(r.stderr[:120]))
+    r = run([scd, "run", "--backend", "sim", "--fault-plan",
+             "/no/such/plan.json"])
+    check("run missing fault plan exits 2", r.returncode == 2,
+          f"exit={r.returncode}")
+    check("run missing fault plan diagnoses on stderr",
+          "error" in r.stderr, repr(r.stderr[:120]))
 
     if failures:
         print(f"\n{len(failures)} failure(s)")

@@ -5,6 +5,7 @@
 //   scd fit       --graph graph.txt --communities K [--checkpoint f ...]
 //   scd resume    --graph graph.txt --checkpoint f --iterations N
 //   scd eval      --communities detected.txt --truth truth.txt
+//   scd run       [--backend sim|proc --workers C --iterations N ...]
 //   scd simulate  [--workers C --communities K --iterations N ...]
 //   scd trace     [--workers C --iterations N --out trace.json ...]
 //   scd tune      [--vertices N --communities K --log tune.json ...]
@@ -29,6 +30,7 @@
 #include "graph/metrics.h"
 #include "graph/snap_loader.h"
 #include "quant/row_codec.h"
+#include "proc/proc_cluster.h"
 #include "serve/query_engine.h"
 #include "serve/serving_index.h"
 #include "serve/traffic.h"
@@ -426,6 +428,135 @@ int cmd_simulate(int argc, const char* const* argv) {
   return 0;
 }
 
+/// Backend-selectable real-inference run: the same DistributedSampler
+/// loops on a planted graph, executed either on the virtual-time
+/// simulator or on real forked worker processes (--backend=proc). Same
+/// seed + fp32 codec => identical perplexity trajectories on both;
+/// only the time column changes meaning (virtual vs wall).
+int cmd_run(int argc, const char* const* argv) {
+  std::uint64_t workers = 2;
+  std::uint64_t vertices = 300;
+  std::uint64_t communities = 4;
+  std::int64_t iterations = 60;
+  std::uint64_t heldout = 200;
+  std::uint64_t seed = 1;
+  std::uint64_t rollback_interval = 0;
+  bool no_pipeline = false;
+  std::string backend = "sim";
+  std::string pi_codec = "fp32";
+  double sparse_eps = quant::kDefaultSparseEps;
+  std::string fault_plan_path;
+  ArgParser parser("scd run",
+                   "real-inference distributed run on a planted graph,"
+                   " on the simulated or the multi-process backend");
+  parser.add_string("backend", &backend,
+                    "execution backend: sim (virtual-time simulator) or"
+                    " proc (forked worker processes on this host)")
+      .add_uint("workers", &workers, "cluster size (worker ranks)")
+      .add_uint("vertices", &vertices, "planted graph size")
+      .add_uint("communities", &communities, "number of communities K")
+      .add_int("iterations", &iterations, "iterations to run")
+      .add_uint("heldout", &heldout, "held-out pair count")
+      .add_uint("seed", &seed, "root seed (same seed => same numbers"
+                " on both backends)")
+      .add_flag("no-pipeline", &no_pipeline, "disable double buffering")
+      .add_string("pi-codec", &pi_codec,
+                  "pi row codec in the DKV and on the wire: fp32 (exact),"
+                  " fp16, int8, sparse-topr, sparse-topr-fp16,"
+                  " sparse-topr-int8")
+      .add_double("sparse-eps", &sparse_eps,
+                  "sparse codecs: top-R mass tolerance per row")
+      .add_string("fault-plan", &fault_plan_path,
+                  "JSON fault schedule (proc: crash-only plans with"
+                  " iteration-triggered crashes and rollback)")
+      .add_uint("rollback-interval", &rollback_interval,
+                "snapshot every N iterations for crash rollback"
+                " (0 = off; proc crash plans require > 0)");
+  if (!parser.parse(argc, argv)) return 0;
+  SCD_REQUIRE(backend == "sim" || backend == "proc",
+              "unknown --backend '" + backend + "' (want sim or proc)");
+
+  const unsigned num_ranks = static_cast<unsigned>(workers) + 1;
+  std::unique_ptr<comm::Cluster> cluster;
+  if (backend == "proc") {
+    proc::ProcCluster::Config config;
+    config.num_ranks = num_ranks;
+    cluster = std::make_unique<proc::ProcCluster>(config);
+  } else {
+    sim::SimCluster::Config config;
+    config.num_ranks = num_ranks;
+    cluster = std::make_unique<sim::SimCluster>(config);
+  }
+
+  fault::FaultPlan plan;
+  if (!fault_plan_path.empty()) {
+    plan = fault::FaultPlan::from_file(fault_plan_path);
+    plan.validate(num_ranks);
+  }
+
+  rng::Xoshiro256 gen_rng(seed);
+  const graph::PlantedConfig planted = graph::planted_config_for_degree(
+      static_cast<graph::Vertex>(vertices),
+      static_cast<std::uint32_t>(communities), 20.0);
+  const graph::GeneratedGraph g = graph::generate_planted(gen_rng, planted);
+  rng::Xoshiro256 split_rng(seed + 1);
+  const graph::HeldOutSplit split(
+      split_rng, g.graph,
+      std::min<std::size_t>(heldout, g.graph.num_edges() / 5));
+
+  core::Hyper hyper;
+  hyper.num_communities = static_cast<std::uint32_t>(communities);
+  hyper.delta = core::suggested_delta(g.graph.density());
+  core::DistributedOptions options;
+  options.pipeline = !no_pipeline;
+  options.pi_codec = quant::codec_from_name(pi_codec);
+  options.sparse_eps = static_cast<float>(sparse_eps);
+  options.rollback_interval = rollback_interval;
+  if (!fault_plan_path.empty()) options.fault_plan = &plan;
+  options.base.neighbor_mode = core::NeighborMode::kLinkAware;
+  options.base.num_neighbors = 16;
+  options.base.eval_interval = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(iterations) / 4);
+  options.base.seed = seed;
+
+  core::DistributedSampler sampler(*cluster, split.training(), &split,
+                                   hyper, options);
+  const core::DistributedResult result =
+      sampler.run(static_cast<std::uint64_t>(iterations));
+
+  const char* clock_kind = backend == "proc" ? "wall" : "virtual";
+  std::printf("%s backend: %llu workers, K=%llu, %u-vertex planted"
+              " graph, pi-codec=%s, seed %llu\n",
+              backend.c_str(), static_cast<unsigned long long>(workers),
+              static_cast<unsigned long long>(communities),
+              g.graph.num_vertices(), quant::codec_name(options.pi_codec),
+              static_cast<unsigned long long>(seed));
+  std::printf("  %s time: %s  (%.1f iterations/s", clock_kind,
+              format_duration(result.virtual_seconds).c_str(),
+              static_cast<double>(iterations) /
+                  std::max(result.virtual_seconds, 1e-12));
+  if (!result.crashed_ranks.empty()) {
+    std::printf("; %zu crashed rank(s), %llu iteration(s) redone",
+                result.crashed_ranks.size(),
+                static_cast<unsigned long long>(result.redone_iterations));
+  }
+  std::printf(")\n");
+  for (const core::HistoryPoint& p : result.history) {
+    std::printf("  iter %5llu  %s %-10s perplexity %.6f\n",
+                static_cast<unsigned long long>(p.iteration), clock_kind,
+                format_duration(p.seconds).c_str(), p.perplexity);
+  }
+  Table table({"phase", "ms_per_iteration"});
+  const comm::PhaseStats stats = cluster->max_stats();
+  for (std::size_t i = 0; i < comm::kNumPhases; ++i) {
+    const auto phase = static_cast<comm::Phase>(i);
+    table.add_row({std::string(comm::phase_name(phase)),
+                   stats.get(phase) / double(iterations) * 1e3});
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  return 0;
+}
+
 /// Trace-first front end: a short simulated run with the recorder always
 /// installed, reporting the per-stage summary, metrics, and critical
 /// path (and optionally the Chrome trace file).
@@ -766,6 +897,8 @@ void print_usage(std::FILE* out) {
       "  fit        train a-MMSB on an edge-list graph\n"
       "  eval       score detected communities against ground truth\n"
       "  resume     continue training from a checkpoint\n"
+      "  run        real-inference distributed run on the simulated or"
+      " multi-process backend\n"
       "  serve      serve membership queries from a checkpoint\n"
       "  simulate   cost-only distributed run on the virtual cluster\n"
       "  trace      trace a simulated run; report its critical path\n"
@@ -802,6 +935,7 @@ int main(int argc, char** argv) {
     if (command == "resume") return cmd_resume(sub_argc, sub_argv);
     if (command == "eval") return cmd_eval(sub_argc, sub_argv);
     if (command == "serve") return cmd_serve(sub_argc, sub_argv);
+    if (command == "run") return cmd_run(sub_argc, sub_argv);
     if (command == "simulate") return cmd_simulate(sub_argc, sub_argv);
     if (command == "trace") return cmd_trace(sub_argc, sub_argv);
     if (command == "tune") return cmd_tune(sub_argc, sub_argv);
